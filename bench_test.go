@@ -1,0 +1,286 @@
+// Benchmarks regenerating the paper's evaluation (one testing.B benchmark
+// per table/figure; see DESIGN.md's per-experiment index):
+//
+//   - BenchmarkTable2/...    — Table 2's PolyMage(opt+vec) rows
+//   - BenchmarkFigure10/...  — Figure 10's variant comparison
+//   - BenchmarkFigure9/...   — Figure 9's tile-size configurations
+//   - BenchmarkAblation/...  — design-choice ablations (DESIGN.md)
+//
+// Default inputs are the paper's image sizes divided by
+// POLYMAGE_BENCH_SCALE (default 8) so `go test -bench=.` finishes quickly;
+// set POLYMAGE_BENCH_SCALE=1 (or POLYMAGE_BENCH_FULL=1) for paper-sized
+// runs. The cmd/polymage-bench binary prints the full tables with
+// paper-vs-measured columns.
+package polymage_test
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"testing"
+
+	polymage "repro"
+	"repro/internal/apps"
+	"repro/internal/baseline"
+	"repro/internal/harness"
+	"repro/internal/schedule"
+)
+
+func benchScale() int64 {
+	if os.Getenv("POLYMAGE_BENCH_FULL") == "1" {
+		return 1
+	}
+	if s := os.Getenv("POLYMAGE_BENCH_SCALE"); s != "" {
+		if v, err := strconv.ParseInt(s, 10, 64); err == nil && v >= 1 {
+			return v
+		}
+	}
+	return 8
+}
+
+func benchApp(b *testing.B, appName, variantName string, threads int, sopts schedule.Options) {
+	b.Helper()
+	app, err := apps.Get(appName)
+	if err != nil {
+		b.Fatal(err)
+	}
+	v, err := baseline.Get(variantName)
+	if err != nil {
+		b.Fatal(err)
+	}
+	params := harness.ScaledParams(app, benchScale())
+	p, err := harness.Prepare(app, v, params, threads, sopts, 42)
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Report pixels/op for scale-independent comparison.
+	var px int64 = 1
+	for _, k := range []string{"R", "C"} {
+		if v, ok := params[k]; ok {
+			px *= v
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.Prog.Run(p.Inputs); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(px), "px/op")
+}
+
+// BenchmarkTable2 regenerates the PolyMage(opt+vec) execution-time rows of
+// Table 2 at 1 thread and all threads.
+func BenchmarkTable2(b *testing.B) {
+	for _, app := range apps.All() {
+		for _, threads := range []int{1, 0} {
+			name := fmt.Sprintf("%s/threads=%d", app.Name, threads)
+			b.Run(name, func(b *testing.B) {
+				benchApp(b, app.Name, "opt+vec", threads, schedule.DefaultOptions())
+			})
+		}
+	}
+}
+
+// BenchmarkFigure10 regenerates the variant comparison of Figure 10 (a-f)
+// on one thread (the parallel axis is flat on single-CPU hosts; see
+// EXPERIMENTS.md).
+func BenchmarkFigure10(b *testing.B) {
+	figureApps := []string{"interpolate", "harris", "pyramid", "bilateral", "camera", "laplacian"}
+	variants := []string{"base", "base+vec", "opt", "opt+vec", "htuned+vec", "hmatched+vec"}
+	for _, appName := range figureApps {
+		for _, v := range variants {
+			b.Run(appName+"/"+v, func(b *testing.B) {
+				benchApp(b, appName, v, 1, schedule.DefaultOptions())
+			})
+		}
+	}
+}
+
+// BenchmarkFigure9 regenerates a slice of the autotuning space of Figure 9:
+// the same pipeline under different tile-size/threshold configurations.
+func BenchmarkFigure9(b *testing.B) {
+	configs := []struct {
+		name string
+		opts schedule.Options
+	}{
+		{"t8x8_th0.2", schedule.Options{TileSizes: []int64{8, 8}, OverlapThreshold: 0.2}},
+		{"t32x256_th0.4", schedule.Options{TileSizes: []int64{32, 256}, OverlapThreshold: 0.4}},
+		{"t128x128_th0.5", schedule.Options{TileSizes: []int64{128, 128}, OverlapThreshold: 0.5}},
+		{"t512x512_th0.5", schedule.Options{TileSizes: []int64{512, 512}, OverlapThreshold: 0.5}},
+	}
+	for _, appName := range []string{"pyramid", "camera", "interpolate"} {
+		for _, c := range configs {
+			b.Run(appName+"/"+c.name, func(b *testing.B) {
+				benchApp(b, appName, "opt+vec", 1, c.opts)
+			})
+		}
+	}
+}
+
+// localityChain builds a deep chain of cheap 3-tap stencils over a large
+// image: per-pixel arithmetic is minimal, so execution is memory-bound and
+// the benefit of overlapped tiling + scratchpads (Section 3.6: "without
+// storage reduction, the tiling transformations are not very effective") is
+// directly visible. This is the ablation benchmark for the paper's central
+// design choice.
+func localityChain(depth int, rows, cols int64) (*polymage.Builder, []string, map[string]int64) {
+	b := polymage.NewBuilder()
+	R, C := b.Param("R"), b.Param("C")
+	I := b.Image("I", polymage.Float, R.Affine(), C.Affine())
+	x, y := b.Var("x"), b.Var("y")
+	vars := []*polymage.Variable{x, y}
+	dom := []polymage.Interval{
+		polymage.Span(polymage.ConstExpr(0), R.Affine().AddConst(-1)),
+		polymage.Span(polymage.ConstExpr(0), C.Affine().AddConst(-1)),
+	}
+	var prev interface {
+		At(args ...any) polymage.Expr
+	} = I
+	for d := 1; d <= depth; d++ {
+		m := int64(d)
+		f := b.Func(fmt.Sprintf("s%d", d), polymage.Float, vars, dom)
+		cond := polymage.InBox(vars, []any{m, m},
+			[]any{polymage.Add(R, -m-1), polymage.Add(C, -m-1)})
+		f.Define(polymage.Case{Cond: cond, E: polymage.MulE(1.0/3, polymage.Add(
+			polymage.Add(prev.At(x, polymage.Sub(y, 1)), prev.At(x, y)),
+			prev.At(x, polymage.Add(y, 1))))})
+		prev = f
+	}
+	return b, []string{fmt.Sprintf("s%d", depth)}, map[string]int64{"R": rows, "C": cols}
+}
+
+// BenchmarkAblation/locality compares fused+tiled against unfused execution
+// of the memory-bound chain, and BenchmarkAblation/inlining measures the
+// point-wise inlining pass's effect on Harris.
+func BenchmarkAblation(b *testing.B) {
+	scale := benchScale()
+	rows := int64(4096 * 4 / scale)
+	if rows < 256 {
+		rows = 256
+	}
+	for _, fused := range []bool{true, false} {
+		name := "locality/fused"
+		if !fused {
+			name = "locality/unfused"
+		}
+		b.Run(name, func(b *testing.B) {
+			bld, outs, params := localityChain(8, rows, rows)
+			opts := polymage.Options{Estimates: params}
+			opts.Schedule.DisableFusion = !fused
+			opts.Schedule.OverlapThreshold = 0.9
+			pl, err := polymage.Compile(bld, outs, opts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			prog, err := pl.Bind(params, polymage.ExecOptions{Fast: true, Threads: 1})
+			if err != nil {
+				b.Fatal(err)
+			}
+			in := polymage.NewBuffer(polymage.Box{{Lo: 0, Hi: rows - 1}, {Lo: 0, Hi: rows - 1}})
+			polymage.FillPattern(in, 5)
+			inputs := map[string]*polymage.Buffer{"I": in}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := prog.Run(inputs); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+	// Figure 5's trade-off: overlapped (parallel, redundant halo) vs
+	// parallelogram (sequential, no recompute, full-buffer intermediates).
+	for _, strategy := range []string{"overlapped", "parallelogram", "split"} {
+		b.Run("tiling/"+strategy, func(b *testing.B) {
+			bld, outs, params := localityChain(8, rows, rows)
+			opts := polymage.Options{Estimates: params}
+			opts.Schedule.OverlapThreshold = 0.9
+			pl, err := polymage.Compile(bld, outs, opts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			eopts := polymage.ExecOptions{Fast: true}
+			switch strategy {
+			case "parallelogram":
+				eopts.Tiling = polymage.ParallelogramTiling
+			case "split":
+				eopts.Tiling = polymage.SplitTiling
+			}
+			prog, err := pl.Bind(params, eopts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			in := polymage.NewBuffer(polymage.Box{{Lo: 0, Hi: rows - 1}, {Lo: 0, Hi: rows - 1}})
+			polymage.FillPattern(in, 5)
+			inputs := map[string]*polymage.Buffer{"I": in}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := prog.Run(inputs); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+	for _, pooled := range []bool{true, false} {
+		name := "bufferpool/on"
+		if !pooled {
+			name = "bufferpool/off"
+		}
+		b.Run(name, func(b *testing.B) {
+			bld, outs, params := localityChain(8, rows, rows)
+			opts := polymage.Options{Estimates: params}
+			opts.Schedule.DisableFusion = true // pooling matters most unfused
+			pl, err := polymage.Compile(bld, outs, opts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			prog, err := pl.Bind(params, polymage.ExecOptions{Fast: true, Threads: 1, ReuseBuffers: pooled})
+			if err != nil {
+				b.Fatal(err)
+			}
+			in := polymage.NewBuffer(polymage.Box{{Lo: 0, Hi: rows - 1}, {Lo: 0, Hi: rows - 1}})
+			polymage.FillPattern(in, 5)
+			inputs := map[string]*polymage.Buffer{"I": in}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := prog.Run(inputs); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+	for _, inl := range []bool{true, false} {
+		name := "inlining/on"
+		if !inl {
+			name = "inlining/off"
+		}
+		b.Run(name, func(b *testing.B) {
+			app, err := apps.Get("harris")
+			if err != nil {
+				b.Fatal(err)
+			}
+			params := harness.ScaledParams(app, benchScale())
+			bld, outs := app.Build()
+			inputs, err := app.Inputs(bld, params, 42)
+			if err != nil {
+				b.Fatal(err)
+			}
+			opts := polymage.Options{Estimates: params}
+			opts.Inline.Disabled = !inl
+			pl, err := polymage.Compile(bld, outs, opts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			prog, err := pl.Bind(params, polymage.ExecOptions{Fast: true, Threads: 1})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := prog.Run(inputs); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

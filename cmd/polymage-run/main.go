@@ -1,0 +1,105 @@
+// polymage-run compiles and executes one of the benchmark pipelines,
+// printing the compiler's decisions (pipeline graph, inlined stages,
+// grouping — the dashed boxes of Figure 8) and the execution time.
+//
+// Usage:
+//
+//	polymage-run -app harris [-scale 4] [-threads 4] [-variant opt+vec]
+//	             [-print-graph] [-print-groups] [-runs 3]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/apps"
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"repro/internal/harness"
+	"repro/internal/schedule"
+)
+
+func main() {
+	appName := flag.String("app", "harris", "application: "+strings.Join(apps.Names(), ", "))
+	scale := flag.Int64("scale", 4, "divide paper image sizes by this factor (1 = paper size)")
+	threads := flag.Int("threads", 0, "worker threads (0 = GOMAXPROCS)")
+	variant := flag.String("variant", "opt+vec", "execution variant: "+strings.Join(baseline.Names(), ", "))
+	printGraph := flag.Bool("print-graph", false, "print the pipeline DAG")
+	printGroups := flag.Bool("print-groups", false, "print the grouping")
+	dot := flag.String("dot", "", "write the pipeline DAG (with group clusters) as Graphviz dot to this file")
+	runs := flag.Int("runs", 3, "timed runs (first is a discarded warm-up)")
+	flag.Parse()
+
+	app, err := apps.Get(*appName)
+	fatal(err)
+	v, err := baseline.Get(*variant)
+	fatal(err)
+	params := harness.ScaledParams(app, *scale)
+
+	b, outs := app.Build()
+	pl, err := core.Compile(b, outs, core.Options{
+		Estimates:     params,
+		Schedule:      v.Schedule(schedule.DefaultOptions()),
+		AllowUnproven: true,
+	})
+	fatal(err)
+
+	fmt.Printf("%s (%s): %d stages (paper: %d), params %v\n",
+		app.Title, app.PaperSize, app.StageCount(), app.PaperStages, params)
+	if len(pl.Inlined) > 0 {
+		fmt.Printf("inlined point-wise stages: %s\n", strings.Join(pl.Inlined, ", "))
+	}
+	if *printGraph {
+		fmt.Println("\npipeline DAG (stage: level <- producers):")
+		for _, n := range pl.Graph.Order {
+			st := pl.Graph.Stages[n]
+			fmt.Printf("  %-16s L%d <- %s\n", n, st.Level, strings.Join(st.Producers, ", "))
+		}
+	}
+	if *printGroups {
+		fmt.Println("\ngrouping (Figure 8 style):")
+		for _, line := range pl.GroupSummary() {
+			fmt.Println("  " + line)
+		}
+	}
+
+	if *dot != "" {
+		groups := map[string]int{}
+		for name, grp := range pl.Grouping.ByName {
+			groups[name] = grp.ID
+		}
+		if err := os.WriteFile(*dot, []byte(pl.Graph.Dot(app.Name, groups)), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s\n", *dot)
+	}
+
+	inputs, err := app.Inputs(b, params, 42)
+	fatal(err)
+	prog, err := pl.Bind(params, v.EngineOptions(*threads))
+	fatal(err)
+	p := &harness.Prepared{App: app, Variant: v, Params: params, Prog: prog, Inputs: inputs}
+	ms, err := p.Measure(*runs)
+	fatal(err)
+	fmt.Printf("\n%s, %s: %.2f ms (paper %s at 16 cores: %.2f ms at full size)\n",
+		v.Label, sizeString(params), ms, app.Title, app.PaperMs16)
+}
+
+func sizeString(params map[string]int64) string {
+	var parts []string
+	for _, k := range []string{"R", "C"} {
+		if v, ok := params[k]; ok {
+			parts = append(parts, fmt.Sprintf("%s=%d", k, v))
+		}
+	}
+	return strings.Join(parts, " ")
+}
+
+func fatal(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "polymage-run:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,72 @@
+// polymage-tune runs the model-driven autotuner (Section 3.8) on one
+// application: a grid over tile sizes and overlap thresholds, optionally
+// printing the full (1-core, N-core) scatter behind Figure 9, and compares
+// against the OpenTuner-style random-search baseline.
+//
+// Usage:
+//
+//	polymage-tune -app camera [-scale 4] [-scatter] [-full-space]
+//	              [-random-trials 5]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+
+	"repro/internal/apps"
+	"repro/internal/autotune"
+	"repro/internal/harness"
+)
+
+func main() {
+	appName := flag.String("app", "camera", "application: "+strings.Join(apps.Names(), ", "))
+	scale := flag.Int64("scale", 8, "divide paper image sizes by this factor")
+	threads := flag.Int("threads", 0, "threads (0 = GOMAXPROCS)")
+	scatter := flag.Bool("scatter", false, "print every configuration (Figure 9 data)")
+	fullSpace := flag.Bool("full-space", false, "use the paper's full 147-point space")
+	randomTrials := flag.Int("random-trials", 5, "trials for the OpenTuner-style random search (0 = skip)")
+	flag.Parse()
+
+	app, err := apps.Get(*appName)
+	fatal(err)
+	params := harness.ScaledParams(app, *scale)
+	th := *threads
+	if th == 0 {
+		th = runtime.GOMAXPROCS(0)
+	}
+	space := autotune.QuickSpace()
+	if *fullSpace {
+		space = autotune.FullSpace()
+	}
+	fmt.Printf("%s: tuning %d configurations at %v, %d threads\n", app.Title, space.Size(), params, th)
+
+	if *scatter {
+		results, err := autotune.Scatter(app, params, space, th, 42, true)
+		fatal(err)
+		fmt.Printf("%-18s %-8s %12s %12s\n", "tiles", "othresh", "ms(1)", fmt.Sprintf("ms(%d)", th))
+		for _, r := range results {
+			fmt.Printf("%-18v %-8.2f %12.2f %12.2f\n", r.Options.TileSizes, r.Options.OverlapThreshold, r.Ms1, r.Ms)
+		}
+	}
+	best, err := autotune.Grid(app, params, space, th, 42)
+	fatal(err)
+	fmt.Printf("model-driven best: tiles %v, othresh %.2f -> %.2f ms\n",
+		best.Options.TileSizes, best.Options.OverlapThreshold, best.Ms)
+
+	if *randomTrials > 0 {
+		rnd, err := autotune.RandomSearch(app, params, *randomTrials, th, 42)
+		fatal(err)
+		fmt.Printf("random search (%d trials, OpenTuner stand-in): %.2f ms (%.2fx slower)\n",
+			*randomTrials, rnd.Ms, rnd.Ms/best.Ms)
+	}
+}
+
+func fatal(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "polymage-tune:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,230 @@
+package affine
+
+import "fmt"
+
+// Access describes a one-dimensional quasi-affine access of the form
+//
+//	floor((Coeff·x + Off) / Div)
+//
+// where x is a single loop variable of the consumer (identified by Var, an
+// index into the consumer's dimensions) and Off is affine in the pipeline
+// parameters. Div >= 1. When Var < 0 the access does not use any loop
+// variable and its value is just floor(Off/Div) (a constant index such as the
+// channel selector in I(0, x, y)).
+//
+// This form covers every pattern in Table 1 of the paper: point-wise (x+c),
+// stencil (x+c), upsampling ((x+c)/2), and downsampling (2x+c).
+type Access struct {
+	Var   int   // consumer dimension index, or -1 for none
+	Coeff int64 // multiplier a; may be negative (e.g. mirrored access)
+	Off   Expr  // affine offset b
+	Div   int64 // positive divisor d (floor division)
+}
+
+// ConstAccess builds a var-free access with the given affine index.
+func ConstAccess(off Expr) Access {
+	return Access{Var: -1, Coeff: 0, Off: off, Div: 1}
+}
+
+// VarAccess builds the access (coeff·x_var + off)/div.
+func VarAccess(v int, coeff int64, off Expr, div int64) Access {
+	if div <= 0 {
+		panic("affine: access divisor must be positive")
+	}
+	return Access{Var: v, Coeff: coeff, Off: off, Div: div}
+}
+
+// IsIdentity reports whether the access is exactly x_var (used by the
+// point-wise inlining criterion).
+func (a Access) IsIdentity() bool {
+	off, ok := a.Off.ConstVal()
+	return a.Var >= 0 && a.Coeff == 1 && a.Div == 1 && ok && off == 0
+}
+
+// IsConstOffset reports whether the access is x_var + c, returning c.
+func (a Access) IsConstOffset() (int64, bool) {
+	off, ok := a.Off.ConstVal()
+	if a.Var >= 0 && a.Coeff == 1 && a.Div == 1 && ok {
+		return off, true
+	}
+	return 0, false
+}
+
+// FloorDiv returns floor(a/b) for b > 0.
+func FloorDiv(a, b int64) int64 {
+	q := a / b
+	if a%b != 0 && (a < 0) != (b < 0) {
+		q--
+	}
+	return q
+}
+
+// CeilDiv returns ceil(a/b) for b > 0.
+func CeilDiv(a, b int64) int64 { return -FloorDiv(-a, b) }
+
+// At evaluates the access at a concrete point of the consumer domain.
+func (a Access) At(pt []int64, params map[string]int64) int64 {
+	v := a.Off.MustEval(params)
+	if a.Var >= 0 {
+		v += a.Coeff * pt[a.Var]
+	}
+	return FloorDiv(v, a.Div)
+}
+
+// RangeOver returns the exact range of produced indices when the consumer
+// variable sweeps varRange. For var-free accesses varRange is ignored. An
+// empty varRange yields an empty result for variable accesses.
+func (a Access) RangeOver(varRange Range, params map[string]int64) (Range, error) {
+	off, err := a.Off.Eval(params)
+	if err != nil {
+		return Range{}, err
+	}
+	if a.Var < 0 {
+		v := FloorDiv(off, a.Div)
+		return Range{Lo: v, Hi: v}, nil
+	}
+	if varRange.Empty() {
+		return Range{Lo: 0, Hi: -1}, nil
+	}
+	v1 := FloorDiv(a.Coeff*varRange.Lo+off, a.Div)
+	v2 := FloorDiv(a.Coeff*varRange.Hi+off, a.Div)
+	if v1 <= v2 {
+		return Range{Lo: v1, Hi: v2}, nil
+	}
+	return Range{Lo: v2, Hi: v1}, nil
+}
+
+// Rate returns the access's sampling rate Coeff/Div as a rational.
+func (a Access) Rate() Rational { return NewRational(a.Coeff, a.Div) }
+
+// InverseRange returns the set of consumer-variable values x for which the
+// access floor((Coeff·x + Off)/Div) lands inside target — the exact inverse
+// image, used by split tiling to shrink phase-1 regions so a tile only
+// reads values its own tile produced. For var-free accesses the second
+// result reports whether the constant index lies in target (first result is
+// then unbounded-in-x, represented by the full int64 range).
+func (a Access) InverseRange(target Range, params map[string]int64) (Range, bool, error) {
+	off, err := a.Off.Eval(params)
+	if err != nil {
+		return Range{}, false, err
+	}
+	if target.Empty() {
+		return Range{Lo: 0, Hi: -1}, false, nil
+	}
+	if a.Var < 0 {
+		v := FloorDiv(off, a.Div)
+		if target.Contains(v) {
+			return Range{Lo: -1 << 62, Hi: 1 << 62}, true, nil
+		}
+		return Range{Lo: 0, Hi: -1}, false, nil
+	}
+	// L <= floor((c·x + b)/d) <= H
+	//   <=>  L·d <= c·x + b <= H·d + d - 1
+	lo := target.Lo*a.Div - off
+	hi := target.Hi*a.Div + a.Div - 1 - off
+	switch {
+	case a.Coeff > 0:
+		return Range{Lo: CeilDiv(lo, a.Coeff), Hi: FloorDiv(hi, a.Coeff)}, true, nil
+	case a.Coeff < 0:
+		return Range{Lo: CeilDiv(hi, a.Coeff), Hi: FloorDiv(lo, a.Coeff)}, true, nil
+	default:
+		v := FloorDiv(off, a.Div)
+		if target.Contains(v) {
+			return Range{Lo: -1 << 62, Hi: 1 << 62}, true, nil
+		}
+		return Range{Lo: 0, Hi: -1}, false, nil
+	}
+}
+
+func (a Access) String() string {
+	if a.Var < 0 {
+		if a.Div == 1 {
+			return a.Off.String()
+		}
+		return fmt.Sprintf("(%s)/%d", a.Off, a.Div)
+	}
+	inner := fmt.Sprintf("%d*x%d", a.Coeff, a.Var)
+	if a.Coeff == 1 {
+		inner = fmt.Sprintf("x%d", a.Var)
+	}
+	if c, ok := a.Off.ConstVal(); !ok {
+		inner = fmt.Sprintf("%s + %s", inner, a.Off)
+	} else if c > 0 {
+		inner = fmt.Sprintf("%s + %d", inner, c)
+	} else if c < 0 {
+		inner = fmt.Sprintf("%s - %d", inner, -c)
+	}
+	if a.Div != 1 {
+		return fmt.Sprintf("(%s)/%d", inner, a.Div)
+	}
+	return inner
+}
+
+// Rational is a rational number kept in lowest terms with a positive
+// denominator. Used for schedule scaling factors (Section 3.3 of the paper).
+type Rational struct {
+	Num, Den int64
+}
+
+// NewRational builds num/den reduced to lowest terms; den must be non-zero.
+func NewRational(num, den int64) Rational {
+	if den == 0 {
+		panic("affine: zero denominator")
+	}
+	if den < 0 {
+		num, den = -num, -den
+	}
+	g := gcd64(abs64(num), den)
+	if g > 1 {
+		num /= g
+		den /= g
+	}
+	return Rational{Num: num, Den: den}
+}
+
+// One is the rational 1.
+var One = Rational{Num: 1, Den: 1}
+
+// Mul returns r·o in lowest terms.
+func (r Rational) Mul(o Rational) Rational {
+	return NewRational(r.Num*o.Num, r.Den*o.Den)
+}
+
+// Float returns the rational as a float64.
+func (r Rational) Float() float64 { return float64(r.Num) / float64(r.Den) }
+
+// IsZero reports whether the rational is 0.
+func (r Rational) IsZero() bool { return r.Num == 0 }
+
+// Equal reports exact equality (both are in lowest terms).
+func (r Rational) Equal(o Rational) bool { return r.Num == o.Num && r.Den == o.Den }
+
+// ScaleFloor returns floor(r·v).
+func (r Rational) ScaleFloor(v int64) int64 { return FloorDiv(r.Num*v, r.Den) }
+
+// ScaleCeil returns ceil(r·v).
+func (r Rational) ScaleCeil(v int64) int64 { return CeilDiv(r.Num*v, r.Den) }
+
+func (r Rational) String() string {
+	if r.Den == 1 {
+		return fmt.Sprintf("%d", r.Num)
+	}
+	return fmt.Sprintf("%d/%d", r.Num, r.Den)
+}
+
+func gcd64(a, b int64) int64 {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	if a == 0 {
+		return 1
+	}
+	return a
+}
+
+func abs64(a int64) int64 {
+	if a < 0 {
+		return -a
+	}
+	return a
+}

@@ -1,0 +1,213 @@
+// Package affine implements the small polyhedral fragment PolyMage needs:
+// affine expressions over named integer parameters, parametric intervals and
+// rectangular (box) domains, and one-dimensional quasi-affine accesses of the
+// form (a*x + b)/d used by stencil, upsampling and downsampling patterns.
+//
+// The paper's compiler uses ISL; PolyMage pipelines, however, only ever
+// manipulate box domains with affine bounds and per-dimension accesses, so
+// this package implements exactly that fragment (see DESIGN.md, substitution
+// note 1).
+package affine
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Expr is an affine expression c + Σ coeff_i · param_i over named integer
+// parameters. The zero value is the constant 0.
+type Expr struct {
+	Constant int64
+	terms    map[string]int64
+}
+
+// Const returns the constant affine expression c.
+func Const(c int64) Expr { return Expr{Constant: c} }
+
+// Param returns the affine expression consisting of a single parameter with
+// coefficient 1.
+func Param(name string) Expr { return Term(name, 1) }
+
+// Term returns the affine expression coeff·name.
+func Term(name string, coeff int64) Expr {
+	if coeff == 0 {
+		return Expr{}
+	}
+	return Expr{terms: map[string]int64{name: coeff}}
+}
+
+// Coeff returns the coefficient of the given parameter (0 when absent).
+func (e Expr) Coeff(name string) int64 { return e.terms[name] }
+
+// Params returns the names of parameters with non-zero coefficients, sorted.
+func (e Expr) Params() []string {
+	names := make([]string, 0, len(e.terms))
+	for n := range e.terms {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// IsConst reports whether the expression has no parameter terms.
+func (e Expr) IsConst() bool { return len(e.terms) == 0 }
+
+// ConstVal returns the constant value and whether the expression is constant.
+func (e Expr) ConstVal() (int64, bool) {
+	if !e.IsConst() {
+		return 0, false
+	}
+	return e.Constant, true
+}
+
+// Add returns e + o.
+func (e Expr) Add(o Expr) Expr {
+	r := Expr{Constant: e.Constant + o.Constant}
+	if len(e.terms)+len(o.terms) > 0 {
+		r.terms = make(map[string]int64, len(e.terms)+len(o.terms))
+		for n, c := range e.terms {
+			r.terms[n] = c
+		}
+		for n, c := range o.terms {
+			if nc := r.terms[n] + c; nc != 0 {
+				r.terms[n] = nc
+			} else {
+				delete(r.terms, n)
+			}
+		}
+		if len(r.terms) == 0 {
+			r.terms = nil
+		}
+	}
+	return r
+}
+
+// Sub returns e - o.
+func (e Expr) Sub(o Expr) Expr { return e.Add(o.Neg()) }
+
+// Neg returns -e.
+func (e Expr) Neg() Expr { return e.Scale(-1) }
+
+// Scale returns k·e.
+func (e Expr) Scale(k int64) Expr {
+	if k == 0 {
+		return Expr{}
+	}
+	r := Expr{Constant: e.Constant * k}
+	if len(e.terms) > 0 {
+		r.terms = make(map[string]int64, len(e.terms))
+		for n, c := range e.terms {
+			r.terms[n] = c * k
+		}
+	}
+	return r
+}
+
+// AddConst returns e + c.
+func (e Expr) AddConst(c int64) Expr {
+	r := e.clone()
+	r.Constant += c
+	return r
+}
+
+func (e Expr) clone() Expr {
+	r := Expr{Constant: e.Constant}
+	if len(e.terms) > 0 {
+		r.terms = make(map[string]int64, len(e.terms))
+		for n, c := range e.terms {
+			r.terms[n] = c
+		}
+	}
+	return r
+}
+
+// Eval evaluates the expression under the given parameter bindings. It
+// returns an error when a parameter is unbound.
+func (e Expr) Eval(params map[string]int64) (int64, error) {
+	v := e.Constant
+	for n, c := range e.terms {
+		pv, ok := params[n]
+		if !ok {
+			return 0, fmt.Errorf("affine: unbound parameter %q", n)
+		}
+		v += c * pv
+	}
+	return v, nil
+}
+
+// MustEval is Eval but panics on unbound parameters; for use after binding
+// has been validated.
+func (e Expr) MustEval(params map[string]int64) int64 {
+	v, err := e.Eval(params)
+	if err != nil {
+		panic(err)
+	}
+	return v
+}
+
+// Equal reports structural equality.
+func (e Expr) Equal(o Expr) bool {
+	if e.Constant != o.Constant || len(e.terms) != len(o.terms) {
+		return false
+	}
+	for n, c := range e.terms {
+		if o.terms[n] != c {
+			return false
+		}
+	}
+	return true
+}
+
+// NonNegative reports whether the expression is provably >= 0 for all
+// non-negative parameter values: every coefficient and the constant must be
+// non-negative. This is the conservative parametric test used by the static
+// bounds checker; callers fall back to checking at parameter estimates when
+// it fails.
+func (e Expr) NonNegative() bool {
+	if e.Constant < 0 {
+		return false
+	}
+	for _, c := range e.terms {
+		if c < 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the expression, e.g. "R + 2·C - 1".
+func (e Expr) String() string {
+	names := e.Params()
+	var b strings.Builder
+	first := true
+	for _, n := range names {
+		c := e.terms[n]
+		switch {
+		case first && c == 1:
+			b.WriteString(n)
+		case first && c == -1:
+			b.WriteString("-" + n)
+		case first:
+			fmt.Fprintf(&b, "%d*%s", c, n)
+		case c == 1:
+			b.WriteString(" + " + n)
+		case c == -1:
+			b.WriteString(" - " + n)
+		case c > 0:
+			fmt.Fprintf(&b, " + %d*%s", c, n)
+		default:
+			fmt.Fprintf(&b, " - %d*%s", -c, n)
+		}
+		first = false
+	}
+	if first {
+		return fmt.Sprintf("%d", e.Constant)
+	}
+	if e.Constant > 0 {
+		fmt.Fprintf(&b, " + %d", e.Constant)
+	} else if e.Constant < 0 {
+		fmt.Fprintf(&b, " - %d", -e.Constant)
+	}
+	return b.String()
+}

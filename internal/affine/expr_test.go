@@ -1,0 +1,152 @@
+package affine
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestExprBasics(t *testing.T) {
+	e := Param("R").Scale(2).Add(Const(3)).Sub(Param("C"))
+	if got := e.String(); got != "-C + 2*R + 3" {
+		t.Errorf("String = %q", got)
+	}
+	v, err := e.Eval(map[string]int64{"R": 5, "C": 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 9 {
+		t.Errorf("Eval = %d, want 9", v)
+	}
+	if e.Coeff("R") != 2 || e.Coeff("C") != -1 || e.Coeff("Z") != 0 {
+		t.Errorf("Coeff wrong: R=%d C=%d Z=%d", e.Coeff("R"), e.Coeff("C"), e.Coeff("Z"))
+	}
+}
+
+func TestExprUnbound(t *testing.T) {
+	if _, err := Param("R").Eval(nil); err == nil {
+		t.Error("expected error for unbound parameter")
+	}
+}
+
+func TestExprCancellation(t *testing.T) {
+	e := Param("R").Sub(Param("R"))
+	if !e.IsConst() {
+		t.Errorf("R - R should be constant, got %v", e)
+	}
+	if c, ok := e.ConstVal(); !ok || c != 0 {
+		t.Errorf("R - R = %d, want 0", c)
+	}
+}
+
+func TestExprNonNegative(t *testing.T) {
+	cases := []struct {
+		e    Expr
+		want bool
+	}{
+		{Const(0), true},
+		{Const(-1), false},
+		{Param("R"), true},
+		{Param("R").Neg(), false},
+		{Param("R").Add(Const(2)), true},
+		{Param("R").Sub(Const(1)), false},
+	}
+	for _, c := range cases {
+		if got := c.e.NonNegative(); got != c.want {
+			t.Errorf("NonNegative(%v) = %v, want %v", c.e, got, c.want)
+		}
+	}
+}
+
+// randExpr generates a random affine expression over params p0..p2 with
+// small coefficients.
+func randExpr(r *rand.Rand) Expr {
+	e := Const(r.Int63n(21) - 10)
+	names := []string{"p0", "p1", "p2"}
+	for _, n := range names {
+		if r.Intn(2) == 1 {
+			e = e.Add(Term(n, r.Int63n(11)-5))
+		}
+	}
+	return e
+}
+
+func randParams(r *rand.Rand) map[string]int64 {
+	return map[string]int64{
+		"p0": r.Int63n(201) - 100,
+		"p1": r.Int63n(201) - 100,
+		"p2": r.Int63n(201) - 100,
+	}
+}
+
+func TestExprAlgebraProperties(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	f := func() bool {
+		a, b, c := randExpr(r), randExpr(r), randExpr(r)
+		p := randParams(r)
+		av, bv, cv := a.MustEval(p), b.MustEval(p), c.MustEval(p)
+		// Commutativity and associativity of Add under evaluation.
+		if a.Add(b).MustEval(p) != av+bv {
+			return false
+		}
+		if !a.Add(b).Equal(b.Add(a)) {
+			return false
+		}
+		if !a.Add(b).Add(c).Equal(a.Add(b.Add(c))) {
+			return false
+		}
+		// Sub is Add of negation.
+		if a.Sub(b).MustEval(p) != av-bv {
+			return false
+		}
+		// Scale distributes.
+		k := r.Int63n(9) - 4
+		if a.Scale(k).MustEval(p) != k*av {
+			return false
+		}
+		if !a.Add(b).Scale(k).Equal(a.Scale(k).Add(b.Scale(k))) {
+			return false
+		}
+		// a - a == 0.
+		if z, ok := a.Sub(a).ConstVal(); !ok || z != 0 {
+			return false
+		}
+		_ = cv
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFloorCeilDiv(t *testing.T) {
+	cases := []struct {
+		a, b, floor, ceil int64
+	}{
+		{7, 2, 3, 4},
+		{-7, 2, -4, -3},
+		{6, 3, 2, 2},
+		{-6, 3, -2, -2},
+		{0, 5, 0, 0},
+		{1, 1, 1, 1},
+	}
+	for _, c := range cases {
+		if got := FloorDiv(c.a, c.b); got != c.floor {
+			t.Errorf("FloorDiv(%d,%d) = %d, want %d", c.a, c.b, got, c.floor)
+		}
+		if got := CeilDiv(c.a, c.b); got != c.ceil {
+			t.Errorf("CeilDiv(%d,%d) = %d, want %d", c.a, c.b, got, c.ceil)
+		}
+	}
+}
+
+func TestFloorDivProperty(t *testing.T) {
+	f := func(a int32, b int32) bool {
+		bb := int64(b%1000) + 1001 // positive divisor
+		q := FloorDiv(int64(a), bb)
+		return q*bb <= int64(a) && int64(a) < (q+1)*bb
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

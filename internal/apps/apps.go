@@ -1,0 +1,118 @@
+// Package apps contains the seven image-processing benchmark applications
+// of the paper's evaluation (Table 2): Unsharp Mask, Bilateral Grid, Harris
+// Corner Detection, Camera Pipeline, Pyramid Blending, Multiscale
+// Interpolation and Local Laplacian Filter — each expressed in the PolyMage
+// DSL, with synthetic input generators at the paper's image sizes.
+package apps
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/dsl"
+	"repro/internal/engine"
+)
+
+// App is one benchmark application.
+type App struct {
+	// Name is the registry key (e.g. "harris").
+	Name string
+	// Title as printed in tables.
+	Title string
+	// PaperStages is the stage count reported in Table 2.
+	PaperStages int
+	// PaperSize is the input size string of Table 2.
+	PaperSize string
+	// PaperParams binds the parameters to the paper's image size.
+	PaperParams map[string]int64
+	// TestParams is a small binding used by tests.
+	TestParams map[string]int64
+	// PaperMs16 is the paper's PolyMage(opt+vec) 16-core time (Table 2).
+	PaperMs16 float64
+	// PaperMs1 is the paper's 1-core time (Table 2).
+	PaperMs1 float64
+	// SpeedupHTuned and SpeedupOpenTuner are the Table 2 speedup columns.
+	SpeedupHTuned, SpeedupOpenTuner float64
+
+	// Build constructs the DSL specification, returning the builder and
+	// the live-out stage names.
+	Build func() (*dsl.Builder, []string)
+	// Inputs allocates and fills synthetic inputs for a parameter binding.
+	Inputs func(b *dsl.Builder, params map[string]int64, seed int64) (map[string]*engine.Buffer, error)
+}
+
+// StageCount builds the app and returns the number of stages in its graph
+// (before inlining).
+func (a *App) StageCount() int {
+	b, _ := a.Build()
+	return len(b.Stages())
+}
+
+var registry = map[string]*App{}
+
+func register(a *App) {
+	if _, dup := registry[a.Name]; dup {
+		panic(fmt.Sprintf("apps: duplicate app %q", a.Name))
+	}
+	registry[a.Name] = a
+}
+
+// Get looks up an app by name.
+func Get(name string) (*App, error) {
+	a, ok := registry[name]
+	if !ok {
+		return nil, fmt.Errorf("apps: unknown app %q (have %v)", name, Names())
+	}
+	return a, nil
+}
+
+// Names lists the registered apps in Table 2 order.
+func Names() []string {
+	order := []string{"unsharp", "bilateral", "harris", "camera", "pyramid", "interpolate", "laplacian"}
+	var out []string
+	for _, n := range order {
+		if _, ok := registry[n]; ok {
+			out = append(out, n)
+		}
+	}
+	// Any extras (shouldn't happen) go alphabetically at the end.
+	var extra []string
+	for n := range registry {
+		found := false
+		for _, o := range out {
+			if o == n {
+				found = true
+			}
+		}
+		if !found {
+			extra = append(extra, n)
+		}
+	}
+	sort.Strings(extra)
+	return append(out, extra...)
+}
+
+// All returns the registered apps in Table 2 order.
+func All() []*App {
+	var out []*App
+	for _, n := range Names() {
+		out = append(out, registry[n])
+	}
+	return out
+}
+
+// defaultInputs fills every declared image of the builder with the standard
+// synthetic pattern; most apps use this.
+func defaultInputs(b *dsl.Builder, params map[string]int64, seed int64) (map[string]*engine.Buffer, error) {
+	out := make(map[string]*engine.Buffer)
+	for name, im := range b.Images() {
+		box, err := im.Domain().Eval(params)
+		if err != nil {
+			return nil, err
+		}
+		buf := engine.NewBuffer(box)
+		engine.FillPattern(buf, seed+int64(len(name))*131)
+		out[name] = buf
+	}
+	return out, nil
+}

@@ -1,0 +1,142 @@
+package apps
+
+import (
+	"repro/internal/affine"
+	"repro/internal/dsl"
+	"repro/internal/expr"
+)
+
+// Bilateral Grid (Table 2: 7 stages, 43 lines, 2560×1536): a histogram-like
+// grid construction (reduction), 5-tap blurs along the three grid
+// dimensions, and a data-dependent trilinear slicing stage. The pipeline is
+// "a histogram operation followed by stencil and sampling operations"; the
+// compiler fuses the blur stages and keeps the reduction separate (the
+// paper: "our current implementation does not attempt to fuse reduction
+// operations").
+//
+// Parameters: R, C (image size) and GR, GC (grid spatial extents, bound to
+// (R-1)/8 and (C-1)/8 — the grid sampling rate is σs = 8, with 16 intensity
+// bins, as in the Chen et al. reference implementation).
+func init() {
+	register(&App{
+		Name:        "bilateral",
+		Title:       "Bilateral Grid",
+		PaperStages: 7,
+		PaperSize:   "2560x1536",
+		PaperParams: bilateralParams(2560, 1536),
+		TestParams:  bilateralParams(120, 88),
+		PaperMs1:    89.76, PaperMs16: 8.47,
+		SpeedupHTuned: 0.89, SpeedupOpenTuner: 1.09,
+		Build:  buildBilateral,
+		Inputs: defaultInputs,
+	})
+}
+
+func bilateralParams(r, c int64) map[string]int64 {
+	return map[string]int64{"R": r, "C": c, "GR": (r - 1) / 8, "GC": (c - 1) / 8}
+}
+
+const (
+	bilateralBins = 16
+	sigmaS        = 8
+)
+
+func buildBilateral() (*dsl.Builder, []string) {
+	b := dsl.NewBuilder()
+	R, C := b.Param("R"), b.Param("C")
+	GR, GC := b.Param("GR"), b.Param("GC")
+	I := b.Image("I", expr.Float, R.Affine(), C.Affine())
+
+	x, y := b.Var("x"), b.Var("y")
+	gx, gy, z := b.Var("gx"), b.Var("gy"), b.Var("z")
+	imgDom := []dsl.Interval{
+		dsl.Span(affine.Const(0), R.Affine().AddConst(-1)),
+		dsl.Span(affine.Const(0), C.Affine().AddConst(-1)),
+	}
+	// Grid with a 2-cell apron on every side for the 5-tap blurs.
+	gridDom := []dsl.Interval{
+		dsl.Span(affine.Const(0), GR.Affine().AddConst(4)),
+		dsl.Span(affine.Const(0), GC.Affine().AddConst(4)),
+		dsl.ConstSpan(0, bilateralBins+3),
+	}
+	gridVars := []*dsl.Variable{gx, gy, z}
+
+	// Intensity bin of a pixel, shifted by the apron.
+	bin := dsl.Add(dsl.Cast(expr.Int, dsl.Mul(I.At(x, y), bilateralBins-0.001)), 2)
+	cellX := dsl.Add(dsl.IDiv(x, sigmaS), 2)
+	cellY := dsl.Add(dsl.IDiv(y, sigmaS), 2)
+
+	// Homogeneous grid: accumulated intensity and accumulated weight.
+	gridV := b.Accum("gridV", expr.Float, []*dsl.Variable{x, y}, imgDom, gridVars, gridDom)
+	gridV.Define([]any{cellX, cellY, bin}, I.At(x, y), dsl.SumOp)
+	gridW := b.Accum("gridW", expr.Float, []*dsl.Variable{x, y}, imgDom, gridVars, gridDom)
+	gridW.Define([]any{cellX, cellY, bin}, 1, dsl.SumOp)
+
+	// 5-tap blurs along z, then x, then y, on both grid components.
+	w5 := []float64{1, 4, 6, 4, 1}
+	interior := func(margin int64) expr.Cond {
+		return dsl.And(
+			dsl.Cond(gx, ">=", margin), dsl.Cond(gx, "<=", dsl.Add(GR, dsl.E(4-margin))),
+			dsl.Cond(gy, ">=", margin), dsl.Cond(gy, "<=", dsl.Add(GC, dsl.E(4-margin))),
+			dsl.Cond(z, ">=", margin), dsl.Cond(z, "<=", dsl.E(bilateralBins+3-margin)),
+		)
+	}
+	blurPass := func(name string, src interface {
+		At(args ...any) expr.Expr
+	}, dim int, margin int64) *dsl.Function {
+		f := b.Func(name, expr.Float, gridVars, gridDom)
+		var terms []expr.Expr
+		for t := -2; t <= 2; t++ {
+			args := []any{dsl.E(gx), dsl.E(gy), dsl.E(z)}
+			args[dim] = dsl.Add([]*dsl.Variable{gx, gy, z}[dim], t)
+			terms = append(terms, dsl.Mul(w5[t+2]/16.0, src.At(args...)))
+		}
+		f.Define(dsl.Case{Cond: interior(margin), E: expr.Sum(terms...)})
+		return f
+	}
+	bzV := blurPass("blurzV", gridV, 2, 2)
+	bzW := blurPass("blurzW", gridW, 2, 2)
+	bxV := blurPass("blurxV", bzV, 0, 2)
+	bxW := blurPass("blurxW", bzW, 0, 2)
+	byV := blurPass("bluryV", bxV, 1, 2)
+	byW := blurPass("bluryW", bxW, 1, 2)
+
+	// Slicing: trilinear interpolation of the blurred grid at the pixel's
+	// (data-dependent) grid coordinates, then homogeneous division.
+	out := b.Func("out", expr.Float, []*dsl.Variable{x, y}, imgDom)
+	zf := dsl.Mul(I.At(x, y), bilateralBins-0.001)
+	zi := dsl.Cast(expr.Int, zf)
+	fz := dsl.Sub(zf, zi)
+	xi := dsl.IDiv(x, sigmaS)
+	fx := dsl.Div(dsl.Sub(x, dsl.Mul(sigmaS, xi)), float64(sigmaS))
+	yi := dsl.IDiv(y, sigmaS)
+	fy := dsl.Div(dsl.Sub(y, dsl.Mul(sigmaS, yi)), float64(sigmaS))
+	trilerp := func(g *dsl.Function) expr.Expr {
+		var terms []expr.Expr
+		for dz := 0; dz <= 1; dz++ {
+			for dx := 0; dx <= 1; dx++ {
+				for dy := 0; dy <= 1; dy++ {
+					wz, wx, wy := fz, fx, fy
+					if dz == 0 {
+						wz = dsl.Sub(1, fz)
+					}
+					if dx == 0 {
+						wx = dsl.Sub(1, fx)
+					}
+					if dy == 0 {
+						wy = dsl.Sub(1, fy)
+					}
+					v := g.At(
+						dsl.Add(xi, dsl.E(2+dx)),
+						dsl.Add(yi, dsl.E(2+dy)),
+						dsl.Add(zi, dsl.E(2+dz)))
+					terms = append(terms, dsl.Mul(dsl.Mul(wz, dsl.Mul(wx, wy)), v))
+				}
+			}
+		}
+		return expr.Sum(terms...)
+	}
+	out.Define(dsl.Case{E: dsl.Div(trilerp(byV), dsl.Max(trilerp(byW), 1e-6))})
+
+	return b, []string{"out"}
+}

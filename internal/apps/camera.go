@@ -1,0 +1,179 @@
+package apps
+
+import (
+	"repro/internal/affine"
+	"repro/internal/dsl"
+	"repro/internal/engine"
+	"repro/internal/expr"
+)
+
+// Camera Pipeline (Table 2: 32 stages, 86 lines, 2528×1920): processes a
+// raw Bayer mosaic into a color image, in the style of the Frankencamera
+// (FCam) pipeline: black-level/white-balance correction, hot-pixel
+// suppression, deinterleaving into the four Bayer phases, demosaicing (8
+// interpolation stages), interleaving back to full resolution, a 3×3 color
+// correction matrix, and a gamma tone curve applied through a lookup table.
+// The LUT stage is tiny and data-dependently indexed, so the compiler keeps
+// it out of the fused group — matching the paper: "our best schedule fuses
+// all stages except small lookup table computations into a single group".
+//
+// Parameters: R, C are the HALF-resolution extents (output 2R×2C; the
+// paper's 2528×1920 output is R=1264, C=960).
+func init() {
+	register(&App{
+		Name:        "camera",
+		Title:       "Camera Pipeline",
+		PaperStages: 32,
+		PaperSize:   "2528x1920",
+		PaperParams: map[string]int64{"R": 1264, "C": 960},
+		TestParams:  map[string]int64{"R": 40, "C": 33},
+		PaperMs1:    67.87, PaperMs16: 5.86,
+		SpeedupHTuned: 1.04, SpeedupOpenTuner: 10.05,
+		Build:  buildCamera,
+		Inputs: cameraInputs,
+	})
+}
+
+func cameraInputs(b *dsl.Builder, params map[string]int64, seed int64) (map[string]*engine.Buffer, error) {
+	out, err := defaultInputs(b, params, seed)
+	if err != nil {
+		return nil, err
+	}
+	// Raw sensor values: keep them in [0.05, 1) so black-level subtraction
+	// and the tone curve stay in range.
+	raw := out["raw"]
+	for i, v := range raw.Data {
+		raw.Data[i] = 0.05 + 0.95*v
+	}
+	return out, nil
+}
+
+func buildCamera() (*dsl.Builder, []string) {
+	b := dsl.NewBuilder()
+	R, C := b.Param("R"), b.Param("C")
+	// Raw mosaic with a 4-pixel apron (full resolution 2R+8 x 2C+8).
+	raw := b.Image("raw", expr.Float, R.Affine().Scale(2).AddConst(8), C.Affine().Scale(2).AddConst(8))
+
+	x, y, cch, z := b.Var("x"), b.Var("y"), b.Var("c"), b.Var("z")
+	fullDom := []dsl.Interval{
+		dsl.Span(affine.Const(0), R.Affine().Scale(2).AddConst(7)),
+		dsl.Span(affine.Const(0), C.Affine().Scale(2).AddConst(7)),
+	}
+	halfDom := []dsl.Interval{
+		dsl.Span(affine.Const(0), R.Affine().AddConst(3)),
+		dsl.Span(affine.Const(0), C.Affine().AddConst(3)),
+	}
+	fullInterior := dsl.InBox([]*dsl.Variable{x, y}, []any{2, 2},
+		[]any{dsl.FromAffine(R.Affine().Scale(2).AddConst(5)), dsl.FromAffine(C.Affine().Scale(2).AddConst(5))})
+	halfInterior := dsl.InBox([]*dsl.Variable{x, y}, []any{1, 1},
+		[]any{dsl.FromAffine(R.Affine().AddConst(2)), dsl.FromAffine(C.Affine().AddConst(2))})
+	xy := []*dsl.Variable{x, y}
+
+	// 1. Black level and exposure scaling (point-wise; inlined away).
+	const blackLevel = 0.05
+	black := b.Func("blackLevel", expr.Float, xy, fullDom)
+	black.Define(dsl.Case{E: dsl.Mul(1.0/(1.0-blackLevel), dsl.Max(dsl.Sub(raw.At(x, y), blackLevel), 0.0))})
+
+	// 2. Hot-pixel suppression: clamp each sensel to the min/max of its
+	// four same-color neighbours (distance-2 stencil).
+	denoise := b.Func("denoised", expr.Float, xy, fullDom)
+	n1 := black.At(dsl.Sub(x, 2), y)
+	n2 := black.At(dsl.Add(x, 2), y)
+	n3 := black.At(x, dsl.Sub(y, 2))
+	n4 := black.At(x, dsl.Add(y, 2))
+	maxN := dsl.Max(dsl.Max(n1, n2), dsl.Max(n3, n4))
+	minN := dsl.Min(dsl.Min(n1, n2), dsl.Min(n3, n4))
+	denoise.Define(dsl.Case{Cond: fullInterior,
+		E: dsl.Clamp(black.At(x, y), minN, maxN)})
+
+	// 3. Deinterleave the Bayer phases (GRBG): gGR at (2x,2y), rR at
+	// (2x,2y+1), bB at (2x+1,2y), gGB at (2x+1,2y+1), with white-balance
+	// gains folded in.
+	const (
+		gainR = 1.9
+		gainG = 1.0
+		gainB = 1.6
+	)
+	deint := func(name string, px, py int64, gain float64) *dsl.Function {
+		f := b.Func(name, expr.Float, xy, halfDom)
+		f.Define(dsl.Case{E: dsl.Mul(gain,
+			denoise.At(dsl.Add(dsl.Mul(2, x), px), dsl.Add(dsl.Mul(2, y), py)))})
+		return f
+	}
+	gGR := deint("gGR", 0, 0, gainG)
+	rR := deint("rR", 0, 1, gainR)
+	bB := deint("bB", 1, 0, gainB)
+	gGB := deint("gGB", 1, 1, gainG)
+
+	// 4. Demosaic: interpolate the two missing colors at each phase
+	// (bilinear, 8 stages).
+	half := func(name string, e expr.Expr) *dsl.Function {
+		f := b.Func(name, expr.Float, xy, halfDom)
+		f.Define(dsl.Case{Cond: halfInterior, E: e})
+		return f
+	}
+	avg2 := func(a, b expr.Expr) expr.Expr { return dsl.Mul(0.5, dsl.Add(a, b)) }
+	avg4 := func(a, b, c, d expr.Expr) expr.Expr {
+		return dsl.Mul(0.25, dsl.Add(dsl.Add(a, b), dsl.Add(c, d)))
+	}
+	gR := half("gR", avg4(gGR.At(x, y), gGR.At(x, dsl.Add(y, 1)), gGB.At(x, y), gGB.At(dsl.Sub(x, 1), y)))
+	gB := half("gB", avg4(gGR.At(x, y), gGR.At(dsl.Add(x, 1), y), gGB.At(x, y), gGB.At(x, dsl.Sub(y, 1))))
+	rGR := half("rGR", avg2(rR.At(x, y), rR.At(x, dsl.Sub(y, 1))))
+	rGB := half("rGB", avg4(rR.At(x, y), rR.At(dsl.Add(x, 1), y), rR.At(x, dsl.Sub(y, 1)), rR.At(dsl.Add(x, 1), dsl.Sub(y, 1))))
+	rB := half("rB", avg2(rR.At(x, y), rR.At(dsl.Add(x, 1), y)))
+	bGR := half("bGR", avg2(bB.At(x, y), bB.At(dsl.Sub(x, 1), y)))
+	bGB := half("bGB", avg2(bB.At(x, y), bB.At(x, dsl.Add(y, 1))))
+	bb4 := half("bR", avg4(bB.At(x, y), bB.At(dsl.Sub(x, 1), y), bB.At(x, dsl.Add(y, 1)), bB.At(dsl.Sub(x, 1), dsl.Add(y, 1))))
+
+	// 5. Interleave back to full resolution. Output pixel (x,y) maps to
+	// half-resolution site (x/2+2, y/2+2) with Bayer phase (x%2, y%2).
+	outDom := []dsl.Interval{
+		dsl.Span(affine.Const(0), R.Affine().Scale(2).AddConst(-1)),
+		dsl.Span(affine.Const(0), C.Affine().Scale(2).AddConst(-1)),
+	}
+	xh := dsl.Add(dsl.IDiv(x, 2), 2)
+	yh := dsl.Add(dsl.IDiv(y, 2), 2)
+	pxEven := dsl.Cond(dsl.Sub(x, dsl.Mul(2, dsl.IDiv(x, 2))), "==", 0)
+	pyEven := dsl.Cond(dsl.Sub(y, dsl.Mul(2, dsl.IDiv(y, 2))), "==", 0)
+	interleave := func(name string, atGR, atR, atB, atGB *dsl.Function) *dsl.Function {
+		f := b.Func(name, expr.Float, xy, outDom)
+		f.Define(dsl.Case{E: dsl.Sel(pxEven,
+			dsl.Sel(pyEven, atGR.At(xh, yh), atR.At(xh, yh)),
+			dsl.Sel(pyEven, atB.At(xh, yh), atGB.At(xh, yh)))})
+		return f
+	}
+	rFull := interleave("rFull", rGR, rR, rB, rGB)
+	gFull := interleave("gFull", gGR, gR, gB, gGB)
+	bFull := interleave("bFull", bGR, bb4, bB, bGB)
+
+	// 6. Color correction matrix (3 point-wise stages; inlined away).
+	ccm := [3][3]float64{
+		{1.60, -0.45, -0.15},
+		{-0.30, 1.50, -0.20},
+		{-0.10, -0.40, 1.50},
+	}
+	corr := make([]*dsl.Function, 3)
+	for ci := 0; ci < 3; ci++ {
+		f := b.Func([]string{"rCorr", "gCorr", "bCorr"}[ci], expr.Float, xy, outDom)
+		f.Define(dsl.Case{E: dsl.Add(dsl.Add(
+			dsl.Mul(ccm[ci][0], rFull.At(x, y)),
+			dsl.Mul(ccm[ci][1], gFull.At(x, y))),
+			dsl.Mul(ccm[ci][2], bFull.At(x, y)))})
+		corr[ci] = f
+	}
+
+	// 7. Gamma tone curve as a 1024-entry lookup table (tiny stage: stays
+	// in its own group per the MinSize rule, as in the paper).
+	curve := b.Func("toneCurve", expr.Float, []*dsl.Variable{z}, []dsl.Interval{dsl.ConstSpan(0, 1023)})
+	curve.Define(dsl.Case{E: dsl.Pow(dsl.Div(z, 1023.0), 1.0/2.2)})
+
+	// 8. Apply the curve through a data-dependent gather.
+	processed := b.Func("processed", expr.Float, []*dsl.Variable{cch, x, y},
+		append([]dsl.Interval{dsl.ConstSpan(0, 2)}, outDom...))
+	pick := dsl.Sel(dsl.Cond(cch, "==", 0), corr[0].At(x, y),
+		dsl.Sel(dsl.Cond(cch, "==", 1), corr[1].At(x, y), corr[2].At(x, y)))
+	idx := dsl.Clamp(dsl.Cast(expr.Int, dsl.Mul(pick, 1023.0)), 0, 1023)
+	processed.Define(dsl.Case{E: curve.At(idx)})
+
+	return b, []string{"processed"}
+}

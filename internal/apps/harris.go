@@ -1,0 +1,87 @@
+package apps
+
+import (
+	"repro/internal/affine"
+	"repro/internal/dsl"
+	"repro/internal/expr"
+)
+
+// Harris Corner Detection (Table 2: 11 stages, 43 lines, 6400×6400): the
+// paper's running example, specified exactly as Figure 1.
+func init() {
+	register(&App{
+		Name:        "harris",
+		Title:       "Harris Corner",
+		PaperStages: 11,
+		PaperSize:   "6400x6400",
+		PaperParams: map[string]int64{"R": 6400, "C": 6400},
+		TestParams:  map[string]int64{"R": 94, "C": 122},
+		PaperMs1:    233.79, PaperMs16: 18.69,
+		SpeedupHTuned: 2.59, SpeedupOpenTuner: 2.61,
+		Build:  buildHarris,
+		Inputs: defaultInputs,
+	})
+}
+
+func buildHarris() (*dsl.Builder, []string) {
+	b := dsl.NewBuilder()
+	R, C := b.Param("R"), b.Param("C") // lines 1-2 of Figure 1
+	I := b.Image("I", expr.Float, R.Affine().AddConst(2), C.Affine().AddConst(2))
+
+	x, y := b.Var("x"), b.Var("y") // line 4
+	row := dsl.Span(affine.Const(0), R.Affine().AddConst(1))
+	col := dsl.Span(affine.Const(0), C.Affine().AddConst(1))
+	dom := []dsl.Interval{row, col}
+	vars := []*dsl.Variable{x, y}
+
+	// Lines 7-11: interior conditions.
+	c := dsl.InBox(vars, []any{1, 1}, []any{R, C})
+	cb := dsl.InBox(vars, []any{2, 2}, []any{dsl.Sub(R, 1), dsl.Sub(C, 1)})
+
+	Iy := b.Func("Iy", expr.Float, vars, dom) // lines 13-17
+	Iy.Define(dsl.Case{Cond: c, E: dsl.Stencil(I, 1.0/12, [][]float64{
+		{-1, -2, -1},
+		{0, 0, 0},
+		{1, 2, 1},
+	}, [2]any{x, y})})
+
+	Ix := b.Func("Ix", expr.Float, vars, dom) // lines 19-23
+	Ix.Define(dsl.Case{Cond: c, E: dsl.Stencil(I, 1.0/12, [][]float64{
+		{-1, 0, 1},
+		{-2, 0, 2},
+		{-1, 0, 1},
+	}, [2]any{x, y})})
+
+	Ixx := b.Func("Ixx", expr.Float, vars, dom) // lines 25-26
+	Ixx.Define(dsl.Case{Cond: c, E: dsl.Mul(Ix.At(x, y), Ix.At(x, y))})
+	Iyy := b.Func("Iyy", expr.Float, vars, dom) // lines 28-29
+	Iyy.Define(dsl.Case{Cond: c, E: dsl.Mul(Iy.At(x, y), Iy.At(x, y))})
+	Ixy := b.Func("Ixy", expr.Float, vars, dom) // lines 31-32
+	Ixy.Define(dsl.Case{Cond: c, E: dsl.Mul(Ix.At(x, y), Iy.At(x, y))})
+
+	// Lines 34-41: 3x3 box sums, defined via the meta-programming loop of
+	// the original listing.
+	box := [][]float64{{1, 1, 1}, {1, 1, 1}, {1, 1, 1}}
+	Sxx := b.Func("Sxx", expr.Float, vars, dom)
+	Syy := b.Func("Syy", expr.Float, vars, dom)
+	Sxy := b.Func("Sxy", expr.Float, vars, dom)
+	for _, pair := range []struct {
+		dst *dsl.Function
+		src *dsl.Function
+	}{{Sxx, Ixx}, {Syy, Iyy}, {Sxy, Ixy}} {
+		pair.dst.Define(dsl.Case{Cond: cb, E: dsl.Stencil(pair.src, 1, box, [2]any{x, y})})
+	}
+
+	det := b.Func("det", expr.Float, vars, dom) // lines 43-45
+	d := dsl.Sub(dsl.Mul(Sxx.At(x, y), Syy.At(x, y)), dsl.Mul(Sxy.At(x, y), Sxy.At(x, y)))
+	det.Define(dsl.Case{Cond: cb, E: d})
+
+	trace := b.Func("trace", expr.Float, vars, dom) // lines 47-48
+	trace.Define(dsl.Case{Cond: cb, E: dsl.Add(Sxx.At(x, y), Syy.At(x, y))})
+
+	harris := b.Func("harris", expr.Float, vars, dom) // lines 50-52
+	coarsity := dsl.Sub(det.At(x, y), dsl.Mul(0.04, dsl.Mul(trace.At(x, y), trace.At(x, y))))
+	harris.Define(dsl.Case{Cond: cb, E: coarsity})
+
+	return b, []string{"harris"}
+}

@@ -1,0 +1,215 @@
+package apps
+
+import (
+	"fmt"
+
+	"repro/internal/affine"
+	"repro/internal/dsl"
+	"repro/internal/expr"
+)
+
+// Local Laplacian Filter (Table 2: 99 stages, 107 lines, 2560×1536×3): the
+// most complex benchmark, enhancing local contrast through K remapped
+// Gaussian pyramids (Paris, Hasinoff, Kautz; the Halide "local_laplacian"
+// app): a luminance pyramid selects, per pixel and per level, which of the
+// K remapped pyramids to sample (a data-dependent access), the selected
+// Laplacian coefficients are collapsed back, and the color is reattached by
+// luminance ratio.
+//
+// Levels: 8 (finest extent = R·2^7; the paper's 2560×1536 is R=20, C=12);
+// K = 8 remapping curves, carried as the leading dimension of the remapped
+// pyramid stages.
+func init() {
+	register(&App{
+		Name:        "laplacian",
+		Title:       "Local Laplacian",
+		PaperStages: 99,
+		PaperSize:   "2560x1536x3",
+		PaperParams: map[string]int64{"R": 20, "C": 12},
+		TestParams:  map[string]int64{"R": 1, "C": 1},
+		PaperMs1:    274.50, PaperMs16: 32.35,
+		SpeedupHTuned: 1.54, SpeedupOpenTuner: 9.41,
+		Build:  buildLaplacian,
+		Inputs: defaultInputs,
+	})
+}
+
+const (
+	llLevels = 8 // pyramid levels (7 downsamplings)
+	llK      = 8 // remapping curves
+	llApron  = 2
+)
+
+func buildLaplacian() (*dsl.Builder, []string) {
+	b := dsl.NewBuilder()
+	R, C := b.Param("R"), b.Param("C")
+	const A = llApron
+	fine := int64(1) << (llLevels - 1)
+	I := b.Image("I", expr.Float, affine.Const(3),
+		R.Affine().Scale(fine).AddConst(2*A), C.Affine().Scale(fine).AddConst(2*A))
+
+	k, x, y := b.Var("k"), b.Var("x"), b.Var("y")
+	c := b.Var("c")
+
+	rowsAt := func(j int) affine.Expr { return R.Affine().Scale(1 << (llLevels - 1 - j)) }
+	colsAt := func(j int) affine.Expr { return C.Affine().Scale(1 << (llLevels - 1 - j)) }
+	dom2 := func(j int) []dsl.Interval {
+		return []dsl.Interval{
+			dsl.Span(affine.Const(0), rowsAt(j).AddConst(2*A-1)),
+			dsl.Span(affine.Const(0), colsAt(j).AddConst(2*A-1)),
+		}
+	}
+	dom3 := func(j int) []dsl.Interval {
+		return append([]dsl.Interval{dsl.ConstSpan(0, llK-1)}, dom2(j)...)
+	}
+	interior := func(j int) expr.Cond {
+		return dsl.And(
+			dsl.Cond(x, ">=", A), dsl.Cond(x, "<=", dsl.FromAffine(rowsAt(j).AddConst(A-1))),
+			dsl.Cond(y, ">=", A), dsl.Cond(y, "<=", dsl.FromAffine(colsAt(j).AddConst(A-1))),
+		)
+	}
+	vars2 := []*dsl.Variable{x, y}
+	vars3 := []*dsl.Variable{k, x, y}
+
+	// Luminance.
+	gray := b.Func("gray", expr.Float, vars2, dom2(0))
+	gray.Define(dsl.Case{E: dsl.Add(dsl.Add(
+		dsl.Mul(0.299, I.At(2, x, y)),
+		dsl.Mul(0.587, I.At(1, x, y))),
+		dsl.Mul(0.114, I.At(0, x, y)))})
+
+	// K remapped copies: gp0(k,x,y) applies the contrast remapping curve
+	// centered at k/(K-1).
+	const (
+		llAlpha = 0.25 // detail boost
+		llBeta  = 0.3  // tone compression
+		llSigma = 0.2
+	)
+	gp0 := b.Func("remap0", expr.Float, vars3, dom3(0))
+	ref := dsl.Div(k, float64(llK-1))
+	diff := dsl.Sub(gray.At(x, y), ref)
+	remapped := dsl.Add(dsl.Add(ref, dsl.Mul(llBeta, diff)),
+		dsl.Mul(llAlpha, dsl.Mul(diff, dsl.Exp(dsl.Mul(-0.5/(llSigma*llSigma), dsl.Mul(diff, diff))))))
+	gp0.Define(dsl.Case{E: remapped})
+
+	// 5x5 binomial downsample helper (arbitrary rank; leading dims pass
+	// through).
+	w5 := []float64{1, 4, 6, 4, 1}
+	down := func(name string, src interface {
+		At(args ...any) expr.Expr
+	}, j int, withK bool) *dsl.Function {
+		vars, dom := vars2, dom2(j)
+		if withK {
+			vars, dom = vars3, dom3(j)
+		}
+		f := b.Func(name, expr.Float, vars, dom)
+		var terms []expr.Expr
+		for i := -2; i <= 2; i++ {
+			for jj := -2; jj <= 2; jj++ {
+				w := w5[i+2] * w5[jj+2] / 256.0
+				fx := dsl.Add(dsl.Mul(2, x), dsl.E(i-A))
+				fy := dsl.Add(dsl.Mul(2, y), dsl.E(jj-A))
+				var args []any
+				if withK {
+					args = []any{k, fx, fy}
+				} else {
+					args = []any{fx, fy}
+				}
+				terms = append(terms, dsl.Mul(w, src.At(args...)))
+			}
+		}
+		f.Define(dsl.Case{Cond: interior(j), E: expr.Sum(terms...)})
+		return f
+	}
+	// Bilinear upsample helper.
+	up := func(name string, src interface {
+		At(args ...any) expr.Expr
+	}, j int, withK bool) *dsl.Function {
+		vars, dom := vars2, dom2(j)
+		if withK {
+			vars, dom = vars3, dom3(j)
+		}
+		f := b.Func(name, expr.Float, vars, dom)
+		cx := dsl.IDiv(dsl.Add(x, A), 2)
+		cy := dsl.IDiv(dsl.Add(y, A), 2)
+		px := dsl.Sub(dsl.Add(x, A), dsl.Mul(2, cx))
+		py := dsl.Sub(dsl.Add(y, A), dsl.Mul(2, cy))
+		var terms []expr.Expr
+		for dx := 0; dx <= 1; dx++ {
+			for dy := 0; dy <= 1; dy++ {
+				wx := dsl.Sub(1, dsl.Mul(0.5, px))
+				if dx == 1 {
+					wx = dsl.Mul(0.5, px)
+				}
+				wy := dsl.Sub(1, dsl.Mul(0.5, py))
+				if dy == 1 {
+					wy = dsl.Mul(0.5, py)
+				}
+				var args []any
+				if withK {
+					args = []any{k, dsl.Add(cx, dx), dsl.Add(cy, dy)}
+				} else {
+					args = []any{dsl.Add(cx, dx), dsl.Add(cy, dy)}
+				}
+				terms = append(terms, dsl.Mul(dsl.Mul(wx, wy), src.At(args...)))
+			}
+		}
+		f.Define(dsl.Case{Cond: interior(j), E: expr.Sum(terms...)})
+		return f
+	}
+
+	// Remapped Gaussian pyramids (one 3-D stage per level) and the
+	// luminance pyramid.
+	gPyr := make([]*dsl.Function, llLevels)
+	gPyr[0] = gp0
+	inG := make([]*dsl.Function, llLevels)
+	inG[0] = gray
+	for j := 1; j < llLevels; j++ {
+		gPyr[j] = down(fmt.Sprintf("gPyr%d", j), gPyr[j-1], j, true)
+		inG[j] = down(fmt.Sprintf("inG%d", j), inG[j-1], j, false)
+	}
+
+	// Laplacian levels of the remapped pyramids.
+	lPyr := make([]*dsl.Function, llLevels)
+	lPyr[llLevels-1] = gPyr[llLevels-1]
+	for j := llLevels - 2; j >= 0; j-- {
+		u := up(fmt.Sprintf("gUp%d", j), gPyr[j+1], j, true)
+		f := b.Func(fmt.Sprintf("lPyr%d", j), expr.Float, vars3, dom3(j))
+		f.Define(dsl.Case{Cond: interior(j),
+			E: dsl.Sub(gPyr[j].At(k, x, y), u.At(k, x, y))})
+		lPyr[j] = f
+	}
+
+	// Output Laplacian levels: per pixel, interpolate between the two
+	// remapped pyramids bracketing the luminance (data-dependent access
+	// over the k dimension).
+	outL := make([]*dsl.Function, llLevels)
+	for j := 0; j < llLevels; j++ {
+		f := b.Func(fmt.Sprintf("outL%d", j), expr.Float, vars2, dom2(j))
+		lev := dsl.Mul(dsl.Clamp(inG[j].At(x, y), 0.0, 1.0), float64(llK-1))
+		li := dsl.Clamp(dsl.Cast(expr.Int, lev), 0, llK-2)
+		lf := dsl.Clamp(dsl.Sub(lev, li), 0.0, 1.0)
+		f.Define(dsl.Case{Cond: interior(j), E: dsl.Add(
+			dsl.Mul(dsl.Sub(1, lf), lPyr[j].At(li, x, y)),
+			dsl.Mul(lf, lPyr[j].At(dsl.Add(li, 1), x, y)))})
+		outL[j] = f
+	}
+
+	// Collapse the output pyramid.
+	outG := outL[llLevels-1]
+	for j := llLevels - 2; j >= 0; j-- {
+		u := up(fmt.Sprintf("outUp%d", j), outG, j, false)
+		f := b.Func(fmt.Sprintf("outG%d", j), expr.Float, vars2, dom2(j))
+		f.Define(dsl.Case{Cond: interior(j),
+			E: dsl.Add(outL[j].At(x, y), u.At(x, y))})
+		outG = f
+	}
+
+	// Reattach color by luminance ratio.
+	outDom := append([]dsl.Interval{dsl.ConstSpan(0, 2)}, dom2(0)...)
+	out := b.Func("enhanced", expr.Float, []*dsl.Variable{c, x, y}, outDom)
+	ratio := dsl.Div(outG.At(x, y), dsl.Max(gray.At(x, y), 0.01))
+	out.Define(dsl.Case{E: dsl.Mul(I.At(c, x, y), ratio)})
+
+	return b, []string{"enhanced"}
+}

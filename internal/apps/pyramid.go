@@ -1,0 +1,206 @@
+package apps
+
+import (
+	"fmt"
+
+	"repro/internal/affine"
+	"repro/internal/dsl"
+	"repro/internal/expr"
+)
+
+// Pyramid Blending (Table 2: 44 stages, 71 lines, 2048×2048×3): blends two
+// images with a mask through Laplacian pyramids (Burt & Adelson). This is
+// the pipeline of Figure 8: per-level downsampling chains for both inputs
+// and the mask, Laplacian construction (gauss − upsample(coarser gauss)),
+// per-level masked blending, and pyramid collapse.
+//
+// Levels: 4 (as in Figure 8). The image dimensions must be divisible by
+// 2^levels; domains carry a fixed 4-pixel apron at every level for the 5-tap
+// resampling stencils.
+func init() {
+	register(&App{
+		Name:        "pyramid",
+		Title:       "Pyramid Blending",
+		PaperStages: 44,
+		PaperSize:   "2048x2048x3",
+		// R and C are the COARSEST level's extents; the finest level is
+		// R·2^levels (2048 = 128·16).
+		PaperParams: map[string]int64{"R": 128, "C": 128},
+		TestParams:  map[string]int64{"R": 8, "C": 6},
+		PaperMs1:    196.99, PaperMs16: 21.91,
+		SpeedupHTuned: 4.61, SpeedupOpenTuner: 27.61,
+		Build:  buildPyramid,
+		Inputs: defaultInputs,
+	})
+}
+
+const pyrLevels = 4
+
+// pyrApron is the boundary margin carried at every pyramid level.
+const pyrApron = 4
+
+func buildPyramid() (*dsl.Builder, []string) {
+	b := dsl.NewBuilder()
+	R, C := b.Param("R"), b.Param("C")
+	// Inputs carry the level-0 apron; the mask is single-channel.
+	fine := int64(1) << pyrLevels
+	A := b.Image("A", expr.Float, affine.Const(3),
+		R.Affine().Scale(fine).AddConst(2*pyrApron), C.Affine().Scale(fine).AddConst(2*pyrApron))
+	B := b.Image("B", expr.Float, affine.Const(3),
+		R.Affine().Scale(fine).AddConst(2*pyrApron), C.Affine().Scale(fine).AddConst(2*pyrApron))
+	M := b.Image("M", expr.Float,
+		R.Affine().Scale(fine).AddConst(2*pyrApron), C.Affine().Scale(fine).AddConst(2*pyrApron))
+
+	c, x, y := b.Var("c"), b.Var("x"), b.Var("y")
+
+	// Extent of level l: R·2^(levels-l) rows plus the apron (R is the
+	// coarsest level's extent, so every level's extent is affine in it).
+	levelDom := func(l int, withChan bool) []dsl.Interval {
+		rows := dsl.Span(affine.Const(0), R.Affine().Scale(1<<(pyrLevels-l)).AddConst(2*pyrApron-1))
+		cols := dsl.Span(affine.Const(0), C.Affine().Scale(1<<(pyrLevels-l)).AddConst(2*pyrApron-1))
+		if withChan {
+			return []dsl.Interval{dsl.ConstSpan(0, 2), rows, cols}
+		}
+		return []dsl.Interval{rows, cols}
+	}
+	// Interior of level l: the apron-wide margin where every resampling
+	// access provably stays inside its producer's domain.
+	interior := func(l int) expr.Cond {
+		hiR := R.Affine().Scale(1 << (pyrLevels - l)).AddConst(pyrApron - 1)
+		hiC := C.Affine().Scale(1 << (pyrLevels - l)).AddConst(pyrApron - 1)
+		return dsl.And(
+			dsl.Cond(x, ">=", pyrApron), dsl.Cond(x, "<=", dsl.FromAffine(hiR)),
+			dsl.Cond(y, ">=", pyrApron), dsl.Cond(y, "<=", dsl.FromAffine(hiC)),
+		)
+	}
+
+	w5 := []float64{1, 4, 6, 4, 1}
+
+	type accessor interface {
+		At(args ...any) expr.Expr
+	}
+
+	// downsample builds one pyramid-down stage: a 5×5 binomial filter on
+	// the finer level sampled at even coordinates. The apron maps as
+	// coarse(x) covers fine(2x - apron) so the apron is preserved.
+	down := func(name string, src accessor, l int, withChan bool) *dsl.Function {
+		vars := []*dsl.Variable{x, y}
+		if withChan {
+			vars = []*dsl.Variable{c, x, y}
+		}
+		f := b.Func(name, expr.Float, vars, levelDom(l, withChan))
+		var terms []expr.Expr
+		for i := -2; i <= 2; i++ {
+			for j := -2; j <= 2; j++ {
+				w := w5[i+2] * w5[j+2] / 256.0
+				fx := dsl.Add(dsl.Mul(2, x), dsl.E(i-pyrApron))
+				fy := dsl.Add(dsl.Mul(2, y), dsl.E(j-pyrApron))
+				var args []any
+				if withChan {
+					args = []any{c, fx, fy}
+				} else {
+					args = []any{fx, fy}
+				}
+				terms = append(terms, dsl.Mul(w, src.At(args...)))
+			}
+		}
+		f.Define(dsl.Case{Cond: interior(l), E: expr.Sum(terms...)})
+		return f
+	}
+
+	// upsample builds one pyramid-up stage: bilinear interpolation of the
+	// coarser level back to level l's grid (inverse of the down mapping:
+	// coarse coordinate of fine x is (x + apron)/2).
+	up := func(name string, src accessor, l int, withChan bool) *dsl.Function {
+		vars := []*dsl.Variable{x, y}
+		if withChan {
+			vars = []*dsl.Variable{c, x, y}
+		}
+		f := b.Func(name, expr.Float, vars, levelDom(l, withChan))
+		cx := dsl.IDiv(dsl.Add(x, pyrApron), 2)
+		cy := dsl.IDiv(dsl.Add(y, pyrApron), 2)
+		// Parity-dependent bilinear weights: even coordinates land on the
+		// coarse sample, odd ones midway between two.
+		px := dsl.Sub(dsl.Add(x, pyrApron), dsl.Mul(2, cx)) // 0 or 1
+		py := dsl.Sub(dsl.Add(y, pyrApron), dsl.Mul(2, cy))
+		var terms []expr.Expr
+		for dx := 0; dx <= 1; dx++ {
+			for dy := 0; dy <= 1; dy++ {
+				wx := dsl.Sub(1, dsl.Mul(0.5, px))
+				if dx == 1 {
+					wx = dsl.Mul(0.5, px)
+				}
+				wy := dsl.Sub(1, dsl.Mul(0.5, py))
+				if dy == 1 {
+					wy = dsl.Mul(0.5, py)
+				}
+				var args []any
+				if withChan {
+					args = []any{c, dsl.Add(cx, dx), dsl.Add(cy, dy)}
+				} else {
+					args = []any{dsl.Add(cx, dx), dsl.Add(cy, dy)}
+				}
+				terms = append(terms, dsl.Mul(dsl.Mul(wx, wy), src.At(args...)))
+			}
+		}
+		f.Define(dsl.Case{Cond: interior(l), E: expr.Sum(terms...)})
+		return f
+	}
+
+	// Gaussian pyramids for both inputs and the mask.
+	gaussA := make([]accessor, pyrLevels+1)
+	gaussB := make([]accessor, pyrLevels+1)
+	gaussM := make([]accessor, pyrLevels+1)
+	gaussA[0], gaussB[0], gaussM[0] = A, B, M
+	for l := 1; l <= pyrLevels; l++ {
+		gaussA[l] = down(fmt.Sprintf("gA%d", l), gaussA[l-1], l, true)
+		gaussB[l] = down(fmt.Sprintf("gB%d", l), gaussB[l-1], l, true)
+		gaussM[l] = down(fmt.Sprintf("gM%d", l), gaussM[l-1], l, false)
+	}
+
+	// Laplacian levels: lap_l = gauss_l - up(gauss_{l+1}), for l < levels;
+	// the coarsest level keeps the Gaussian.
+	lap := func(prefix string, gauss []accessor) []accessor {
+		out := make([]accessor, pyrLevels+1)
+		for l := 0; l < pyrLevels; l++ {
+			u := up(fmt.Sprintf("%sUp%d", prefix, l), gauss[l+1], l, true)
+			f := b.Func(fmt.Sprintf("%sLap%d", prefix, l), expr.Float,
+				[]*dsl.Variable{c, x, y}, levelDom(l, true))
+			f.Define(dsl.Case{Cond: interior(l),
+				E: dsl.Sub(gauss[l].At(c, x, y), u.At(c, x, y))})
+			out[l] = f
+		}
+		out[pyrLevels] = gauss[pyrLevels]
+		return out
+	}
+	lapA := lap("a", gaussA)
+	lapB := lap("b", gaussB)
+
+	// Per-level masked blend.
+	blend := make([]accessor, pyrLevels+1)
+	for l := 0; l <= pyrLevels; l++ {
+		f := b.Func(fmt.Sprintf("blend%d", l), expr.Float,
+			[]*dsl.Variable{c, x, y}, levelDom(l, true))
+		m := gaussM[l].At(x, y)
+		f.Define(dsl.Case{Cond: interior(l), E: dsl.Add(
+			dsl.Mul(m, lapA[l].At(c, x, y)),
+			dsl.Mul(dsl.Sub(1, m), lapB[l].At(c, x, y)))})
+		blend[l] = f
+	}
+
+	// Collapse: out_l = blend_l + up(out_{l+1}).
+	outPrev := blend[pyrLevels]
+	for l := pyrLevels - 1; l >= 0; l-- {
+		u := up(fmt.Sprintf("colUp%d", l), outPrev, l, true)
+		name := fmt.Sprintf("col%d", l)
+		if l == 0 {
+			name = "blended"
+		}
+		f := b.Func(name, expr.Float, []*dsl.Variable{c, x, y}, levelDom(l, true))
+		f.Define(dsl.Case{Cond: interior(l),
+			E: dsl.Add(blend[l].At(c, x, y), u.At(c, x, y))})
+		outPrev = f
+	}
+
+	return b, []string{"blended"}
+}

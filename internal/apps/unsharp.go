@@ -1,0 +1,65 @@
+package apps
+
+import (
+	"repro/internal/affine"
+	"repro/internal/dsl"
+	"repro/internal/expr"
+)
+
+// Unsharp Mask (Table 2: 4 stages, 16 lines, 2048×2048×3): a separable
+// Gaussian blur followed by thresholded sharpening — a pure series of
+// stencil and point-wise operations.
+//
+// Stages: blurx, blury, sharpen, masked.
+func init() {
+	register(&App{
+		Name:        "unsharp",
+		Title:       "Unsharp Mask",
+		PaperStages: 4,
+		PaperSize:   "2048x2048x3",
+		PaperParams: map[string]int64{"R": 2048, "C": 2048},
+		TestParams:  map[string]int64{"R": 95, "C": 113},
+		PaperMs1:    42.21, PaperMs16: 3.95,
+		SpeedupHTuned: 1.63, SpeedupOpenTuner: 1.39,
+		Build:  buildUnsharp,
+		Inputs: defaultInputs,
+	})
+}
+
+func buildUnsharp() (*dsl.Builder, []string) {
+	b := dsl.NewBuilder()
+	R, C := b.Param("R"), b.Param("C")
+	// Input with a 2-pixel apron on each side of both spatial dims.
+	I := b.Image("I", expr.Float, affine.Const(3), R.Affine().AddConst(4), C.Affine().AddConst(4))
+	c, x, y := b.Var("c"), b.Var("x"), b.Var("y")
+	chan3 := dsl.ConstSpan(0, 2)
+	rows := dsl.Span(affine.Const(0), R.Affine().AddConst(3))
+	cols := dsl.Span(affine.Const(0), C.Affine().AddConst(3))
+	dom := []dsl.Interval{chan3, rows, cols}
+	vars := []*dsl.Variable{c, x, y}
+
+	w := []float64{1, 4, 6, 4, 1}
+	innerX := dsl.And(dsl.Cond(x, ">=", 2), dsl.Cond(x, "<=", dsl.Add(R, 1)))
+	innerXY := dsl.And(innerX, dsl.Cond(y, ">=", 2), dsl.Cond(y, "<=", dsl.Add(C, 1)))
+
+	blurx := b.Func("blurx", expr.Float, vars, dom)
+	blurx.Define(dsl.Case{Cond: innerX,
+		E: dsl.SeparableY(I, 1.0/16, w, [2]any{x, y}, c)})
+
+	blury := b.Func("blury", expr.Float, vars, dom)
+	blury.Define(dsl.Case{Cond: innerXY,
+		E: dsl.SeparableX(blurx, 1.0/16, w, [2]any{x, y}, c)})
+
+	sharpen := b.Func("sharpen", expr.Float, vars, dom)
+	const weight = 3.0
+	sharpen.Define(dsl.Case{Cond: innerXY,
+		E: dsl.Sub(dsl.Mul(1+weight, I.At(c, x, y)), dsl.Mul(weight, blury.At(c, x, y)))})
+
+	masked := b.Func("masked", expr.Float, vars, dom)
+	const thresh = 0.01
+	diff := dsl.Sub(I.At(c, x, y), blury.At(c, x, y))
+	masked.Define(dsl.Case{Cond: innerXY,
+		E: dsl.Sel(dsl.Cond(dsl.Abs(diff), "<", thresh), I.At(c, x, y), sharpen.At(c, x, y))})
+
+	return b, []string{"masked"}
+}

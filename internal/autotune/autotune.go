@@ -1,0 +1,224 @@
+// Package autotune implements the paper's autotuning mechanism (Section
+// 3.8): the model-driven grouping heuristic reduces the search space to
+// tile-size and overlap-threshold choices, which a grid search explores
+// (7 tile sizes per dimension × 3 thresholds = 147 configurations for the
+// 2-D pipelines). RandomSearch is the repository's stand-in for OpenTuner's
+// stochastic exploration of a per-stage schedule space (DESIGN.md,
+// substitution note 7).
+package autotune
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/internal/apps"
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/schedule"
+)
+
+// Space is the parameter space of the model-driven autotuner.
+type Space struct {
+	// TileSizes are the candidate sizes per tilable dimension (the paper
+	// uses {8, 16, 32, 64, 128, 256, 512}).
+	TileSizes []int64
+	// Thresholds are the candidate overlap thresholds (paper: 0.2, 0.4,
+	// 0.5).
+	Thresholds []float64
+	// Dims is the number of tilable dimensions explored (paper: all
+	// benchmarks have 2).
+	Dims int
+}
+
+// FullSpace is the paper's space: 7 sizes per dimension × 3 thresholds.
+func FullSpace() Space {
+	return Space{
+		TileSizes:  []int64{8, 16, 32, 64, 128, 256, 512},
+		Thresholds: []float64{0.2, 0.4, 0.5},
+		Dims:       2,
+	}
+}
+
+// QuickSpace is a reduced space for fast tuning in tests and the default
+// harness configuration.
+func QuickSpace() Space {
+	return Space{
+		TileSizes:  []int64{16, 32, 64, 256},
+		Thresholds: []float64{0.2, 0.5},
+		Dims:       2,
+	}
+}
+
+// Size returns the number of configurations.
+func (s Space) Size() int {
+	n := len(s.Thresholds)
+	for d := 0; d < s.Dims; d++ {
+		n *= len(s.TileSizes)
+	}
+	return n
+}
+
+// Configs enumerates every configuration in the space.
+func (s Space) Configs() []schedule.Options {
+	var out []schedule.Options
+	idx := make([]int, s.Dims)
+	for {
+		for _, th := range s.Thresholds {
+			ts := make([]int64, s.Dims)
+			for d := 0; d < s.Dims; d++ {
+				ts[d] = s.TileSizes[idx[d]]
+			}
+			opts := schedule.DefaultOptions()
+			opts.TileSizes = ts
+			opts.OverlapThreshold = th
+			out = append(out, opts)
+		}
+		d := s.Dims - 1
+		for ; d >= 0; d-- {
+			idx[d]++
+			if idx[d] < len(s.TileSizes) {
+				break
+			}
+			idx[d] = 0
+		}
+		if d < 0 {
+			return out
+		}
+	}
+}
+
+// Result is one evaluated configuration.
+type Result struct {
+	Options schedule.Options
+	// Ms is the averaged wall time (ms) at the tuning thread count.
+	Ms float64
+	// Ms1 is the single-thread time (ms); populated by Scatter (Figure 9
+	// plots 1-core vs 16-core times per configuration).
+	Ms1 float64
+}
+
+// evalConfig compiles the app with the options and times it.
+func evalConfig(app *apps.App, params map[string]int64, opts schedule.Options, eopts engine.Options, inputs map[string]*engine.Buffer, outs []string, pl *core.Pipeline, runs int) (float64, error) {
+	prog, err := pl.Bind(params, eopts)
+	if err != nil {
+		return 0, err
+	}
+	if runs < 1 {
+		runs = 1
+	}
+	var total time.Duration
+	counted := 0
+	for i := 0; i < runs; i++ {
+		start := time.Now()
+		if _, err := prog.Run(inputs); err != nil {
+			return 0, err
+		}
+		d := time.Since(start)
+		if i == 0 && runs > 1 {
+			continue
+		}
+		total += d
+		counted++
+	}
+	return float64(total.Microseconds()) / float64(counted) / 1000.0, nil
+}
+
+func compileApp(app *apps.App, params map[string]int64, opts schedule.Options, seed int64) (*core.Pipeline, map[string]*engine.Buffer, []string, error) {
+	b, outs := app.Build()
+	inputs, err := app.Inputs(b, params, seed)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	pl, err := core.Compile(b, outs, core.Options{
+		Estimates:     params,
+		Schedule:      opts,
+		AllowUnproven: true,
+	})
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return pl, inputs, outs, nil
+}
+
+// Grid explores the space and returns the best configuration by wall time
+// at the given thread count (the paper's model-driven autotuner).
+func Grid(app *apps.App, params map[string]int64, space Space, threads int, seed int64) (Result, error) {
+	results, err := Scatter(app, params, space, threads, seed, false)
+	if err != nil {
+		return Result{}, err
+	}
+	best := results[0]
+	for _, r := range results[1:] {
+		if r.Ms < best.Ms {
+			best = r
+		}
+	}
+	return best, nil
+}
+
+// Scatter evaluates every configuration, optionally also at 1 thread,
+// producing the data behind Figure 9's scatter plots.
+func Scatter(app *apps.App, params map[string]int64, space Space, threads int, seed int64, withSingle bool) ([]Result, error) {
+	configs := space.Configs()
+	if len(configs) == 0 {
+		return nil, fmt.Errorf("autotune: empty space")
+	}
+	var out []Result
+	for _, opts := range configs {
+		pl, inputs, outs, err := compileApp(app, params, opts, seed)
+		if err != nil {
+			return nil, err
+		}
+		r := Result{Options: opts}
+		r.Ms, err = evalConfig(app, params, opts, engine.Options{Threads: threads, Fast: true}, inputs, outs, pl, 2)
+		if err != nil {
+			return nil, err
+		}
+		if withSingle {
+			r.Ms1, err = evalConfig(app, params, opts, engine.Options{Threads: 1, Fast: true}, inputs, outs, pl, 2)
+			if err != nil {
+				return nil, err
+			}
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// RandomSearch is the OpenTuner stand-in: it samples random schedules from
+// a much wider, unstructured space (arbitrary tile sizes, arbitrary
+// thresholds, fusion on/off) for a fixed trial budget and returns the best
+// found. With small budgets it lands far from the model-driven optimum,
+// reproducing the Table 2 "speedup over OpenTuner" comparison.
+func RandomSearch(app *apps.App, params map[string]int64, trials int, threads int, seed int64) (Result, error) {
+	r := rand.New(rand.NewSource(seed))
+	if trials < 1 {
+		trials = 1
+	}
+	var best Result
+	have := false
+	for i := 0; i < trials; i++ {
+		opts := schedule.DefaultOptions()
+		// Unstructured choices, including degenerate ones.
+		opts.TileSizes = []int64{1 << (2 + r.Intn(9)), 1 << (2 + r.Intn(9))}
+		opts.OverlapThreshold = r.Float64()
+		opts.DisableFusion = r.Intn(3) == 0
+		pl, inputs, outs, err := compileApp(app, params, opts, seed)
+		if err != nil {
+			continue // invalid configuration: the search just moves on
+		}
+		ms, err := evalConfig(app, params, opts, engine.Options{Threads: threads, Fast: true}, inputs, outs, pl, 2)
+		if err != nil {
+			continue
+		}
+		if !have || ms < best.Ms {
+			best = Result{Options: opts, Ms: ms}
+			have = true
+		}
+	}
+	if !have {
+		return Result{}, fmt.Errorf("autotune: no valid configuration found in %d trials", trials)
+	}
+	return best, nil
+}

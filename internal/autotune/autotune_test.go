@@ -1,0 +1,96 @@
+package autotune
+
+import (
+	"testing"
+
+	"repro/internal/apps"
+)
+
+func TestSpaceEnumeration(t *testing.T) {
+	full := FullSpace()
+	if full.Size() != 7*7*3 {
+		t.Errorf("full space size = %d, want 147 (the paper's 7^2 x 3)", full.Size())
+	}
+	cfgs := full.Configs()
+	if len(cfgs) != full.Size() {
+		t.Fatalf("enumerated %d configs, want %d", len(cfgs), full.Size())
+	}
+	seen := map[string]bool{}
+	for _, c := range cfgs {
+		key := ""
+		for _, ts := range c.TileSizes {
+			key += string(rune(ts)) + ","
+		}
+		key += string(rune(int(c.OverlapThreshold * 100)))
+		if seen[key] {
+			t.Fatal("duplicate configuration in enumeration")
+		}
+		seen[key] = true
+		if len(c.TileSizes) != 2 {
+			t.Fatal("config must have 2 tile sizes")
+		}
+	}
+	q := QuickSpace()
+	if q.Size() >= full.Size() {
+		t.Error("quick space should be smaller than the full space")
+	}
+}
+
+func TestGridFindsBest(t *testing.T) {
+	app, err := apps.Get("unsharp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	space := Space{TileSizes: []int64{16, 64}, Thresholds: []float64{0.4}, Dims: 2}
+	results, err := Scatter(app, app.TestParams, space, 2, 7, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != space.Size() {
+		t.Fatalf("scatter returned %d results, want %d", len(results), space.Size())
+	}
+	for _, r := range results {
+		if r.Ms <= 0 || r.Ms1 <= 0 {
+			t.Errorf("unmeasured config %+v", r)
+		}
+	}
+	best, err := Grid(app, app.TestParams, space, 2, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range results {
+		// Grid re-measures, so allow generous noise; its choice should at
+		// least be a valid member of the space.
+		found := false
+		for _, ts := range space.TileSizes {
+			if best.Options.TileSizes[0] == ts {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("grid best has tile size outside the space: %v", best.Options.TileSizes)
+		}
+		_ = r
+	}
+}
+
+func TestRandomSearch(t *testing.T) {
+	app, err := apps.Get("harris")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := RandomSearch(app, app.TestParams, 4, 2, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Ms <= 0 {
+		t.Error("random search returned no measurement")
+	}
+	// The chosen configuration comes from the sampled space: power-of-two
+	// tiles in [4, 1024] (the winner itself depends on timing noise).
+	for _, ts := range r.Options.TileSizes {
+		if ts < 4 || ts > 1024 || ts&(ts-1) != 0 {
+			t.Errorf("sampled tile size %d outside the random space", ts)
+		}
+	}
+}

@@ -1,0 +1,70 @@
+package baseline
+
+import (
+	"testing"
+
+	"repro/internal/schedule"
+)
+
+func TestRegistry(t *testing.T) {
+	names := Names()
+	if len(names) != 8 {
+		t.Fatalf("expected 8 variants, got %v", names)
+	}
+	for _, n := range names {
+		v, err := Get(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v.Name != n || v.Label == "" || v.Schedule == nil {
+			t.Errorf("variant %s malformed: %+v", n, v)
+		}
+	}
+	if _, err := Get("nope"); err == nil {
+		t.Error("expected error for unknown variant")
+	}
+	if len(All()) != len(names) {
+		t.Error("All inconsistent with Names")
+	}
+}
+
+func TestVariantSemantics(t *testing.T) {
+	base := schedule.DefaultOptions()
+
+	v, _ := Get("base")
+	if so := v.Schedule(base); !so.DisableFusion {
+		t.Error("base must disable fusion")
+	}
+	if v.Fast {
+		t.Error("base must not use fast kernels")
+	}
+	v, _ = Get("base+vec")
+	if so := v.Schedule(base); !so.DisableFusion || !v.Fast {
+		t.Error("base+vec must disable fusion and enable fast kernels")
+	}
+	v, _ = Get("opt+vec")
+	if so := v.Schedule(base); so.DisableFusion || !v.Fast {
+		t.Error("opt+vec must fuse with fast kernels")
+	}
+	v, _ = Get("htuned")
+	if so := v.Schedule(base); so.OverlapThreshold >= base.OverlapThreshold {
+		t.Error("htuned must restrict fusion to zero-overlap merges")
+	}
+	v, _ = Get("hmatched")
+	if so := v.Schedule(base); len(so.TileSizes) != 2 || so.TileSizes[0] != 64 {
+		t.Error("hmatched must use 64x64 tiles")
+	}
+
+	// Schedule functions must not mutate the caller's options.
+	before := base.OverlapThreshold
+	v, _ = Get("htuned")
+	_ = v.Schedule(base)
+	if base.OverlapThreshold != before {
+		t.Error("Schedule must not mutate its input")
+	}
+
+	eo := v.EngineOptions(3)
+	if eo.Threads != 3 {
+		t.Errorf("EngineOptions threads = %d", eo.Threads)
+	}
+}

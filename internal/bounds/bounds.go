@@ -1,0 +1,256 @@
+// Package bounds implements the static bounds check of Section 3: every
+// affine access from a consumer stage must fall within the producer's
+// domain. Accesses that are affine combinations of one variable and the
+// parameters are verified parametrically where possible (valid for all
+// parameter values), falling back to a check at the user-supplied parameter
+// estimates; non-affine (data-dependent) accesses are reported as
+// unverifiable, matching the paper ("function accesses which are affine
+// combinations of variables and parameters are the only accesses
+// analyzed").
+package bounds
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/affine"
+	"repro/internal/dsl"
+	"repro/internal/expr"
+	"repro/internal/pipeline"
+)
+
+// Violation describes one out-of-domain access.
+type Violation struct {
+	Consumer string
+	Producer string
+	Dim      int
+	Access   string
+	Detail   string
+}
+
+func (v Violation) String() string {
+	return fmt.Sprintf("%s reads %s dim %d via %s: %s", v.Consumer, v.Producer, v.Dim, v.Access, v.Detail)
+}
+
+// Result aggregates the outcome of checking a pipeline.
+type Result struct {
+	// Violations are accesses provably or empirically (at the estimates)
+	// outside the producer domain; these make the specification invalid.
+	Violations []Violation
+	// Unproven are accesses that hold at the estimates but could not be
+	// proven for all parameter values.
+	Unproven []Violation
+	// Unverifiable are non-affine accesses that cannot be analyzed.
+	Unverifiable []Violation
+}
+
+// Err returns an error summarizing the violations, or nil when none.
+func (r *Result) Err() error {
+	if len(r.Violations) == 0 {
+		return nil
+	}
+	msgs := make([]string, 0, len(r.Violations))
+	for _, v := range r.Violations {
+		msgs = append(msgs, v.String())
+	}
+	return fmt.Errorf("bounds: %d out-of-domain access(es):\n  %s",
+		len(r.Violations), strings.Join(msgs, "\n  "))
+}
+
+// Check verifies every access in the pipeline graph against the producer
+// domains, using estimates to resolve parametric comparisons that cannot be
+// proven symbolically.
+func Check(g *pipeline.Graph, estimates map[string]int64) (*Result, error) {
+	res := &Result{}
+	for _, name := range g.Order {
+		st := g.Stages[name]
+		if err := checkStage(g, st, estimates, res); err != nil {
+			return nil, err
+		}
+	}
+	return res, nil
+}
+
+func checkStage(g *pipeline.Graph, st *pipeline.Stage, estimates map[string]int64, res *Result) error {
+	// The iteration domain for the stage's expressions: the stage domain for
+	// functions (per case, tightened by the case's box condition when it is
+	// one), the reduction domain for accumulators.
+	if acc, ok := st.Decl.(*dsl.Accumulator); ok {
+		_, target, value := acc.Update()
+		for _, e := range target {
+			if err := checkExprAccesses(g, st, e, acc.ReductionDomain(), estimates, res); err != nil {
+				return err
+			}
+		}
+		// Target indices must also land inside the accumulator's own
+		// variable domain; affine targets are checked like accesses.
+		if err := checkTargetIndices(g, st, acc, estimates, res); err != nil {
+			return err
+		}
+		return checkExprAccesses(g, st, value, acc.ReductionDomain(), estimates, res)
+	}
+	for _, c := range st.Cases {
+		dom := st.Decl.Domain()
+		if c.Cond != nil {
+			dom = tightenByCond(dom, c.Cond)
+		}
+		if err := checkExprAccesses(g, st, c.E, dom, estimates, res); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// tightenByCond intersects a parametric domain with a case condition:
+// fully when the condition is a conjunctive box (Section 3.7 domain
+// splitting), otherwise with whatever box-convertible conjuncts it has
+// (sound over-approximation; e.g. `t > 0 && !interior` still bounds t).
+func tightenByCond(dom affine.Domain, cond expr.Cond) affine.Domain {
+	lower, upper, ok := expr.CondToBox(cond, len(dom))
+	if !ok {
+		lower, upper = expr.CondToBoxPartial(cond, len(dom))
+	}
+	out := make(affine.Domain, len(dom))
+	copy(out, dom)
+	for d := range out {
+		if lower[d] != nil {
+			// Tightening is sound only if provably >= existing bound; keep
+			// the case bound when the difference is provably signed, else
+			// keep the (wider) domain bound.
+			if lower[d].Sub(out[d].Lo).NonNegative() {
+				out[d].Lo = *lower[d]
+			}
+		}
+		if upper[d] != nil {
+			if out[d].Hi.Sub(*upper[d]).NonNegative() {
+				out[d].Hi = *upper[d]
+			}
+		}
+	}
+	return out
+}
+
+func checkExprAccesses(g *pipeline.Graph, st *pipeline.Stage, e expr.Expr, dom affine.Domain, estimates map[string]int64, res *Result) error {
+	var werr error
+	expr.Walk(e, func(x expr.Expr) bool {
+		a, ok := x.(expr.Access)
+		if !ok || werr != nil {
+			return werr == nil
+		}
+		prodDom, ok := producerDomain(g, st, a.Target)
+		if !ok {
+			werr = fmt.Errorf("bounds: %s references unknown target %q", st.Name, a.Target)
+			return false
+		}
+		if len(a.Args) != len(prodDom) {
+			werr = fmt.Errorf("bounds: %s accesses %s with %d indices, domain has %d dims",
+				st.Name, a.Target, len(a.Args), len(prodDom))
+			return false
+		}
+		for d, arg := range a.Args {
+			checkOneAccess(st.Name, a, d, arg, dom, prodDom[d], estimates, res)
+		}
+		return true
+	})
+	return werr
+}
+
+func checkTargetIndices(g *pipeline.Graph, st *pipeline.Stage, acc *dsl.Accumulator, estimates map[string]int64, res *Result) error {
+	_, target, _ := acc.Update()
+	varDom := acc.Domain()
+	for d, e := range target {
+		checkOneAccess(st.Name, expr.Access{Target: st.Name, Args: target}, d, e,
+			acc.ReductionDomain(), varDom[d], estimates, res)
+	}
+	return nil
+}
+
+func producerDomain(g *pipeline.Graph, st *pipeline.Stage, target string) (affine.Domain, bool) {
+	if target == st.Name {
+		return st.Decl.Domain(), true
+	}
+	if ps, ok := g.Stages[target]; ok {
+		return ps.Decl.Domain(), true
+	}
+	if im, ok := g.Images[target]; ok {
+		return im.Domain(), true
+	}
+	if im, ok := g.Builder.InputImage(target); ok {
+		return im.Domain(), true
+	}
+	return nil, false
+}
+
+// checkOneAccess verifies a single index expression against one producer
+// dimension.
+func checkOneAccess(consumer string, acc expr.Access, dim int, arg expr.Expr, dom affine.Domain, prod affine.Interval, estimates map[string]int64, res *Result) {
+	aff, ok := expr.ToAffineAccess(arg)
+	if !ok {
+		res.Unverifiable = append(res.Unverifiable, Violation{
+			Consumer: consumer, Producer: acc.Target, Dim: dim,
+			Access: arg.String(), Detail: "non-affine access, not analyzed",
+		})
+		return
+	}
+	var varIv affine.Interval
+	if aff.Var >= 0 {
+		if aff.Var >= len(dom) {
+			res.Violations = append(res.Violations, Violation{
+				Consumer: consumer, Producer: acc.Target, Dim: dim,
+				Access: arg.String(), Detail: "references nonexistent dimension",
+			})
+			return
+		}
+		varIv = dom[aff.Var]
+	}
+	// Lower side: min over the variable range of floor((a·x + b)/d) must be
+	// >= prod.Lo, i.e. a·Xmin + b >= d·prod.Lo where Xmin is the domain
+	// endpoint minimizing a·x.
+	lowEnd, highEnd := varIv.Lo, varIv.Hi
+	if aff.Coeff < 0 {
+		lowEnd, highEnd = varIv.Hi, varIv.Lo
+	}
+	numLo := aff.Off
+	numHi := aff.Off
+	if aff.Var >= 0 {
+		numLo = numLo.Add(lowEnd.Scale(aff.Coeff))
+		numHi = numHi.Add(highEnd.Scale(aff.Coeff))
+	}
+	// floor(numLo/d) >= prod.Lo  ⇔  numLo - d·prod.Lo >= 0
+	lowOK := numLo.Sub(prod.Lo.Scale(aff.Div))
+	// floor(numHi/d) <= prod.Hi  ⇔  d·prod.Hi + d-1 - numHi >= 0
+	highOK := prod.Hi.Scale(aff.Div).AddConst(aff.Div - 1).Sub(numHi)
+
+	sides := []struct {
+		name string
+		cond affine.Expr
+	}{{"lower", lowOK}, {"upper", highOK}}
+	for _, s := range sides {
+		side, cond := s.name, s.cond
+		if cond.NonNegative() {
+			continue
+		}
+		v, err := cond.Eval(estimates)
+		if err != nil {
+			res.Unproven = append(res.Unproven, Violation{
+				Consumer: consumer, Producer: acc.Target, Dim: dim,
+				Access: arg.String(),
+				Detail: fmt.Sprintf("%s bound unresolvable: %v", side, err),
+			})
+			continue
+		}
+		if v < 0 {
+			res.Violations = append(res.Violations, Violation{
+				Consumer: consumer, Producer: acc.Target, Dim: dim,
+				Access: arg.String(),
+				Detail: fmt.Sprintf("%s bound violated at estimates (%s = %d < 0)", side, cond, v),
+			})
+		} else {
+			res.Unproven = append(res.Unproven, Violation{
+				Consumer: consumer, Producer: acc.Target, Dim: dim,
+				Access: arg.String(),
+				Detail: fmt.Sprintf("%s bound holds at estimates but is not proven parametrically", side),
+			})
+		}
+	}
+}

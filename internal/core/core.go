@@ -1,0 +1,110 @@
+// Package core drives the PolyMage compiler phases of Figure 4: build the
+// stage graph, static bounds checking, inlining, polyhedral representation
+// and initial schedules (implicit in the pipeline graph), alignment/scaling,
+// grouping, schedule transformation (overlapped tiling), storage
+// optimization, and lowering for execution.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/bounds"
+	"repro/internal/dsl"
+	"repro/internal/engine"
+	"repro/internal/inline"
+	"repro/internal/pipeline"
+	"repro/internal/schedule"
+)
+
+// Options configures a compilation.
+type Options struct {
+	// Estimates gives approximate values for the pipeline parameters
+	// (Section 3.5: "typically, the user has an idea of the range of image
+	// dimensions"). Grouping decisions are made at these values.
+	Estimates map[string]int64
+	// Schedule tunes grouping and tiling (tile sizes, overlap threshold).
+	Schedule schedule.Options
+	// Inline tunes the point-wise inlining pass.
+	Inline inline.Options
+	// AllowUnproven accepts accesses that hold at the estimates but are
+	// not provable for all parameter values (the generated implementation
+	// is still checked dynamically in debug builds).
+	AllowUnproven bool
+}
+
+// Pipeline is a compiled pipeline: analysis and scheduling are done; Bind
+// lowers it for a concrete parameter binding.
+type Pipeline struct {
+	Graph    *pipeline.Graph
+	Grouping *schedule.Grouping
+	Bounds   *bounds.Result
+	Inlined  []string
+	Opts     Options
+}
+
+// Compile runs the front-end and optimizer on a DSL specification.
+func Compile(b *dsl.Builder, liveOuts []string, opts Options) (*Pipeline, error) {
+	if opts.Estimates == nil {
+		opts.Estimates = map[string]int64{}
+	}
+	g, err := pipeline.Build(b, liveOuts...)
+	if err != nil {
+		return nil, err
+	}
+	res, err := bounds.Check(g, opts.Estimates)
+	if err != nil {
+		return nil, err
+	}
+	if err := res.Err(); err != nil {
+		return nil, err
+	}
+	if !opts.AllowUnproven && len(res.Unproven) > 0 {
+		v := res.Unproven[0]
+		return nil, fmt.Errorf("core: %d access(es) not provable for all parameters (first: %s); set AllowUnproven or fix the specification", len(res.Unproven), v.String())
+	}
+	inlined, err := inline.Apply(g, opts.Inline)
+	if err != nil {
+		return nil, err
+	}
+	gr, err := schedule.BuildGroups(g, opts.Estimates, opts.Schedule)
+	if err != nil {
+		return nil, err
+	}
+	return &Pipeline{Graph: g, Grouping: gr, Bounds: res, Inlined: inlined, Opts: opts}, nil
+}
+
+// Bind lowers the pipeline for a concrete parameter binding. The grouping
+// (decided at the estimates) is reused — like the paper's generated code,
+// the implementation is valid for all parameter values even though it is
+// optimized around the estimates.
+func (p *Pipeline) Bind(params map[string]int64, eopts engine.Options) (*engine.Program, error) {
+	return engine.Compile(p.Grouping, params, eopts)
+}
+
+// GroupSummary renders the grouping (the dashed boxes of Figure 8) as one
+// line per group: "anchor <= member, member, ...".
+func (p *Pipeline) GroupSummary() []string {
+	var out []string
+	for _, grp := range p.Grouping.Groups {
+		line := grp.Anchor
+		if len(grp.Members) > 1 {
+			line += " <="
+			for _, m := range grp.Members {
+				line += " " + m
+			}
+			line += fmt.Sprintf("  [tiles %v, overlap %.3f]", grp.TileSizes, maxRatio(grp.OverlapRatio))
+		}
+		out = append(out, line)
+	}
+	return out
+}
+
+func maxRatio(rs []float64) float64 {
+	m := 0.0
+	for _, r := range rs {
+		if r > m {
+			m = r
+		}
+	}
+	return m
+}

@@ -1,0 +1,279 @@
+// Package cvlib is the repository's stand-in for OpenCV (DESIGN.md,
+// substitution note 6): a small library of individually-optimized,
+// internally-parallel image routines (2-D and separable filters, resampling,
+// color conversion, arithmetic) that compose only through full buffers.
+// Pipelines built from these routines get fast individual stages but no
+// cross-stage fusion — exactly the library-composition baseline the paper's
+// OpenCV column measures.
+package cvlib
+
+import (
+	"runtime"
+	"sync"
+
+	"repro/internal/affine"
+	"repro/internal/engine"
+)
+
+// Threads is the number of worker goroutines library routines use; 0 means
+// GOMAXPROCS.
+var Threads = 0
+
+func workers() int {
+	if Threads > 0 {
+		return Threads
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// parallelRows splits [lo, hi] across the worker pool.
+func parallelRows(lo, hi int64, fn func(r0, r1 int64)) {
+	n := hi - lo + 1
+	if n <= 0 {
+		return
+	}
+	w := int64(workers())
+	if w > n {
+		w = n
+	}
+	if w <= 1 {
+		fn(lo, hi)
+		return
+	}
+	var wg sync.WaitGroup
+	for t := int64(0); t < w; t++ {
+		wg.Add(1)
+		go func(t int64) {
+			defer wg.Done()
+			r0 := lo + t*n/w
+			r1 := lo + (t+1)*n/w - 1
+			fn(r0, r1)
+		}(t)
+	}
+	wg.Wait()
+}
+
+// rowRange returns a 2-D buffer's row interval.
+func rowRange(b *engine.Buffer) (int64, int64) { return b.Box[0].Lo, b.Box[0].Hi }
+
+// Filter2D convolves a single-channel image with a dense kernel, writing
+// dst over the interior where the kernel fits; border rows/cols are left
+// untouched (callers pre-zero dst).
+func Filter2D(dst, src *engine.Buffer, kernel [][]float64, factor float64) {
+	kh := int64(len(kernel))
+	kw := int64(len(kernel[0]))
+	cy, cx := kh/2, kw/2
+	lo0 := max64(dst.Box[0].Lo, src.Box[0].Lo+cy)
+	hi0 := min64(dst.Box[0].Hi, src.Box[0].Hi-(kh-1-cy))
+	lo1 := max64(dst.Box[1].Lo, src.Box[1].Lo+cx)
+	hi1 := min64(dst.Box[1].Hi, src.Box[1].Hi-(kw-1-cx))
+	parallelRows(lo0, hi0, func(r0, r1 int64) {
+		for x := r0; x <= r1; x++ {
+			dRow := dst.Data[dst.Offset([]int64{x, lo1}):]
+			for j := int64(0); j <= hi1-lo1; j++ {
+				var acc float64
+				for i := int64(0); i < kh; i++ {
+					sOff := src.Offset([]int64{x + i - cy, lo1 + j - cx})
+					row := src.Data[sOff : sOff+kw]
+					kr := kernel[i]
+					for k := int64(0); k < kw; k++ {
+						acc += kr[k] * float64(row[k])
+					}
+				}
+				dRow[j] = float32(factor * acc)
+			}
+		}
+	})
+}
+
+// SepFilter2D applies a separable filter (ky vertical then kx horizontal)
+// through an internal temporary, like cv::sepFilter2D.
+func SepFilter2D(dst, src *engine.Buffer, ky, kx []float64, factor float64) {
+	tmp := engine.NewBuffer(src.Box)
+	kh := int64(len(ky))
+	cy := kh / 2
+	lo0, hi0 := src.Box[0].Lo+cy, src.Box[0].Hi-(kh-1-cy)
+	width := src.Box[1].Size()
+	parallelRows(lo0, hi0, func(r0, r1 int64) {
+		for x := r0; x <= r1; x++ {
+			dOff := tmp.Offset([]int64{x, src.Box[1].Lo})
+			for i := int64(0); i < kh; i++ {
+				sOff := src.Offset([]int64{x + i - cy, src.Box[1].Lo})
+				w := ky[i]
+				srow := src.Data[sOff : sOff+width]
+				drow := tmp.Data[dOff : dOff+width]
+				if i == 0 {
+					for j := range drow {
+						drow[j] = float32(w * float64(srow[j]))
+					}
+				} else {
+					for j := range drow {
+						drow[j] += float32(w * float64(srow[j]))
+					}
+				}
+			}
+		}
+	})
+	kw := int64(len(kx))
+	cx := kw / 2
+	lo1 := max64(dst.Box[1].Lo, src.Box[1].Lo+cx)
+	hi1 := min64(dst.Box[1].Hi, src.Box[1].Hi-(kw-1-cx))
+	dlo0 := max64(dst.Box[0].Lo, lo0)
+	dhi0 := min64(dst.Box[0].Hi, hi0)
+	parallelRows(dlo0, dhi0, func(r0, r1 int64) {
+		for x := r0; x <= r1; x++ {
+			dOff := dst.Offset([]int64{x, lo1})
+			sBase := tmp.Offset([]int64{x, lo1})
+			drow := dst.Data[dOff : dOff+hi1-lo1+1]
+			for j := range drow {
+				var acc float64
+				for k := int64(0); k < kw; k++ {
+					acc += kx[k] * float64(tmp.Data[sBase+int64(j)+k-cx])
+				}
+				drow[j] = float32(acc)
+			}
+		}
+	})
+}
+
+// Mul writes a*b element-wise (same boxes).
+func Mul(dst, a, b *engine.Buffer) {
+	lo, hi := rowRange(dst)
+	parallelRows(lo, hi, func(r0, r1 int64) {
+		o0 := dst.Offset(rowStart(dst, r0))
+		o1 := dst.Offset(rowStart(dst, r1+1))
+		for i := o0; i < o1; i++ {
+			dst.Data[i] = a.Data[i] * b.Data[i]
+		}
+	})
+}
+
+// AddWeighted writes alpha·a + beta·b + gamma element-wise.
+func AddWeighted(dst, a *engine.Buffer, alpha float64, b *engine.Buffer, beta, gamma float64) {
+	lo, hi := rowRange(dst)
+	parallelRows(lo, hi, func(r0, r1 int64) {
+		o0 := dst.Offset(rowStart(dst, r0))
+		o1 := dst.Offset(rowStart(dst, r1+1))
+		for i := o0; i < o1; i++ {
+			dst.Data[i] = float32(alpha*float64(a.Data[i]) + beta*float64(b.Data[i]) + gamma)
+		}
+	})
+}
+
+// Combine applies a point-wise function of several sources.
+func Combine(dst *engine.Buffer, fn func(vals []float32) float32, srcs ...*engine.Buffer) {
+	lo, hi := rowRange(dst)
+	parallelRows(lo, hi, func(r0, r1 int64) {
+		vals := make([]float32, len(srcs))
+		o0 := dst.Offset(rowStart(dst, r0))
+		o1 := dst.Offset(rowStart(dst, r1+1))
+		for i := o0; i < o1; i++ {
+			for s, src := range srcs {
+				vals[s] = src.Data[i]
+			}
+			dst.Data[i] = fn(vals)
+		}
+	})
+}
+
+// PyrDown builds the next (coarser) pyramid level with the standard 5-tap
+// binomial kernel: dst(x, y) = Σ w(i)w(j) src(2x+i-off, 2y+j-off)/256.
+// off positions the stencil (the apps use their apron conventions).
+func PyrDown(dst, src *engine.Buffer, off int64) {
+	w5 := [5]float64{1, 4, 6, 4, 1}
+	lo0, hi0 := dst.Box[0].Lo, dst.Box[0].Hi
+	parallelRows(lo0, hi0, func(r0, r1 int64) {
+		for x := r0; x <= r1; x++ {
+			fx := 2*x - off
+			if fx-2 < src.Box[0].Lo || fx+2 > src.Box[0].Hi {
+				continue
+			}
+			for y := dst.Box[1].Lo; y <= dst.Box[1].Hi; y++ {
+				fy := 2*y - off
+				if fy-2 < src.Box[1].Lo || fy+2 > src.Box[1].Hi {
+					continue
+				}
+				var acc float64
+				for i := int64(-2); i <= 2; i++ {
+					sOff := src.Offset([]int64{fx + i, fy - 2})
+					row := src.Data[sOff : sOff+5]
+					wi := w5[i+2]
+					for j := 0; j < 5; j++ {
+						acc += wi * w5[j] * float64(row[j])
+					}
+				}
+				dst.Set(float32(acc/256), x, y)
+			}
+		}
+	})
+}
+
+// PyrUp bilinearly interpolates the coarser level onto dst's grid:
+// dst(x, y) reads src((x+off)/2 .. +1) with parity weights.
+func PyrUp(dst, src *engine.Buffer, off int64) {
+	lo0, hi0 := dst.Box[0].Lo, dst.Box[0].Hi
+	parallelRows(lo0, hi0, func(r0, r1 int64) {
+		for x := r0; x <= r1; x++ {
+			cx := floorDiv(x+off, 2)
+			px := float64(x + off - 2*cx)
+			if cx < src.Box[0].Lo || cx+1 > src.Box[0].Hi {
+				continue
+			}
+			for y := dst.Box[1].Lo; y <= dst.Box[1].Hi; y++ {
+				cy := floorDiv(y+off, 2)
+				py := float64(y + off - 2*cy)
+				if cy < src.Box[1].Lo || cy+1 > src.Box[1].Hi {
+					continue
+				}
+				w00 := (1 - 0.5*px) * (1 - 0.5*py)
+				w01 := (1 - 0.5*px) * (0.5 * py)
+				w10 := (0.5 * px) * (1 - 0.5*py)
+				w11 := (0.5 * px) * (0.5 * py)
+				v := w00*float64(src.At(cx, cy)) + w01*float64(src.At(cx, cy+1)) +
+					w10*float64(src.At(cx+1, cy)) + w11*float64(src.At(cx+1, cy+1))
+				dst.Set(float32(v), x, y)
+			}
+		}
+	})
+}
+
+// Channel returns a 2-D view-copy of one channel of a (c, x, y) buffer.
+func Channel(src *engine.Buffer, c int64) *engine.Buffer {
+	out := engine.NewBuffer(affine.Box{src.Box[1], src.Box[2]})
+	n := src.Box[1].Size() * src.Box[2].Size()
+	off := src.Offset([]int64{c, src.Box[1].Lo, src.Box[2].Lo})
+	copy(out.Data, src.Data[off:off+n])
+	return out
+}
+
+// SetChannel writes a 2-D buffer into one channel of a 3-D buffer.
+func SetChannel(dst *engine.Buffer, c int64, src *engine.Buffer) {
+	n := dst.Box[1].Size() * dst.Box[2].Size()
+	off := dst.Offset([]int64{c, dst.Box[1].Lo, dst.Box[2].Lo})
+	copy(dst.Data[off:off+n], src.Data[:n])
+}
+
+func rowStart(b *engine.Buffer, r int64) []int64 {
+	pt := make([]int64, len(b.Box))
+	pt[0] = r
+	for d := 1; d < len(b.Box); d++ {
+		pt[d] = b.Box[d].Lo
+	}
+	return pt
+}
+
+func floorDiv(a, b int64) int64 { return affine.FloorDiv(a, b) }
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}

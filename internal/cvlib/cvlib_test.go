@@ -1,0 +1,174 @@
+package cvlib
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/affine"
+	"repro/internal/apps"
+	"repro/internal/dsl"
+	"repro/internal/engine"
+	"repro/internal/pipeline"
+)
+
+func refApp(t *testing.T, name string, params map[string]int64, seed int64) (map[string]*engine.Buffer, map[string]*engine.Buffer) {
+	t.Helper()
+	app, err := apps.Get(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, outs := app.Build()
+	inputs, err := app.Inputs(b, params, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := pipelineOf(b, outs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := engine.Reference(g, params, inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return inputs, ref
+}
+
+func TestFilter2DBasics(t *testing.T) {
+	src := engine.NewBuffer(affine.Box{{Lo: 0, Hi: 9}, {Lo: 0, Hi: 9}})
+	engine.FillPattern(src, 3)
+	dst := engine.NewBuffer(src.Box)
+	id := [][]float64{{0, 0, 0}, {0, 1, 0}, {0, 0, 0}}
+	Filter2D(dst, src, id, 1)
+	for x := int64(1); x <= 8; x++ {
+		for y := int64(1); y <= 8; y++ {
+			if dst.At(x, y) != src.At(x, y) {
+				t.Fatalf("identity filter mismatch at %d,%d", x, y)
+			}
+		}
+	}
+	// Box filter sums.
+	box := [][]float64{{1, 1, 1}, {1, 1, 1}, {1, 1, 1}}
+	Filter2D(dst, src, box, 1.0/9)
+	var want float64
+	for i := int64(0); i <= 2; i++ {
+		for j := int64(0); j <= 2; j++ {
+			want += float64(src.At(1+i, 1+j))
+		}
+	}
+	if got := float64(dst.At(2, 2)); math.Abs(got-want/9) > 1e-6 {
+		t.Errorf("box filter = %v, want %v", got, want/9)
+	}
+}
+
+func TestSepFilterMatchesDense(t *testing.T) {
+	src := engine.NewBuffer(affine.Box{{Lo: 0, Hi: 30}, {Lo: 0, Hi: 25}})
+	engine.FillPattern(src, 7)
+	w := []float64{0.25, 0.5, 0.25}
+	dense := make([][]float64, 3)
+	for i := range dense {
+		dense[i] = make([]float64, 3)
+		for j := range dense[i] {
+			dense[i][j] = w[i] * w[j]
+		}
+	}
+	a := engine.NewBuffer(src.Box)
+	b := engine.NewBuffer(src.Box)
+	Filter2D(a, src, dense, 1)
+	SepFilter2D(b, src, w, w, 1)
+	for x := int64(1); x <= 29; x++ {
+		for y := int64(1); y <= 24; y++ {
+			if d := math.Abs(float64(a.At(x, y)) - float64(b.At(x, y))); d > 1e-5 {
+				t.Fatalf("separable != dense at %d,%d (%v)", x, y, d)
+			}
+		}
+	}
+}
+
+// TestHarrisMatchesDSL cross-checks the library-composed Harris against the
+// DSL reference on the interior (the library computes a slightly wider
+// boundary ring than the DSL's Case conditions; the interior must agree).
+func TestHarrisMatchesDSL(t *testing.T) {
+	params := map[string]int64{"R": 60, "C": 52}
+	inputs, ref := refApp(t, "harris", params, 9)
+	got := Harris(inputs["I"])
+	want := ref["harris"]
+	for x := int64(3); x <= params["R"]-2; x++ {
+		for y := int64(3); y <= params["C"]-2; y++ {
+			d := math.Abs(float64(got.At(x, y)) - float64(want.At(x, y)))
+			if d > 1e-5 {
+				t.Fatalf("harris mismatch at %d,%d: %v vs %v", x, y, got.At(x, y), want.At(x, y))
+			}
+		}
+	}
+}
+
+func TestUnsharpMatchesDSL(t *testing.T) {
+	params := map[string]int64{"R": 40, "C": 36}
+	inputs, ref := refApp(t, "unsharp", params, 11)
+	got := UnsharpMask(inputs["I"])
+	want := ref["masked"]
+	for c := int64(0); c < 3; c++ {
+		for x := int64(3); x <= params["R"]; x++ {
+			for y := int64(3); y <= params["C"]; y++ {
+				d := math.Abs(float64(got.At(c, x, y)) - float64(want.At(c, x, y)))
+				if d > 1e-5 {
+					t.Fatalf("unsharp mismatch at %d,%d,%d: %v vs %v", c, x, y, got.At(c, x, y), want.At(c, x, y))
+				}
+			}
+		}
+	}
+}
+
+// TestPyramidBlendReconstruction: with an all-ones mask the blended
+// Laplacian pyramid collapses back to image A exactly (the collapse is the
+// exact inverse of the Laplacian construction); with an all-zero mask, to B.
+func TestPyramidBlendReconstruction(t *testing.T) {
+	const levels = 3
+	const apron = 4
+	// Boundary effects (mask-pyramid cells where the stencil does not fit)
+	// propagate inward roughly 2^levels·apron pixels; compare only the deep
+	// interior beyond that.
+	const margin = 64
+	rows := int64(32<<levels + 2*apron)
+	cols := int64(24<<levels + 2*apron)
+	mk3 := func(seed int64) *engine.Buffer {
+		b := engine.NewBuffer(affine.Box{{Lo: 0, Hi: 2}, {Lo: 0, Hi: rows - 1}, {Lo: 0, Hi: cols - 1}})
+		engine.FillPattern(b, seed)
+		return b
+	}
+	a, bb := mk3(1), mk3(2)
+	mask := engine.NewBuffer(affine.Box{{Lo: 0, Hi: rows - 1}, {Lo: 0, Hi: cols - 1}})
+	for i := range mask.Data {
+		mask.Data[i] = 1
+	}
+	out := PyramidBlend(a, bb, mask, levels, apron)
+	for c := int64(0); c < 3; c++ {
+		for x := int64(margin); x < rows-margin; x++ {
+			for y := int64(margin); y < cols-margin; y++ {
+				d := math.Abs(float64(out.At(c, x, y)) - float64(a.At(c, x, y)))
+				if d > 1e-4 {
+					t.Fatalf("mask=1 blend should reconstruct A at %d,%d,%d: %v vs %v",
+						c, x, y, out.At(c, x, y), a.At(c, x, y))
+				}
+			}
+		}
+	}
+	mask.Fill(0)
+	out = PyramidBlend(a, bb, mask, levels, apron)
+	for c := int64(0); c < 3; c++ {
+		for x := int64(margin); x < rows-margin; x++ {
+			for y := int64(margin); y < cols-margin; y++ {
+				d := math.Abs(float64(out.At(c, x, y)) - float64(bb.At(c, x, y)))
+				if d > 1e-4 {
+					t.Fatalf("mask=0 blend should reconstruct B at %d,%d,%d", c, x, y)
+				}
+			}
+		}
+	}
+}
+
+// pipelineOf builds the pipeline graph for a DSL builder (helper avoiding
+// an import cycle with internal/core).
+func pipelineOf(b *dsl.Builder, outs []string) (*pipeline.Graph, error) {
+	return pipeline.Build(b, outs...)
+}

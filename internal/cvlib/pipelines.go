@@ -1,0 +1,138 @@
+package cvlib
+
+import (
+	"repro/internal/affine"
+	"repro/internal/engine"
+)
+
+// This file composes the library routines into the three Table 2 benchmarks
+// that the paper could express "solely using optimized OpenCV library
+// routines": Unsharp Mask, Harris Corner and Pyramid Blending. Every stage
+// round-trips through a full buffer — the cross-routine fusion PolyMage
+// performs is impossible here, which is the point of the comparison.
+
+// UnsharpMask runs the unsharp-mask pipeline on a (3, rows, cols) image,
+// matching internal/apps' DSL semantics on the interior.
+func UnsharpMask(in *engine.Buffer) *engine.Buffer {
+	out := engine.NewBuffer(in.Box)
+	w := []float64{1.0 / 16, 4.0 / 16, 6.0 / 16, 4.0 / 16, 1.0 / 16}
+	const weight = 3.0
+	const thresh = 0.01
+	for c := int64(0); c < 3; c++ {
+		plane := Channel(in, c)
+		blur := engine.NewBuffer(plane.Box)
+		SepFilter2D(blur, plane, w, w, 1)
+		sharp := engine.NewBuffer(plane.Box)
+		AddWeighted(sharp, plane, 1+weight, blur, -weight, 0)
+		masked := engine.NewBuffer(plane.Box)
+		Combine(masked, func(v []float32) float32 {
+			if abs32(v[0]-v[1]) < thresh {
+				return v[0]
+			}
+			return v[2]
+		}, plane, blur, sharp)
+		SetChannel(out, c, masked)
+	}
+	return out
+}
+
+func abs32(v float32) float32 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// Harris runs Harris corner detection on a 2-D image with the kernels of
+// Figure 1.
+func Harris(in *engine.Buffer) *engine.Buffer {
+	sobelY := [][]float64{{-1, -2, -1}, {0, 0, 0}, {1, 2, 1}}
+	sobelX := [][]float64{{-1, 0, 1}, {-2, 0, 2}, {-1, 0, 1}}
+	box := [][]float64{{1, 1, 1}, {1, 1, 1}, {1, 1, 1}}
+	iy := engine.NewBuffer(in.Box)
+	ix := engine.NewBuffer(in.Box)
+	Filter2D(iy, in, sobelY, 1.0/12)
+	Filter2D(ix, in, sobelX, 1.0/12)
+	ixx := engine.NewBuffer(in.Box)
+	iyy := engine.NewBuffer(in.Box)
+	ixy := engine.NewBuffer(in.Box)
+	Mul(ixx, ix, ix)
+	Mul(iyy, iy, iy)
+	Mul(ixy, ix, iy)
+	sxx := engine.NewBuffer(in.Box)
+	syy := engine.NewBuffer(in.Box)
+	sxy := engine.NewBuffer(in.Box)
+	Filter2D(sxx, ixx, box, 1)
+	Filter2D(syy, iyy, box, 1)
+	Filter2D(sxy, ixy, box, 1)
+	out := engine.NewBuffer(in.Box)
+	Combine(out, func(v []float32) float32 {
+		det := float64(v[0])*float64(v[1]) - float64(v[2])*float64(v[2])
+		trace := float64(v[0]) + float64(v[1])
+		return float32(det - 0.04*trace*trace)
+	}, sxx, syy, sxy)
+	return out
+}
+
+// PyramidBlend blends two (3, rows, cols) images with a (rows, cols) mask
+// through 4-level Laplacian pyramids, composed from PyrDown/PyrUp/
+// arithmetic routines (apron convention matches internal/apps: offset 4).
+func PyramidBlend(a, b, mask *engine.Buffer, levels int, apron int64) *engine.Buffer {
+	out := engine.NewBuffer(a.Box)
+	// Mask pyramid.
+	maskPyr := gaussPyr(mask, levels, apron)
+	for c := int64(0); c < 3; c++ {
+		pa := gaussPyr(Channel(a, c), levels, apron)
+		pb := gaussPyr(Channel(b, c), levels, apron)
+		la := lapPyr(pa, apron)
+		lb := lapPyr(pb, apron)
+		// Blend each level.
+		blend := make([]*engine.Buffer, levels+1)
+		for l := 0; l <= levels; l++ {
+			bl := engine.NewBuffer(la[l].Box)
+			Combine(bl, func(v []float32) float32 {
+				return v[2]*v[0] + (1-v[2])*v[1]
+			}, la[l], lb[l], maskPyr[l])
+			blend[l] = bl
+		}
+		// Collapse.
+		cur := blend[levels]
+		for l := levels - 1; l >= 0; l-- {
+			up := engine.NewBuffer(blend[l].Box)
+			PyrUp(up, cur, apron)
+			next := engine.NewBuffer(blend[l].Box)
+			AddWeighted(next, blend[l], 1, up, 1, 0)
+			cur = next
+		}
+		SetChannel(out, c, cur)
+	}
+	return out
+}
+
+func gaussPyr(base *engine.Buffer, levels int, apron int64) []*engine.Buffer {
+	pyr := make([]*engine.Buffer, levels+1)
+	pyr[0] = base
+	for l := 1; l <= levels; l++ {
+		prev := pyr[l-1]
+		rows := (prev.Box[0].Size()-2*apron)/2 + 2*apron
+		cols := (prev.Box[1].Size()-2*apron)/2 + 2*apron
+		nb := engine.NewBuffer(affine.Box{{Lo: 0, Hi: rows - 1}, {Lo: 0, Hi: cols - 1}})
+		PyrDown(nb, prev, apron)
+		pyr[l] = nb
+	}
+	return pyr
+}
+
+func lapPyr(gauss []*engine.Buffer, apron int64) []*engine.Buffer {
+	levels := len(gauss) - 1
+	lap := make([]*engine.Buffer, levels+1)
+	for l := 0; l < levels; l++ {
+		up := engine.NewBuffer(gauss[l].Box)
+		PyrUp(up, gauss[l+1], apron)
+		d := engine.NewBuffer(gauss[l].Box)
+		AddWeighted(d, gauss[l], 1, up, -1, 0)
+		lap[l] = d
+	}
+	lap[levels] = gauss[levels]
+	return lap
+}

@@ -1,0 +1,176 @@
+package dsl
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/affine"
+	"repro/internal/expr"
+)
+
+// ReduceOp enumerates the reduction operators of the Accumulate construct.
+type ReduceOp int
+
+const (
+	// SumOp accumulates by addition (the paper's Sum).
+	SumOp ReduceOp = iota
+	// MinOp accumulates by minimum.
+	MinOp
+	// MaxOp accumulates by maximum.
+	MaxOp
+	// MulOp accumulates by multiplication.
+	MulOp
+)
+
+func (op ReduceOp) String() string {
+	switch op {
+	case SumOp:
+		return "Sum"
+	case MinOp:
+		return "Min"
+	case MaxOp:
+		return "Max"
+	case MulOp:
+		return "Mul"
+	}
+	return "?"
+}
+
+// Identity returns the reduction's identity element.
+func (op ReduceOp) Identity() float64 {
+	switch op {
+	case SumOp:
+		return 0
+	case MinOp:
+		return math.Inf(1)
+	case MaxOp:
+		return math.Inf(-1)
+	case MulOp:
+		return 1
+	}
+	return 0
+}
+
+// Accumulator is the paper's stateful function-like construct for
+// histograms and other reductions: it is defined over a variable domain and
+// evaluated by sweeping a reduction domain, updating one output element per
+// reduction point (Figure 3 of the paper).
+type Accumulator struct {
+	name    string
+	typ     expr.Type
+	redVars []*Variable
+	redDom  affine.Domain
+	vars    []*Variable
+	varDom  affine.Domain
+
+	op     ReduceOp
+	target []expr.Expr // index expressions into varDom, over redVars
+	value  expr.Expr   // update value, over redVars
+}
+
+// Accum declares an accumulator with a reduction domain (redVars/redDom) and
+// a variable domain (vars/varDom).
+func (b *Builder) Accum(name string, typ expr.Type, redVars []*Variable, redDom []Interval, vars []*Variable, varDom []Interval) *Accumulator {
+	if name == "" {
+		b.autoSeq++
+		name = fmt.Sprintf("_a%d", b.autoSeq)
+	}
+	if _, dup := b.stages[name]; dup {
+		panic(fmt.Sprintf("dsl: duplicate stage %q", name))
+	}
+	if len(redVars) != len(redDom) || len(vars) != len(varDom) {
+		panic(fmt.Sprintf("dsl: %q: variable/interval count mismatch", name))
+	}
+	a := &Accumulator{name: name, typ: typ, redVars: redVars, vars: vars}
+	a.redDom = make(affine.Domain, len(redDom))
+	for i, iv := range redDom {
+		a.redDom[i] = iv.toAffine()
+	}
+	a.varDom = make(affine.Domain, len(varDom))
+	for i, iv := range varDom {
+		a.varDom[i] = iv.toAffine()
+	}
+	b.stages[name] = a
+	b.order = append(b.order, name)
+	return a
+}
+
+// Define sets the accumulator's update rule — the paper's
+// Accumulate(acc(target...), value, op). The target index expressions and
+// the value are expressed over the reduction variables.
+func (a *Accumulator) Define(target []any, value any, op ReduceOp) *Accumulator {
+	if a.value != nil {
+		panic(fmt.Sprintf("dsl: %q already defined", a.name))
+	}
+	if len(target) != len(a.vars) {
+		panic(fmt.Sprintf("dsl: %q: %d target indices for %d output dims", a.name, len(target), len(a.vars)))
+	}
+	a.target = make([]expr.Expr, len(target))
+	for i, t := range target {
+		a.target[i] = a.resolveRed(E(t))
+	}
+	a.value = a.resolveRed(E(value))
+	a.op = op
+	return a
+}
+
+func (a *Accumulator) resolveRed(e expr.Expr) expr.Expr {
+	return expr.Transform(e, func(x expr.Expr) expr.Expr {
+		if v, ok := x.(expr.VarRef); ok && v.Dim == -1 {
+			for i, rv := range a.redVars {
+				if rv.id == v.Name {
+					return expr.VarRef{Dim: i, Name: rv.name}
+				}
+			}
+			panic(fmt.Sprintf("dsl: %q references variable %q outside its reduction domain", a.name, v.Name))
+		}
+		return nil
+	})
+}
+
+// Name returns the accumulator's name.
+func (a *Accumulator) Name() string { return a.name }
+
+// ElemType returns the accumulator's element type.
+func (a *Accumulator) ElemType() expr.Type { return a.typ }
+
+// NumDims returns the rank of the accumulator's variable (output) domain.
+func (a *Accumulator) NumDims() int { return len(a.vars) }
+
+// Domain returns the accumulator's variable (output) domain.
+func (a *Accumulator) Domain() affine.Domain { return a.varDom }
+
+// VarNames returns the display names of the output domain variables.
+func (a *Accumulator) VarNames() []string {
+	names := make([]string, len(a.vars))
+	for i, v := range a.vars {
+		names[i] = v.name
+	}
+	return names
+}
+
+// IsAccumulator reports true.
+func (a *Accumulator) IsAccumulator() bool { return true }
+
+// ReductionDomain returns the domain swept during evaluation.
+func (a *Accumulator) ReductionDomain() affine.Domain { return a.redDom }
+
+// RedVarNames returns the display names of the reduction variables.
+func (a *Accumulator) RedVarNames() []string {
+	names := make([]string, len(a.redVars))
+	for i, v := range a.redVars {
+		names[i] = v.name
+	}
+	return names
+}
+
+// Update returns the reduction operator, target index expressions and
+// update value.
+func (a *Accumulator) Update() (ReduceOp, []expr.Expr, expr.Expr) {
+	return a.op, a.target, a.value
+}
+
+// At builds an access to the accumulator's output.
+func (a *Accumulator) At(args ...any) expr.Expr {
+	return expr.Access{Target: a.name, Args: toExprs(args)}
+}

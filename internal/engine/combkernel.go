@@ -1,0 +1,293 @@
+package engine
+
+import (
+	"repro/internal/affine"
+	"repro/internal/expr"
+)
+
+// combKernel executes expressions of the form
+//
+//	factor · Σ_k w_k · Π_j target_jk(affine const-offset indices)
+//
+// in a single pass: a weighted sum of products of accesses. This covers the
+// stencil-of-products stages that dominate pipelines after point-wise
+// inlining (e.g. Harris' Sxx = Σ (Ix·Ix)(x+i, y+j)), plain multi-target
+// linear combinations, and strided (downsampling) accesses. Like the
+// dedicated stencil kernel it is the engine's stand-in for the paper's
+// vectorized inner loops.
+type combKernel struct {
+	factor  float64
+	weights []float64
+	// terms[k] lists indices into accs for the factors of term k.
+	terms [][]int
+	accs  []combAccess
+}
+
+type combAccess struct {
+	slot int
+	args []affine.Access
+	offs []int64 // evaluated constant offsets per arg
+}
+
+// matchCombination recognizes the pattern; the expression's Add/Sub tree is
+// flattened, each term may carry constant factors, and every access
+// argument must be var-free or coeff·x+off with div 1 (floor-divided
+// upsampling indices are not linear in the row index and fall back to the
+// row compiler).
+func matchCombination(e expr.Expr, ndims int, cp *compiler) *combKernel {
+	k := &combKernel{factor: 1}
+	// Peel an outer constant factor.
+	if m, ok := e.(expr.Binary); ok && m.Op == expr.Mul {
+		if c, ok := m.L.(expr.Const); ok {
+			k.factor = c.V
+			e = m.R
+		} else if c, ok := m.R.(expr.Const); ok {
+			k.factor = c.V
+			e = m.L
+		}
+	}
+	type flatTerm struct {
+		sign float64
+		e    expr.Expr
+	}
+	var terms []flatTerm
+	var flatten func(x expr.Expr, sign float64) bool
+	flatten = func(x expr.Expr, sign float64) bool {
+		switch b := x.(type) {
+		case expr.Binary:
+			if b.Op == expr.Add {
+				return flatten(b.L, sign) && flatten(b.R, sign)
+			}
+			if b.Op == expr.Sub {
+				return flatten(b.L, sign) && flatten(b.R, -sign)
+			}
+		case expr.Unary:
+			if b.Op == expr.Neg {
+				return flatten(b.X, -sign)
+			}
+		}
+		terms = append(terms, flatTerm{sign: sign, e: x})
+		return true
+	}
+	if !flatten(e, 1) || len(terms) == 0 {
+		return nil
+	}
+	accIndex := make(map[string]int) // dedup identical accesses by string form
+	for _, t := range terms {
+		w := t.sign
+		var factors []int
+		var collect func(x expr.Expr) bool
+		collect = func(x expr.Expr) bool {
+			switch f := x.(type) {
+			case expr.Const:
+				w *= f.V
+				return true
+			case expr.Binary:
+				if f.Op == expr.Mul {
+					return collect(f.L) && collect(f.R)
+				}
+				return false
+			case expr.Unary:
+				if f.Op == expr.Neg {
+					w = -w
+					return collect(f.X)
+				}
+				return false
+			case expr.Access:
+				idx, ok := k.internAccess(f, ndims, cp, accIndex)
+				if !ok {
+					return false
+				}
+				factors = append(factors, idx)
+				return true
+			}
+			return false
+		}
+		if !collect(t.e) || len(factors) == 0 || len(factors) > 3 {
+			return nil
+		}
+		k.weights = append(k.weights, w)
+		k.terms = append(k.terms, factors)
+	}
+	if len(k.accs) == 0 {
+		return nil
+	}
+	return k
+}
+
+func (k *combKernel) internAccess(a expr.Access, ndims int, cp *compiler, index map[string]int) (int, bool) {
+	slot, ok := cp.slots[a.Target]
+	if !ok {
+		return 0, false
+	}
+	ca := combAccess{slot: slot}
+	for _, arg := range a.Args {
+		aff, ok := expr.ToAffineAccess(arg)
+		if !ok || aff.Div != 1 {
+			return 0, false
+		}
+		if aff.Var >= ndims {
+			return 0, false
+		}
+		off, err := aff.Off.Eval(cp.params)
+		if err != nil {
+			return 0, false
+		}
+		ca.args = append(ca.args, aff)
+		ca.offs = append(ca.offs, off)
+	}
+	key := a.String()
+	if idx, ok := index[key]; ok {
+		return idx, true
+	}
+	idx := len(k.accs)
+	k.accs = append(k.accs, ca)
+	index[key] = idx
+	return idx, true
+}
+
+// run evaluates the kernel over region into out. The iteration's innermost
+// dimension is region's last; each access contributes a (base, step) pair
+// per row.
+func (k *combKernel) run(c *Ctx, region affine.Box, out *Buffer) {
+	if region.Empty() {
+		return
+	}
+	nd := len(region)
+	last := nd - 1
+	pt := make([]int64, nd)
+	for d := range region {
+		pt[d] = region[d].Lo
+	}
+	n := int(region[last].Size())
+	nAcc := len(k.accs)
+	bases := make([]int64, nAcc)
+	steps := make([]int64, nAcc)
+	rows := make([][]float32, nAcc)
+	allUnit := true
+	vals := make([]float64, nAcc)
+	acc := make([]float64, n)
+	for {
+		// Per-row setup: flat base offset and per-element step per access.
+		allUnit = true
+		for ai := range k.accs {
+			ca := &k.accs[ai]
+			buf := c.bufs[ca.slot]
+			var base, step int64
+			for d, aff := range ca.args {
+				var x int64
+				switch {
+				case aff.Var < 0:
+					x = ca.offs[d]
+				case aff.Var == last:
+					x = aff.Coeff*pt[last] + ca.offs[d]
+					step += aff.Coeff * buf.Stride[d]
+				default:
+					x = aff.Coeff*pt[aff.Var] + ca.offs[d]
+				}
+				base += (x - buf.Box[d].Lo) * buf.Stride[d]
+			}
+			bases[ai] = base
+			steps[ai] = step
+			if step == 1 {
+				rows[ai] = buf.Data[base : base+int64(n)]
+			} else {
+				allUnit = false
+				rows[ai] = buf.Data
+			}
+		}
+		dstBase := out.Offset(pt)
+		dst := out.Data[dstBase : dstBase+int64(n)]
+		if allUnit {
+			k.runRowUnit(rows, dst, acc)
+		} else {
+			for i := range dst {
+				for ai := range k.accs {
+					vals[ai] = float64(rows[ai][bases[ai]+int64(i)*steps[ai]])
+				}
+				var acc float64
+				for t, fs := range k.terms {
+					p := k.weights[t]
+					for _, f := range fs {
+						p *= vals[f]
+					}
+					acc += p
+				}
+				dst[i] = float32(k.factor * acc)
+			}
+			// When steps are not all unit, rows hold the whole backing
+			// array; reset for next row uses bases anyway.
+		}
+		d := last - 1
+		for ; d >= 0; d-- {
+			pt[d]++
+			if pt[d] <= region[d].Hi {
+				break
+			}
+			pt[d] = region[d].Lo
+		}
+		if d < 0 {
+			return
+		}
+	}
+}
+
+// runRowUnit is the hot path: every access walks its row contiguously. It
+// streams one pass per term with hoisted slices (bounds-check-eliminable
+// loops), accumulating into acc, then writes the scaled result — one fused
+// sweep per term instead of one per expression node.
+func (k *combKernel) runRowUnit(rows [][]float32, dst []float32, acc []float64) {
+	n := len(dst)
+	acc = acc[:n]
+	for t, fs := range k.terms {
+		w := k.weights[t]
+		switch len(fs) {
+		case 1:
+			a := rows[fs[0]][:n]
+			if t == 0 {
+				for i, v := range a {
+					acc[i] = w * float64(v)
+				}
+			} else {
+				for i, v := range a {
+					acc[i] += w * float64(v)
+				}
+			}
+		case 2:
+			a := rows[fs[0]][:n]
+			b := rows[fs[1]][:n]
+			if t == 0 {
+				for i, v := range a {
+					acc[i] = w * float64(v) * float64(b[i])
+				}
+			} else {
+				for i, v := range a {
+					acc[i] += w * float64(v) * float64(b[i])
+				}
+			}
+		default:
+			a := rows[fs[0]][:n]
+			b := rows[fs[1]][:n]
+			c := rows[fs[2]][:n]
+			if t == 0 {
+				for i, v := range a {
+					acc[i] = w * float64(v) * float64(b[i]) * float64(c[i])
+				}
+			} else {
+				for i, v := range a {
+					acc[i] += w * float64(v) * float64(b[i]) * float64(c[i])
+				}
+			}
+		}
+	}
+	f := k.factor
+	if f == 1 {
+		for i, v := range acc {
+			dst[i] = float32(v)
+		}
+	} else {
+		for i, v := range acc {
+			dst[i] = float32(f * v)
+		}
+	}
+}

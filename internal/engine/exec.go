@@ -1,0 +1,576 @@
+package engine
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/affine"
+	"repro/internal/dsl"
+)
+
+// Run executes the compiled pipeline on the given input images and returns
+// the buffers of every full-materialized stage (group live-outs); the
+// pipeline's declared outputs are among them. With Options.ReuseBuffers,
+// intermediate buffers are pooled and only the declared outputs are
+// returned.
+func (p *Program) Run(inputs map[string]*Buffer) (map[string]*Buffer, error) {
+	base := make([]*Buffer, p.slotCount)
+	for name := range p.Graph.Images {
+		buf, ok := inputs[name]
+		if !ok {
+			return nil, fmt.Errorf("engine: missing input image %q", name)
+		}
+		want, err := p.InputBox(name)
+		if err != nil {
+			return nil, err
+		}
+		if len(buf.Box) != len(want) {
+			return nil, fmt.Errorf("engine: input %q rank %d, want %d", name, len(buf.Box), len(want))
+		}
+		for d := range want {
+			if buf.Box[d] != want[d] {
+				return nil, fmt.Errorf("engine: input %q dim %d is %v, want %v", name, d, buf.Box[d], want[d])
+			}
+		}
+		base[p.slots[name]] = buf
+	}
+	if p.Opts.ReuseBuffers {
+		return p.runPooled(base)
+	}
+	outputs := make(map[string]*Buffer, len(p.fullStages))
+	for _, name := range p.fullStages {
+		box, err := p.OutputBox(name)
+		if err != nil {
+			return nil, err
+		}
+		buf := NewBuffer(box)
+		outputs[name] = buf
+		base[p.slots[name]] = buf
+	}
+	for _, ge := range p.groups {
+		if err := p.runGroup(ge, base, outputs); err != nil {
+			return nil, err
+		}
+	}
+	return outputs, nil
+}
+
+// runPooled executes with liveness-based buffer pooling: each group's
+// full buffers are taken from a free pool at the group that produces them
+// and returned to it after their last consumer group executes.
+func (p *Program) runPooled(base []*Buffer) (map[string]*Buffer, error) {
+	isOutput := make(map[string]bool, len(p.Graph.LiveOuts))
+	for _, lo := range p.Graph.LiveOuts {
+		isOutput[lo] = true
+	}
+	// producedAt / lastUse in group-order indices.
+	groupOf := make(map[string]int)
+	for gi, ge := range p.groups {
+		for _, m := range ge.grp.Members {
+			groupOf[m] = gi
+		}
+	}
+	lastUse := make(map[string]int, len(p.fullStages))
+	for _, name := range p.fullStages {
+		last := groupOf[name]
+		for _, c := range p.Graph.Stages[name].Consumers {
+			if gi := groupOf[c]; gi > last {
+				last = gi
+			}
+		}
+		lastUse[name] = last
+	}
+	var pool []*Buffer
+	alloc := func(box affine.Box) *Buffer {
+		need := int64(1)
+		for _, r := range box {
+			need *= r.Size()
+		}
+		bestIdx := -1
+		for i, b := range pool {
+			if int64(cap(b.Data)) >= need && (bestIdx < 0 || cap(b.Data) < cap(pool[bestIdx].Data)) {
+				bestIdx = i
+			}
+		}
+		if bestIdx >= 0 {
+			b := pool[bestIdx]
+			pool = append(pool[:bestIdx], pool[bestIdx+1:]...)
+			b.Reset(box)
+			return b
+		}
+		return NewBuffer(box)
+	}
+	outputs := make(map[string]*Buffer)
+	live := make(map[string]*Buffer)
+	for gi, ge := range p.groups {
+		// Allocate this group's live-out buffers.
+		for _, name := range ge.tp.LiveOuts {
+			if live[name] != nil {
+				continue
+			}
+			box, err := p.OutputBox(name)
+			if err != nil {
+				return nil, err
+			}
+			buf := alloc(box)
+			live[name] = buf
+			base[p.slots[name]] = buf
+			if isOutput[name] {
+				outputs[name] = buf
+			}
+		}
+		if err := p.runGroup(ge, base, live); err != nil {
+			return nil, err
+		}
+		// Recycle buffers whose last consumer group just ran.
+		for name, buf := range live {
+			if lastUse[name] == gi && !isOutput[name] {
+				pool = append(pool, buf)
+				delete(live, name)
+				base[p.slots[name]] = nil
+			}
+		}
+	}
+	return outputs, nil
+}
+
+func (p *Program) runGroup(ge *groupExec, base []*Buffer, outputs map[string]*Buffer) error {
+	if len(ge.members) == 1 {
+		ls := ge.members[0]
+		switch {
+		case ls.isAcc:
+			return p.runAccumulator(ls, base, outputs[ls.name])
+		case ls.selfRef:
+			return p.runSelfRef(ls, base, outputs[ls.name])
+		default:
+			return p.runSingle(ls, base, outputs[ls.name])
+		}
+	}
+	switch p.Opts.Tiling {
+	case ParallelogramTiling:
+		return p.runParallelogram(ge, base, outputs)
+	case SplitTiling:
+		return p.runSplit(ge, base, outputs)
+	}
+	return p.runTiled(ge, base, outputs)
+}
+
+// worker wraps the per-goroutine evaluation state.
+type worker struct {
+	ctx     RowCtx
+	scratch map[string]*Buffer
+}
+
+func (p *Program) newWorker(base []*Buffer, maxDims int) *worker {
+	w := &worker{scratch: make(map[string]*Buffer)}
+	w.ctx.pt = make([]int64, maxDims)
+	w.ctx.bufs = make([]*Buffer, len(base))
+	copy(w.ctx.bufs, base)
+	w.ctx.pool = &tempPool{size: 1024}
+	if p.memoCount > 0 {
+		w.ctx.memoStamp = make([]int64, p.memoCount)
+		w.ctx.memoVal = make([][]float64, p.memoCount)
+	}
+	return w
+}
+
+// runSingle executes an untiled single-stage group: the stage's domain is
+// computed into its full buffer, parallelized by slicing the outermost
+// dimension with extent > 1 across workers (the paper's per-stage OpenMP
+// parallel loop for ungrouped stages).
+func (p *Program) runSingle(ls *loweredStage, base []*Buffer, out *Buffer) error {
+	if out == nil {
+		return fmt.Errorf("engine: no output buffer for %s", ls.name)
+	}
+	threads := p.Opts.threads()
+	// Pick the split dimension: the outermost with extent > 1.
+	split := -1
+	for d := range ls.dom {
+		if ls.dom[d].Size() > 1 {
+			split = d
+			break
+		}
+	}
+	if threads <= 1 || split < 0 || ls.dom[split].Size() < 2 {
+		w := p.newWorker(base, len(ls.dom))
+		p.computeRegion(w, ls, ls.dom, out)
+		return nil
+	}
+	n := ls.dom[split].Size()
+	chunks := int64(threads * 4)
+	if chunks > n {
+		chunks = n
+	}
+	var next atomic.Int64
+	var firstErr atomic.Value
+	var wg sync.WaitGroup
+	for t := 0; t < threads; t++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					firstErr.Store(fmt.Errorf("engine: %v", r))
+				}
+			}()
+			w := p.newWorker(base, len(ls.dom))
+			for {
+				c := next.Add(1) - 1
+				if c >= chunks || firstErr.Load() != nil {
+					return
+				}
+				lo := ls.dom[split].Lo + c*n/chunks
+				hi := ls.dom[split].Lo + (c+1)*n/chunks - 1
+				region := ls.dom.Clone()
+				region[split] = affine.Range{Lo: lo, Hi: hi}
+				p.computeRegion(w, ls, region, out)
+			}
+		}()
+	}
+	wg.Wait()
+	if e := firstErr.Load(); e != nil {
+		return e.(error)
+	}
+	return nil
+}
+
+// runTiled executes a fused group with overlapped tiling: tiles are
+// independent (the halo is recomputed), so they are distributed over the
+// worker pool as a bag of tasks; intermediates live in per-worker
+// scratchpads that are reused across tiles (Section 3.6).
+func (p *Program) runTiled(ge *groupExec, base []*Buffer, outputs map[string]*Buffer) error {
+	tp := ge.tp
+	numTiles := tp.NumTiles()
+	threads := p.Opts.threads()
+	if int64(threads) > numTiles {
+		threads = int(numTiles)
+	}
+	maxDims := 0
+	for _, ls := range ge.members {
+		if len(ls.dom) > maxDims {
+			maxDims = len(ls.dom)
+		}
+	}
+	var next atomic.Int64
+	var firstErr atomic.Value
+	var wg sync.WaitGroup
+	runWorker := func() {
+		defer wg.Done()
+		defer func() {
+			// Debug-mode access checks panic with context; surface them as
+			// errors rather than crashing the worker pool.
+			if r := recover(); r != nil {
+				firstErr.Store(fmt.Errorf("engine: %v", r))
+			}
+		}()
+		w := p.newWorker(base, maxDims)
+		idx := make([]int64, len(tp.TileCounts))
+		var req map[string]affine.Box
+		for {
+			t := next.Add(1) - 1
+			if t >= numTiles || firstErr.Load() != nil {
+				return
+			}
+			tp.TileIndex(t, idx)
+			var err error
+			req, err = tp.Required(idx, req)
+			if err != nil {
+				firstErr.Store(err)
+				return
+			}
+			for i, ls := range ge.members {
+				box := req[ls.name]
+				if box == nil || box.Empty() {
+					continue
+				}
+				isAnchor := ls.name == ge.grp.Anchor
+				var out *Buffer
+				switch {
+				case isAnchor:
+					// The anchor's required region is exactly its owned
+					// tile: write the full buffer directly.
+					out = outputs[ls.name]
+				default:
+					sc, ok := w.scratch[ls.name]
+					if !ok {
+						sc = &Buffer{}
+						w.scratch[ls.name] = sc
+					}
+					sc.Reset(box)
+					out = sc
+				}
+				w.ctx.bufs[ls.slot] = out
+				p.computeRegion(w, ls, box, out)
+				if ge.liveOut[i] && !isAnchor {
+					owned := tp.OwnedBox(ls.name, idx).Intersect(box)
+					if !owned.Empty() {
+						outputs[ls.name].CopyRegion(out, owned)
+					}
+				}
+			}
+		}
+	}
+	for t := 0; t < threads; t++ {
+		wg.Add(1)
+		go runWorker()
+	}
+	wg.Wait()
+	if e := firstErr.Load(); e != nil {
+		return e.(error)
+	}
+	// Restore live-out slots in base (workers only mutated their copies).
+	return nil
+}
+
+// computeRegion evaluates a stage over region into out, one case piece at a
+// time (pieces with box conditions iterate only their sub-box, keeping the
+// inner loop branch-free; pieces with residual predicates test per point).
+func (p *Program) computeRegion(w *worker, ls *loweredStage, region affine.Box, out *Buffer) {
+	for pi := range ls.pieces {
+		piece := &ls.pieces[pi]
+		r := region.Intersect(piece.box)
+		if r.Empty() {
+			continue
+		}
+		if piece.sten != nil {
+			piece.sten.run(&w.ctx.Ctx, r, out)
+			continue
+		}
+		if piece.comb != nil {
+			piece.comb.run(&w.ctx.Ctx, r, out)
+			continue
+		}
+		if piece.row != nil {
+			p.rowLoop(w, piece, r, out)
+			continue
+		}
+		p.scalarLoop(w, piece, r, out)
+	}
+}
+
+func (p *Program) rowLoop(w *worker, piece *loweredPiece, r affine.Box, out *Buffer) {
+	nd := len(r)
+	last := nd - 1
+	c := &w.ctx
+	c.last = last
+	c.n = int(r[last].Size())
+	c.jLo = r[last].Lo
+	pt := c.pt[:nd]
+	for d := 0; d < nd; d++ {
+		pt[d] = r[d].Lo
+	}
+	rowLen := int64(c.n)
+	for {
+		c.pool.reset()
+		c.stamp++ // new row: invalidate CSE memos
+		vals := piece.row(c)
+		pt[last] = r[last].Lo
+		off := out.Offset(pt)
+		dst := out.Data[off : off+rowLen]
+		for i := range dst {
+			dst[i] = float32(vals[i])
+		}
+		d := last - 1
+		for ; d >= 0; d-- {
+			pt[d]++
+			if pt[d] <= r[d].Hi {
+				break
+			}
+			pt[d] = r[d].Lo
+		}
+		if d < 0 {
+			return
+		}
+	}
+}
+
+func (p *Program) scalarLoop(w *worker, piece *loweredPiece, r affine.Box, out *Buffer) {
+	nd := len(r)
+	last := nd - 1
+	c := &w.ctx.Ctx
+	pt := c.pt[:nd]
+	for d := 0; d < nd; d++ {
+		pt[d] = r[d].Lo
+	}
+	for {
+		for j := r[last].Lo; j <= r[last].Hi; j++ {
+			pt[last] = j
+			if piece.pred != nil && !piece.pred(c) {
+				continue
+			}
+			out.Data[out.Offset(pt)] = float32(piece.eval(c))
+		}
+		d := last - 1
+		for ; d >= 0; d-- {
+			pt[d]++
+			if pt[d] <= r[d].Hi {
+				break
+			}
+			pt[d] = r[d].Lo
+		}
+		if d < 0 {
+			return
+		}
+	}
+}
+
+// runSelfRef executes a self-referencing (time-iterated) stage in
+// lexicographic order, which respects the dependence on earlier values.
+func (p *Program) runSelfRef(ls *loweredStage, base []*Buffer, out *Buffer) error {
+	if out == nil {
+		return fmt.Errorf("engine: no output buffer for %s", ls.name)
+	}
+	w := p.newWorker(base, len(ls.dom))
+	w.ctx.bufs[ls.slot] = out
+	c := &w.ctx.Ctx
+	nd := len(ls.dom)
+	pt := c.pt[:nd]
+	for d := 0; d < nd; d++ {
+		pt[d] = ls.dom[d].Lo
+	}
+	if ls.dom.Empty() {
+		return nil
+	}
+	for {
+		for pi := range ls.pieces {
+			piece := &ls.pieces[pi]
+			if !piece.box.Contains(pt) {
+				continue
+			}
+			if piece.pred != nil && !piece.pred(c) {
+				continue
+			}
+			out.Data[out.Offset(pt)] = float32(piece.eval(c))
+			break
+		}
+		d := nd - 1
+		for ; d >= 0; d-- {
+			pt[d]++
+			if pt[d] <= ls.dom[d].Hi {
+				break
+			}
+			pt[d] = ls.dom[d].Lo
+		}
+		if d < 0 {
+			return nil
+		}
+	}
+}
+
+// runAccumulator sweeps the reduction domain, applying the update rule.
+// With multiple threads and a small output, workers reduce into private
+// copies merged at the end (the histogram parallelization the paper's
+// OpenMP code uses); otherwise the sweep is sequential.
+func (p *Program) runAccumulator(ls *loweredStage, base []*Buffer, out *Buffer) error {
+	if out == nil {
+		return fmt.Errorf("engine: no output buffer for %s", ls.name)
+	}
+	out.Fill(float32(ls.accOp.Identity()))
+	threads := p.Opts.threads()
+	red := ls.redDom
+	if red.Empty() {
+		return nil
+	}
+	split := 0
+	parallel := threads > 1 && out.Len() <= 1<<22 && len(red) > 0 && red[split].Size() >= int64(threads)
+	if !parallel {
+		w := p.newWorker(base, len(red))
+		p.accumulateRegion(w, ls, red, out)
+		return nil
+	}
+	var wg sync.WaitGroup
+	var firstErr atomic.Value
+	parts := make([]*Buffer, threads)
+	n := red[split].Size()
+	for t := 0; t < threads; t++ {
+		wg.Add(1)
+		go func(t int) {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					firstErr.Store(fmt.Errorf("engine: %v", r))
+				}
+			}()
+			part := NewBuffer(out.Box)
+			part.Fill(float32(ls.accOp.Identity()))
+			parts[t] = part
+			region := red.Clone()
+			region[split] = affine.Range{
+				Lo: red[split].Lo + int64(t)*n/int64(threads),
+				Hi: red[split].Lo + int64(t+1)*n/int64(threads) - 1,
+			}
+			w := p.newWorker(base, len(red))
+			p.accumulateRegion(w, ls, region, part)
+		}(t)
+	}
+	wg.Wait()
+	if e := firstErr.Load(); e != nil {
+		return e.(error)
+	}
+	for _, part := range parts {
+		for i, v := range part.Data {
+			out.Data[i] = applyReduce(ls.accOp, out.Data[i], v)
+		}
+	}
+	return nil
+}
+
+func (p *Program) accumulateRegion(w *worker, ls *loweredStage, region affine.Box, out *Buffer) {
+	c := &w.ctx.Ctx
+	nd := len(region)
+	pt := c.pt[:nd]
+	for d := 0; d < nd; d++ {
+		pt[d] = region[d].Lo
+	}
+	idx := make([]int64, len(ls.accIdx))
+	for {
+		ok := true
+		for d, f := range ls.accIdx {
+			idx[d] = f(c)
+			if idx[d] < out.Box[d].Lo || idx[d] > out.Box[d].Hi {
+				if p.Opts.Debug {
+					panic(fmt.Sprintf("engine: accumulator %s target %v outside %v at %v", ls.name, idx, out.Box, pt))
+				}
+				ok = false
+				break
+			}
+		}
+		if ok {
+			v := ls.accVal(c)
+			off := out.Offset(idx)
+			out.Data[off] = applyReduce(ls.accOp, out.Data[off], float32(v))
+		}
+		d := nd - 1
+		for ; d >= 0; d-- {
+			pt[d]++
+			if pt[d] <= region[d].Hi {
+				break
+			}
+			pt[d] = region[d].Lo
+		}
+		if d < 0 {
+			return
+		}
+	}
+}
+
+func applyReduce(op dsl.ReduceOp, a, b float32) float32 {
+	switch op {
+	case dsl.SumOp:
+		return a + b
+	case dsl.MinOp:
+		if b < a {
+			return b
+		}
+		return a
+	case dsl.MaxOp:
+		if b > a {
+			return b
+		}
+		return a
+	case dsl.MulOp:
+		return a * b
+	}
+	return a
+}

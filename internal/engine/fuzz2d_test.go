@@ -1,0 +1,239 @@
+package engine
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/affine"
+	"repro/internal/bounds"
+	"repro/internal/dsl"
+	"repro/internal/expr"
+	"repro/internal/inline"
+	"repro/internal/pipeline"
+	"repro/internal/schedule"
+)
+
+// randPipeline2D generates random 2-D pipelines with features the 1-D
+// fuzzer cannot reach: independent per-dimension resolution scales (as in
+// the separable downsamples of Multiscale Interpolation), 2-D and separable
+// stencils, piecewise definitions with box and non-box (predicate)
+// conditions, and multi-producer point-wise stages.
+func randPipeline2D(t *testing.T, r *rand.Rand, nStages int) (*pipeline.Graph, map[string]int64, map[string]*Buffer) {
+	t.Helper()
+	const N = 128
+	b := dsl.NewBuilder()
+	b.Image("I", expr.Float, affine.Const(N), affine.Const(N))
+	x, y := b.Var("x"), b.Var("y")
+
+	type stageInfo struct {
+		f      *dsl.Function
+		sx, sy int   // per-dim scale: extent = N >> s
+		mx, my int64 // per-dim margins
+	}
+	ext := func(s int) int64 { return int64(N >> s) }
+	var stages []stageInfo
+	at := func(s stageInfo, ax, ay expr.Expr) expr.Expr {
+		if s.f == nil {
+			return expr.Access{Target: "I", Args: []expr.Expr{ax, ay}}
+		}
+		return s.f.At(ax, ay)
+	}
+	pick := func() stageInfo {
+		if len(stages) == 0 || r.Intn(4) == 0 {
+			return stageInfo{}
+		}
+		return stages[r.Intn(len(stages))]
+	}
+	mkFunc := func(name string, s stageInfo, def expr.Expr, boxCond bool) *dsl.Function {
+		f := b.Func(name, expr.Float, []*dsl.Variable{x, y},
+			[]dsl.Interval{
+				dsl.ConstSpan(s.mx, ext(s.sx)-1-s.mx),
+				dsl.ConstSpan(s.my, ext(s.sy)-1-s.my),
+			})
+		if boxCond {
+			// Split the domain: an interior case plus a predicate-guarded
+			// boundary case (Not of a box is not a box, exercising the
+			// per-point predicate path).
+			inner := dsl.InBox([]*dsl.Variable{x, y},
+				[]any{s.mx + 1, s.my + 1},
+				[]any{ext(s.sx) - 2 - s.mx, ext(s.sy) - 2 - s.my})
+			f.Define(
+				dsl.Case{Cond: inner, E: def},
+				dsl.Case{Cond: dsl.Not(inner), E: dsl.Mul(0.5, def)},
+			)
+		} else {
+			f.Define(dsl.Case{E: def})
+		}
+		return f
+	}
+
+	for i := 0; i < nStages; i++ {
+		p := pick()
+		name := fmt.Sprintf("s%d", i)
+		boxCond := r.Intn(4) == 0
+		switch r.Intn(6) {
+		case 0: // point-wise combine of two same-scale producers
+			q := p
+			for try := 0; try < 4; try++ {
+				c := pick()
+				if c.sx == p.sx && c.sy == p.sy {
+					q = c
+					break
+				}
+			}
+			if q.sx != p.sx || q.sy != p.sy {
+				q = p
+			}
+			ns := stageInfo{sx: p.sx, sy: p.sy, mx: maxI64(p.mx, q.mx), my: maxI64(p.my, q.my)}
+			def := dsl.Add(dsl.Mul(0.5, at(p, dsl.E(x), dsl.E(y))), dsl.Mul(0.5, at(q, dsl.E(x), dsl.E(y))))
+			ns.f = mkFunc(name, ns, def, boxCond)
+			stages = append(stages, ns)
+		case 1: // 3x3 stencil
+			ns := stageInfo{sx: p.sx, sy: p.sy, mx: p.mx + 1, my: p.my + 1}
+			if ns.mx >= ext(ns.sx)/2-1 || ns.my >= ext(ns.sy)/2-1 {
+				continue
+			}
+			var terms []expr.Expr
+			for i := -1; i <= 1; i++ {
+				for j := -1; j <= 1; j++ {
+					terms = append(terms, dsl.Mul(1.0/9,
+						at(p, dsl.Add(x, i), dsl.Add(y, j))))
+				}
+			}
+			ns.f = mkFunc(name, ns, expr.Sum(terms...), boxCond)
+			stages = append(stages, ns)
+		case 2: // separable 3-tap along one dimension
+			alongX := r.Intn(2) == 0
+			ns := stageInfo{sx: p.sx, sy: p.sy, mx: p.mx, my: p.my}
+			if alongX {
+				ns.mx++
+			} else {
+				ns.my++
+			}
+			if ns.mx >= ext(ns.sx)/2-1 || ns.my >= ext(ns.sy)/2-1 {
+				continue
+			}
+			var terms []expr.Expr
+			for k := -1; k <= 1; k++ {
+				ax, ay := dsl.E(x), dsl.E(y)
+				if alongX {
+					ax = dsl.Add(x, k)
+				} else {
+					ay = dsl.Add(y, k)
+				}
+				terms = append(terms, dsl.Mul([]float64{0.25, 0.5, 0.25}[k+1], at(p, ax, ay)))
+			}
+			ns.f = mkFunc(name, ns, expr.Sum(terms...), boxCond)
+			stages = append(stages, ns)
+		case 3: // downsample along one dimension (mixed resolution)
+			alongX := r.Intn(2) == 0
+			ns := stageInfo{sx: p.sx, sy: p.sy}
+			if alongX {
+				if ext(p.sx+1) < 8 {
+					continue
+				}
+				ns.sx = p.sx + 1
+				ns.mx = (p.mx+1)/2 + 1
+				ns.my = p.my
+			} else {
+				if ext(p.sy+1) < 8 {
+					continue
+				}
+				ns.sy = p.sy + 1
+				ns.my = (p.my+1)/2 + 1
+				ns.mx = p.mx
+			}
+			ax0, ay0 := dsl.E(x), dsl.E(y)
+			ax1, ay1 := dsl.E(x), dsl.E(y)
+			if alongX {
+				ax0 = dsl.Mul(2, x)
+				ax1 = dsl.Add(dsl.Mul(2, x), 1)
+			} else {
+				ay0 = dsl.Mul(2, y)
+				ay1 = dsl.Add(dsl.Mul(2, y), 1)
+			}
+			def := dsl.Mul(0.5, dsl.Add(at(p, ax0, ay0), at(p, ax1, ay1)))
+			ns.f = mkFunc(name, ns, def, false)
+			stages = append(stages, ns)
+		case 4: // downsample both dimensions
+			if ext(p.sx+1) < 8 || ext(p.sy+1) < 8 {
+				continue
+			}
+			ns := stageInfo{sx: p.sx + 1, sy: p.sy + 1,
+				mx: (p.mx+1)/2 + 1, my: (p.my+1)/2 + 1}
+			def := dsl.Mul(0.25, dsl.Add(
+				dsl.Add(at(p, dsl.Mul(2, x), dsl.Mul(2, y)),
+					at(p, dsl.Add(dsl.Mul(2, x), 1), dsl.Mul(2, y))),
+				dsl.Add(at(p, dsl.Mul(2, x), dsl.Add(dsl.Mul(2, y), 1)),
+					at(p, dsl.Add(dsl.Mul(2, x), 1), dsl.Add(dsl.Mul(2, y), 1)))))
+			ns.f = mkFunc(name, ns, def, false)
+			stages = append(stages, ns)
+		default: // upsample both dimensions
+			if p.f == nil || p.sx == 0 || p.sy == 0 {
+				continue
+			}
+			ns := stageInfo{sx: p.sx - 1, sy: p.sy - 1,
+				mx: 2*p.mx + 2, my: 2*p.my + 2}
+			if ns.mx >= ext(ns.sx)/2-1 || ns.my >= ext(ns.sy)/2-1 {
+				continue
+			}
+			def := at(p, dsl.IDiv(x, 2), dsl.IDiv(y, 2))
+			ns.f = mkFunc(name, ns, def, false)
+			stages = append(stages, ns)
+		}
+	}
+	if len(stages) == 0 {
+		t.Skip("degenerate random pipeline")
+	}
+	last := stages[len(stages)-1]
+	g, err := pipeline.Build(b, last.f.Name())
+	if err != nil {
+		t.Fatal(err)
+	}
+	params := map[string]int64{}
+	res, err := bounds.Check(g, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Err(); err != nil {
+		t.Fatalf("2-D generator produced out-of-bounds accesses: %v", err)
+	}
+	in := NewBuffer(affine.Box{{Lo: 0, Hi: N - 1}, {Lo: 0, Hi: N - 1}})
+	FillPattern(in, int64(r.Int()))
+	return g, params, map[string]*Buffer{"I": in}
+}
+
+func TestRandomPipeline2DEquivalence(t *testing.T) {
+	r := rand.New(rand.NewSource(777))
+	iters := 40
+	if testing.Short() {
+		iters = 8
+	}
+	for trial := 0; trial < iters; trial++ {
+		g, params, inputs := randPipeline2D(t, r, 3+r.Intn(10))
+		ref, err := Reference(g, params, inputs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		liveOut := g.LiveOuts[0]
+		if _, err := inline.Apply(g, inline.DefaultOptions()); err != nil {
+			t.Fatal(err)
+		}
+		sopts := schedule.Options{
+			TileSizes:        []int64{int64(8 << r.Intn(2)), int64(8 << r.Intn(3))},
+			MinTileExtent:    8,
+			MinSize:          8,
+			OverlapThreshold: 0.95,
+		}
+		for _, fast := range []bool{false, true} {
+			threads := 1 + r.Intn(3)
+			pooled := r.Intn(2) == 0
+			out := compileAndRun(t, g, params, sopts,
+				Options{Fast: fast, Threads: threads, Debug: true, ReuseBuffers: pooled}, inputs)
+			if eq, msg := out[liveOut].Equal(ref[liveOut], 1e-5); !eq {
+				t.Fatalf("trial %d fast=%v threads=%d pooled=%v: %s", trial, fast, threads, pooled, msg)
+			}
+		}
+	}
+}

@@ -1,0 +1,191 @@
+package engine
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/affine"
+	"repro/internal/bounds"
+	"repro/internal/dsl"
+	"repro/internal/expr"
+	"repro/internal/inline"
+	"repro/internal/pipeline"
+	"repro/internal/schedule"
+)
+
+// randPipeline generates a random 1-D pipeline DAG of point-wise, stencil,
+// downsample and upsample stages with statically in-bounds accesses, and
+// returns the graph, parameters and input. The construction tracks, per
+// stage, its resolution scale k (extent N/2^k) and a safety margin m so
+// every generated access provably stays inside its producer's domain.
+func randPipeline(t *testing.T, r *rand.Rand, nStages int) (*pipeline.Graph, map[string]int64, map[string]*Buffer) {
+	t.Helper()
+	const N = 256
+	b := dsl.NewBuilder()
+	b.Image("I", expr.Float, affine.Const(N))
+	x := b.Var("x")
+
+	type stageInfo struct {
+		f     *dsl.Function
+		scale int   // extent = N >> scale
+		m     int64 // margin: domain is [m, N>>scale - 1 - m]
+	}
+	// The input image acts as a scale-0, margin-0 producer.
+	var stages []stageInfo
+	extent := func(scale int) int64 { return int64(N >> scale) }
+	at := func(s stageInfo, arg expr.Expr) expr.Expr {
+		if s.f == nil {
+			return expr.Access{Target: "I", Args: []expr.Expr{arg}}
+		}
+		return s.f.At(arg)
+	}
+	pick := func() stageInfo {
+		if len(stages) == 0 || r.Intn(4) == 0 {
+			return stageInfo{scale: 0, m: 0}
+		}
+		return stages[r.Intn(len(stages))]
+	}
+	for i := 0; i < nStages; i++ {
+		p := pick()
+		kind := r.Intn(4)
+		var scale int
+		var m int64
+		var def expr.Expr
+		name := fmt.Sprintf("s%d", i)
+		switch kind {
+		case 0: // point-wise arithmetic on one or two same-scale producers
+			q := p
+			if r.Intn(2) == 0 {
+				// Find another producer at the same scale, else reuse p.
+				for try := 0; try < 4; try++ {
+					c := pick()
+					if c.scale == p.scale {
+						q = c
+						break
+					}
+				}
+			}
+			scale = p.scale
+			m = maxI64(p.m, q.m)
+			fn := b.Func(name, expr.Float, []*dsl.Variable{x},
+				[]dsl.Interval{dsl.ConstSpan(m, extent(scale)-1-m)})
+			def = dsl.Add(dsl.Mul(0.5, at(p, dsl.E(x))), dsl.Mul(0.5, at(q, dsl.E(x))))
+			fn.Define(dsl.Case{E: def})
+			stages = append(stages, stageInfo{f: fn, scale: scale, m: m})
+			continue
+		case 1: // 3-tap stencil
+			scale = p.scale
+			m = p.m + 1
+			if m >= extent(scale)/2-1 {
+				scale, m = p.scale, p.m // too deep; degrade to copy
+			}
+			fn := b.Func(name, expr.Float, []*dsl.Variable{x},
+				[]dsl.Interval{dsl.ConstSpan(m, extent(scale)-1-m)})
+			if m > p.m {
+				w := []float64{0.25, 0.5, 0.25}
+				def = dsl.Add(dsl.Add(
+					dsl.Mul(w[0], at(p, dsl.Sub(x, 1))),
+					dsl.Mul(w[1], at(p, dsl.E(x)))),
+					dsl.Mul(w[2], at(p, dsl.Add(x, 1))))
+			} else {
+				def = at(p, dsl.E(x))
+			}
+			fn.Define(dsl.Case{E: def})
+			stages = append(stages, stageInfo{f: fn, scale: scale, m: m})
+			continue
+		case 2: // downsample: consumer at scale+1 reads 2x and 2x+1
+			if extent(p.scale+1) < 16 {
+				continue
+			}
+			scale = p.scale + 1
+			m = (p.m+1)/2 + 1
+			fn := b.Func(name, expr.Float, []*dsl.Variable{x},
+				[]dsl.Interval{dsl.ConstSpan(m, extent(scale)-1-m)})
+			def = dsl.Mul(0.5, dsl.Add(
+				at(p, dsl.Mul(2, x)),
+				at(p, dsl.Add(dsl.Mul(2, x), 1))))
+			fn.Define(dsl.Case{E: def})
+			stages = append(stages, stageInfo{f: fn, scale: scale, m: m})
+			continue
+		default: // upsample: consumer at scale-1 reads x/2
+			if p.scale == 0 || p.f == nil {
+				continue
+			}
+			scale = p.scale - 1
+			m = 2*p.m + 2
+			if m >= extent(scale)/2-1 {
+				continue
+			}
+			fn := b.Func(name, expr.Float, []*dsl.Variable{x},
+				[]dsl.Interval{dsl.ConstSpan(m, extent(scale)-1-m)})
+			def = at(p, dsl.IDiv(x, 2))
+			fn.Define(dsl.Case{E: def})
+			stages = append(stages, stageInfo{f: fn, scale: scale, m: m})
+		}
+	}
+	if len(stages) == 0 {
+		t.Skip("degenerate random pipeline")
+	}
+	last := stages[len(stages)-1]
+	g, err := pipeline.Build(b, last.f.Name())
+	if err != nil {
+		t.Fatal(err)
+	}
+	params := map[string]int64{}
+	res, err := bounds.Check(g, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Err(); err != nil {
+		t.Fatalf("generator produced out-of-bounds accesses: %v", err)
+	}
+	in := NewBuffer(affine.Box{{Lo: 0, Hi: N - 1}})
+	FillPattern(in, int64(r.Int()))
+	return g, params, map[string]*Buffer{"I": in}
+}
+
+func maxI64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// TestRandomPipelineEquivalence is the central correctness property of the
+// whole compiler: for random pipeline DAGs, the fully optimized execution
+// (inlining + grouping + overlapped tiling + scratchpads + fast kernels +
+// parallelism) must produce the same live-out values as the naive reference
+// interpreter.
+func TestRandomPipelineEquivalence(t *testing.T) {
+	r := rand.New(rand.NewSource(20260705))
+	iters := 60
+	if testing.Short() {
+		iters = 12
+	}
+	for trial := 0; trial < iters; trial++ {
+		g, params, inputs := randPipeline(t, r, 3+r.Intn(12))
+		ref, err := Reference(g, params, inputs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		liveOut := g.LiveOuts[0]
+		if _, err := inline.Apply(g, inline.DefaultOptions()); err != nil {
+			t.Fatal(err)
+		}
+		sopts := schedule.Options{
+			TileSizes:        []int64{int64(8 << r.Intn(3))}, // 8, 16 or 32
+			MinTileExtent:    8,
+			MinSize:          8,
+			OverlapThreshold: 0.95,
+		}
+		for _, fast := range []bool{false, true} {
+			threads := 1 + r.Intn(4)
+			out := compileAndRun(t, g, params, sopts,
+				Options{Fast: fast, Threads: threads, Debug: true}, inputs)
+			if eq, msg := out[liveOut].Equal(ref[liveOut], 1e-5); !eq {
+				t.Fatalf("trial %d fast=%v threads=%d: %s", trial, fast, threads, msg)
+			}
+		}
+	}
+}

@@ -1,0 +1,311 @@
+package engine
+
+import (
+	"fmt"
+	"runtime"
+
+	"repro/internal/affine"
+	"repro/internal/dsl"
+	"repro/internal/expr"
+	"repro/internal/pipeline"
+	"repro/internal/schedule"
+)
+
+// Options configures execution.
+type Options struct {
+	// Threads is the number of worker goroutines (the paper's OpenMP
+	// thread count). 0 means GOMAXPROCS.
+	Threads int
+	// Fast enables the specialized kernels and array-at-a-time row
+	// evaluation — the stand-in for the paper's `+vec` axis.
+	Fast bool
+	// Debug enables bounds-checked buffer accesses.
+	Debug bool
+	// Tiling selects the tiling strategy for fused groups: the paper's
+	// overlapped tiling (default, parallel tiles with recomputed halos) or
+	// parallelogram tiling (sequential skewed tiles, no recomputation,
+	// full-buffer intermediates) for the Figure 5 trade-off comparison.
+	Tiling TilingStrategy
+	// ReuseBuffers enables liveness-based pooling of full buffers: once
+	// every consumer group of an intermediate live-out has executed, its
+	// array is recycled for later stages (an extension of Section 3.6's
+	// storage optimization from tile scratchpads to inter-group buffers).
+	// With pooling on, Run returns only the pipeline's declared outputs —
+	// other stage buffers may alias recycled storage.
+	ReuseBuffers bool
+}
+
+func (o Options) threads() int {
+	if o.Threads > 0 {
+		return o.Threads
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// loweredPiece is one case of a stage lowered for a concrete parameter
+// binding: the sub-box where it applies, an optional residual predicate
+// (nil when the condition is exactly the box — Section 3.7's branch-free
+// splitting), and the compiled evaluators.
+type loweredPiece struct {
+	box  affine.Box
+	pred condFn
+	eval evalFn
+	row  rowFn
+	sten *stencilKernel
+	comb *combKernel
+}
+
+// loweredStage is a stage compiled against a parameter binding.
+type loweredStage struct {
+	name    string
+	slot    int
+	dom     affine.Box
+	pieces  []loweredPiece
+	selfRef bool
+
+	isAcc  bool
+	accOp  dsl.ReduceOp
+	redDom affine.Box
+	accIdx []idxFn
+	accVal evalFn
+}
+
+// groupExec pairs a schedule group with its tile plan and lowered members.
+type groupExec struct {
+	grp     *schedule.Group
+	tp      *schedule.TilePlan
+	members []*loweredStage
+	// liveOut[i] reports whether members[i] must be written to its full
+	// buffer.
+	liveOut []bool
+}
+
+// Program is a pipeline compiled for one parameter binding, ready to run.
+type Program struct {
+	Graph    *pipeline.Graph
+	Grouping *schedule.Grouping
+	Params   map[string]int64
+	Opts     Options
+
+	slots     map[string]int
+	slotCount int
+	stages    map[string]*loweredStage
+	groups    []*groupExec
+	// fullSlots lists stages that get full-buffer allocations (all group
+	// live-outs).
+	fullStages []string
+	// memoCount is the number of row-CSE memo slots workers allocate.
+	memoCount int
+
+	// SplitStats counts points computed in each split-tiling phase (filled
+	// by runs with Options.Tiling == SplitTiling; diagnostics only).
+	SplitStats struct{ Phase1, Phase2 int64 }
+}
+
+// registerCSE scans an expression for repeated subtrees of meaningful size
+// and assigns them memo slots so the row compiler evaluates them once per
+// row.
+func registerCSE(cp *compiler, e expr.Expr, counts map[string]int) {
+	expr.Walk(e, func(x expr.Expr) bool {
+		if expr.Size(x) < 5 {
+			return false // too small to be worth caching (and so are its children)
+		}
+		key := exprKey(x)
+		counts[key]++
+		if counts[key] == 2 {
+			if cp.memoIDs == nil {
+				cp.memoIDs = make(map[string]int)
+			}
+			if _, ok := cp.memoIDs[key]; !ok {
+				cp.memoIDs[key] = cp.memoNext
+				cp.memoNext++
+			}
+		}
+		return true
+	})
+}
+
+// Compile lowers a grouped pipeline for the given parameter binding.
+func Compile(gr *schedule.Grouping, params map[string]int64, opts Options) (*Program, error) {
+	g := gr.Graph
+	p := &Program{
+		Graph:    g,
+		Grouping: gr,
+		Params:   params,
+		Opts:     opts,
+		slots:    make(map[string]int),
+		stages:   make(map[string]*loweredStage),
+	}
+	// Slot assignment: images first, then stages in topological order.
+	for _, name := range sortedImageNames(g) {
+		p.slots[name] = p.slotCount
+		p.slotCount++
+	}
+	for _, name := range g.Order {
+		p.slots[name] = p.slotCount
+		p.slotCount++
+	}
+	cp := &compiler{slots: p.slots, params: params, debug: opts.Debug}
+	if opts.Fast {
+		counts := make(map[string]int)
+		for _, name := range g.Order {
+			for _, c := range g.Stages[name].Cases {
+				registerCSE(cp, c.E, counts)
+			}
+		}
+	}
+	for _, name := range g.Order {
+		ls, err := p.lowerStage(g.Stages[name], cp)
+		if err != nil {
+			return nil, err
+		}
+		p.stages[name] = ls
+	}
+	p.memoCount = cp.memoNext
+	seenFull := make(map[string]bool)
+	for _, grp := range gr.Groups {
+		tp, err := schedule.NewTilePlan(g, grp, params)
+		if err != nil {
+			return nil, err
+		}
+		ge := &groupExec{grp: grp, tp: tp}
+		lo := make(map[string]bool, len(tp.LiveOuts))
+		for _, m := range tp.LiveOuts {
+			lo[m] = true
+		}
+		for _, m := range grp.Members {
+			ge.members = append(ge.members, p.stages[m])
+			ge.liveOut = append(ge.liveOut, lo[m])
+			if lo[m] && !seenFull[m] {
+				seenFull[m] = true
+				p.fullStages = append(p.fullStages, m)
+			}
+		}
+		p.groups = append(p.groups, ge)
+	}
+	return p, nil
+}
+
+func sortedImageNames(g *pipeline.Graph) []string {
+	names := make([]string, 0, len(g.Images))
+	for n := range g.Images {
+		names = append(names, n)
+	}
+	sortStrings(names)
+	return names
+}
+
+func sortStrings(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+func (p *Program) lowerStage(st *pipeline.Stage, cp *compiler) (*loweredStage, error) {
+	dom, err := st.Decl.Domain().Eval(p.Params)
+	if err != nil {
+		return nil, fmt.Errorf("engine: %s: %v", st.Name, err)
+	}
+	ls := &loweredStage{
+		name:    st.Name,
+		slot:    p.slots[st.Name],
+		dom:     dom,
+		selfRef: st.SelfRef,
+	}
+	if st.IsAccumulator() {
+		acc := st.Decl.(*dsl.Accumulator)
+		ls.isAcc = true
+		ls.accOp = st.AccOp
+		ls.redDom, err = acc.ReductionDomain().Eval(p.Params)
+		if err != nil {
+			return nil, err
+		}
+		for _, te := range st.AccTarget {
+			f, err := cp.compileIdx(te)
+			if err != nil {
+				return nil, err
+			}
+			ls.accIdx = append(ls.accIdx, f)
+		}
+		ls.accVal, err = cp.compile(st.AccValue)
+		if err != nil {
+			return nil, err
+		}
+		return ls, nil
+	}
+	nd := len(dom)
+	for _, c := range st.Cases {
+		piece := loweredPiece{box: dom.Clone()}
+		if c.Cond != nil {
+			lower, upper, ok := expr.CondToBox(c.Cond, nd)
+			if !ok {
+				// Keep the per-point predicate but still shrink the
+				// iterated box with whatever conjuncts convert (sound
+				// over-approximation of the case's region).
+				lower, upper = expr.CondToBoxPartial(c.Cond, nd)
+				piece.pred, err = cp.compileCond(c.Cond)
+				if err != nil {
+					return nil, err
+				}
+			}
+			for d := 0; d < nd; d++ {
+				if lower[d] != nil {
+					v, err := lower[d].Eval(p.Params)
+					if err != nil {
+						return nil, err
+					}
+					if v > piece.box[d].Lo {
+						piece.box[d].Lo = v
+					}
+				}
+				if upper[d] != nil {
+					v, err := upper[d].Eval(p.Params)
+					if err != nil {
+						return nil, err
+					}
+					if v < piece.box[d].Hi {
+						piece.box[d].Hi = v
+					}
+				}
+			}
+		}
+		piece.eval, err = cp.compile(c.E)
+		if err != nil {
+			return nil, err
+		}
+		if p.Opts.Fast && piece.pred == nil {
+			piece.sten = matchStencil(c.E, nd, cp)
+			if piece.sten == nil {
+				piece.comb = matchCombination(c.E, nd, cp)
+			}
+			if piece.sten == nil && piece.comb == nil {
+				piece.row, err = cp.compileRow(c.E)
+				if err != nil {
+					return nil, err
+				}
+			}
+		}
+		ls.pieces = append(ls.pieces, piece)
+	}
+	return ls, nil
+}
+
+// InputBox returns the concrete domain of a declared input image.
+func (p *Program) InputBox(name string) (affine.Box, error) {
+	im, ok := p.Graph.Images[name]
+	if !ok {
+		return nil, fmt.Errorf("engine: unknown input image %q", name)
+	}
+	return im.Domain().Eval(p.Params)
+}
+
+// OutputBox returns the concrete domain of a live-out stage.
+func (p *Program) OutputBox(name string) (affine.Box, error) {
+	st, ok := p.Graph.Stages[name]
+	if !ok {
+		return nil, fmt.Errorf("engine: unknown stage %q", name)
+	}
+	return st.Decl.Domain().Eval(p.Params)
+}

@@ -1,0 +1,152 @@
+package engine
+
+import (
+	"fmt"
+
+	"repro/internal/affine"
+	"repro/internal/dsl"
+	"repro/internal/expr"
+	"repro/internal/pipeline"
+)
+
+// Reference executes the pipeline with the tree-walking evaluator, stage by
+// stage in topological order, materializing every stage into a full buffer.
+// It is the ground truth the optimized engine is tested against (and is
+// deliberately slow and simple).
+func Reference(g *pipeline.Graph, params map[string]int64, inputs map[string]*Buffer) (map[string]*Buffer, error) {
+	bufs := make(map[string]*Buffer)
+	for name, im := range g.Images {
+		in, ok := inputs[name]
+		if !ok {
+			return nil, fmt.Errorf("engine: missing input image %q", name)
+		}
+		box, err := im.Domain().Eval(params)
+		if err != nil {
+			return nil, err
+		}
+		if len(in.Box) != len(box) {
+			return nil, fmt.Errorf("engine: input %q rank mismatch", name)
+		}
+		bufs[name] = in
+	}
+	lookup := func(target string, idx []int64) float64 {
+		b, ok := bufs[target]
+		if !ok {
+			panic(fmt.Sprintf("engine: reference read of unevaluated %q", target))
+		}
+		return float64(b.At(idx...))
+	}
+	for _, name := range g.Order {
+		st := g.Stages[name]
+		dom, err := st.Decl.Domain().Eval(params)
+		if err != nil {
+			return nil, err
+		}
+		out := NewBuffer(dom)
+		bufs[name] = out // self-references read earlier values
+		if st.IsAccumulator() {
+			if err := referenceAccumulate(st, params, out, lookup); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		if dom.Empty() {
+			continue
+		}
+		pt := make([]int64, len(dom))
+		for d := range dom {
+			pt[d] = dom[d].Lo
+		}
+		env := &expr.Env{Point: pt, Params: params, Lookup: lookup}
+		for {
+			for _, c := range st.Cases {
+				if c.Cond == nil || expr.EvalCond(c.Cond, env) {
+					out.Data[out.Offset(pt)] = float32(expr.Eval(c.E, env))
+					break
+				}
+			}
+			d := len(dom) - 1
+			for ; d >= 0; d-- {
+				pt[d]++
+				if pt[d] <= dom[d].Hi {
+					break
+				}
+				pt[d] = dom[d].Lo
+			}
+			if d < 0 {
+				break
+			}
+		}
+	}
+	out := make(map[string]*Buffer, len(g.Stages))
+	for name := range g.Stages {
+		out[name] = bufs[name]
+	}
+	return out, nil
+}
+
+func referenceAccumulate(st *pipeline.Stage, params map[string]int64, out *Buffer, lookup func(string, []int64) float64) error {
+	acc := st.Decl.(*dsl.Accumulator)
+	red, err := acc.ReductionDomain().Eval(params)
+	if err != nil {
+		return err
+	}
+	out.Fill(float32(st.AccOp.Identity()))
+	if red.Empty() {
+		return nil
+	}
+	pt := make([]int64, len(red))
+	for d := range red {
+		pt[d] = red[d].Lo
+	}
+	env := &expr.Env{Point: pt, Params: params, Lookup: lookup}
+	idx := make([]int64, len(st.AccTarget))
+	for {
+		ok := true
+		for d, te := range st.AccTarget {
+			idx[d] = int64(expr.Eval(te, env))
+			if idx[d] < out.Box[d].Lo || idx[d] > out.Box[d].Hi {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			v := float32(expr.Eval(st.AccValue, env))
+			off := out.Offset(idx)
+			out.Data[off] = applyReduce(st.AccOp, out.Data[off], v)
+		}
+		d := len(red) - 1
+		for ; d >= 0; d-- {
+			pt[d]++
+			if pt[d] <= red[d].Hi {
+				break
+			}
+			pt[d] = red[d].Lo
+		}
+		if d < 0 {
+			return nil
+		}
+	}
+}
+
+// FillPattern writes a deterministic pseudo-random pattern into a buffer
+// (used by tests and synthetic workloads).
+func FillPattern(b *Buffer, seed int64) {
+	s := uint64(seed)*2654435761 + 1
+	for i := range b.Data {
+		s ^= s << 13
+		s ^= s >> 7
+		s ^= s << 17
+		b.Data[i] = float32(s%10000) / 10000
+	}
+}
+
+// NewBufferForDomain evaluates a parametric domain and allocates a buffer
+// covering it.
+func NewBufferForDomain(dom affine.Domain, params map[string]int64) (*Buffer, error) {
+	box, err := dom.Eval(params)
+	if err != nil {
+		return nil, err
+	}
+	return NewBuffer(box), nil
+}

@@ -1,0 +1,520 @@
+package engine
+
+import (
+	"math"
+
+	"repro/internal/affine"
+	"repro/internal/expr"
+)
+
+// The row compiler lowers an expression to array-at-a-time evaluation: each
+// node produces a whole row (the innermost, unit-stride dimension) per
+// call, so the per-element cost is a tight slice loop instead of a closure
+// tree walk. This is the engine's stand-in for the SIMD vectorization the
+// paper obtains from icc on the generated branch-free inner loops (DESIGN.md
+// substitution note 3): like SIMD it only pays off on unit-stride regular
+// loops, which is why tiling+vec composes the way Figure 10 shows.
+
+// RowCtx carries the evaluation state for one row.
+type RowCtx struct {
+	Ctx
+	n    int   // row length
+	last int   // innermost dimension index
+	jLo  int64 // first coordinate of the row along the innermost dim
+	pool *tempPool
+
+	// Per-row CSE memoization (see compiler.memoIDs): stamp identifies the
+	// current row; memoized subtree values are reused within it.
+	stamp     int64
+	memoStamp []int64
+	memoVal   [][]float64
+}
+
+type tempPool struct {
+	bufs [][]float64
+	next int
+	size int
+}
+
+func (p *tempPool) get(n int) []float64 {
+	if p.next == len(p.bufs) {
+		p.bufs = append(p.bufs, make([]float64, max(n, p.size)))
+	}
+	b := p.bufs[p.next]
+	if len(b) < n {
+		b = make([]float64, n)
+		p.bufs[p.next] = b
+	}
+	p.next++
+	return b[:n]
+}
+
+func (p *tempPool) reset() { p.next = 0 }
+
+type rowFn func(c *RowCtx) []float64
+type rowCondFn func(c *RowCtx) []bool
+
+// compileRow lowers an expression to a rowFn; it never fails — nodes that
+// cannot be row-vectorized (data-dependent gathers, exotic ops) fall back
+// to per-element scalar evaluation of that subtree. Subtrees registered in
+// the compiler's memo table evaluate once per row and are reused.
+func (cp *compiler) compileRow(e expr.Expr) (rowFn, error) {
+	if cp.memoIDs != nil {
+		if id, ok := cp.memoIDs[exprKey(e)]; ok {
+			inner, err := cp.compileRowUncached(e)
+			if err != nil {
+				return nil, err
+			}
+			return func(c *RowCtx) []float64 {
+				if id < len(c.memoStamp) && c.memoStamp[id] == c.stamp {
+					return c.memoVal[id][:c.n]
+				}
+				v := inner(c)
+				if id >= len(c.memoStamp) {
+					return v // context without memo storage: skip caching
+				}
+				dst := c.memoVal[id]
+				if cap(dst) < len(v) {
+					dst = make([]float64, len(v))
+				}
+				dst = dst[:len(v)]
+				copy(dst, v)
+				c.memoVal[id] = dst
+				c.memoStamp[id] = c.stamp
+				return dst
+			}, nil
+		}
+	}
+	return cp.compileRowUncached(e)
+}
+
+// exprKey is the structural key used for CSE (String is unambiguous for the
+// expression grammar).
+func exprKey(e expr.Expr) string { return e.String() }
+
+func (cp *compiler) compileRowUncached(e expr.Expr) (rowFn, error) {
+	switch n := e.(type) {
+	case expr.Const:
+		v := n.V
+		return func(c *RowCtx) []float64 {
+			t := c.pool.get(c.n)
+			for i := range t {
+				t[i] = v
+			}
+			return t
+		}, nil
+	case expr.ParamRef, expr.Cast, expr.Select:
+		// ParamRef folds to a constant in the scalar compiler; Cast and
+		// Select are handled below or fall back.
+		return cp.rowFallbackOrSpecial(e)
+	case expr.VarRef:
+		d := n.Dim
+		return func(c *RowCtx) []float64 {
+			t := c.pool.get(c.n)
+			if d == c.last {
+				for i := range t {
+					t[i] = float64(c.jLo + int64(i))
+				}
+			} else {
+				v := float64(c.pt[d])
+				for i := range t {
+					t[i] = v
+				}
+			}
+			return t
+		}, nil
+	case expr.Access:
+		return cp.compileRowAccess(n)
+	case expr.Binary:
+		l, err := cp.compileRow(n.L)
+		if err != nil {
+			return nil, err
+		}
+		r, err := cp.compileRow(n.R)
+		if err != nil {
+			return nil, err
+		}
+		op := n.Op
+		return func(c *RowCtx) []float64 {
+			a := l(c)
+			b := r(c)
+			// Fresh destination: operand slices may be CSE-memoized and
+			// must not be overwritten.
+			t := c.pool.get(len(a))
+			switch op {
+			case expr.Add:
+				for i := range t {
+					t[i] = a[i] + b[i]
+				}
+			case expr.Sub:
+				for i := range t {
+					t[i] = a[i] - b[i]
+				}
+			case expr.Mul:
+				for i := range t {
+					t[i] = a[i] * b[i]
+				}
+			case expr.Div:
+				for i := range t {
+					t[i] = a[i] / b[i]
+				}
+			case expr.Mod:
+				for i := range t {
+					t[i] = math.Mod(a[i], b[i])
+				}
+			case expr.Min:
+				for i := range t {
+					t[i] = math.Min(a[i], b[i])
+				}
+			case expr.Max:
+				for i := range t {
+					t[i] = math.Max(a[i], b[i])
+				}
+			case expr.Pow:
+				for i := range t {
+					t[i] = math.Pow(a[i], b[i])
+				}
+			case expr.FDiv:
+				for i := range t {
+					t[i] = math.Floor(a[i] / b[i])
+				}
+			}
+			return t
+		}, nil
+	case expr.Unary:
+		x, err := cp.compileRow(n.X)
+		if err != nil {
+			return nil, err
+		}
+		op := n.Op
+		return func(c *RowCtx) []float64 {
+			a := x(c)
+			t := c.pool.get(len(a))
+			switch op {
+			case expr.Neg:
+				for i := range t {
+					t[i] = -a[i]
+				}
+			case expr.Abs:
+				for i := range t {
+					t[i] = math.Abs(a[i])
+				}
+			case expr.Sqrt:
+				for i := range t {
+					t[i] = math.Sqrt(a[i])
+				}
+			case expr.Exp:
+				for i := range t {
+					t[i] = math.Exp(a[i])
+				}
+			case expr.Log:
+				for i := range t {
+					t[i] = math.Log(a[i])
+				}
+			case expr.Sin:
+				for i := range t {
+					t[i] = math.Sin(a[i])
+				}
+			case expr.Cos:
+				for i := range t {
+					t[i] = math.Cos(a[i])
+				}
+			case expr.Floor:
+				for i := range t {
+					t[i] = math.Floor(a[i])
+				}
+			case expr.Ceil:
+				for i := range t {
+					t[i] = math.Ceil(a[i])
+				}
+			}
+			return t
+		}, nil
+	}
+	return cp.rowFallbackOrSpecial(e)
+}
+
+// rowFallbackOrSpecial handles Select (with row-compiled condition) and the
+// generic scalar fallback.
+func (cp *compiler) rowFallbackOrSpecial(e expr.Expr) (rowFn, error) {
+	if s, ok := e.(expr.Select); ok {
+		cond, cerr := cp.compileRowCond(s.Cond)
+		th, terr := cp.compileRow(s.Then)
+		el, eerr := cp.compileRow(s.Else)
+		if cerr == nil && terr == nil && eerr == nil {
+			return func(c *RowCtx) []float64 {
+				m := cond(c)
+				a := th(c)
+				b := el(c)
+				t := c.pool.get(len(a))
+				for i := range t {
+					if m[i] {
+						t[i] = a[i]
+					} else {
+						t[i] = b[i]
+					}
+				}
+				return t
+			}, nil
+		}
+	}
+	if cst, ok := e.(expr.Cast); ok {
+		x, err := cp.compileRow(cst.X)
+		if err == nil {
+			to := cst.To
+			return func(c *RowCtx) []float64 {
+				a := x(c)
+				t := c.pool.get(len(a))
+				for i := range t {
+					t[i] = expr.ApplyCast(to, a[i])
+				}
+				return t
+			}, nil
+		}
+	}
+	// Scalar fallback: evaluate the subtree point by point.
+	f, err := cp.compile(e)
+	if err != nil {
+		return nil, err
+	}
+	return func(c *RowCtx) []float64 {
+		t := c.pool.get(c.n)
+		saved := c.pt[c.last]
+		for i := range t {
+			c.pt[c.last] = c.jLo + int64(i)
+			t[i] = f(&c.Ctx)
+		}
+		c.pt[c.last] = saved
+		return t
+	}, nil
+}
+
+func (cp *compiler) compileRowCond(cond expr.Cond) (rowCondFn, error) {
+	switch n := cond.(type) {
+	case expr.BoolConst:
+		v := n.V
+		return func(c *RowCtx) []bool {
+			t := make([]bool, c.n)
+			if v {
+				for i := range t {
+					t[i] = true
+				}
+			}
+			return t
+		}, nil
+	case expr.Cmp:
+		l, err := cp.compileRow(n.L)
+		if err != nil {
+			return nil, err
+		}
+		r, err := cp.compileRow(n.R)
+		if err != nil {
+			return nil, err
+		}
+		op := n.Op
+		return func(c *RowCtx) []bool {
+			a := l(c)
+			b := r(c)
+			t := make([]bool, len(a))
+			switch op {
+			case expr.LT:
+				for i := range t {
+					t[i] = a[i] < b[i]
+				}
+			case expr.LE:
+				for i := range t {
+					t[i] = a[i] <= b[i]
+				}
+			case expr.GT:
+				for i := range t {
+					t[i] = a[i] > b[i]
+				}
+			case expr.GE:
+				for i := range t {
+					t[i] = a[i] >= b[i]
+				}
+			case expr.EQ:
+				for i := range t {
+					t[i] = a[i] == b[i]
+				}
+			case expr.NE:
+				for i := range t {
+					t[i] = a[i] != b[i]
+				}
+			}
+			return t
+		}, nil
+	case expr.And:
+		a, err := cp.compileRowCond(n.A)
+		if err != nil {
+			return nil, err
+		}
+		b, err := cp.compileRowCond(n.B)
+		if err != nil {
+			return nil, err
+		}
+		return func(c *RowCtx) []bool {
+			x := a(c)
+			y := b(c)
+			for i := range x {
+				x[i] = x[i] && y[i]
+			}
+			return x
+		}, nil
+	case expr.Or:
+		a, err := cp.compileRowCond(n.A)
+		if err != nil {
+			return nil, err
+		}
+		b, err := cp.compileRowCond(n.B)
+		if err != nil {
+			return nil, err
+		}
+		return func(c *RowCtx) []bool {
+			x := a(c)
+			y := b(c)
+			for i := range x {
+				x[i] = x[i] || y[i]
+			}
+			return x
+		}, nil
+	case expr.Not:
+		a, err := cp.compileRowCond(n.A)
+		if err != nil {
+			return nil, err
+		}
+		return func(c *RowCtx) []bool {
+			x := a(c)
+			for i := range x {
+				x[i] = !x[i]
+			}
+			return x
+		}, nil
+	}
+	// Unknown condition kind: no row form.
+	return nil, errNoRowForm
+}
+
+var errNoRowForm = errorString("engine: condition has no row form")
+
+type errorString string
+
+func (e errorString) Error() string { return string(e) }
+
+// compileRowAccess lowers an access for row evaluation. When the innermost
+// argument is (j + c) with unit coefficient and the other arguments are
+// row-invariant, the producer row is walked contiguously; strided and
+// divided innermost forms gather with the appropriate step; anything else
+// falls back to per-element evaluation.
+func (cp *compiler) compileRowAccess(a expr.Access) (rowFn, error) {
+	slot, ok := cp.slots[a.Target]
+	if !ok {
+		return nil, errorString("engine: no buffer slot for " + a.Target)
+	}
+	nd := len(a.Args)
+	affs := make([]affine.Access, nd)
+	rowable := true
+	for d, arg := range a.Args {
+		aff, ok := expr.ToAffineAccess(arg)
+		if !ok {
+			rowable = false
+			break
+		}
+		if _, err := aff.Off.Eval(cp.params); err != nil {
+			return nil, err
+		}
+		affs[d] = aff
+	}
+	if !rowable {
+		return cp.rowAccessFallback(a)
+	}
+	offs := make([]int64, nd)
+	for d := range affs {
+		offs[d], _ = affs[d].Off.Eval(cp.params)
+	}
+	// Identify which argument (if any) varies along the innermost loop.
+	return func(c *RowCtx) []float64 {
+		t := c.pool.get(c.n)
+		b := c.bufs[slot]
+		var base int64
+		varDim := -1 // producer dim whose index varies with j
+		for d := 0; d < nd; d++ {
+			aff := affs[d]
+			if aff.Var >= 0 && aff.Var == c.last {
+				varDim = d
+				continue
+			}
+			var x int64
+			if aff.Var < 0 {
+				x = affine.FloorDiv(offs[d], aff.Div)
+			} else {
+				x = affine.FloorDiv(aff.Coeff*c.pt[aff.Var]+offs[d], aff.Div)
+			}
+			base += (x - b.Box[d].Lo) * b.Stride[d]
+		}
+		if varDim < 0 {
+			// Row-invariant access: broadcast.
+			v := float64(b.Data[base])
+			for i := range t {
+				t[i] = v
+			}
+			return t
+		}
+		aff := affs[varDim]
+		stride := b.Stride[varDim]
+		lo := b.Box[varDim].Lo
+		switch {
+		case aff.Coeff == 1 && aff.Div == 1:
+			p := base + (c.jLo+offs[varDim]-lo)*stride
+			if stride == 1 {
+				src := b.Data[p : p+int64(c.n)]
+				for i := range t {
+					t[i] = float64(src[i])
+				}
+			} else {
+				for i := range t {
+					t[i] = float64(b.Data[p])
+					p += stride
+				}
+			}
+		case aff.Div == 1:
+			p := base + (aff.Coeff*c.jLo+offs[varDim]-lo)*stride
+			step := aff.Coeff * stride
+			for i := range t {
+				t[i] = float64(b.Data[p])
+				p += step
+			}
+		default:
+			for i := range t {
+				x := affine.FloorDiv(aff.Coeff*(c.jLo+int64(i))+offs[varDim], aff.Div)
+				t[i] = float64(b.Data[base+(x-lo)*stride])
+			}
+		}
+		return t
+	}, nil
+}
+
+// rowAccessFallback evaluates a data-dependent access element by element.
+func (cp *compiler) rowAccessFallback(a expr.Access) (rowFn, error) {
+	f, err := cp.compileAccess(a)
+	if err != nil {
+		return nil, err
+	}
+	return func(c *RowCtx) []float64 {
+		t := c.pool.get(c.n)
+		saved := c.pt[c.last]
+		for i := range t {
+			c.pt[c.last] = c.jLo + int64(i)
+			t[i] = f(&c.Ctx)
+		}
+		c.pt[c.last] = saved
+		return t
+	}, nil
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,225 @@
+package engine
+
+import (
+	"sort"
+
+	"repro/internal/affine"
+	"repro/internal/schedule"
+)
+
+// Split tiling is the second alternative strategy of Section 3.2 /
+// Figure 5: the iteration space is evaluated in two phases. Phase 1
+// computes, per tile, the "upward-pointing" trapezoid — the sub-region of
+// every stage whose inputs lie entirely within the same tile's phase-1
+// regions, so phase-1 tiles are independent and run in parallel with NO
+// redundant computation. Phase 2 fills the remaining inter-tile gaps,
+// consuming the values phase 1 left at the tile boundaries — which is why
+// those values "have to be kept live for consumption in the second phase":
+// intermediates need full buffers, the storage cost that makes overlapped
+// tiling preferable for image pipelines (Sections 3.2 and 5).
+//
+// Phase-1 regions are derived exactly by inverting the in-group accesses
+// (affine.Access.InverseRange) instead of assuming uniform slopes, the same
+// heterogeneity-aware treatment the overlapped-tile construction gets from
+// interval propagation.
+
+// runSplit executes a fused group with split tiling along its outermost
+// tiled dimension.
+func (p *Program) runSplit(ge *groupExec, base []*Buffer, outputs map[string]*Buffer) error {
+	// Single tiled dimension, as for parallelogram tiling.
+	grp := *ge.grp
+	grp.TileSizes = append([]int64(nil), ge.grp.TileSizes...)
+	tiledDim := -1
+	for d, ts := range grp.TileSizes {
+		if ts > 0 && tiledDim < 0 {
+			tiledDim = d
+		} else {
+			grp.TileSizes[d] = 0
+		}
+	}
+	tp, err := schedule.NewTilePlan(p.Graph, &grp, p.Params)
+	if err != nil {
+		return err
+	}
+	// Total required region per member: propagate with one whole-domain
+	// tile.
+	whole := grp
+	whole.TileSizes = make([]int64, len(grp.TileSizes))
+	wtp, err := schedule.NewTilePlan(p.Graph, &whole, p.Params)
+	if err != nil {
+		return err
+	}
+	total, err := wtp.Required(make([]int64, len(wtp.TileCounts)), nil)
+	if err != nil {
+		return err
+	}
+
+	liveOut := make(map[string]bool, len(tp.LiveOuts))
+	for _, lo := range tp.LiveOuts {
+		liveOut[lo] = true
+	}
+	full := make(map[string]*Buffer, len(ge.members))
+	for _, ls := range ge.members {
+		if liveOut[ls.name] {
+			full[ls.name] = outputs[ls.name]
+		} else {
+			full[ls.name] = NewBuffer(ls.dom)
+		}
+	}
+
+	trimDim := make(map[string]int, len(ge.members))
+	for _, ls := range ge.members {
+		trimDim[ls.name] = -1
+		if tiledDim >= 0 {
+			for d, ds := range ge.grp.Scales[ls.name] {
+				if ds.AnchorDim == tiledDim {
+					trimDim[ls.name] = d
+					break
+				}
+			}
+		}
+	}
+
+	maxDims := 0
+	for _, ls := range ge.members {
+		if len(ls.dom) > maxDims {
+			maxDims = len(ls.dom)
+		}
+	}
+	w := p.newWorker(base, maxDims)
+	for _, ls := range ge.members {
+		w.ctx.bufs[ls.slot] = full[ls.name]
+	}
+
+	numTiles := tp.NumTiles()
+	// Phase 1: per tile, per member (topo order), the largest sub-interval
+	// whose in-group reads stay inside the same tile's phase-1 regions.
+	phase1 := make(map[string][]affine.Range, len(ge.members))
+	idx := make([]int64, len(tp.TileCounts))
+	var req map[string]affine.Box
+	for t := int64(0); t < numTiles; t++ {
+		tp.TileIndex(t, idx)
+		req, err = tp.Required(idx, req)
+		if err != nil {
+			return err
+		}
+		cur := make(map[string]affine.Range, len(ge.members))
+		for _, ls := range ge.members {
+			td := trimDim[ls.name]
+			if td < 0 {
+				// Unaligned members: compute fully with the first tile.
+				if t == 0 && total[ls.name] != nil && !total[ls.name].Empty() {
+					p.computeRegion(w, ls, total[ls.name], full[ls.name])
+				}
+				continue
+			}
+			if total[ls.name] == nil || total[ls.name].Empty() {
+				continue
+			}
+			// Start from the tile's owned interval along the trim dim.
+			own := tp.OwnedBox(ls.name, idx)
+			r := own[td]
+			// Shrink by inverting every in-group access against the
+			// producer's phase-1 interval for this tile.
+			for _, ma := range tp.InGroupAccesses(ls.name) {
+				if !ma.OK {
+					r = affine.Range{Lo: 0, Hi: -1} // cannot split: no phase-1 region
+					break
+				}
+				ptd := trimDim[ma.Target]
+				if ma.Acc.Var < 0 {
+					// Constant index: if it lands on the producer's tiled
+					// dimension it must lie inside this tile's phase-1
+					// interval; otherwise it is unconstrained.
+					if ma.ProducerDim == ptd && ptd >= 0 {
+						v := ma.Acc.At(nil, p.Params)
+						if pr, ok := cur[ma.Target]; !ok || !pr.Contains(v) {
+							r = affine.Range{Lo: 0, Hi: -1}
+							break
+						}
+					}
+					continue
+				}
+				if ma.Acc.Var != td || ptd < 0 || ma.ProducerDim != ptd {
+					// Access does not involve the tiled dimension pair;
+					// other dims are fully materialized, no constraint.
+					if ma.Acc.Var == td && ma.ProducerDim != ptd {
+						// Tiled consumer var feeding an untiled producer
+						// dim: conservative, no phase-1 region.
+						r = affine.Range{Lo: 0, Hi: -1}
+					}
+					continue
+				}
+				prodR, ok := cur[ma.Target]
+				if !ok {
+					r = affine.Range{Lo: 0, Hi: -1}
+					break
+				}
+				inv, bounded, err := ma.Acc.InverseRange(prodR, p.Params)
+				if err != nil {
+					return err
+				}
+				if !bounded && inv.Empty() {
+					r = affine.Range{Lo: 0, Hi: -1}
+					break
+				}
+				r = r.Intersect(inv)
+			}
+			r = r.Intersect(total[ls.name][td])
+			cur[ls.name] = r
+			if r.Empty() {
+				continue
+			}
+			region := total[ls.name].Clone()
+			region[td] = r
+			p.SplitStats.Phase1 += region.Size()
+			p.computeRegion(w, ls, region, full[ls.name])
+			phase1[ls.name] = append(phase1[ls.name], r)
+		}
+	}
+
+	// Phase 2: fill the gaps between phase-1 intervals (members in topo
+	// order so producers' gaps are complete before consumers read them).
+	for _, ls := range ge.members {
+		td := trimDim[ls.name]
+		if td < 0 || total[ls.name] == nil || total[ls.name].Empty() {
+			continue
+		}
+		for _, gap := range intervalGaps(total[ls.name][td], phase1[ls.name]) {
+			region := total[ls.name].Clone()
+			region[td] = gap
+			p.SplitStats.Phase2 += region.Size()
+			p.computeRegion(w, ls, region, full[ls.name])
+		}
+	}
+	return nil
+}
+
+// intervalGaps returns the sub-intervals of total not covered by the given
+// (disjoint) intervals.
+func intervalGaps(total affine.Range, covered []affine.Range) []affine.Range {
+	cs := make([]affine.Range, 0, len(covered))
+	for _, c := range covered {
+		if !c.Empty() {
+			cs = append(cs, c.Intersect(total))
+		}
+	}
+	sort.Slice(cs, func(i, j int) bool { return cs[i].Lo < cs[j].Lo })
+	var gaps []affine.Range
+	next := total.Lo
+	for _, c := range cs {
+		if c.Empty() {
+			continue
+		}
+		if c.Lo > next {
+			gaps = append(gaps, affine.Range{Lo: next, Hi: c.Lo - 1})
+		}
+		if c.Hi+1 > next {
+			next = c.Hi + 1
+		}
+	}
+	if next <= total.Hi {
+		gaps = append(gaps, affine.Range{Lo: next, Hi: total.Hi})
+	}
+	return gaps
+}

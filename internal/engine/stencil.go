@@ -1,0 +1,160 @@
+package engine
+
+import (
+	"repro/internal/affine"
+	"repro/internal/expr"
+)
+
+// stencilKernel is a specialized executor for the most common pattern in
+// image-processing pipelines: factor · Σ w_k · target(x0+o0_k, …, xn+on_k)
+// with constant weights and offsets over a single producer. It walks the
+// producer rows directly with unit stride, which is what lets the paper's
+// generated code vectorize (our scalar-Go stand-in for the `+vec` axis).
+type stencilKernel struct {
+	slot    int
+	factor  float64
+	weights []float64
+	offsets [][]int64 // per tap, per producer dim
+	rank    int
+}
+
+// matchStencil recognizes the stencil pattern in an expression. The stage
+// and producer must have the same rank with identity variable mapping
+// (offsets only), which covers the paper's Stencil construct.
+func matchStencil(e expr.Expr, ndims int, cp *compiler) *stencilKernel {
+	factor := 1.0
+	// Peel an outer constant factor: Mul(Const, sum) either side.
+	if m, ok := e.(expr.Binary); ok && m.Op == expr.Mul {
+		if c, ok := m.L.(expr.Const); ok {
+			factor = c.V
+			e = m.R
+		} else if c, ok := m.R.(expr.Const); ok {
+			factor = c.V
+			e = m.L
+		}
+	}
+	var terms []expr.Expr
+	var flatten func(x expr.Expr)
+	flatten = func(x expr.Expr) {
+		if b, ok := x.(expr.Binary); ok && b.Op == expr.Add {
+			flatten(b.L)
+			flatten(b.R)
+			return
+		}
+		terms = append(terms, x)
+	}
+	flatten(e)
+	if len(terms) < 2 {
+		return nil
+	}
+	k := &stencilKernel{factor: factor, slot: -1}
+	target := ""
+	for _, t := range terms {
+		w := 1.0
+		if m, ok := t.(expr.Binary); ok && m.Op == expr.Mul {
+			if c, ok := m.L.(expr.Const); ok {
+				w = c.V
+				t = m.R
+			} else if c, ok := m.R.(expr.Const); ok {
+				w = c.V
+				t = m.L
+			}
+		}
+		a, ok := t.(expr.Access)
+		if !ok {
+			return nil
+		}
+		if target == "" {
+			target = a.Target
+			k.rank = len(a.Args)
+		} else if a.Target != target || len(a.Args) != k.rank {
+			return nil
+		}
+		if len(a.Args) != ndims {
+			return nil
+		}
+		offs := make([]int64, len(a.Args))
+		for d, arg := range a.Args {
+			aff, ok := expr.ToAffineAccess(arg)
+			if !ok || aff.Var != d || aff.Coeff != 1 || aff.Div != 1 {
+				return nil
+			}
+			off, err := aff.Off.Eval(cp.params)
+			if err != nil {
+				return nil
+			}
+			offs[d] = off
+		}
+		k.weights = append(k.weights, w)
+		k.offsets = append(k.offsets, offs)
+	}
+	slot, ok := cp.slots[target]
+	if !ok {
+		return nil
+	}
+	k.slot = slot
+	return k
+}
+
+// run evaluates the stencil over region into out. Both out and the producer
+// buffer are addressed in global coordinates.
+func (k *stencilKernel) run(c *Ctx, region affine.Box, out *Buffer) {
+	if region.Empty() {
+		return
+	}
+	src := c.bufs[k.slot]
+	nd := len(region)
+	last := nd - 1
+	pt := make([]int64, nd)
+	for d := range region {
+		pt[d] = region[d].Lo
+	}
+	nTaps := len(k.weights)
+	// Precompute per-tap flat offsets relative to the current point's
+	// source offset; the last-dim offset folds into the same value because
+	// the innermost stride is 1.
+	tapOff := make([]int64, nTaps)
+	for t := 0; t < nTaps; t++ {
+		var o int64
+		for d := 0; d < nd; d++ {
+			o += k.offsets[t][d] * src.Stride[d]
+		}
+		tapOff[t] = o
+	}
+	rowLen := region[last].Size()
+	factor := k.factor
+	for {
+		srcBase := src.Offset(pt)
+		dstBase := out.Offset(pt)
+		dstRow := out.Data[dstBase : dstBase+rowLen]
+		switch nTaps {
+		case 3:
+			w0, w1, w2 := k.weights[0], k.weights[1], k.weights[2]
+			r0 := src.Data[srcBase+tapOff[0]:]
+			r1 := src.Data[srcBase+tapOff[1]:]
+			r2 := src.Data[srcBase+tapOff[2]:]
+			for j := range dstRow {
+				dstRow[j] = float32(factor * (w0*float64(r0[j]) + w1*float64(r1[j]) + w2*float64(r2[j])))
+			}
+		default:
+			for j := range dstRow {
+				var acc float64
+				for t := 0; t < nTaps; t++ {
+					acc += k.weights[t] * float64(src.Data[srcBase+tapOff[t]+int64(j)])
+				}
+				dstRow[j] = float32(factor * acc)
+			}
+		}
+		d := last - 1
+		for ; d >= 0; d-- {
+			pt[d]++
+			if pt[d] <= region[d].Hi {
+				break
+			}
+			pt[d] = region[d].Lo
+		}
+		if d < 0 {
+			return
+		}
+	}
+}

@@ -1,0 +1,278 @@
+// Package expr defines the scalar expression IR shared by the PolyMage DSL,
+// optimizer and execution engine: arithmetic over loop variables, pipeline
+// parameters and accesses to other pipeline stages, plus boolean conditions
+// for piecewise (Case) definitions.
+package expr
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Type enumerates the element types of the DSL (Section 2 of the paper).
+// The execution engine computes in float64 regardless; Type matters for
+// declared buffer layouts, casts and code generation.
+type Type int
+
+const (
+	Float Type = iota // 32-bit float
+	Double
+	Int   // 32-bit signed
+	UInt  // 32-bit unsigned
+	Char  // 8-bit signed
+	UChar // 8-bit unsigned
+	Short // 16-bit signed
+)
+
+func (t Type) String() string {
+	switch t {
+	case Float:
+		return "float"
+	case Double:
+		return "double"
+	case Int:
+		return "int"
+	case UInt:
+		return "unsigned int"
+	case Char:
+		return "char"
+	case UChar:
+		return "unsigned char"
+	case Short:
+		return "short"
+	}
+	return "?"
+}
+
+// Expr is a scalar expression tree node.
+type Expr interface {
+	fmt.Stringer
+	isExpr()
+}
+
+// Const is a numeric literal.
+type Const struct{ V float64 }
+
+// ParamRef references an integer pipeline parameter by name.
+type ParamRef struct{ Name string }
+
+// VarRef references a loop variable of the enclosing function's domain.
+// Dim is the dimension index within the function's variable list; Name is
+// for diagnostics and code generation.
+type VarRef struct {
+	Dim  int
+	Name string
+}
+
+// Access reads another pipeline stage or input image at the given index
+// expressions. Target is the stage/image name (resolved by the pipeline).
+type Access struct {
+	Target string
+	Args   []Expr
+}
+
+// BinOp enumerates binary operators.
+type BinOp int
+
+const (
+	Add BinOp = iota
+	Sub
+	Mul
+	Div
+	Mod
+	Min
+	Max
+	Pow
+	// FDiv is integer floor division, used in index expressions such as
+	// f(x/2) for upsampling; Div is float division.
+	FDiv
+)
+
+var binOpNames = [...]string{"+", "-", "*", "/", "%", "min", "max", "pow", "/f"}
+
+// Binary applies a binary operator.
+type Binary struct {
+	Op   BinOp
+	L, R Expr
+}
+
+// UnOp enumerates unary operators and intrinsic math functions.
+type UnOp int
+
+const (
+	Neg UnOp = iota
+	Abs
+	Sqrt
+	Exp
+	Log
+	Sin
+	Cos
+	Floor
+	Ceil
+)
+
+var unOpNames = [...]string{"-", "abs", "sqrt", "exp", "log", "sin", "cos", "floor", "ceil"}
+
+// Unary applies a unary operator.
+type Unary struct {
+	Op UnOp
+	X  Expr
+}
+
+// Select is a conditional expression: Cond ? Then : Else.
+type Select struct {
+	Cond Cond
+	Then Expr
+	Else Expr
+}
+
+// Cast converts the operand to the given type's value semantics (integer
+// types truncate toward zero, like C).
+type Cast struct {
+	To Type
+	X  Expr
+}
+
+func (Const) isExpr()    {}
+func (ParamRef) isExpr() {}
+func (VarRef) isExpr()   {}
+func (Access) isExpr()   {}
+func (Binary) isExpr()   {}
+func (Unary) isExpr()    {}
+func (Select) isExpr()   {}
+func (Cast) isExpr()     {}
+
+func (c Const) String() string    { return trimFloat(c.V) }
+func (p ParamRef) String() string { return p.Name }
+func (v VarRef) String() string {
+	if v.Name != "" {
+		return v.Name
+	}
+	return fmt.Sprintf("x%d", v.Dim)
+}
+
+func (a Access) String() string {
+	parts := make([]string, len(a.Args))
+	for i, e := range a.Args {
+		parts[i] = e.String()
+	}
+	return a.Target + "(" + strings.Join(parts, ", ") + ")"
+}
+
+func (b Binary) String() string {
+	switch b.Op {
+	case Min, Max, Pow:
+		return fmt.Sprintf("%s(%s, %s)", binOpNames[b.Op], b.L, b.R)
+	case FDiv:
+		return fmt.Sprintf("(%s / %s)", b.L, b.R)
+	}
+	return fmt.Sprintf("(%s %s %s)", b.L, binOpNames[b.Op], b.R)
+}
+
+func (u Unary) String() string {
+	if u.Op == Neg {
+		return fmt.Sprintf("(-%s)", u.X)
+	}
+	return fmt.Sprintf("%s(%s)", unOpNames[u.Op], u.X)
+}
+
+func (s Select) String() string {
+	return fmt.Sprintf("(%s ? %s : %s)", s.Cond, s.Then, s.Else)
+}
+
+func (c Cast) String() string { return fmt.Sprintf("(%s)(%s)", c.To, c.X) }
+
+func trimFloat(v float64) string {
+	s := fmt.Sprintf("%g", v)
+	return s
+}
+
+// Cond is a boolean condition tree node.
+type Cond interface {
+	fmt.Stringer
+	isCond()
+}
+
+// CmpOp enumerates comparison operators.
+type CmpOp int
+
+const (
+	LT CmpOp = iota
+	LE
+	GT
+	GE
+	EQ
+	NE
+)
+
+var cmpOpNames = [...]string{"<", "<=", ">", ">=", "==", "!="}
+
+// Cmp compares two expressions.
+type Cmp struct {
+	Op   CmpOp
+	L, R Expr
+}
+
+// And is a conjunction.
+type And struct{ A, B Cond }
+
+// Or is a disjunction.
+type Or struct{ A, B Cond }
+
+// Not is a negation.
+type Not struct{ A Cond }
+
+// BoolConst is a constant condition (used by simplification).
+type BoolConst struct{ V bool }
+
+func (Cmp) isCond()       {}
+func (And) isCond()       {}
+func (Or) isCond()        {}
+func (Not) isCond()       {}
+func (BoolConst) isCond() {}
+
+func (c Cmp) String() string {
+	return fmt.Sprintf("%s %s %s", c.L, cmpOpNames[c.Op], c.R)
+}
+func (a And) String() string       { return fmt.Sprintf("(%s && %s)", a.A, a.B) }
+func (o Or) String() string        { return fmt.Sprintf("(%s || %s)", o.A, o.B) }
+func (n Not) String() string       { return fmt.Sprintf("!(%s)", n.A) }
+func (b BoolConst) String() string { return fmt.Sprintf("%v", b.V) }
+
+// --- Convenience constructors used pervasively by the DSL and apps. ---
+
+// C returns a constant expression.
+func C(v float64) Expr { return Const{V: v} }
+
+// AddE returns l + r.
+func AddE(l, r Expr) Expr { return Binary{Op: Add, L: l, R: r} }
+
+// SubE returns l - r.
+func SubE(l, r Expr) Expr { return Binary{Op: Sub, L: l, R: r} }
+
+// MulE returns l * r.
+func MulE(l, r Expr) Expr { return Binary{Op: Mul, L: l, R: r} }
+
+// DivE returns l / r.
+func DivE(l, r Expr) Expr { return Binary{Op: Div, L: l, R: r} }
+
+// MinE returns min(l, r).
+func MinE(l, r Expr) Expr { return Binary{Op: Min, L: l, R: r} }
+
+// MaxE returns max(l, r).
+func MaxE(l, r Expr) Expr { return Binary{Op: Max, L: l, R: r} }
+
+// Sum folds a list of expressions with +; an empty list yields 0.
+func Sum(es ...Expr) Expr {
+	if len(es) == 0 {
+		return Const{V: 0}
+	}
+	r := es[0]
+	for _, e := range es[1:] {
+		r = AddE(r, e)
+	}
+	return r
+}
+
+// Clamp returns min(max(x, lo), hi).
+func Clamp(x, lo, hi Expr) Expr { return MinE(MaxE(x, lo), hi) }

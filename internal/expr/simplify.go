@@ -1,0 +1,163 @@
+package expr
+
+import "math"
+
+// Simplify performs constant folding and algebraic identity cleanup on an
+// expression tree. It is applied after inlining (which can produce trees
+// like 0·x + e) and before kernel compilation.
+func Simplify(e Expr) Expr {
+	return Transform(e, simplifyNode)
+}
+
+// SimplifyCond simplifies the expressions inside a condition and folds
+// constant comparisons and trivial conjunctions/disjunctions.
+func SimplifyCond(c Cond) Cond {
+	switch n := c.(type) {
+	case Cmp:
+		l := Simplify(n.L)
+		r := Simplify(n.R)
+		if lc, ok := l.(Const); ok {
+			if rc, ok2 := r.(Const); ok2 {
+				return BoolConst{V: evalCmpConst(n.Op, lc.V, rc.V)}
+			}
+		}
+		return Cmp{Op: n.Op, L: l, R: r}
+	case And:
+		a := SimplifyCond(n.A)
+		b := SimplifyCond(n.B)
+		if bc, ok := a.(BoolConst); ok {
+			if !bc.V {
+				return BoolConst{V: false}
+			}
+			return b
+		}
+		if bc, ok := b.(BoolConst); ok {
+			if !bc.V {
+				return BoolConst{V: false}
+			}
+			return a
+		}
+		return And{A: a, B: b}
+	case Or:
+		a := SimplifyCond(n.A)
+		b := SimplifyCond(n.B)
+		if bc, ok := a.(BoolConst); ok {
+			if bc.V {
+				return BoolConst{V: true}
+			}
+			return b
+		}
+		if bc, ok := b.(BoolConst); ok {
+			if bc.V {
+				return BoolConst{V: true}
+			}
+			return a
+		}
+		return Or{A: a, B: b}
+	case Not:
+		a := SimplifyCond(n.A)
+		if bc, ok := a.(BoolConst); ok {
+			return BoolConst{V: !bc.V}
+		}
+		return Not{A: a}
+	}
+	return c
+}
+
+func evalCmpConst(op CmpOp, l, r float64) bool {
+	switch op {
+	case LT:
+		return l < r
+	case LE:
+		return l <= r
+	case GT:
+		return l > r
+	case GE:
+		return l >= r
+	case EQ:
+		return l == r
+	case NE:
+		return l != r
+	}
+	return false
+}
+
+func simplifyNode(e Expr) Expr {
+	switch n := e.(type) {
+	case Binary:
+		lc, lok := n.L.(Const)
+		rc, rok := n.R.(Const)
+		if lok && rok {
+			return Const{V: evalBin(n.Op, lc.V, rc.V)}
+		}
+		switch n.Op {
+		case Add:
+			if lok && lc.V == 0 {
+				return n.R
+			}
+			if rok && rc.V == 0 {
+				return n.L
+			}
+		case Sub:
+			if rok && rc.V == 0 {
+				return n.L
+			}
+		case Mul:
+			if lok && lc.V == 1 {
+				return n.R
+			}
+			if rok && rc.V == 1 {
+				return n.L
+			}
+			if (lok && lc.V == 0) || (rok && rc.V == 0) {
+				return Const{V: 0}
+			}
+		case Div:
+			if rok && rc.V == 1 {
+				return n.L
+			}
+		case FDiv:
+			if rok && rc.V == 1 {
+				return n.L
+			}
+		}
+		return n
+	case Unary:
+		if c, ok := n.X.(Const); ok {
+			return Const{V: evalUn(n.Op, c.V)}
+		}
+		// --x == x
+		if n.Op == Neg {
+			if inner, ok := n.X.(Unary); ok && inner.Op == Neg {
+				return inner.X
+			}
+		}
+		return n
+	case Select:
+		cond := SimplifyCond(n.Cond)
+		if bc, ok := cond.(BoolConst); ok {
+			if bc.V {
+				return n.Then
+			}
+			return n.Else
+		}
+		return Select{Cond: cond, Then: n.Then, Else: n.Else}
+	case Cast:
+		if c, ok := n.X.(Const); ok {
+			return Const{V: ApplyCast(n.To, c.V)}
+		}
+		return n
+	}
+	return e
+}
+
+// IsConstExpr reports whether the expression folds to a constant, returning
+// its value.
+func IsConstExpr(e Expr) (float64, bool) {
+	if c, ok := Simplify(e).(Const); ok {
+		if !math.IsNaN(c.V) {
+			return c.V, true
+		}
+	}
+	return 0, false
+}

@@ -1,0 +1,145 @@
+package harness
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/apps"
+	"repro/internal/autotune"
+)
+
+func tinyConfig() Config {
+	return Config{Scale: 1 << 20, Runs: 1, Threads: 2, Seed: 1} // clamps to test sizes
+}
+
+func TestMeasureApp(t *testing.T) {
+	app, err := apps.Get("harris")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms, err := MeasureApp(app, "opt+vec", 2, tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ms <= 0 {
+		t.Errorf("measured %v ms", ms)
+	}
+}
+
+func TestScaledParams(t *testing.T) {
+	app, _ := apps.Get("harris")
+	p := ScaledParams(app, 4)
+	if p["R"] != 1600 {
+		t.Errorf("R = %d, want 1600", p["R"])
+	}
+	p = ScaledParams(app, 1)
+	if p["R"] != 6400 {
+		t.Errorf("unscaled R = %d", p["R"])
+	}
+	p = ScaledParams(app, 1<<20)
+	if p["R"] != app.TestParams["R"] {
+		t.Errorf("clamped R = %d, want test size %d", p["R"], app.TestParams["R"])
+	}
+}
+
+func TestTable2Smoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	var buf bytes.Buffer
+	if err := Table2(&buf, tinyConfig()); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, app := range apps.All() {
+		if !strings.Contains(out, app.Title) {
+			t.Errorf("Table 2 missing row for %s\n%s", app.Title, out)
+		}
+	}
+	if !strings.Contains(out, "geomean") {
+		t.Error("Table 2 missing geomean line")
+	}
+	t.Log("\n" + out)
+}
+
+func TestFigure10Smoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	var buf bytes.Buffer
+	if err := Figure10(&buf, tinyConfig(), []int{1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, sub := range []string{"Figure 10(a)", "Figure 10(f)", "opt+vec", "hmatched"} {
+		if !strings.Contains(out, sub) {
+			t.Errorf("Figure 10 output missing %q", sub)
+		}
+	}
+}
+
+func TestFigure9Smoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	var buf bytes.Buffer
+	space := autotune.Space{TileSizes: []int64{16, 32}, Thresholds: []float64{0.4}, Dims: 2}
+	if err := Figure9(&buf, tinyConfig(), space); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "Figure 9(a)") || !strings.Contains(out, "best:") {
+		t.Errorf("Figure 9 output malformed:\n%s", out)
+	}
+}
+
+func TestAutotuneGridAndRandom(t *testing.T) {
+	app, _ := apps.Get("unsharp")
+	params := app.TestParams
+	space := autotune.Space{TileSizes: []int64{16, 32}, Thresholds: []float64{0.4}, Dims: 2}
+	if space.Size() != 4 {
+		t.Errorf("space size = %d, want 4", space.Size())
+	}
+	best, err := autotune.Grid(app, params, space, 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best.Ms <= 0 {
+		t.Error("grid best has no time")
+	}
+	rnd, err := autotune.RandomSearch(app, params, 3, 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rnd.Ms <= 0 {
+		t.Error("random best has no time")
+	}
+}
+
+func TestCSVOutputs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	var buf bytes.Buffer
+	space := autotune.Space{TileSizes: []int64{16, 32}, Thresholds: []float64{0.4}, Dims: 2}
+	if err := Figure9CSV(&buf, tinyConfig(), space); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if lines[0] != "app,tile0,tile1,othresh,ms_1core,ms_2core" {
+		t.Errorf("csv header = %q", lines[0])
+	}
+	if len(lines) != 1+3*space.Size() {
+		t.Errorf("csv rows = %d, want %d", len(lines)-1, 3*space.Size())
+	}
+	buf.Reset()
+	if err := Figure10CSV(&buf, tinyConfig(), []int{1}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "app,variant,cores,speedup_over_base") ||
+		!strings.Contains(out, "harris,opt+vec,1,") {
+		t.Errorf("figure10 csv malformed:\n%s", out)
+	}
+}

@@ -1,0 +1,167 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/apps"
+	"repro/internal/autotune"
+)
+
+// Table2 regenerates the paper's Table 2: per application, PolyMage
+// (opt+vec) execution times at 1/4/N cores, the OpenCV column where a
+// library implementation exists, and speedups over the OpenTuner stand-in
+// and the H-tuned baseline at N cores. Paper values are printed alongside.
+func Table2(w io.Writer, cfg Config) error {
+	threads := cfg.Threads
+	fmt.Fprintf(w, "Table 2: execution times (ms) and speedups [scale 1/%d of paper image sizes]\n", cfg.Scale)
+	fmt.Fprintf(w, "%-22s %7s %9s %9s %9s %9s | %11s %11s | %11s %11s\n",
+		"Benchmark", "Stages", "1core", "4core", fmt.Sprintf("%dcore", effThreads(threads)),
+		"OpenCV", "vs OpenTun", "(paper)", "vs H-tuned", "(paper)")
+	var sHT, sOT []float64
+	for _, app := range apps.All() {
+		ms1, err := MeasureApp(app, "opt+vec", 1, cfg)
+		if err != nil {
+			return fmt.Errorf("%s: %v", app.Name, err)
+		}
+		ms4, err := MeasureApp(app, "opt+vec", 4, cfg)
+		if err != nil {
+			return err
+		}
+		msN, err := MeasureApp(app, "opt+vec", threads, cfg)
+		if err != nil {
+			return err
+		}
+		cvMs, hasCV, err := MeasureOpenCV(app, 1, cfg)
+		if err != nil {
+			return err
+		}
+		cvCell := "-"
+		if hasCV {
+			cvCell = fmt.Sprintf("%9.2f", cvMs)
+		}
+		htMs, err := MeasureApp(app, "htuned+vec", threads, cfg)
+		if err != nil {
+			return err
+		}
+		params := ScaledParams(app, cfg.Scale)
+		ot, err := autotune.RandomSearch(app, params, 5, effThreads(threads), cfg.Seed)
+		if err != nil {
+			return err
+		}
+		spOT := ot.Ms / msN
+		spHT := htMs / msN
+		sOT = append(sOT, spOT)
+		sHT = append(sHT, spHT)
+		fmt.Fprintf(w, "%-22s %7d %9.2f %9.2f %9.2f %9s | %10.2fx %10.2fx | %10.2fx %10.2fx\n",
+			app.Title, app.StageCount(), ms1, ms4, msN, cvCell,
+			spOT, app.SpeedupOpenTuner, spHT, app.SpeedupHTuned)
+	}
+	fmt.Fprintf(w, "geomean speedups: %.2fx over OpenTuner stand-in (paper 5.39x), %.2fx over H-tuned stand-in (paper 1.75x over manual Halide)\n",
+		geomean(sOT), geomean(sHT))
+	return nil
+}
+
+// figure10Apps lists the sub-figures of Figure 10 in order.
+var figure10Apps = []struct {
+	name       string
+	sub        string
+	hasMatched bool
+}{
+	{"interpolate", "a", true},
+	{"harris", "b", true},
+	{"pyramid", "c", true},
+	{"bilateral", "d", false},
+	{"camera", "e", false},
+	{"laplacian", "f", false},
+}
+
+// Figure10 regenerates the speedup-over-base charts: for each application,
+// the speedup of every variant at each core count relative to
+// PolyMage(base) on one core.
+func Figure10(w io.Writer, cfg Config, cores []int) error {
+	if len(cores) == 0 {
+		cores = []int{1, 2, 4}
+	}
+	for _, fa := range figure10Apps {
+		app, err := apps.Get(fa.name)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "\nFigure 10(%s): %s — speedup over PolyMage(base) on 1 core [scale 1/%d]\n",
+			fa.sub, app.Title, cfg.Scale)
+		baseMs, err := MeasureApp(app, "base", 1, cfg)
+		if err != nil {
+			return err
+		}
+		variants := []string{"base", "base+vec", "opt", "opt+vec", "htuned", "htuned+vec"}
+		if fa.hasMatched {
+			variants = append(variants, "hmatched", "hmatched+vec")
+		}
+		fmt.Fprintf(w, "%-22s", "variant \\ cores")
+		for _, c := range cores {
+			fmt.Fprintf(w, " %8d", c)
+		}
+		fmt.Fprintln(w)
+		for _, v := range variants {
+			fmt.Fprintf(w, "%-22s", v)
+			for _, c := range cores {
+				ms, err := MeasureApp(app, v, c, cfg)
+				if err != nil {
+					return err
+				}
+				fmt.Fprintf(w, " %8.2f", baseMs/ms)
+			}
+			fmt.Fprintln(w)
+		}
+	}
+	return nil
+}
+
+// figure9Apps lists the sub-figures of Figure 9.
+var figure9Apps = []struct {
+	name string
+	sub  string
+}{
+	{"pyramid", "a"},
+	{"camera", "b"},
+	{"interpolate", "c"},
+}
+
+// Figure9 regenerates the autotuning scatter plots: per configuration of
+// the model-driven space, the (1-core, N-core) execution-time pair.
+func Figure9(w io.Writer, cfg Config, space autotune.Space) error {
+	threads := effThreads(cfg.Threads)
+	for _, fa := range figure9Apps {
+		app, err := apps.Get(fa.name)
+		if err != nil {
+			return err
+		}
+		params := ScaledParams(app, cfg.Scale)
+		fmt.Fprintf(w, "\nFigure 9(%s): %s — autotuning configurations (%d points) [scale 1/%d]\n",
+			fa.sub, app.Title, space.Size(), cfg.Scale)
+		fmt.Fprintf(w, "%-18s %-10s %12s %12s\n", "tiles", "othresh", "ms(1 core)", fmt.Sprintf("ms(%d core)", threads))
+		results, err := autotune.Scatter(app, params, space, threads, cfg.Seed, true)
+		if err != nil {
+			return err
+		}
+		best := results[0]
+		for _, r := range results {
+			fmt.Fprintf(w, "%-18v %-10.2f %12.2f %12.2f\n",
+				r.Options.TileSizes, r.Options.OverlapThreshold, r.Ms1, r.Ms)
+			if r.Ms < best.Ms {
+				best = r
+			}
+		}
+		fmt.Fprintf(w, "best: tiles %v, othresh %.2f -> %.2f ms\n",
+			best.Options.TileSizes, best.Options.OverlapThreshold, best.Ms)
+	}
+	return nil
+}
+
+func effThreads(t int) int {
+	if t > 0 {
+		return t
+	}
+	return defaultThreads()
+}

@@ -1,0 +1,200 @@
+// Package imgutil provides image utilities around the engine's float32
+// buffers: conversion to and from the standard library's image types, PNG
+// and PGM/PPM encoding, synthetic test-image generators (the paper's inputs
+// are photographs; only their sizes matter for performance, DESIGN.md
+// substitution note 8), and quality metrics (PSNR).
+package imgutil
+
+import (
+	"fmt"
+	"image"
+	"image/color"
+	"image/png"
+	"io"
+	"math"
+
+	"repro/internal/affine"
+	"repro/internal/engine"
+)
+
+// clamp01 clips v into [0, 1].
+func clamp01(v float32) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return float64(v)
+}
+
+// ToGray converts a 2-D buffer (values in [0,1]) to a grayscale image.
+func ToGray(b *engine.Buffer) (*image.Gray, error) {
+	if b.Rank() != 2 {
+		return nil, fmt.Errorf("imgutil: ToGray needs a 2-D buffer, got rank %d", b.Rank())
+	}
+	h := int(b.Box[0].Size())
+	w := int(b.Box[1].Size())
+	img := image.NewGray(image.Rect(0, 0, w, h))
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			v := b.At(b.Box[0].Lo+int64(y), b.Box[1].Lo+int64(x))
+			img.SetGray(x, y, color.Gray{Y: uint8(clamp01(v)*255 + 0.5)})
+		}
+	}
+	return img, nil
+}
+
+// ToRGB converts a (3, rows, cols) buffer (values in [0,1]) to an RGBA
+// image; channel 0 is red.
+func ToRGB(b *engine.Buffer) (*image.RGBA, error) {
+	if b.Rank() != 3 || b.Box[0].Size() < 3 {
+		return nil, fmt.Errorf("imgutil: ToRGB needs a (3, rows, cols) buffer")
+	}
+	h := int(b.Box[1].Size())
+	w := int(b.Box[2].Size())
+	img := image.NewRGBA(image.Rect(0, 0, w, h))
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			px := []int64{0, b.Box[1].Lo + int64(y), b.Box[2].Lo + int64(x)}
+			var rgb [3]uint8
+			for c := int64(0); c < 3; c++ {
+				px[0] = b.Box[0].Lo + c
+				rgb[c] = uint8(clamp01(b.At(px...))*255 + 0.5)
+			}
+			img.SetRGBA(x, y, color.RGBA{R: rgb[0], G: rgb[1], B: rgb[2], A: 255})
+		}
+	}
+	return img, nil
+}
+
+// FromGray converts a grayscale image into a 2-D buffer with values in
+// [0,1].
+func FromGray(img image.Image) *engine.Buffer {
+	bounds := img.Bounds()
+	h := int64(bounds.Dy())
+	w := int64(bounds.Dx())
+	b := engine.NewBuffer(affine.Box{{Lo: 0, Hi: h - 1}, {Lo: 0, Hi: w - 1}})
+	for y := int64(0); y < h; y++ {
+		for x := int64(0); x < w; x++ {
+			g := color.GrayModel.Convert(img.At(bounds.Min.X+int(x), bounds.Min.Y+int(y))).(color.Gray)
+			b.Set(float32(g.Y)/255, y, x)
+		}
+	}
+	return b
+}
+
+// WritePNG encodes a 2-D (gray) or (3,·,·) (color) buffer as PNG.
+func WritePNG(w io.Writer, b *engine.Buffer) error {
+	var img image.Image
+	var err error
+	switch b.Rank() {
+	case 2:
+		img, err = ToGray(b)
+	case 3:
+		img, err = ToRGB(b)
+	default:
+		return fmt.Errorf("imgutil: cannot encode rank-%d buffer", b.Rank())
+	}
+	if err != nil {
+		return err
+	}
+	return png.Encode(w, img)
+}
+
+// WritePGM encodes a 2-D buffer as binary PGM (P5).
+func WritePGM(w io.Writer, b *engine.Buffer) error {
+	if b.Rank() != 2 {
+		return fmt.Errorf("imgutil: PGM needs a 2-D buffer")
+	}
+	h := b.Box[0].Size()
+	wd := b.Box[1].Size()
+	if _, err := fmt.Fprintf(w, "P5\n%d %d\n255\n", wd, h); err != nil {
+		return err
+	}
+	row := make([]byte, wd)
+	for y := b.Box[0].Lo; y <= b.Box[0].Hi; y++ {
+		for x := int64(0); x < wd; x++ {
+			row[x] = uint8(clamp01(b.At(y, b.Box[1].Lo+x))*255 + 0.5)
+		}
+		if _, err := w.Write(row); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WritePPM encodes a (3, rows, cols) buffer as binary PPM (P6).
+func WritePPM(w io.Writer, b *engine.Buffer) error {
+	if b.Rank() != 3 || b.Box[0].Size() < 3 {
+		return fmt.Errorf("imgutil: PPM needs a (3, rows, cols) buffer")
+	}
+	h := b.Box[1].Size()
+	wd := b.Box[2].Size()
+	if _, err := fmt.Fprintf(w, "P6\n%d %d\n255\n", wd, h); err != nil {
+		return err
+	}
+	row := make([]byte, 3*wd)
+	for y := b.Box[1].Lo; y <= b.Box[1].Hi; y++ {
+		for x := int64(0); x < wd; x++ {
+			for c := int64(0); c < 3; c++ {
+				row[3*x+c] = uint8(clamp01(b.At(b.Box[0].Lo+c, y, b.Box[2].Lo+x))*255 + 0.5)
+			}
+		}
+		if _, err := w.Write(row); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// PSNR computes the peak signal-to-noise ratio between two same-shape
+// buffers with unit peak, in dB (+Inf for identical buffers).
+func PSNR(a, b *engine.Buffer) (float64, error) {
+	if a.Len() != b.Len() {
+		return 0, fmt.Errorf("imgutil: size mismatch %d vs %d", a.Len(), b.Len())
+	}
+	var mse float64
+	for i := range a.Data {
+		d := float64(a.Data[i]) - float64(b.Data[i])
+		mse += d * d
+	}
+	mse /= float64(a.Len())
+	if mse == 0 {
+		return math.Inf(1), nil
+	}
+	return -10 * math.Log10(mse), nil
+}
+
+// Checkerboard fills a 2-D buffer with a square checkerboard of the given
+// cell size (strong corners for feature detectors).
+func Checkerboard(b *engine.Buffer, cell int64) {
+	for y := b.Box[0].Lo; y <= b.Box[0].Hi; y++ {
+		for x := b.Box[1].Lo; x <= b.Box[1].Hi; x++ {
+			v := float32(0)
+			if (y/cell+x/cell)%2 == 0 {
+				v = 1
+			}
+			b.Set(v, y, x)
+		}
+	}
+}
+
+// Gradient fills a 2-D buffer with a smooth diagonal ramp plus a low-
+// frequency sinusoid (smooth content for blur/pyramid pipelines).
+func Gradient(b *engine.Buffer) {
+	h := float64(b.Box[0].Size())
+	w := float64(b.Box[1].Size())
+	for y := b.Box[0].Lo; y <= b.Box[0].Hi; y++ {
+		for x := b.Box[1].Lo; x <= b.Box[1].Hi; x++ {
+			fy := float64(y-b.Box[0].Lo) / h
+			fx := float64(x-b.Box[1].Lo) / w
+			v := 0.5*(fx+fy)/1.0*0.8 + 0.1*math.Sin(6*math.Pi*fx)*math.Sin(6*math.Pi*fy) + 0.1
+			b.Set(float32(v), y, x)
+		}
+	}
+}
+
+// Noise fills a buffer with the deterministic pseudo-random pattern
+// (wrapper over engine.FillPattern for a uniform API).
+func Noise(b *engine.Buffer, seed int64) { engine.FillPattern(b, seed) }

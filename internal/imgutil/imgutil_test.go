@@ -1,0 +1,130 @@
+package imgutil
+
+import (
+	"bytes"
+	"image/png"
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/affine"
+	"repro/internal/engine"
+)
+
+func gray(t *testing.T) *engine.Buffer {
+	t.Helper()
+	b := engine.NewBuffer(affine.Box{{Lo: 0, Hi: 15}, {Lo: 0, Hi: 19}})
+	Gradient(b)
+	return b
+}
+
+func TestPNGRoundTripGray(t *testing.T) {
+	b := gray(t)
+	var buf bytes.Buffer
+	if err := WritePNG(&buf, b); err != nil {
+		t.Fatal(err)
+	}
+	img, err := png.Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back := FromGray(img)
+	// Quantization to 8 bits: values within 1/255.
+	for i := range b.Data {
+		d := math.Abs(float64(b.Data[i]) - float64(back.Data[i]))
+		if d > 1.0/255+1e-6 {
+			t.Fatalf("round trip error %v at %d", d, i)
+		}
+	}
+	psnr, err := PSNR(b, back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if psnr < 45 {
+		t.Errorf("PSNR after 8-bit quantization = %.1f dB, want > 45", psnr)
+	}
+}
+
+func TestPNGColor(t *testing.T) {
+	b := engine.NewBuffer(affine.Box{{Lo: 0, Hi: 2}, {Lo: 0, Hi: 7}, {Lo: 0, Hi: 9}})
+	engine.FillPattern(b, 4)
+	var buf bytes.Buffer
+	if err := WritePNG(&buf, b); err != nil {
+		t.Fatal(err)
+	}
+	img, err := png.Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if img.Bounds().Dx() != 10 || img.Bounds().Dy() != 8 {
+		t.Errorf("bounds = %v", img.Bounds())
+	}
+}
+
+func TestPGMPPMHeaders(t *testing.T) {
+	b := gray(t)
+	var buf bytes.Buffer
+	if err := WritePGM(&buf, b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(buf.String(), "P5\n20 16\n255\n") {
+		t.Errorf("PGM header = %q", buf.String()[:20])
+	}
+	if buf.Len() != len("P5\n20 16\n255\n")+16*20 {
+		t.Errorf("PGM size = %d", buf.Len())
+	}
+	c := engine.NewBuffer(affine.Box{{Lo: 0, Hi: 2}, {Lo: 0, Hi: 3}, {Lo: 0, Hi: 4}})
+	buf.Reset()
+	if err := WritePPM(&buf, c); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(buf.String(), "P6\n5 4\n255\n") {
+		t.Errorf("PPM header = %q", buf.String()[:12])
+	}
+	// Rank errors.
+	if err := WritePGM(&buf, c); err == nil {
+		t.Error("PGM should reject 3-D buffers")
+	}
+	if err := WritePPM(&buf, b); err == nil {
+		t.Error("PPM should reject 2-D buffers")
+	}
+}
+
+func TestPSNR(t *testing.T) {
+	a := gray(t)
+	b := gray(t)
+	if v, _ := PSNR(a, b); !math.IsInf(v, 1) {
+		t.Errorf("identical buffers PSNR = %v", v)
+	}
+	b.Data[0] += 0.5
+	v, err := PSNR(a, b)
+	if err != nil || math.IsInf(v, 1) || v < 0 {
+		t.Errorf("PSNR = %v, %v", v, err)
+	}
+	short := engine.NewBuffer(affine.Box{{Lo: 0, Hi: 0}})
+	if _, err := PSNR(a, short); err == nil {
+		t.Error("size mismatch should error")
+	}
+}
+
+func TestGenerators(t *testing.T) {
+	b := engine.NewBuffer(affine.Box{{Lo: 0, Hi: 31}, {Lo: 0, Hi: 31}})
+	Checkerboard(b, 8)
+	if b.At(0, 0) != 1 || b.At(0, 8) != 0 || b.At(8, 8) != 1 {
+		t.Error("checkerboard pattern wrong")
+	}
+	Gradient(b)
+	for _, v := range b.Data {
+		if v < -0.01 || v > 1.01 {
+			t.Fatalf("gradient out of range: %v", v)
+		}
+	}
+	Noise(b, 1)
+	distinct := map[float32]bool{}
+	for _, v := range b.Data[:100] {
+		distinct[v] = true
+	}
+	if len(distinct) < 50 {
+		t.Error("noise not noisy")
+	}
+}

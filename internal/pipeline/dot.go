@@ -1,0 +1,86 @@
+package pipeline
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Dot renders the pipeline DAG in Graphviz dot format (the graphs of
+// Figures 2 and 8). The optional groups argument maps each stage to a group
+// identifier; stages of multi-member groups are drawn inside dashed
+// clusters, like the dashed boxes of Figure 8.
+func (g *Graph) Dot(name string, groups map[string]int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n", name)
+	b.WriteString("  rankdir=TB;\n  node [shape=box, fontname=\"sans-serif\"];\n")
+
+	// Input images.
+	imgs := make([]string, 0, len(g.Images))
+	for n := range g.Images {
+		imgs = append(imgs, n)
+	}
+	sort.Strings(imgs)
+	for _, n := range imgs {
+		fmt.Fprintf(&b, "  %q [shape=ellipse, style=filled, fillcolor=lightgrey];\n", n)
+	}
+
+	// Stages, clustered by group when grouping info is provided.
+	if groups != nil {
+		byGroup := map[int][]string{}
+		for _, n := range g.Order {
+			byGroup[groups[n]] = append(byGroup[groups[n]], n)
+		}
+		ids := make([]int, 0, len(byGroup))
+		for id := range byGroup {
+			ids = append(ids, id)
+		}
+		sort.Ints(ids)
+		for _, id := range ids {
+			members := byGroup[id]
+			if len(members) > 1 {
+				fmt.Fprintf(&b, "  subgraph cluster_g%d {\n    style=dashed;\n", id)
+				for _, n := range members {
+					fmt.Fprintf(&b, "    %q%s;\n", n, stageAttrs(g.Stages[n]))
+				}
+				b.WriteString("  }\n")
+			} else {
+				fmt.Fprintf(&b, "  %q%s;\n", members[0], stageAttrs(g.Stages[members[0]]))
+			}
+		}
+	} else {
+		for _, n := range g.Order {
+			fmt.Fprintf(&b, "  %q%s;\n", n, stageAttrs(g.Stages[n]))
+		}
+	}
+
+	// Edges: producer -> consumer (including image inputs).
+	for _, n := range g.Order {
+		st := g.Stages[n]
+		for _, im := range st.InputDeps {
+			fmt.Fprintf(&b, "  %q -> %q;\n", im, n)
+		}
+		for _, p := range st.Producers {
+			fmt.Fprintf(&b, "  %q -> %q;\n", p, n)
+		}
+		if st.SelfRef {
+			fmt.Fprintf(&b, "  %q -> %q [style=dotted];\n", n, n)
+		}
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+func stageAttrs(st *Stage) string {
+	var attrs []string
+	if st.IsAccumulator() {
+		attrs = append(attrs, "shape=hexagon")
+	}
+	if st.LiveOut {
+		attrs = append(attrs, "peripheries=2")
+	}
+	if len(attrs) == 0 {
+		return ""
+	}
+	return " [" + strings.Join(attrs, ", ") + "]"
+}

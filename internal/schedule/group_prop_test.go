@@ -1,0 +1,142 @@
+package schedule
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/affine"
+	"repro/internal/dsl"
+	"repro/internal/expr"
+	"repro/internal/pipeline"
+)
+
+// randGroupingPipeline builds a random DAG of same-resolution stages
+// (pointwise combines and small stencils) for grouping-invariant checks.
+func randGroupingPipeline(t *testing.T, r *rand.Rand, nStages int) *pipeline.Graph {
+	t.Helper()
+	const N = 256
+	b := dsl.NewBuilder()
+	b.Image("I", expr.Float, affine.Const(N), affine.Const(N))
+	x, y := b.Var("x"), b.Var("y")
+	type st struct {
+		f *dsl.Function
+		m int64
+	}
+	var stages []st
+	at := func(s st, ax, ay expr.Expr) expr.Expr {
+		if s.f == nil {
+			return expr.Access{Target: "I", Args: []expr.Expr{ax, ay}}
+		}
+		return s.f.At(ax, ay)
+	}
+	pick := func() st {
+		if len(stages) == 0 || r.Intn(3) == 0 {
+			return st{}
+		}
+		return stages[r.Intn(len(stages))]
+	}
+	for i := 0; i < nStages; i++ {
+		p, q := pick(), pick()
+		m := maxI64g(p.m, q.m) + 1
+		if m > N/4 {
+			continue
+		}
+		f := b.Func(fmt.Sprintf("s%d", i), expr.Float, []*dsl.Variable{x, y},
+			[]dsl.Interval{dsl.ConstSpan(m, N-1-m), dsl.ConstSpan(m, N-1-m)})
+		def := dsl.Add(
+			dsl.Mul(0.25, at(p, dsl.Sub(x, 1), dsl.E(y))),
+			dsl.Mul(0.75, at(q, dsl.E(x), dsl.Add(y, 1))))
+		f.Define(dsl.Case{E: def})
+		stages = append(stages, st{f: f, m: m})
+	}
+	if len(stages) == 0 {
+		t.Skip("degenerate")
+	}
+	g, err := pipeline.Build(b, stages[len(stages)-1].f.Name())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func maxI64g(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// TestGroupingInvariants checks, over random DAGs, the structural
+// guarantees Algorithm 1 must provide: the groups partition the stage set,
+// every group's members are connected producers of its anchor, the quotient
+// graph is acyclic and Groups is a valid topological order of it.
+func TestGroupingInvariants(t *testing.T) {
+	r := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 40; trial++ {
+		g := randGroupingPipeline(t, r, 3+r.Intn(12))
+		gr, err := BuildGroups(g, map[string]int64{}, Options{
+			TileSizes: []int64{16, 32}, MinTileExtent: 8, MinSize: 8,
+			OverlapThreshold: 0.2 + 0.3*r.Float64(),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Partition: every stage in exactly one group.
+		seen := map[string]int{}
+		for _, grp := range gr.Groups {
+			for _, m := range grp.Members {
+				seen[m]++
+				if gr.ByName[m] != grp {
+					t.Fatalf("ByName[%s] inconsistent", m)
+				}
+			}
+			// Anchor is a member with no in-group consumers.
+			anchorHasInternalConsumer := false
+			memberSet := map[string]bool{}
+			for _, m := range grp.Members {
+				memberSet[m] = true
+			}
+			for _, c := range g.Stages[grp.Anchor].Consumers {
+				if memberSet[c] {
+					anchorHasInternalConsumer = true
+				}
+			}
+			if anchorHasInternalConsumer {
+				t.Fatalf("anchor %s consumed inside its own group", grp.Anchor)
+			}
+		}
+		if len(seen) != len(g.Stages) {
+			t.Fatalf("groups cover %d of %d stages", len(seen), len(g.Stages))
+		}
+		for m, n := range seen {
+			if n != 1 {
+				t.Fatalf("stage %s appears in %d groups", m, n)
+			}
+		}
+		// Topological order of the quotient: every producer's group index
+		// is <= the consumer's.
+		pos := map[string]int{}
+		for i, grp := range gr.Groups {
+			for _, m := range grp.Members {
+				pos[m] = i
+			}
+		}
+		for name, st := range g.Stages {
+			for _, p := range st.Producers {
+				if pos[p] > pos[name] {
+					t.Fatalf("group order violates dependence %s -> %s", p, name)
+				}
+			}
+		}
+		// Fused groups are valid: tile plans build and satisfy the
+		// coverage/soundness invariants checked elsewhere; here just build.
+		for _, grp := range gr.Groups {
+			if grp.Tiled {
+				if _, err := NewTilePlan(g, grp, map[string]int64{}); err != nil {
+					t.Fatalf("tile plan for %v: %v", grp.Members, err)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,205 @@
+// Package schedule implements the core optimizations of the paper:
+// alignment and scaling of stage schedules (Section 3.3), construction of
+// overlapped tiles for groups of heterogeneous stages (Section 3.4), and the
+// greedy grouping heuristic of Algorithm 1 (Section 3.5).
+//
+// Where the paper manipulates scheduling hyperplanes through ISL, this
+// implementation works directly on the box domains the pipelines use: tile
+// shapes are obtained by propagating required intervals backwards through
+// the quasi-affine accesses, stage by stage, which yields the same tight
+// overlapped-tile regions as the per-level dependence-vector analysis of
+// Figure 6 (see DESIGN.md, substitution note 1).
+package schedule
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/affine"
+	"repro/internal/expr"
+	"repro/internal/pipeline"
+)
+
+// DimScale records how one dimension of a group member tracks the group
+// anchor's iteration space: stage_dim ≈ Scale · anchor_dim + offset. It is
+// the alignment/scaling information of Section 3.3.
+type DimScale struct {
+	AnchorDim int             // anchor dimension this stage dim is aligned to; -1 if unaligned
+	Scale     affine.Rational // sampling-rate ratio relative to the anchor
+}
+
+// Group is a set of stages fused together and executed with overlapped
+// tiling. The zero group (single stage, untiled) is also used for stages
+// excluded from fusion (accumulators, self-referencing and tiny stages).
+type Group struct {
+	ID      int
+	Members []string // topological order, producers first
+	Anchor  string   // the group's sink stage; its domain defines the tile space
+	// Scales maps each member to its per-dimension alignment/scaling
+	// relative to the anchor. Populated for multi-stage groups.
+	Scales map[string][]DimScale
+	// Tiled reports whether the group executes with overlapped tiling.
+	Tiled bool
+	// TileSizes has one entry per anchor dimension (0 = dimension untiled).
+	TileSizes []int64
+	// OverlapRatio per anchor dimension: redundant-computation fraction
+	// estimated at the parameter estimates (Algorithm 1 line 11).
+	OverlapRatio []float64
+}
+
+// Grouping is the result of Algorithm 1: a partition of the pipeline's
+// stages into groups, in a valid execution order.
+type Grouping struct {
+	Groups []*Group          // topological order over the quotient DAG
+	ByName map[string]*Group // stage name -> its group
+	Graph  *pipeline.Graph   // underlying pipeline
+	Est    map[string]int64  // parameter estimates used
+}
+
+// Options tunes grouping and tiling.
+type Options struct {
+	// TileSizes are assigned to the anchor's tilable dimensions from
+	// outermost to innermost; the last entry repeats if there are more
+	// tilable dimensions than entries. Default {32, 256} (the paper's
+	// Figure 7 uses 32×256 for Harris).
+	TileSizes []int64
+	// OverlapThreshold is Algorithm 1's o_thresh (paper autotunes over
+	// {0.2, 0.4, 0.5}).
+	OverlapThreshold float64
+	// MinSize: stages whose domain (at the estimates) is smaller than this
+	// are never merged (the paper keeps "functions of very small size",
+	// such as lookup tables, out of groups).
+	MinSize int64
+	// MinTileExtent: dimensions with extent below this stay untiled.
+	MinTileExtent int64
+	// MaxUnalignedExtent bounds the extent of unaligned member dimensions
+	// (e.g. a channel dimension accessed at constant indices) that a tile
+	// must materialize fully.
+	MaxUnalignedExtent int64
+	// DisableFusion keeps every stage in its own group (the PolyMage
+	// "base" variant of Figure 10, which still inlines but does not group,
+	// tile or optimize storage).
+	DisableFusion bool
+}
+
+// DefaultOptions mirrors the paper's defaults.
+func DefaultOptions() Options {
+	return Options{
+		TileSizes:          []int64{32, 256},
+		OverlapThreshold:   0.4,
+		MinSize:            1024,
+		MinTileExtent:      32,
+		MaxUnalignedExtent: 8,
+	}
+}
+
+func (o Options) withDefaults() Options {
+	d := DefaultOptions()
+	if len(o.TileSizes) == 0 {
+		o.TileSizes = d.TileSizes
+	}
+	if o.OverlapThreshold == 0 {
+		o.OverlapThreshold = d.OverlapThreshold
+	}
+	if o.MinSize == 0 {
+		o.MinSize = d.MinSize
+	}
+	if o.MinTileExtent == 0 {
+		o.MinTileExtent = d.MinTileExtent
+	}
+	if o.MaxUnalignedExtent == 0 {
+		o.MaxUnalignedExtent = d.MaxUnalignedExtent
+	}
+	return o
+}
+
+// argAccess is one index expression of one access: which producer dimension
+// it indexes and its quasi-affine form (OK reports whether it has one).
+type argAccess struct {
+	ProducerDim int
+	Acc         affine.Access
+	OK          bool
+}
+
+// stageAccessMap extracts, for every target a stage reads (stages and
+// images, conditions included), the list of per-dimension accesses.
+func stageAccessMap(st *pipeline.Stage) map[string][]argAccess {
+	out := make(map[string][]argAccess)
+	record := func(e expr.Expr) bool {
+		a, ok := e.(expr.Access)
+		if !ok {
+			return true
+		}
+		for d, arg := range a.Args {
+			aa := argAccess{ProducerDim: d}
+			aa.Acc, aa.OK = expr.ToAffineAccess(arg)
+			out[a.Target] = append(out[a.Target], aa)
+		}
+		return true
+	}
+	for _, e := range st.Exprs() {
+		expr.Walk(e, record)
+	}
+	for _, c := range st.Cases {
+		if c.Cond != nil {
+			expr.WalkCond(c.Cond, record)
+		}
+	}
+	return out
+}
+
+// domainAt evaluates a stage's domain at the estimates.
+func domainAt(st *pipeline.Stage, est map[string]int64) (affine.Box, error) {
+	b, err := st.Decl.Domain().Eval(est)
+	if err != nil {
+		return nil, fmt.Errorf("schedule: stage %s: %v", st.Name, err)
+	}
+	return b, nil
+}
+
+// groupSize is the total number of domain points of the group's members at
+// the estimates (Algorithm 1 sorts candidates by this).
+func groupSize(g *pipeline.Graph, members []string, est map[string]int64) int64 {
+	var n int64
+	for _, m := range members {
+		if b, err := domainAt(g.Stages[m], est); err == nil {
+			n += b.Size()
+		}
+	}
+	return n
+}
+
+// sortedMembers returns the members in pipeline topological order.
+func sortedMembers(g *pipeline.Graph, members map[string]bool) []string {
+	out := make([]string, 0, len(members))
+	for _, n := range g.Order {
+		if members[n] {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// childGroups returns the set of distinct groups that consume any member of
+// grp (excluding grp itself).
+func childGroups(g *pipeline.Graph, byName map[string]*Group, grp *Group) []*Group {
+	seen := make(map[int]*Group)
+	for _, m := range grp.Members {
+		for _, c := range g.Stages[m].Consumers {
+			cg := byName[c]
+			if cg != nil && cg.ID != grp.ID {
+				seen[cg.ID] = cg
+			}
+		}
+	}
+	out := make([]*Group, 0, len(seen))
+	ids := make([]int, 0, len(seen))
+	for id := range seen {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		out = append(out, seen[id])
+	}
+	return out
+}

@@ -1,0 +1,399 @@
+package schedule
+
+import (
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/affine"
+	"repro/internal/dsl"
+	"repro/internal/expr"
+	"repro/internal/inline"
+	"repro/internal/pipeline"
+)
+
+var est = map[string]int64{"R": 512, "C": 512}
+
+// harrisGraph builds the (inlined) Harris pipeline: Ix, Iy, Sxx, Sxy, Syy,
+// harris — the stage structure of Figure 7.
+func harrisGraph(t *testing.T) *pipeline.Graph {
+	t.Helper()
+	b := dsl.NewBuilder()
+	R, C := b.Param("R"), b.Param("C")
+	I := b.Image("I", expr.Float, R.Affine().AddConst(2), C.Affine().AddConst(2))
+	x, y := b.Var("x"), b.Var("y")
+	dom := []dsl.Interval{
+		dsl.Span(affine.Const(0), R.Affine().AddConst(1)),
+		dsl.Span(affine.Const(0), C.Affine().AddConst(1)),
+	}
+	inner := dsl.InBox([]*dsl.Variable{x, y}, []any{1, 1}, []any{R, C})
+	innerB := dsl.InBox([]*dsl.Variable{x, y}, []any{2, 2}, []any{dsl.Sub(R, 1), dsl.Sub(C, 1)})
+	Iy := b.Func("Iy", expr.Float, []*dsl.Variable{x, y}, dom)
+	Iy.Define(dsl.Case{Cond: inner, E: dsl.Stencil(I, 1.0/12,
+		[][]float64{{-1, -2, -1}, {0, 0, 0}, {1, 2, 1}}, [2]any{x, y})})
+	Ix := b.Func("Ix", expr.Float, []*dsl.Variable{x, y}, dom)
+	Ix.Define(dsl.Case{Cond: inner, E: dsl.Stencil(I, 1.0/12,
+		[][]float64{{-1, 0, 1}, {-2, 0, 2}, {-1, 0, 1}}, [2]any{x, y})})
+	box := [][]float64{{1, 1, 1}, {1, 1, 1}, {1, 1, 1}}
+	mk := func(name string, src *dsl.Function, other *dsl.Function) *dsl.Function {
+		f := b.Func(name, expr.Float, []*dsl.Variable{x, y}, dom)
+		prod := dsl.Mul(src.At(x, y), other.At(x, y))
+		sq := b.Func(name+"_sq", expr.Float, []*dsl.Variable{x, y}, dom)
+		sq.Define(dsl.Case{E: prod})
+		f.Define(dsl.Case{Cond: innerB, E: dsl.Stencil(sq, 1, box, [2]any{x, y})})
+		return f
+	}
+	Sxx := mk("Sxx", Ix, Ix)
+	Syy := mk("Syy", Iy, Iy)
+	Sxy := mk("Sxy", Ix, Iy)
+	harris := b.Func("harris", expr.Float, []*dsl.Variable{x, y}, dom)
+	det := dsl.Sub(dsl.Mul(Sxx.At(x, y), Syy.At(x, y)), dsl.Mul(Sxy.At(x, y), Sxy.At(x, y)))
+	trace := dsl.Add(Sxx.At(x, y), Syy.At(x, y))
+	harris.Define(dsl.Case{Cond: innerB, E: dsl.Sub(det, dsl.Mul(0.04, dsl.Mul(trace, trace)))})
+	g, err := pipeline.Build(b, "harris")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := inline.Apply(g, inline.DefaultOptions()); err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestHarrisGroupsIntoOne(t *testing.T) {
+	g := harrisGraph(t)
+	gr, err := BuildGroups(g, est, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gr.Groups) != 1 {
+		names := []string{}
+		for _, grp := range gr.Groups {
+			names = append(names, strings.Join(grp.Members, "+"))
+		}
+		t.Fatalf("expected 1 group, got %d: %v", len(gr.Groups), names)
+	}
+	grp := gr.Groups[0]
+	if grp.Anchor != "harris" || !grp.Tiled {
+		t.Errorf("anchor=%s tiled=%v", grp.Anchor, grp.Tiled)
+	}
+	if len(grp.Members) != 6 {
+		t.Errorf("members = %v", grp.Members)
+	}
+	// All stages share the anchor grid: scale 1 on both dims.
+	for m, ds := range grp.Scales {
+		for d, s := range ds {
+			if s.AnchorDim != d || !s.Scale.Equal(affine.One) {
+				t.Errorf("%s dim %d scale = %+v", m, d, s)
+			}
+		}
+	}
+	// Overlap for a 3-deep stencil chain on 32x256 tiles is small but nonzero.
+	if grp.OverlapRatio[0] <= 0 || grp.OverlapRatio[0] >= 0.4 {
+		t.Errorf("overlap ratio = %v", grp.OverlapRatio)
+	}
+}
+
+func TestDisableFusion(t *testing.T) {
+	g := harrisGraph(t)
+	gr, err := BuildGroups(g, est, Options{DisableFusion: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gr.Groups) != 6 {
+		t.Errorf("expected 6 singleton groups, got %d", len(gr.Groups))
+	}
+	for _, grp := range gr.Groups {
+		if grp.Tiled || len(grp.Members) != 1 {
+			t.Errorf("group %v should be a singleton", grp.Members)
+		}
+	}
+}
+
+func TestTinyThresholdBlocksStencilFusion(t *testing.T) {
+	// A near-zero threshold still admits zero-overlap (point-wise) merges —
+	// harris reads Sxx/Syy/Sxy at identity — but blocks every merge across
+	// a stencil edge.
+	g := harrisGraph(t)
+	gr, err := BuildGroups(g, est, Options{OverlapThreshold: 1e-9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gr.Groups) != 3 {
+		t.Errorf("expected 3 groups ({S*,harris}, {Ix}, {Iy}), got %v", describeGroups(gr))
+	}
+	if gr.ByName["Sxx"] != gr.ByName["harris"] {
+		t.Error("zero-overlap point-wise merge should still happen")
+	}
+	if gr.ByName["Ix"] == gr.ByName["Sxx"] {
+		t.Error("stencil merge must be blocked by the tiny threshold")
+	}
+}
+
+func TestNegativeThresholdBlocksAllFusion(t *testing.T) {
+	g := harrisGraph(t)
+	gr, err := BuildGroups(g, est, Options{OverlapThreshold: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gr.Groups) != 6 {
+		t.Errorf("negative threshold must block all merges, got %d groups", len(gr.Groups))
+	}
+}
+
+// downsampleChain builds out(x) consuming half-resolution d(x) consuming
+// full-resolution f(x): tests scaling (Section 3.3 / Figure 6).
+func downsampleChain(t *testing.T) *pipeline.Graph {
+	t.Helper()
+	b := dsl.NewBuilder()
+	R := b.Param("R")
+	I := b.Image("I", expr.Float, R.Affine().Scale(2).AddConst(2))
+	x := b.Var("x")
+	full := []dsl.Interval{dsl.Span(affine.Const(0), R.Affine().Scale(2).AddConst(1))}
+	half := []dsl.Interval{dsl.Span(affine.Const(0), R.Affine())}
+	f := b.Func("f", expr.Float, []*dsl.Variable{x}, full)
+	f.Define(dsl.Case{E: I.At(x)})
+	d := b.Func("d", expr.Float, []*dsl.Variable{x}, half)
+	d.Define(dsl.Case{E: dsl.Add(f.At(dsl.Mul(2, x)), f.At(dsl.Add(dsl.Mul(2, x), 1)))})
+	// out upsamples d back to full resolution.
+	out := b.Func("out", expr.Float, []*dsl.Variable{x}, full)
+	out.Define(dsl.Case{E: d.At(dsl.IDiv(x, 2))})
+	g, err := pipeline.Build(b, "out")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestScalingThroughSampling(t *testing.T) {
+	g := downsampleChain(t)
+	members := map[string]bool{"f": true, "d": true, "out": true}
+	scales, err := computeScales(g, members, "out")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !scales["out"][0].Scale.Equal(affine.One) {
+		t.Errorf("out scale = %v", scales["out"][0])
+	}
+	if got := scales["d"][0].Scale; !got.Equal(affine.NewRational(1, 2)) {
+		t.Errorf("d scale = %v, want 1/2", got)
+	}
+	if got := scales["f"][0].Scale; !got.Equal(affine.One) {
+		t.Errorf("f scale = %v, want 1 (2 · 1/2)", got)
+	}
+}
+
+func TestInconsistentScalesRejected(t *testing.T) {
+	// f(x) = g(x/2) + g(x/4): the paper's example of un-alignable schedules.
+	b := dsl.NewBuilder()
+	R := b.Param("R")
+	I := b.Image("I", expr.Float, R.Affine())
+	x := b.Var("x")
+	dom := []dsl.Interval{dsl.Span(affine.Const(0), R.Affine().AddConst(-1))}
+	gg := b.Func("g", expr.Float, []*dsl.Variable{x}, dom)
+	gg.Define(dsl.Case{E: I.At(x)})
+	f := b.Func("f", expr.Float, []*dsl.Variable{x},
+		[]dsl.Interval{dsl.ConstSpan(0, 99)})
+	f.Define(dsl.Case{E: dsl.Add(gg.At(dsl.IDiv(x, 2)), gg.At(dsl.IDiv(x, 4)))})
+	g, err := pipeline.Build(b, "f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := computeScales(g, map[string]bool{"f": true, "g": true}, "f"); err == nil {
+		t.Error("expected inconsistent-scale error for g(x/2) + g(x/4)")
+	}
+}
+
+func TestTransposedAccessRejected(t *testing.T) {
+	// f(x,y) = g(x,y) + g(y,x): dims align to two different anchor dims.
+	b := dsl.NewBuilder()
+	x, y := b.Var("x"), b.Var("y")
+	dom := []dsl.Interval{dsl.ConstSpan(0, 99), dsl.ConstSpan(0, 99)}
+	gg := b.Func("g", expr.Float, []*dsl.Variable{x, y}, dom)
+	gg.Define(dsl.Case{E: dsl.Add(x, y)})
+	f := b.Func("f", expr.Float, []*dsl.Variable{x, y}, dom)
+	f.Define(dsl.Case{E: dsl.Add(gg.At(x, y), gg.At(y, x))})
+	g, err := pipeline.Build(b, "f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := computeScales(g, map[string]bool{"f": true, "g": true}, "f"); err == nil {
+		t.Error("expected alignment conflict for g(x,y) + g(y,x)")
+	}
+}
+
+func TestAccumulatorNeverGrouped(t *testing.T) {
+	b := dsl.NewBuilder()
+	R := b.Param("R")
+	I := b.Image("I", expr.UChar, R.Affine(), R.Affine())
+	x, y, bin := b.Var("x"), b.Var("y"), b.Var("bin")
+	dom := []dsl.Interval{
+		dsl.Span(affine.Const(0), R.Affine().AddConst(-1)),
+		dsl.Span(affine.Const(0), R.Affine().AddConst(-1)),
+	}
+	hist := b.Accum("hist", expr.Int, []*dsl.Variable{x, y}, dom,
+		[]*dsl.Variable{bin}, []dsl.Interval{dsl.ConstSpan(0, 255)})
+	hist.Define([]any{I.At(x, y)}, 1, dsl.SumOp)
+	cdf := b.Func("cdf", expr.Float, []*dsl.Variable{bin}, []dsl.Interval{dsl.ConstSpan(0, 255)})
+	cdf.Define(dsl.Case{E: dsl.Div(hist.At(bin), 100.0)})
+	g, err := pipeline.Build(b, "cdf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	gr, err := BuildGroups(g, map[string]int64{"R": 512}, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gr.ByName["hist"] == gr.ByName["cdf"] {
+		t.Error("accumulator must not be fused with its consumer")
+	}
+}
+
+// TestTilePlanInvariants checks the execution-safety invariants of the
+// overlapped tile decomposition on the Harris group:
+//  1. owned live-out boxes partition each live-out domain (cover, disjoint);
+//  2. for every tile and in-group access, the producer's required region
+//     contains everything the consumer's required region reads (soundness).
+func TestTilePlanInvariants(t *testing.T) {
+	g := harrisGraph(t)
+	smallEst := map[string]int64{"R": 150, "C": 200}
+	gr, err := BuildGroups(g, smallEst, Options{TileSizes: []int64{32, 64}, MinTileExtent: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gr.Groups) != 1 {
+		t.Fatalf("expected one group, got %d", len(gr.Groups))
+	}
+	tp, err := NewTilePlan(g, gr.Groups[0], smallEst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkTilePlanInvariants(t, tp, smallEst)
+}
+
+func checkTilePlanInvariants(t *testing.T, tp *TilePlan, params map[string]int64) {
+	t.Helper()
+	// Per live-out, per dimension: owned intervals must tile the domain.
+	type cover struct{ lo, hi int64 }
+	covers := make(map[string][][]cover) // member -> dim -> intervals
+	idx := make([]int64, len(tp.TileCounts))
+	n := tp.NumTiles()
+	for flat := int64(0); flat < n; flat++ {
+		tp.TileIndex(flat, idx)
+		req, err := tp.Required(idx, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Soundness of propagation for in-group reads.
+		for _, cname := range tp.Group.Members {
+			crq := req[cname]
+			if crq == nil || crq.Empty() {
+				continue
+			}
+			for target, accs := range tp.accessCache[cname] {
+				if target == cname || !tp.memberSet[target] {
+					continue
+				}
+				for _, aa := range accs {
+					var vr affine.Range
+					if aa.Acc.Var >= 0 {
+						vr = crq[aa.Acc.Var]
+					}
+					rng, err := aa.Acc.RangeOver(vr, params)
+					if err != nil {
+						t.Fatal(err)
+					}
+					need := rng.Intersect(tp.domCache[target][aa.ProducerDim])
+					have := req[target][aa.ProducerDim]
+					if !have.ContainsRange(need) {
+						t.Fatalf("tile %v: %s needs %s of %s dim %d but tile computes %s",
+							idx, cname, need, target, aa.ProducerDim, have)
+					}
+				}
+			}
+		}
+		// Ownership bookkeeping.
+		for _, lo := range tp.LiveOuts {
+			owned := tp.OwnedBox(lo, idx)
+			if owned.Empty() {
+				continue
+			}
+			req2 := req[lo]
+			if !req2.ContainsBox(owned) {
+				t.Fatalf("tile %v: owned box %v of %s not computed (%v)", idx, owned, lo, req2)
+			}
+			if covers[lo] == nil {
+				covers[lo] = make([][]cover, len(owned))
+			}
+			for d, r := range owned {
+				covers[lo][d] = append(covers[lo][d], cover{r.Lo, r.Hi})
+			}
+		}
+	}
+	// Per dim: dedup and check the intervals tile the domain contiguously.
+	for lo, dims := range covers {
+		dom := tp.domCache[lo]
+		for d, ivs := range dims {
+			uniq := map[cover]bool{}
+			for _, iv := range ivs {
+				uniq[iv] = true
+			}
+			list := make([]cover, 0, len(uniq))
+			for iv := range uniq {
+				list = append(list, iv)
+			}
+			sort.Slice(list, func(i, j int) bool { return list[i].lo < list[j].lo })
+			if list[0].lo != dom[d].Lo || list[len(list)-1].hi != dom[d].Hi {
+				t.Fatalf("%s dim %d: owned intervals %v do not span domain %v", lo, d, list, dom[d])
+			}
+			for i := 1; i < len(list); i++ {
+				if list[i].lo != list[i-1].hi+1 {
+					t.Fatalf("%s dim %d: gap/overlap between %v and %v", lo, d, list[i-1], list[i])
+				}
+			}
+		}
+	}
+}
+
+// TestTilePlanSamplingChain checks invariants on a group with non-unit
+// scales (down/up-sampling).
+func TestTilePlanSamplingChain(t *testing.T) {
+	g := downsampleChain(t)
+	smallEst := map[string]int64{"R": 64} // full res 130, half res 65
+	gr, err := BuildGroups(g, smallEst, Options{TileSizes: []int64{16}, MinTileExtent: 8, MinSize: 16, OverlapThreshold: 0.9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	grp := gr.ByName["out"]
+	if len(grp.Members) != 3 {
+		t.Fatalf("expected full fusion, groups: %v", describeGroups(gr))
+	}
+	tp, err := NewTilePlan(g, grp, smallEst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkTilePlanInvariants(t, tp, smallEst)
+}
+
+func describeGroups(gr *Grouping) []string {
+	var out []string
+	for _, grp := range gr.Groups {
+		out = append(out, strings.Join(grp.Members, "+"))
+	}
+	return out
+}
+
+func TestEffectiveTileSizes(t *testing.T) {
+	opts := DefaultOptions()
+	// 3-channel x 1000 x 2000 image: channel dim untiled.
+	box := affine.Box{{Lo: 0, Hi: 2}, {Lo: 0, Hi: 999}, {Lo: 0, Hi: 1999}}
+	ts := effectiveTileSizes(box, opts)
+	if ts[0] != 0 || ts[1] != 32 || ts[2] != 256 {
+		t.Errorf("tile sizes = %v", ts)
+	}
+	// Tile size larger than extent: untiled.
+	small := affine.Box{{Lo: 0, Hi: 30}}
+	if got := effectiveTileSizes(small, opts); got[0] != 0 {
+		t.Errorf("small extent should be untiled, got %v", got)
+	}
+}

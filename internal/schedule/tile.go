@@ -1,0 +1,255 @@
+package schedule
+
+import (
+	"fmt"
+
+	"repro/internal/affine"
+	"repro/internal/pipeline"
+)
+
+// TilePlan is the concrete overlapped-tile decomposition of one group for a
+// given parameter binding: the anchor's domain is cut into tiles; for each
+// tile, the regions of every member stage needed to compute the tile's
+// live-out values are obtained by backward interval propagation through the
+// in-group accesses (the tight tile shape construction of Section 3.4 /
+// Figure 6).
+type TilePlan struct {
+	Group     *Group
+	Graph     *pipeline.Graph
+	Params    map[string]int64
+	AnchorBox affine.Box
+	// TileSizes per anchor dim; 0 means the dimension is untiled (one tile
+	// spans the whole extent).
+	TileSizes []int64
+	// TileCounts per anchor dim.
+	TileCounts []int64
+	// LiveOuts are members whose values are consumed outside the group (or
+	// are pipeline outputs); they are written to full buffers. Includes the
+	// anchor.
+	LiveOuts []string
+
+	accessCache map[string]map[string][]argAccess
+	domCache    map[string]affine.Box
+	memberSet   map[string]bool
+}
+
+// NewTilePlan builds the tile decomposition of a group under the given
+// parameter binding.
+func NewTilePlan(g *pipeline.Graph, grp *Group, params map[string]int64) (*TilePlan, error) {
+	anchorBox, err := domainAt(g.Stages[grp.Anchor], params)
+	if err != nil {
+		return nil, err
+	}
+	tp := &TilePlan{
+		Group:       grp,
+		Graph:       g,
+		Params:      params,
+		AnchorBox:   anchorBox,
+		TileSizes:   make([]int64, len(anchorBox)),
+		TileCounts:  make([]int64, len(anchorBox)),
+		accessCache: make(map[string]map[string][]argAccess),
+		domCache:    make(map[string]affine.Box),
+	}
+	if grp.Tiled {
+		copy(tp.TileSizes, grp.TileSizes)
+	}
+	for d, r := range anchorBox {
+		ts := tp.TileSizes[d]
+		if ts <= 0 || ts >= r.Size() {
+			tp.TileSizes[d] = 0
+			tp.TileCounts[d] = 1
+		} else {
+			tp.TileCounts[d] = affine.CeilDiv(r.Size(), ts)
+		}
+	}
+	inGroup := make(map[string]bool, len(grp.Members))
+	for _, m := range grp.Members {
+		inGroup[m] = true
+	}
+	tp.memberSet = inGroup
+	for _, m := range grp.Members {
+		st := g.Stages[m]
+		live := st.LiveOut
+		for _, c := range st.Consumers {
+			if !inGroup[c] {
+				live = true
+			}
+		}
+		if m == grp.Anchor {
+			live = true
+		}
+		if live {
+			tp.LiveOuts = append(tp.LiveOuts, m)
+		}
+		tp.accessCache[m] = stageAccessMap(st)
+		dom, err := domainAt(st, params)
+		if err != nil {
+			return nil, err
+		}
+		tp.domCache[m] = dom
+	}
+	return tp, nil
+}
+
+// NumTiles returns the total number of tiles.
+func (tp *TilePlan) NumTiles() int64 {
+	n := int64(1)
+	for _, c := range tp.TileCounts {
+		n *= c
+	}
+	return n
+}
+
+// TileIndex converts a flat tile number into a per-dimension tile index.
+func (tp *TilePlan) TileIndex(flat int64, idx []int64) []int64 {
+	if idx == nil {
+		idx = make([]int64, len(tp.TileCounts))
+	}
+	for d := len(tp.TileCounts) - 1; d >= 0; d-- {
+		idx[d] = flat % tp.TileCounts[d]
+		flat /= tp.TileCounts[d]
+	}
+	return idx
+}
+
+// TileBox returns the anchor-domain box of the tile at the given index
+// (clamped to the anchor domain).
+func (tp *TilePlan) TileBox(idx []int64) affine.Box {
+	b := make(affine.Box, len(tp.AnchorBox))
+	for d, r := range tp.AnchorBox {
+		if tp.TileSizes[d] == 0 {
+			b[d] = r
+			continue
+		}
+		lo := r.Lo + idx[d]*tp.TileSizes[d]
+		hi := lo + tp.TileSizes[d] - 1
+		if hi > r.Hi {
+			hi = r.Hi
+		}
+		b[d] = affine.Range{Lo: lo, Hi: hi}
+	}
+	return b
+}
+
+// MemberDomain returns a member's concrete domain.
+func (tp *TilePlan) MemberDomain(m string) affine.Box { return tp.domCache[m] }
+
+// MemberAccess is one in-group access of a member (consumer side view).
+type MemberAccess struct {
+	Target      string // producer stage (an in-group member)
+	ProducerDim int
+	Acc         affine.Access
+	OK          bool // quasi-affine form available
+}
+
+// InGroupAccesses lists a member's accesses to other group members (used by
+// alternative tiling strategies such as split tiling).
+func (tp *TilePlan) InGroupAccesses(m string) []MemberAccess {
+	var out []MemberAccess
+	for target, accs := range tp.accessCache[m] {
+		if target == m || !tp.memberSet[target] {
+			continue
+		}
+		for _, aa := range accs {
+			out = append(out, MemberAccess{Target: target, ProducerDim: aa.ProducerDim, Acc: aa.Acc, OK: aa.OK})
+		}
+	}
+	return out
+}
+
+// OwnedBox returns the sub-box of live-out member m that the tile at idx is
+// responsible for writing. Tiles own disjoint boxes whose union covers the
+// member's domain exactly, so parallel tiles never write the same live-out
+// element twice (overlap regions are recomputed into scratchpads only).
+func (tp *TilePlan) OwnedBox(m string, idx []int64) affine.Box {
+	if m == tp.Group.Anchor {
+		return tp.TileBox(idx)
+	}
+	scales := tp.Group.Scales[m]
+	dom := tp.domCache[m]
+	out := make(affine.Box, len(dom))
+	for d, r := range dom {
+		ds := scales[d]
+		if ds.AnchorDim < 0 || tp.TileSizes[ds.AnchorDim] == 0 {
+			// Unaligned or untiled anchor dimension: the single tile along
+			// it owns the full extent.
+			out[d] = r
+			continue
+		}
+		a := ds.AnchorDim
+		t := idx[a]
+		lo := r.Lo
+		if t > 0 {
+			lo = r.Lo + ds.Scale.ScaleFloor(t*tp.TileSizes[a])
+		}
+		hi := r.Hi
+		if t < tp.TileCounts[a]-1 {
+			hi = r.Lo + ds.Scale.ScaleFloor((t+1)*tp.TileSizes[a]) - 1
+		}
+		out[d] = affine.Range{Lo: lo, Hi: hi}
+	}
+	return out.Intersect(dom)
+}
+
+// Required computes, for the tile at idx, the region of every member that
+// must be evaluated: the tile's owned live-out boxes plus everything the
+// in-group consumers transitively need (the overlapped tile of Figure 6).
+// Results are clipped to the member domains. The returned map is freshly
+// allocated unless dst is provided.
+func (tp *TilePlan) Required(idx []int64, dst map[string]affine.Box) (map[string]affine.Box, error) {
+	req := dst
+	if req == nil {
+		req = make(map[string]affine.Box, len(tp.Group.Members))
+	}
+	members := tp.Group.Members
+	for _, m := range members {
+		req[m] = nil
+	}
+	// Seed with owned live-out regions.
+	for _, lo := range tp.LiveOuts {
+		req[lo] = tp.OwnedBox(lo, idx)
+	}
+	// Backward propagation: consumers before producers.
+	for i := len(members) - 1; i >= 0; i-- {
+		cname := members[i]
+		crq := req[cname]
+		if crq == nil || crq.Empty() {
+			continue
+		}
+		for target, accs := range tp.accessCache[cname] {
+			if target == cname || !tp.memberSet[target] {
+				continue
+			}
+			pdom := tp.domCache[target]
+			prq := req[target]
+			if prq == nil {
+				prq = make(affine.Box, len(pdom))
+				for d := range prq {
+					prq[d] = affine.Range{Lo: 0, Hi: -1} // empty
+				}
+			}
+			for _, aa := range accs {
+				if !aa.OK {
+					return nil, fmt.Errorf("schedule: non-affine in-group access %s -> %s", cname, target)
+				}
+				var varRange affine.Range
+				if aa.Acc.Var >= 0 {
+					varRange = crq[aa.Acc.Var]
+				}
+				rng, err := aa.Acc.RangeOver(varRange, tp.Params)
+				if err != nil {
+					return nil, err
+				}
+				prq[aa.ProducerDim] = prq[aa.ProducerDim].Union(rng.Intersect(pdom[aa.ProducerDim]))
+			}
+			req[target] = prq
+		}
+	}
+	// Clip to domains.
+	for _, m := range members {
+		if req[m] != nil {
+			req[m] = req[m].Intersect(tp.domCache[m])
+		}
+	}
+	return req, nil
+}

@@ -1,0 +1,200 @@
+// Package polymage is a Go implementation of PolyMage (Mullapudi, Vasista,
+// Bondhugula — ASPLOS 2015): a domain-specific language and optimizing
+// compiler for image processing pipelines. Pipelines are written as graphs
+// of functions over multi-dimensional integer domains; the compiler checks
+// bounds statically, inlines point-wise stages, partitions the graph into
+// groups by a model-driven heuristic, executes each group with overlapped
+// tiling and scratchpad storage, and parallelizes tiles over a worker pool.
+//
+// A minimal pipeline (3-point blur):
+//
+//	b := polymage.NewBuilder()
+//	W := b.Param("W")
+//	in := b.Image("in", polymage.Float, W.Affine())
+//	x := b.Var("x")
+//	blur := b.Func("blur", polymage.Float, []*polymage.Variable{x},
+//	    []polymage.Interval{polymage.Span(polymage.ConstExpr(1), W.Affine().AddConst(-2))})
+//	blur.Define(polymage.Case{E: polymage.Mul(1.0/3, polymage.Add(
+//	    polymage.Add(in.At(polymage.Sub(x, 1)), in.At(x)), in.At(polymage.Add(x, 1))))})
+//	pl, err := polymage.Compile(b, []string{"blur"}, polymage.Options{
+//	    Estimates: map[string]int64{"W": 4096},
+//	})
+//	prog, err := pl.Bind(map[string]int64{"W": 4096}, polymage.ExecOptions{Fast: true})
+//	out, err := prog.Run(map[string]*polymage.Buffer{"in": input})
+//
+// See the examples/ directory for complete programs, and DESIGN.md for how
+// this implementation maps onto the paper.
+package polymage
+
+import (
+	"repro/internal/affine"
+	"repro/internal/core"
+	"repro/internal/dsl"
+	"repro/internal/engine"
+	"repro/internal/expr"
+	"repro/internal/inline"
+	"repro/internal/schedule"
+)
+
+// Language constructs (Section 2 of the paper).
+type (
+	// Builder collects the declarations of one pipeline specification.
+	Builder = dsl.Builder
+	// Parameter is an integer pipeline parameter (e.g. image width).
+	Parameter = dsl.Parameter
+	// Variable is an integer loop variable labeling a function dimension.
+	Variable = dsl.Variable
+	// Interval is the range of a variable, affine in the parameters.
+	Interval = dsl.Interval
+	// Image declares a pipeline input.
+	Image = dsl.Image
+	// Function maps a multi-dimensional integer domain to scalar values.
+	Function = dsl.Function
+	// Case pairs a condition with a defining expression.
+	Case = dsl.Case
+	// Accumulator is the reduction construct (histograms etc.).
+	Accumulator = dsl.Accumulator
+	// ReduceOp is a reduction operator for Accumulate.
+	ReduceOp = dsl.ReduceOp
+	// Expr is a scalar expression.
+	Expr = expr.Expr
+	// Condition is a boolean condition over variables and parameters.
+	Condition = expr.Cond
+	// Type is a DSL element type.
+	Type = expr.Type
+	// AffineExpr is an affine expression over parameters (domain bounds).
+	AffineExpr = affine.Expr
+	// Buffer is an N-dimensional float32 array exchanged with pipelines.
+	Buffer = engine.Buffer
+	// Box is a concrete N-dimensional index region.
+	Box = affine.Box
+	// Range is a concrete 1-D index interval.
+	Range = affine.Range
+)
+
+// Element types.
+const (
+	Float  = expr.Float
+	Double = expr.Double
+	Int    = expr.Int
+	UInt   = expr.UInt
+	Char   = expr.Char
+	UChar  = expr.UChar
+	Short  = expr.Short
+)
+
+// Reduction operators.
+const (
+	Sum = dsl.SumOp
+	Min = dsl.MinOp
+	Max = dsl.MaxOp
+	Mul = dsl.MulOp
+)
+
+// NewBuilder returns an empty pipeline specification.
+func NewBuilder() *Builder { return dsl.NewBuilder() }
+
+// ConstExpr returns a constant affine expression (for domain bounds).
+func ConstExpr(v int64) AffineExpr { return affine.Const(v) }
+
+// ParamExpr returns the named parameter as an affine expression.
+func ParamExpr(name string) AffineExpr { return affine.Param(name) }
+
+// Span builds an interval from affine bounds; ConstSpan from constants.
+var (
+	Span      = dsl.Span
+	ConstSpan = dsl.ConstSpan
+)
+
+// Expression helpers (see internal/dsl for details). Arithmetic helpers
+// accept Expr, *Variable, *Parameter and Go numbers.
+var (
+	E          = dsl.E
+	Add        = dsl.Add
+	Sub        = dsl.Sub
+	MulE       = dsl.Mul
+	Div        = dsl.Div
+	IDiv       = dsl.IDiv
+	Neg        = dsl.Neg
+	MinE       = dsl.Min
+	MaxE       = dsl.Max
+	Abs        = dsl.Abs
+	Sqrt       = dsl.Sqrt
+	Exp        = dsl.Exp
+	Log        = dsl.Log
+	Pow        = dsl.Pow
+	Cast       = dsl.Cast
+	Clamp      = dsl.Clamp
+	Sel        = dsl.Sel
+	Cond       = dsl.Cond
+	And        = dsl.And
+	Or         = dsl.Or
+	Not        = dsl.Not
+	InBox      = dsl.InBox
+	Stencil    = dsl.Stencil
+	SeparableX = dsl.SeparableX
+	SeparableY = dsl.SeparableY
+)
+
+// Options configures compilation; see core.Options.
+type Options = core.Options
+
+// ScheduleOptions tunes grouping and overlapped tiling.
+type ScheduleOptions = schedule.Options
+
+// InlineOptions tunes point-wise inlining.
+type InlineOptions = inline.Options
+
+// ExecOptions configures execution (threads, fast kernels).
+type ExecOptions = engine.Options
+
+// Tiling strategies for fused groups (the Figure 5 comparison).
+const (
+	// OverlappedTiling is the paper's strategy: parallel tiles that
+	// recompute the overlap region (default).
+	OverlappedTiling = engine.OverlappedTiling
+	// ParallelogramTiling runs tiles sequentially with no recomputation.
+	ParallelogramTiling = engine.ParallelogramTiling
+	// SplitTiling evaluates tiles in two phases with no recomputation.
+	SplitTiling = engine.SplitTiling
+)
+
+// Pipeline is a compiled pipeline specification.
+type Pipeline = core.Pipeline
+
+// Program is a pipeline lowered for a concrete parameter binding.
+type Program = engine.Program
+
+// Compile runs the PolyMage compiler phases (Figure 4 of the paper) on a
+// specification: graph construction, bounds checking, inlining, grouping
+// and overlapped-tiling schedule construction.
+func Compile(b *Builder, outputs []string, opts Options) (*Pipeline, error) {
+	return core.Compile(b, outputs, opts)
+}
+
+// NewBuffer allocates a buffer covering box.
+func NewBuffer(box Box) *Buffer { return engine.NewBuffer(box) }
+
+// NewBufferForDomain allocates a buffer for a parametric domain bound at
+// params (e.g. an input image's domain).
+func NewBufferForDomain(dom []Interval, params map[string]int64) (*Buffer, error) {
+	ad := make(affine.Domain, len(dom))
+	for i, iv := range dom {
+		ad[i] = affine.Interval{Lo: iv.Lo, Hi: iv.Hi}
+	}
+	return engine.NewBufferForDomain(ad, params)
+}
+
+// NewInputBuffer allocates a buffer matching a declared input image under
+// the given parameter binding.
+func NewInputBuffer(im *Image, params map[string]int64) (*Buffer, error) {
+	box, err := im.Domain().Eval(params)
+	if err != nil {
+		return nil, err
+	}
+	return engine.NewBuffer(box), nil
+}
+
+// FillPattern writes a deterministic pseudo-random pattern (synthetic
+// input images for tests and benchmarks).
+func FillPattern(b *Buffer, seed int64) { engine.FillPattern(b, seed) }

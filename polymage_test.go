@@ -1,0 +1,127 @@
+package polymage_test
+
+import (
+	"strings"
+	"testing"
+
+	polymage "repro"
+)
+
+// TestPublicAPIQuickstart exercises the documented public surface: build,
+// compile, bind, run, inspect.
+func TestPublicAPIQuickstart(t *testing.T) {
+	b := polymage.NewBuilder()
+	W := b.Param("W")
+	in := b.Image("in", polymage.Float, W.Affine())
+	x := b.Var("x")
+	dom := []polymage.Interval{polymage.Span(polymage.ConstExpr(1), W.Affine().AddConst(-2))}
+
+	blur := b.Func("blur", polymage.Float, []*polymage.Variable{x}, dom)
+	blur.Define(polymage.Case{E: polymage.MulE(1.0/3,
+		polymage.Add(polymage.Add(in.At(polymage.Sub(x, 1)), in.At(x)), in.At(polymage.Add(x, 1))))})
+	sharp := b.Func("sharp", polymage.Float, []*polymage.Variable{x}, dom)
+	sharp.Define(polymage.Case{E: polymage.Sub(polymage.MulE(2, in.At(x)), blur.At(x))})
+
+	pl, err := polymage.Compile(b, []string{"sharp"}, polymage.Options{
+		Estimates: map[string]int64{"W": 1024},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	summary := strings.Join(pl.GroupSummary(), "\n")
+	if !strings.Contains(summary, "sharp") {
+		t.Errorf("group summary missing sharp: %s", summary)
+	}
+
+	params := map[string]int64{"W": 1024}
+	for _, fast := range []bool{false, true} {
+		prog, err := pl.Bind(params, polymage.ExecOptions{Fast: fast, Threads: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		input, err := polymage.NewInputBuffer(in, params)
+		if err != nil {
+			t.Fatal(err)
+		}
+		polymage.FillPattern(input, 1)
+		out, err := prog.Run(map[string]*polymage.Buffer{"in": input})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res := out["sharp"]
+		if res == nil || res.Len() != 1022 {
+			t.Fatalf("fast=%v: bad output %+v", fast, res)
+		}
+		// Spot check: sharp(x) = 2 in(x) - (in(x-1)+in(x)+in(x+1))/3.
+		wantF := 2*float64(input.At(5)) - (float64(input.At(4))+float64(input.At(5))+float64(input.At(6)))/3
+		if d := float64(res.At(5)) - wantF; d > 1e-5 || d < -1e-5 {
+			t.Errorf("fast=%v: sharp(5) = %v, want %v", fast, res.At(5), wantF)
+		}
+	}
+}
+
+// TestPublicAPIErrors checks that the public compile path surfaces
+// specification errors.
+func TestPublicAPIErrors(t *testing.T) {
+	b := polymage.NewBuilder()
+	W := b.Param("W")
+	in := b.Image("in", polymage.Float, W.Affine())
+	x := b.Var("x")
+	// Out-of-bounds access: f(x) = in(x+1) over the full extent.
+	f := b.Func("f", polymage.Float, []*polymage.Variable{x},
+		[]polymage.Interval{polymage.Span(polymage.ConstExpr(0), W.Affine().AddConst(-1))})
+	f.Define(polymage.Case{E: in.At(polymage.Add(x, 1))})
+	_, err := polymage.Compile(b, []string{"f"}, polymage.Options{
+		Estimates: map[string]int64{"W": 100},
+	})
+	if err == nil || !strings.Contains(err.Error(), "bounds") {
+		t.Errorf("expected bounds error, got %v", err)
+	}
+
+	// Unknown output stage.
+	b2 := polymage.NewBuilder()
+	if _, err := polymage.Compile(b2, []string{"ghost"}, polymage.Options{}); err == nil {
+		t.Error("expected error for unknown output")
+	}
+}
+
+// TestPublicAPIReduction exercises Accumulator through the facade.
+func TestPublicAPIReduction(t *testing.T) {
+	b := polymage.NewBuilder()
+	N := b.Param("N")
+	in := b.Image("in", polymage.Float, N.Affine())
+	x, v := b.Var("x"), b.Var("v")
+	hist := b.Accum("hist", polymage.Int,
+		[]*polymage.Variable{x},
+		[]polymage.Interval{polymage.Span(polymage.ConstExpr(0), N.Affine().AddConst(-1))},
+		[]*polymage.Variable{v},
+		[]polymage.Interval{polymage.ConstSpan(0, 9)})
+	hist.Define([]any{polymage.Cast(polymage.Int, polymage.MulE(in.At(x), 9.999))}, 1, polymage.Sum)
+	pl, err := polymage.Compile(b, []string{"hist"}, polymage.Options{
+		Estimates: map[string]int64{"N": 1000},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	params := map[string]int64{"N": 1000}
+	prog, err := pl.Bind(params, polymage.ExecOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	input, err := polymage.NewInputBuffer(in, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	polymage.FillPattern(input, 2)
+	out, err := prog.Run(map[string]*polymage.Buffer{"in": input})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total float32
+	for _, c := range out["hist"].Data {
+		total += c
+	}
+	if total != 1000 {
+		t.Errorf("histogram counts sum to %v, want 1000", total)
+	}
+}
