@@ -1,0 +1,32 @@
+GO ?= go
+
+.PHONY: all build test race bench bench-kernels serve clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Race-checked run of the execution engine, including the concurrent
+# Program.Run stress test (TestConcurrentRun). CI should run this target.
+race:
+	$(GO) test -race ./internal/engine/...
+
+# Paper tables/figures benchmarks (scaled down; POLYMAGE_BENCH_SCALE=1 for
+# paper-sized inputs).
+bench:
+	$(GO) test -bench . -benchmem -run '^$$' .
+
+# Engine microbenchmarks: stencil/combination/accumulator kernels and the
+# repeated-Run steady state of the persistent executor.
+bench-kernels:
+	$(GO) test -bench 'BenchmarkStencil|BenchmarkCombination|BenchmarkAccumulator|BenchmarkRepeatedRun' -benchmem -run '^$$' ./internal/engine/
+
+serve:
+	$(GO) run ./cmd/polymage-bench -serve harris -requests 100
+
+clean:
+	$(GO) clean ./...

@@ -53,6 +53,7 @@ func benchApp(b *testing.B, appName, variantName string, threads int, sopts sche
 	if err != nil {
 		b.Fatal(err)
 	}
+	defer p.Close()
 	// Report pixels/op for scale-independent comparison.
 	var px int64 = 1
 	for _, k := range []string{"R", "C"} {
@@ -60,11 +61,14 @@ func benchApp(b *testing.B, appName, variantName string, threads int, sopts sche
 			px *= v
 		}
 	}
+	e := p.Prog.Executor()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := p.Prog.Run(p.Inputs); err != nil {
+		out, err := e.Run(p.Inputs)
+		if err != nil {
 			b.Fatal(err)
 		}
+		e.Recycle(out)
 	}
 	b.ReportMetric(float64(px), "px/op")
 }
@@ -177,6 +181,7 @@ func BenchmarkAblation(b *testing.B) {
 			if err != nil {
 				b.Fatal(err)
 			}
+			defer prog.Close()
 			in := polymage.NewBuffer(polymage.Box{{Lo: 0, Hi: rows - 1}, {Lo: 0, Hi: rows - 1}})
 			polymage.FillPattern(in, 5)
 			inputs := map[string]*polymage.Buffer{"I": in}
@@ -210,6 +215,7 @@ func BenchmarkAblation(b *testing.B) {
 			if err != nil {
 				b.Fatal(err)
 			}
+			defer prog.Close()
 			in := polymage.NewBuffer(polymage.Box{{Lo: 0, Hi: rows - 1}, {Lo: 0, Hi: rows - 1}})
 			polymage.FillPattern(in, 5)
 			inputs := map[string]*polymage.Buffer{"I": in}
@@ -238,6 +244,7 @@ func BenchmarkAblation(b *testing.B) {
 			if err != nil {
 				b.Fatal(err)
 			}
+			defer prog.Close()
 			in := polymage.NewBuffer(polymage.Box{{Lo: 0, Hi: rows - 1}, {Lo: 0, Hi: rows - 1}})
 			polymage.FillPattern(in, 5)
 			inputs := map[string]*polymage.Buffer{"I": in}
@@ -275,6 +282,7 @@ func BenchmarkAblation(b *testing.B) {
 			if err != nil {
 				b.Fatal(err)
 			}
+			defer prog.Close()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				if _, err := prog.Run(inputs); err != nil {

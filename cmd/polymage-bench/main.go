@@ -7,6 +7,7 @@
 //	polymage-bench -table2 [-scale 4] [-runs 3]
 //	polymage-bench -figure10 [-cores 1,2,4]
 //	polymage-bench -figure9 [-full-space]
+//	polymage-bench -serve harris [-requests 100]
 //	polymage-bench -all
 package main
 
@@ -33,8 +34,17 @@ func main() {
 	fullSpace := flag.Bool("full-space", false, "Figure 9: use the paper's full 147-point space (slow)")
 	tune := flag.Bool("tune", false, "autotune tile sizes for the opt variants before measuring")
 	csvOut := flag.Bool("csv", false, "emit Figure 9/10 data as CSV instead of tables")
+	serve := flag.String("serve", "", "steady-state serving mode: compile the named app once, time repeated requests")
+	requests := flag.Int("requests", 100, "number of requests for -serve")
 	flag.Parse()
 
+	if *serve != "" {
+		cfg := harness.Config{Scale: *scale, Runs: *runs, Threads: *threads, Seed: 42}
+		if err := harness.Serve(os.Stdout, *serve, *requests, cfg); err != nil {
+			fatal(err)
+		}
+		return
+	}
 	if !*table2 && !*figure10 && !*figure9 && !*all {
 		flag.Usage()
 		os.Exit(2)

@@ -1,0 +1,113 @@
+package engine
+
+import (
+	"math/bits"
+	"sync"
+
+	"repro/internal/affine"
+)
+
+// arena recycles Buffer backing storage across groups and across Run calls.
+// Buffers are bucketed by capacity into power-of-two size classes, so the
+// allocation path is a best-fit scan of one small bucket instead of the
+// O(n²) whole-pool scan the per-run free list used. The arena is owned by
+// an Executor: intermediates return to it automatically at the end of their
+// liveness, outputs only when the caller hands them back via
+// Executor.Recycle.
+type arena struct {
+	mu      sync.Mutex
+	classes [arenaClasses][]*Buffer
+	// hits/misses count recycled vs fresh allocations (diagnostics for
+	// tests and the serve mode).
+	hits, misses int64
+}
+
+const arenaClasses = 48
+
+// arenaClass buckets a capacity: buffers with cap in [2^c, 2^(c+1)) share
+// class c.
+func arenaClass(n int64) int {
+	if n <= 1 {
+		return 0
+	}
+	c := bits.Len64(uint64(n)) - 1
+	if c >= arenaClasses {
+		c = arenaClasses - 1
+	}
+	return c
+}
+
+// get returns a recycled buffer reshaped to cover box, or a fresh one.
+func (a *arena) get(box affine.Box) *Buffer {
+	need := int64(1)
+	for _, r := range box {
+		sz := r.Size()
+		if sz < 0 {
+			sz = 0
+		}
+		need *= sz
+	}
+	a.mu.Lock()
+	b := a.take(need)
+	if b != nil {
+		a.hits++
+	} else {
+		a.misses++
+	}
+	a.mu.Unlock()
+	if b != nil {
+		b.Reset(box)
+		return b
+	}
+	return NewBuffer(box)
+}
+
+// take pops a buffer with capacity ≥ need: best fit within need's own class
+// (entries there may still be too small), then LIFO from the first larger
+// non-empty class (any entry fits; the most recently recycled is the
+// cache-warmest).
+func (a *arena) take(need int64) *Buffer {
+	c := arenaClass(need)
+	bucket := a.classes[c]
+	best := -1
+	for i, b := range bucket {
+		if int64(cap(b.Data)) >= need && (best < 0 || cap(b.Data) < cap(bucket[best].Data)) {
+			best = i
+		}
+	}
+	if best >= 0 {
+		b := bucket[best]
+		last := len(bucket) - 1
+		bucket[best] = bucket[last]
+		bucket[last] = nil
+		a.classes[c] = bucket[:last]
+		return b
+	}
+	for c++; c < arenaClasses; c++ {
+		bucket := a.classes[c]
+		if n := len(bucket); n > 0 {
+			b := bucket[n-1]
+			bucket[n-1] = nil
+			a.classes[c] = bucket[:n-1]
+			return b
+		}
+	}
+	return nil
+}
+
+// put recycles a buffer's storage; the caller must not use b afterwards.
+func (a *arena) put(b *Buffer) {
+	if b == nil || cap(b.Data) == 0 {
+		return
+	}
+	c := arenaClass(int64(cap(b.Data)))
+	a.mu.Lock()
+	a.classes[c] = append(a.classes[c], b)
+	a.mu.Unlock()
+}
+
+func (a *arena) stats() (hits, misses int64) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.hits, a.misses
+}

@@ -36,7 +36,12 @@ func NewBuffer(box affine.Box) *Buffer {
 // the reference interpreter (pipelines use this for zero-padded aprons).
 func (b *Buffer) Reset(box affine.Box) {
 	n := int64(1)
-	b.Box = box.Clone()
+	if cap(b.Box) >= len(box) {
+		b.Box = b.Box[:len(box)]
+		copy(b.Box, box)
+	} else {
+		b.Box = box.Clone()
+	}
 	if cap(b.Stride) >= len(box) {
 		b.Stride = b.Stride[:len(box)]
 	} else {

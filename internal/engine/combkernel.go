@@ -155,18 +155,31 @@ func (k *combKernel) run(c *Ctx, region affine.Box, out *Buffer) {
 	}
 	nd := len(region)
 	last := nd - 1
-	pt := make([]int64, nd)
+	ks := &c.ks
+	ks.pt = growI64(ks.pt, nd)
+	pt := ks.pt
 	for d := range region {
 		pt[d] = region[d].Lo
 	}
 	n := int(region[last].Size())
 	nAcc := len(k.accs)
-	bases := make([]int64, nAcc)
-	steps := make([]int64, nAcc)
-	rows := make([][]float32, nAcc)
+	ks.bases = growI64(ks.bases, nAcc)
+	ks.steps = growI64(ks.steps, nAcc)
+	bases := ks.bases
+	steps := ks.steps
+	if cap(ks.rows) < nAcc {
+		ks.rows = make([][]float32, nAcc)
+	}
+	rows := ks.rows[:nAcc]
+	if cap(ks.vals) < nAcc {
+		ks.vals = make([]float64, nAcc)
+	}
+	vals := ks.vals[:nAcc]
+	if cap(ks.acc) < n {
+		ks.acc = make([]float64, n)
+	}
+	acc := ks.acc[:n]
 	allUnit := true
-	vals := make([]float64, nAcc)
-	acc := make([]float64, n)
 	for {
 		// Per-row setup: flat base offset and per-element step per access.
 		allUnit = true

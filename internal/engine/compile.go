@@ -14,6 +14,32 @@ import (
 type Ctx struct {
 	pt   []int64
 	bufs []*Buffer
+
+	// ks is reusable scratch for the leaf kernels (stencil/comb). The
+	// kernels never nest within a worker, so one shared set keeps their hot
+	// paths allocation-free across calls, groups and runs.
+	ks kernelScratch
+}
+
+// kernelScratch holds the per-call slices the specialized kernels used to
+// allocate on every run call; workers persist, so the slices are grown once
+// and reused.
+type kernelScratch struct {
+	pt     []int64
+	tapOff []int64
+	bases  []int64
+	steps  []int64
+	rows   [][]float32
+	vals   []float64
+	acc    []float64
+}
+
+// growI64 returns s resized to n elements, reallocating only on growth.
+func growI64(s []int64, n int) []int64 {
+	if cap(s) < n {
+		return make([]int64, n)
+	}
+	return s[:n]
 }
 
 type evalFn func(c *Ctx) float64

@@ -65,7 +65,7 @@ func allVariants(t *testing.T, g *pipeline.Graph, params map[string]int64,
 	}
 }
 
-func harrisPipeline(t *testing.T) (*pipeline.Graph, map[string]int64, map[string]*Buffer) {
+func harrisPipeline(t testing.TB) (*pipeline.Graph, map[string]int64, map[string]*Buffer) {
 	t.Helper()
 	b := dsl.NewBuilder()
 	R, C := b.Param("R"), b.Param("C")

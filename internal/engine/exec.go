@@ -2,7 +2,6 @@ package engine
 
 import (
 	"fmt"
-	"sync"
 	"sync/atomic"
 
 	"repro/internal/affine"
@@ -14,176 +13,52 @@ import (
 // pipeline's declared outputs are among them. With Options.ReuseBuffers,
 // intermediate buffers are pooled and only the declared outputs are
 // returned.
+//
+// Run is a thin wrapper over the Program's lazily created persistent
+// Executor: the worker pool, scratchpads and the buffer arena survive
+// across calls. Run is safe to call concurrently; see Executor for the
+// exact contract and for Recycle/Close.
 func (p *Program) Run(inputs map[string]*Buffer) (map[string]*Buffer, error) {
-	base := make([]*Buffer, p.slotCount)
-	for name := range p.Graph.Images {
-		buf, ok := inputs[name]
-		if !ok {
-			return nil, fmt.Errorf("engine: missing input image %q", name)
-		}
-		want, err := p.InputBox(name)
-		if err != nil {
-			return nil, err
-		}
-		if len(buf.Box) != len(want) {
-			return nil, fmt.Errorf("engine: input %q rank %d, want %d", name, len(buf.Box), len(want))
-		}
-		for d := range want {
-			if buf.Box[d] != want[d] {
-				return nil, fmt.Errorf("engine: input %q dim %d is %v, want %v", name, d, buf.Box[d], want[d])
-			}
-		}
-		base[p.slots[name]] = buf
-	}
-	if p.Opts.ReuseBuffers {
-		return p.runPooled(base)
-	}
-	outputs := make(map[string]*Buffer, len(p.fullStages))
-	for _, name := range p.fullStages {
-		box, err := p.OutputBox(name)
-		if err != nil {
-			return nil, err
-		}
-		buf := NewBuffer(box)
-		outputs[name] = buf
-		base[p.slots[name]] = buf
-	}
-	for _, ge := range p.groups {
-		if err := p.runGroup(ge, base, outputs); err != nil {
-			return nil, err
-		}
-	}
-	return outputs, nil
+	return p.Executor().Run(inputs)
 }
 
-// runPooled executes with liveness-based buffer pooling: each group's
-// full buffers are taken from a free pool at the group that produces them
-// and returned to it after their last consumer group executes.
-func (p *Program) runPooled(base []*Buffer) (map[string]*Buffer, error) {
-	isOutput := make(map[string]bool, len(p.Graph.LiveOuts))
-	for _, lo := range p.Graph.LiveOuts {
-		isOutput[lo] = true
-	}
-	// producedAt / lastUse in group-order indices.
-	groupOf := make(map[string]int)
-	for gi, ge := range p.groups {
-		for _, m := range ge.grp.Members {
-			groupOf[m] = gi
-		}
-	}
-	lastUse := make(map[string]int, len(p.fullStages))
-	for _, name := range p.fullStages {
-		last := groupOf[name]
-		for _, c := range p.Graph.Stages[name].Consumers {
-			if gi := groupOf[c]; gi > last {
-				last = gi
-			}
-		}
-		lastUse[name] = last
-	}
-	var pool []*Buffer
-	alloc := func(box affine.Box) *Buffer {
-		need := int64(1)
-		for _, r := range box {
-			need *= r.Size()
-		}
-		bestIdx := -1
-		for i, b := range pool {
-			if int64(cap(b.Data)) >= need && (bestIdx < 0 || cap(b.Data) < cap(pool[bestIdx].Data)) {
-				bestIdx = i
-			}
-		}
-		if bestIdx >= 0 {
-			b := pool[bestIdx]
-			pool = append(pool[:bestIdx], pool[bestIdx+1:]...)
-			b.Reset(box)
-			return b
-		}
-		return NewBuffer(box)
-	}
-	outputs := make(map[string]*Buffer)
-	live := make(map[string]*Buffer)
-	for gi, ge := range p.groups {
-		// Allocate this group's live-out buffers.
-		for _, name := range ge.tp.LiveOuts {
-			if live[name] != nil {
-				continue
-			}
-			box, err := p.OutputBox(name)
-			if err != nil {
-				return nil, err
-			}
-			buf := alloc(box)
-			live[name] = buf
-			base[p.slots[name]] = buf
-			if isOutput[name] {
-				outputs[name] = buf
-			}
-		}
-		if err := p.runGroup(ge, base, live); err != nil {
-			return nil, err
-		}
-		// Recycle buffers whose last consumer group just ran.
-		for name, buf := range live {
-			if lastUse[name] == gi && !isOutput[name] {
-				pool = append(pool, buf)
-				delete(live, name)
-				base[p.slots[name]] = nil
-			}
-		}
-	}
-	return outputs, nil
-}
-
-func (p *Program) runGroup(ge *groupExec, base []*Buffer, outputs map[string]*Buffer) error {
+func (e *Executor) runGroup(ge *groupExec, outputs map[string]*Buffer) error {
 	if len(ge.members) == 1 {
 		ls := ge.members[0]
 		switch {
 		case ls.isAcc:
-			return p.runAccumulator(ls, base, outputs[ls.name])
+			return e.runAccumulator(ls, outputs[ls.name])
 		case ls.selfRef:
-			return p.runSelfRef(ls, base, outputs[ls.name])
+			return e.runSelfRef(ls, outputs[ls.name])
 		default:
-			return p.runSingle(ls, base, outputs[ls.name])
+			return e.runSingle(ls, outputs[ls.name])
 		}
 	}
-	switch p.Opts.Tiling {
+	switch e.p.Opts.Tiling {
 	case ParallelogramTiling:
-		return p.runParallelogram(ge, base, outputs)
+		return e.runParallelogram(ge, outputs)
 	case SplitTiling:
-		return p.runSplit(ge, base, outputs)
+		return e.runSplit(ge, outputs)
 	}
-	return p.runTiled(ge, base, outputs)
+	return e.runTiled(ge, outputs)
 }
 
-// worker wraps the per-goroutine evaluation state.
-type worker struct {
-	ctx     RowCtx
-	scratch map[string]*Buffer
-}
-
-func (p *Program) newWorker(base []*Buffer, maxDims int) *worker {
-	w := &worker{scratch: make(map[string]*Buffer)}
-	w.ctx.pt = make([]int64, maxDims)
-	w.ctx.bufs = make([]*Buffer, len(base))
-	copy(w.ctx.bufs, base)
-	w.ctx.pool = &tempPool{size: 1024}
-	if p.memoCount > 0 {
-		w.ctx.memoStamp = make([]int64, p.memoCount)
-		w.ctx.memoVal = make([][]float64, p.memoCount)
-	}
-	return w
+// bind refreshes a worker's slot table from the run's base buffers; called
+// at the start of every task because workers persist across groups (stale
+// scratch bindings from the previous group must not leak through).
+func (e *Executor) bind(w *worker) {
+	copy(w.ctx.bufs, e.base)
 }
 
 // runSingle executes an untiled single-stage group: the stage's domain is
 // computed into its full buffer, parallelized by slicing the outermost
 // dimension with extent > 1 across workers (the paper's per-stage OpenMP
 // parallel loop for ungrouped stages).
-func (p *Program) runSingle(ls *loweredStage, base []*Buffer, out *Buffer) error {
+func (e *Executor) runSingle(ls *loweredStage, out *Buffer) error {
 	if out == nil {
 		return fmt.Errorf("engine: no output buffer for %s", ls.name)
 	}
-	threads := p.Opts.threads()
+	threads := e.threads
 	// Pick the split dimension: the outermost with extent > 1.
 	split := -1
 	for d := range ls.dom {
@@ -192,95 +67,81 @@ func (p *Program) runSingle(ls *loweredStage, base []*Buffer, out *Buffer) error
 			break
 		}
 	}
-	if threads <= 1 || split < 0 || ls.dom[split].Size() < 2 {
-		w := p.newWorker(base, len(ls.dom))
-		p.computeRegion(w, ls, ls.dom, out)
-		return nil
+	if threads > 1 && (split < 0 || ls.dom[split].Size() < 2) {
+		threads = 1
 	}
-	n := ls.dom[split].Size()
-	chunks := int64(threads * 4)
-	if chunks > n {
-		chunks = n
+	n := int64(0)
+	chunks := int64(1)
+	if threads > 1 {
+		n = ls.dom[split].Size()
+		chunks = int64(threads * 4)
+		if chunks > n {
+			chunks = n
+		}
 	}
 	var next atomic.Int64
-	var firstErr atomic.Value
-	var wg sync.WaitGroup
-	for t := 0; t < threads; t++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			defer func() {
-				if r := recover(); r != nil {
-					firstErr.Store(fmt.Errorf("engine: %v", r))
-				}
-			}()
-			w := p.newWorker(base, len(ls.dom))
-			for {
-				c := next.Add(1) - 1
-				if c >= chunks || firstErr.Load() != nil {
-					return
-				}
-				lo := ls.dom[split].Lo + c*n/chunks
-				hi := ls.dom[split].Lo + (c+1)*n/chunks - 1
-				region := ls.dom.Clone()
-				region[split] = affine.Range{Lo: lo, Hi: hi}
-				p.computeRegion(w, ls, region, out)
+	return e.parallel(threads, func(w *worker, fe *firstErr) {
+		e.bind(w)
+		if threads <= 1 {
+			e.p.computeRegion(w, ls, ls.dom, out)
+			return
+		}
+		for {
+			c := next.Add(1) - 1
+			if c >= chunks || fe.isSet() {
+				return
 			}
-		}()
+			lo := ls.dom[split].Lo + c*n/chunks
+			hi := ls.dom[split].Lo + (c+1)*n/chunks - 1
+			region := cloneBoxInto(w.region, ls.dom)
+			w.region = region
+			region[split] = affine.Range{Lo: lo, Hi: hi}
+			e.p.computeRegion(w, ls, region, out)
+		}
+	})
+}
+
+// cloneBoxInto copies src into dst's storage (grown as needed) so hot loops
+// can take region clones without allocating.
+func cloneBoxInto(dst, src affine.Box) affine.Box {
+	if cap(dst) < len(src) {
+		dst = make(affine.Box, len(src))
 	}
-	wg.Wait()
-	if e := firstErr.Load(); e != nil {
-		return e.(error)
-	}
-	return nil
+	dst = dst[:len(src)]
+	copy(dst, src)
+	return dst
 }
 
 // runTiled executes a fused group with overlapped tiling: tiles are
 // independent (the halo is recomputed), so they are distributed over the
 // worker pool as a bag of tasks; intermediates live in per-worker
-// scratchpads that are reused across tiles (Section 3.6).
-func (p *Program) runTiled(ge *groupExec, base []*Buffer, outputs map[string]*Buffer) error {
+// scratchpads that are reused across tiles, groups and runs (Section 3.6).
+func (e *Executor) runTiled(ge *groupExec, outputs map[string]*Buffer) error {
 	tp := ge.tp
 	numTiles := tp.NumTiles()
-	threads := p.Opts.threads()
+	threads := e.threads
 	if int64(threads) > numTiles {
 		threads = int(numTiles)
 	}
-	maxDims := 0
-	for _, ls := range ge.members {
-		if len(ls.dom) > maxDims {
-			maxDims = len(ls.dom)
-		}
-	}
 	var next atomic.Int64
-	var firstErr atomic.Value
-	var wg sync.WaitGroup
-	runWorker := func() {
-		defer wg.Done()
-		defer func() {
-			// Debug-mode access checks panic with context; surface them as
-			// errors rather than crashing the worker pool.
-			if r := recover(); r != nil {
-				firstErr.Store(fmt.Errorf("engine: %v", r))
-			}
-		}()
-		w := p.newWorker(base, maxDims)
-		idx := make([]int64, len(tp.TileCounts))
-		var req map[string]affine.Box
+	return e.parallel(threads, func(w *worker, fe *firstErr) {
+		e.bind(w)
+		w.tileIdx = growI64(w.tileIdx, len(tp.TileCounts))
+		idx := w.tileIdx
 		for {
 			t := next.Add(1) - 1
-			if t >= numTiles || firstErr.Load() != nil {
+			if t >= numTiles || fe.isSet() {
 				return
 			}
 			tp.TileIndex(t, idx)
 			var err error
-			req, err = tp.Required(idx, req)
+			w.req, err = tp.Required(idx, w.req)
 			if err != nil {
-				firstErr.Store(err)
+				fe.set(err)
 				return
 			}
 			for i, ls := range ge.members {
-				box := req[ls.name]
+				box := w.req[ls.name]
 				if box == nil || box.Empty() {
 					continue
 				}
@@ -301,7 +162,7 @@ func (p *Program) runTiled(ge *groupExec, base []*Buffer, outputs map[string]*Bu
 					out = sc
 				}
 				w.ctx.bufs[ls.slot] = out
-				p.computeRegion(w, ls, box, out)
+				e.p.computeRegion(w, ls, box, out)
 				if ge.liveOut[i] && !isAnchor {
 					owned := tp.OwnedBox(ls.name, idx).Intersect(box)
 					if !owned.Empty() {
@@ -310,17 +171,7 @@ func (p *Program) runTiled(ge *groupExec, base []*Buffer, outputs map[string]*Bu
 				}
 			}
 		}
-	}
-	for t := 0; t < threads; t++ {
-		wg.Add(1)
-		go runWorker()
-	}
-	wg.Wait()
-	if e := firstErr.Load(); e != nil {
-		return e.(error)
-	}
-	// Restore live-out slots in base (workers only mutated their copies).
-	return nil
+	})
 }
 
 // computeRegion evaluates a stage over region into out, one case piece at a
@@ -329,7 +180,8 @@ func (p *Program) runTiled(ge *groupExec, base []*Buffer, outputs map[string]*Bu
 func (p *Program) computeRegion(w *worker, ls *loweredStage, region affine.Box, out *Buffer) {
 	for pi := range ls.pieces {
 		piece := &ls.pieces[pi]
-		r := region.Intersect(piece.box)
+		r := intersectInto(w.iBox, region, piece.box)
+		w.iBox = r
 		if r.Empty() {
 			continue
 		}
@@ -347,6 +199,19 @@ func (p *Program) computeRegion(w *worker, ls *loweredStage, region affine.Box, 
 		}
 		p.scalarLoop(w, piece, r, out)
 	}
+}
+
+// intersectInto writes the intersection of a and b into dst's storage
+// (grown as needed), keeping the per-piece hot path allocation-free.
+func intersectInto(dst, a, b affine.Box) affine.Box {
+	if cap(dst) < len(a) {
+		dst = make(affine.Box, len(a))
+	}
+	dst = dst[:len(a)]
+	for d := range a {
+		dst[d] = a[d].Intersect(b[d])
+	}
+	return dst
 }
 
 func (p *Program) rowLoop(w *worker, piece *loweredPiece, r affine.Box, out *Buffer) {
@@ -417,11 +282,12 @@ func (p *Program) scalarLoop(w *worker, piece *loweredPiece, r affine.Box, out *
 
 // runSelfRef executes a self-referencing (time-iterated) stage in
 // lexicographic order, which respects the dependence on earlier values.
-func (p *Program) runSelfRef(ls *loweredStage, base []*Buffer, out *Buffer) error {
+func (e *Executor) runSelfRef(ls *loweredStage, out *Buffer) error {
 	if out == nil {
 		return fmt.Errorf("engine: no output buffer for %s", ls.name)
 	}
-	w := p.newWorker(base, len(ls.dom))
+	w := e.seq
+	e.bind(w)
 	w.ctx.bufs[ls.slot] = out
 	c := &w.ctx.Ctx
 	nd := len(ls.dom)
@@ -461,13 +327,15 @@ func (p *Program) runSelfRef(ls *loweredStage, base []*Buffer, out *Buffer) erro
 // runAccumulator sweeps the reduction domain, applying the update rule.
 // With multiple threads and a small output, workers reduce into private
 // copies merged at the end (the histogram parallelization the paper's
-// OpenMP code uses); otherwise the sweep is sequential.
-func (p *Program) runAccumulator(ls *loweredStage, base []*Buffer, out *Buffer) error {
+// OpenMP code uses); otherwise the sweep is sequential. The private copies
+// come from the arena, so repeated runs reuse their storage.
+func (e *Executor) runAccumulator(ls *loweredStage, out *Buffer) error {
 	if out == nil {
 		return fmt.Errorf("engine: no output buffer for %s", ls.name)
 	}
+	p := e.p
 	out.Fill(float32(ls.accOp.Identity()))
-	threads := p.Opts.threads()
+	threads := e.threads
 	red := ls.redDom
 	if red.Empty() {
 		return nil
@@ -475,43 +343,44 @@ func (p *Program) runAccumulator(ls *loweredStage, base []*Buffer, out *Buffer) 
 	split := 0
 	parallel := threads > 1 && out.Len() <= 1<<22 && len(red) > 0 && red[split].Size() >= int64(threads)
 	if !parallel {
-		w := p.newWorker(base, len(red))
+		w := e.seq
+		e.bind(w)
 		p.accumulateRegion(w, ls, red, out)
 		return nil
 	}
-	var wg sync.WaitGroup
-	var firstErr atomic.Value
 	parts := make([]*Buffer, threads)
 	n := red[split].Size()
-	for t := 0; t < threads; t++ {
-		wg.Add(1)
-		go func(t int) {
-			defer wg.Done()
-			defer func() {
-				if r := recover(); r != nil {
-					firstErr.Store(fmt.Errorf("engine: %v", r))
-				}
-			}()
-			part := NewBuffer(out.Box)
+	var nextPart atomic.Int64
+	err := e.parallel(threads, func(w *worker, fe *firstErr) {
+		e.bind(w)
+		for {
+			t := nextPart.Add(1) - 1
+			if t >= int64(threads) || fe.isSet() {
+				return
+			}
+			part := e.arena.get(out.Box)
 			part.Fill(float32(ls.accOp.Identity()))
 			parts[t] = part
-			region := red.Clone()
+			region := cloneBoxInto(w.region, red)
+			w.region = region
 			region[split] = affine.Range{
-				Lo: red[split].Lo + int64(t)*n/int64(threads),
-				Hi: red[split].Lo + int64(t+1)*n/int64(threads) - 1,
+				Lo: red[split].Lo + t*n/int64(threads),
+				Hi: red[split].Lo + (t+1)*n/int64(threads) - 1,
 			}
-			w := p.newWorker(base, len(red))
 			p.accumulateRegion(w, ls, region, part)
-		}(t)
-	}
-	wg.Wait()
-	if e := firstErr.Load(); e != nil {
-		return e.(error)
+		}
+	})
+	if err != nil {
+		return err
 	}
 	for _, part := range parts {
+		if part == nil {
+			continue
+		}
 		for i, v := range part.Data {
 			out.Data[i] = applyReduce(ls.accOp, out.Data[i], v)
 		}
+		e.arena.put(part)
 	}
 	return nil
 }
@@ -523,7 +392,8 @@ func (p *Program) accumulateRegion(w *worker, ls *loweredStage, region affine.Bo
 	for d := 0; d < nd; d++ {
 		pt[d] = region[d].Lo
 	}
-	idx := make([]int64, len(ls.accIdx))
+	w.accIdx = growI64(w.accIdx, len(ls.accIdx))
+	idx := w.accIdx
 	for {
 		ok := true
 		for d, f := range ls.accIdx {

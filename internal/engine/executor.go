@@ -1,0 +1,314 @@
+package engine
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/affine"
+)
+
+// Executor is the persistent execution runtime attached to a compiled
+// Program. Where the per-call execution path forked a fresh goroutine set
+// and re-allocated worker state for every group, the Executor owns
+//
+//   - one long-lived worker pool: goroutines parked on a task channel,
+//     each with a worker whose RowCtx, scratchpads, temp pools and memo
+//     tables persist across groups and across Run calls, and
+//   - a cross-run buffer arena (size-class best-fit) from which all full
+//     buffers are drawn: intermediates return to it automatically at the
+//     end of their liveness, outputs when the caller hands them back via
+//     Recycle,
+//
+// so repeated Run invocations on the same Program reach near-zero
+// steady-state allocations — the compile-once/run-many amortization a
+// serving workload needs.
+//
+// Thread-safety contract: Run may be called concurrently from any number
+// of goroutines; calls serialize on an internal mutex, so exactly one
+// pipeline execution is in flight at a time and each execution uses the
+// full worker pool. Output buffers returned by Run are owned by the caller
+// and are never reused by the Executor until (and unless) returned with
+// Recycle; Recycle and ArenaStats are safe to call concurrently with Run.
+// Close releases the pool's goroutines; a closed Executor rejects further
+// Run calls.
+type Executor struct {
+	p       *Program
+	threads int
+
+	// runMu serializes Run calls: the worker pool, slot table and live map
+	// below are reused across runs and belong to the run in flight.
+	runMu sync.Mutex
+
+	arena arena
+
+	// The pool starts lazily on the first parallel section (a Threads: 1
+	// program never spawns a goroutine).
+	startOnce sync.Once
+	tasks     chan task
+	quit      chan struct{}
+	seq       *worker // worker for sequential paths, reused across runs
+
+	closed atomic.Bool
+
+	// Per-run state reused across Run calls (guarded by runMu).
+	base []*Buffer
+	live map[string]*Buffer
+}
+
+// worker wraps the per-goroutine evaluation state. Workers are persistent:
+// scratch buffers, temp pools, memo tables and the small per-task slices
+// below survive across groups and across Run calls.
+type worker struct {
+	ctx     RowCtx
+	scratch map[string]*Buffer
+
+	// Reusable per-task scratch (tile odometer, Required map, accumulator
+	// target index, region clones).
+	tileIdx []int64
+	req     map[string]affine.Box
+	accIdx  []int64
+	region  affine.Box
+	iBox    affine.Box
+}
+
+// task is one unit of pool work: fn pulls work items from a shared atomic
+// counter until none remain, reporting failures through err.
+type task struct {
+	fn  func(*worker, *firstErr)
+	wg  *sync.WaitGroup
+	err *firstErr
+}
+
+func (t task) run(w *worker) {
+	defer t.wg.Done()
+	defer func() {
+		// Debug-mode access checks panic with context; surface them as
+		// errors rather than crashing the worker pool.
+		if r := recover(); r != nil {
+			t.err.set(fmt.Errorf("engine: %v", r))
+		}
+	}()
+	t.fn(w, t.err)
+}
+
+// firstErr records the first error of a parallel section (atomic, so any
+// error type is safe, unlike atomic.Value).
+type firstErr struct{ p atomic.Pointer[error] }
+
+func (f *firstErr) set(err error) {
+	if err != nil {
+		f.p.CompareAndSwap(nil, &err)
+	}
+}
+
+func (f *firstErr) get() error {
+	if p := f.p.Load(); p != nil {
+		return *p
+	}
+	return nil
+}
+
+func (f *firstErr) isSet() bool { return f.p.Load() != nil }
+
+func newExecutor(p *Program) *Executor {
+	e := &Executor{
+		p:       p,
+		threads: p.Opts.threads(),
+		base:    make([]*Buffer, p.slotCount),
+		live:    make(map[string]*Buffer),
+	}
+	e.seq = e.newWorker()
+	return e
+}
+
+// Executor returns the Program's persistent runtime, creating it on first
+// use; Program.Run is a thin wrapper over it.
+func (p *Program) Executor() *Executor {
+	p.execOnce.Do(func() { p.exec = newExecutor(p) })
+	return p.exec
+}
+
+// Close releases the Program's executor (parked worker goroutines and
+// recycled buffers). The Program must not be run afterwards.
+func (p *Program) Close() { p.Executor().Close() }
+
+func (e *Executor) newWorker() *worker {
+	p := e.p
+	w := &worker{scratch: make(map[string]*Buffer)}
+	w.ctx.pt = make([]int64, p.maxDims)
+	w.ctx.bufs = make([]*Buffer, p.slotCount)
+	w.ctx.pool = &tempPool{size: 1024}
+	if p.memoCount > 0 {
+		w.ctx.memoStamp = make([]int64, p.memoCount)
+		w.ctx.memoVal = make([][]float64, p.memoCount)
+	}
+	return w
+}
+
+// start spawns the pool goroutines, once.
+func (e *Executor) start() {
+	e.startOnce.Do(func() {
+		e.tasks = make(chan task, e.threads)
+		e.quit = make(chan struct{})
+		for i := 0; i < e.threads; i++ {
+			go e.workerLoop(e.newWorker())
+		}
+	})
+}
+
+func (e *Executor) workerLoop(w *worker) {
+	for {
+		select {
+		case t := <-e.tasks:
+			t.run(w)
+		case <-e.quit:
+			return
+		}
+	}
+}
+
+// parallel runs fn on up to n pool workers and waits for all of them; fn
+// must pull its work from a shared counter so any subset of workers can
+// drain it. With n ≤ 1 fn runs inline on the sequential worker.
+func (e *Executor) parallel(n int, fn func(*worker, *firstErr)) error {
+	if n > e.threads {
+		n = e.threads
+	}
+	var fe firstErr
+	var wg sync.WaitGroup
+	if n <= 1 {
+		wg.Add(1)
+		task{fn: fn, wg: &wg, err: &fe}.run(e.seq)
+		return fe.get()
+	}
+	e.start()
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		e.tasks <- task{fn: fn, wg: &wg, err: &fe}
+	}
+	wg.Wait()
+	return fe.get()
+}
+
+// Close stops the worker goroutines and rejects further Run calls. Safe to
+// call more than once and concurrently with Run (it waits for the run in
+// flight to finish).
+func (e *Executor) Close() {
+	if e.closed.Swap(true) {
+		return
+	}
+	e.runMu.Lock()
+	defer e.runMu.Unlock()
+	started := false
+	e.startOnce.Do(func() {}) // poison: no pool may start after Close
+	if e.quit != nil {
+		started = true
+	}
+	if started {
+		close(e.quit)
+	}
+}
+
+// Recycle returns output buffers from a previous Run to the executor's
+// arena so later runs reuse their storage. Only buffers for the Program's
+// own stages are taken (inputs in the map are ignored). The caller must be
+// done with the buffers and must not pass the same map twice.
+func (e *Executor) Recycle(outputs map[string]*Buffer) {
+	for name, b := range outputs {
+		if _, ok := e.p.Graph.Stages[name]; ok {
+			e.arena.put(b)
+		}
+	}
+}
+
+// ArenaStats reports how many full-buffer allocations were served from
+// recycled storage (hits) versus fresh make calls (misses) since the
+// executor was created.
+func (e *Executor) ArenaStats() (hits, misses int64) { return e.arena.stats() }
+
+// Run executes the compiled pipeline on the given input images; see
+// Program.Run for the output contract.
+func (e *Executor) Run(inputs map[string]*Buffer) (map[string]*Buffer, error) {
+	e.runMu.Lock()
+	defer e.runMu.Unlock()
+	if e.closed.Load() {
+		return nil, fmt.Errorf("engine: Run on closed executor")
+	}
+	p := e.p
+	base := e.base
+	for i := range base {
+		base[i] = nil
+	}
+	for name := range p.Graph.Images {
+		buf, ok := inputs[name]
+		if !ok {
+			return nil, fmt.Errorf("engine: missing input image %q", name)
+		}
+		want, err := p.InputBox(name)
+		if err != nil {
+			return nil, err
+		}
+		if len(buf.Box) != len(want) {
+			return nil, fmt.Errorf("engine: input %q rank %d, want %d", name, len(buf.Box), len(want))
+		}
+		for d := range want {
+			if buf.Box[d] != want[d] {
+				return nil, fmt.Errorf("engine: input %q dim %d is %v, want %v", name, d, buf.Box[d], want[d])
+			}
+		}
+		base[p.slots[name]] = buf
+	}
+	if p.Opts.ReuseBuffers {
+		return e.runPooled()
+	}
+	outputs := make(map[string]*Buffer, len(p.fullStages))
+	for _, name := range p.fullStages {
+		ls := p.stages[name]
+		buf := e.arena.get(ls.dom)
+		outputs[name] = buf
+		base[ls.slot] = buf
+	}
+	for _, ge := range p.groups {
+		if err := e.runGroup(ge, outputs); err != nil {
+			return nil, err
+		}
+	}
+	return outputs, nil
+}
+
+// runPooled executes with liveness-based buffer pooling: each group's full
+// buffers come from the arena and return to it after their last consumer
+// group executes (the allocation/release schedule is precomputed at
+// compile time), so across runs the steady state allocates nothing but the
+// returned output map.
+func (e *Executor) runPooled() (map[string]*Buffer, error) {
+	p := e.p
+	outputs := make(map[string]*Buffer, len(p.Graph.LiveOuts))
+	live := e.live
+	clear(live)
+	for _, ge := range p.groups {
+		for _, ls := range ge.allocs {
+			if live[ls.name] != nil {
+				continue
+			}
+			buf := e.arena.get(ls.dom)
+			live[ls.name] = buf
+			e.base[ls.slot] = buf
+			if p.isOutput[ls.name] {
+				outputs[ls.name] = buf
+			}
+		}
+		if err := e.runGroup(ge, live); err != nil {
+			return nil, err
+		}
+		for _, ls := range ge.releases {
+			if buf := live[ls.name]; buf != nil {
+				e.arena.put(buf)
+				delete(live, ls.name)
+				e.base[ls.slot] = nil
+			}
+		}
+	}
+	return outputs, nil
+}

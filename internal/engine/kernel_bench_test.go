@@ -1,0 +1,206 @@
+package engine
+
+import (
+	"testing"
+
+	"repro/internal/affine"
+	"repro/internal/dsl"
+	"repro/internal/expr"
+	"repro/internal/pipeline"
+	"repro/internal/schedule"
+)
+
+// Microbenchmarks for the specialized kernels (stencil fast paths, pointwise
+// combinations, accumulators) and for the repeated-Run steady state of the
+// persistent Executor. Run with -benchmem; the repeated-Run benchmarks are
+// the ones whose allocs/op the runtime work targets.
+
+// stencilBench compiles a single-stage stencil pipeline of the given shape
+// and runs it b.N times through one Executor, recycling outputs so the
+// steady state exercises only the kernel.
+func stencilBench(b *testing.B, weights [][]float64, factor float64) {
+	bl := dsl.NewBuilder()
+	R, C := bl.Param("R"), bl.Param("C")
+	I := bl.Image("I", expr.Float, R.Affine().AddConst(4), C.Affine().AddConst(4))
+	x, y := bl.Var("x"), bl.Var("y")
+	dom := []dsl.Interval{
+		dsl.Span(affine.Const(0), R.Affine().AddConst(3)),
+		dsl.Span(affine.Const(0), C.Affine().AddConst(3)),
+	}
+	inner := dsl.InBox([]*dsl.Variable{x, y}, []any{2, 2}, []any{dsl.Add(R, 1), dsl.Add(C, 1)})
+	f := bl.Func("f", expr.Float, []*dsl.Variable{x, y}, dom)
+	f.Define(dsl.Case{Cond: inner, E: dsl.Stencil(I, factor, weights, [2]any{x, y})})
+	g, err := pipeline.Build(bl, "f")
+	if err != nil {
+		b.Fatal(err)
+	}
+	params := map[string]int64{"R": 512, "C": 512}
+	in, err := NewBufferForDomain(I.Domain(), params)
+	if err != nil {
+		b.Fatal(err)
+	}
+	FillPattern(in, 11)
+	inputs := map[string]*Buffer{"I": in}
+	gr, err := schedule.BuildGroups(g, params, schedule.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	prog, err := Compile(gr, params, Options{Fast: true, Threads: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer prog.Close()
+	e := prog.Executor()
+	b.SetBytes(int64((params["R"] + 4) * (params["C"] + 4) * 4))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out, err := e.Run(inputs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		e.Recycle(out)
+	}
+}
+
+// 3-tap row stencil, normalized: float32 unrolled fast path.
+func BenchmarkStencil3Tap(b *testing.B) {
+	stencilBench(b, [][]float64{{1, 2, 1}}, 1.0/4)
+}
+
+// 5-tap row stencil, normalized: float32 unrolled fast path.
+func BenchmarkStencil5Tap(b *testing.B) {
+	stencilBench(b, [][]float64{{1, 4, 6, 4, 1}}, 1.0/16)
+}
+
+// 9-tap (3x3) stencil, normalized: float32 unrolled fast path.
+func BenchmarkStencil9Tap(b *testing.B) {
+	stencilBench(b, [][]float64{{1, 2, 1}, {2, 4, 2}, {1, 2, 1}}, 1.0/16)
+}
+
+// 9-tap unnormalized box: weighted mass 9 exceeds the float32 gate, so this
+// measures the float64 path for comparison.
+func BenchmarkStencil9TapF64(b *testing.B) {
+	stencilBench(b, [][]float64{{1, 1, 1}, {1, 1, 1}, {1, 1, 1}}, 1)
+}
+
+// BenchmarkCombination measures the pointwise combination kernel
+// (combKernel): a weighted sum of shifted reads from two producers.
+func BenchmarkCombination(b *testing.B) {
+	bl := dsl.NewBuilder()
+	R, C := bl.Param("R"), bl.Param("C")
+	I := bl.Image("I", expr.Float, R.Affine().AddConst(4), C.Affine().AddConst(4))
+	x, y := bl.Var("x"), bl.Var("y")
+	dom := []dsl.Interval{
+		dsl.Span(affine.Const(0), R.Affine().AddConst(3)),
+		dsl.Span(affine.Const(0), C.Affine().AddConst(3)),
+	}
+	u := bl.Func("u", expr.Float, []*dsl.Variable{x, y}, dom)
+	u.Define(dsl.Case{E: dsl.Mul(I.At(x, y), I.At(x, y))})
+	v := bl.Func("v", expr.Float, []*dsl.Variable{x, y}, dom)
+	v.Define(dsl.Case{E: dsl.Add(I.At(x, y), 1.0)})
+	out := bl.Func("out", expr.Float, []*dsl.Variable{x, y}, dom)
+	out.Define(dsl.Case{E: dsl.Add(dsl.Mul(0.25, u.At(x, y)), dsl.Mul(0.75, v.At(x, y)))})
+	g, err := pipeline.Build(bl, "out")
+	if err != nil {
+		b.Fatal(err)
+	}
+	params := map[string]int64{"R": 512, "C": 512}
+	in, err := NewBufferForDomain(I.Domain(), params)
+	if err != nil {
+		b.Fatal(err)
+	}
+	FillPattern(in, 13)
+	inputs := map[string]*Buffer{"I": in}
+	gr, err := schedule.BuildGroups(g, params, schedule.Options{DisableFusion: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	prog, err := Compile(gr, params, Options{Fast: true, Threads: 1, ReuseBuffers: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer prog.Close()
+	e := prog.Executor()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		o, err := e.Run(inputs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		e.Recycle(o)
+	}
+}
+
+// BenchmarkAccumulator measures the reduction path (histogram-style scatter
+// with per-worker partial buffers).
+func BenchmarkAccumulator(b *testing.B) {
+	bl := dsl.NewBuilder()
+	R := bl.Param("R")
+	I := bl.Image("I", expr.Float, R.Affine())
+	x, v := bl.Var("x"), bl.Var("v")
+	acc := bl.Accum("acc", expr.Float,
+		[]*dsl.Variable{v}, []dsl.Interval{dsl.Span(affine.Const(0), R.Affine().AddConst(-1))},
+		[]*dsl.Variable{x}, []dsl.Interval{dsl.Span(affine.Const(0), affine.Const(255))})
+	// Bucket index: values are in [0,1), so floor(v*256) lands in [0,255].
+	acc.Define([]any{dsl.Cast(expr.Int, dsl.Mul(I.At(v), 255.0))}, 1.0, dsl.SumOp)
+	g, err := pipeline.Build(bl, "acc")
+	if err != nil {
+		b.Fatal(err)
+	}
+	params := map[string]int64{"R": 1 << 18}
+	in, err := NewBufferForDomain(I.Domain(), params)
+	if err != nil {
+		b.Fatal(err)
+	}
+	FillPattern(in, 17)
+	inputs := map[string]*Buffer{"I": in}
+	gr, err := schedule.BuildGroups(g, params, schedule.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	prog, err := Compile(gr, params, Options{Fast: true, Threads: 2})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer prog.Close()
+	e := prog.Executor()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		o, err := e.Run(inputs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		e.Recycle(o)
+	}
+}
+
+// BenchmarkRepeatedRun measures the Executor's steady-state allocations on
+// the Harris pipeline (the paper's running example): compile once, run
+// b.N times, recycling outputs. allocs/op here is the headline number for
+// the persistent-runtime work.
+func BenchmarkRepeatedRun(b *testing.B) {
+	for _, cfg := range []struct {
+		name  string
+		reuse bool
+	}{{"pooled", true}, {"unpooled", false}} {
+		b.Run(cfg.name, func(b *testing.B) {
+			prog, inputs, _ := compileHarris(b, Options{Fast: true, Threads: 2, ReuseBuffers: cfg.reuse})
+			defer prog.Close()
+			e := prog.Executor()
+			// Warm the arena so b.N runs measure the steady state.
+			out, err := e.Run(inputs)
+			if err != nil {
+				b.Fatal(err)
+			}
+			e.Recycle(out)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				out, err := e.Run(inputs)
+				if err != nil {
+					b.Fatal(err)
+				}
+				e.Recycle(out)
+			}
+		})
+	}
+}

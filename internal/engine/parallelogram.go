@@ -39,7 +39,8 @@ const (
 )
 
 // runParallelogram executes a fused group with parallelogram tiling.
-func (p *Program) runParallelogram(ge *groupExec, base []*Buffer, outputs map[string]*Buffer) error {
+func (e *Executor) runParallelogram(ge *groupExec, outputs map[string]*Buffer) error {
+	p := e.p
 	// Restrict to one tiled dimension: keep the outermost tiled dim of the
 	// overlapped plan, untile the rest (the skewed-prefix trimming is
 	// one-dimensional).
@@ -62,28 +63,32 @@ func (p *Program) runParallelogram(ge *groupExec, base []*Buffer, outputs map[st
 		tiledDim = 0
 	}
 
-	maxDims := 0
-	for _, ls := range ge.members {
-		if len(ls.dom) > maxDims {
-			maxDims = len(ls.dom)
-		}
-	}
-	w := p.newWorker(base, maxDims)
+	w := e.seq
+	e.bind(w)
 
-	// Full buffers for every member; live-outs use the allocated outputs.
+	// Full buffers for every member; live-outs use the allocated outputs,
+	// intermediates come from the arena and recycle after the group.
 	liveOut := make(map[string]bool, len(tp.LiveOuts))
 	for _, lo := range tp.LiveOuts {
 		liveOut[lo] = true
 	}
 	full := make(map[string]*Buffer, len(ge.members))
+	var scratch []*Buffer
 	for _, ls := range ge.members {
 		if liveOut[ls.name] {
 			full[ls.name] = outputs[ls.name]
 		} else {
-			full[ls.name] = NewBuffer(ls.dom)
+			buf := e.arena.get(ls.dom)
+			full[ls.name] = buf
+			scratch = append(scratch, buf)
 		}
 		w.ctx.bufs[ls.slot] = full[ls.name]
 	}
+	defer func() {
+		for _, buf := range scratch {
+			e.arena.put(buf)
+		}
+	}()
 
 	// Which dimension of each member tracks the tiled anchor dimension?
 	trimDim := make([]int, len(ge.members))

@@ -3,6 +3,7 @@ package engine
 import (
 	"fmt"
 	"runtime"
+	"sync"
 
 	"repro/internal/affine"
 	"repro/internal/dsl"
@@ -78,6 +79,13 @@ type groupExec struct {
 	// liveOut[i] reports whether members[i] must be written to its full
 	// buffer.
 	liveOut []bool
+	// Pooled-execution buffer schedule, precomputed at compile time:
+	// allocs lists the live-out stages whose full buffers this group
+	// allocates before running; releases lists the stages whose buffers
+	// recycle to the arena after it (their last consumer group is this one
+	// and they are not declared pipeline outputs).
+	allocs   []*loweredStage
+	releases []*loweredStage
 }
 
 // Program is a pipeline compiled for one parameter binding, ready to run.
@@ -96,6 +104,15 @@ type Program struct {
 	fullStages []string
 	// memoCount is the number of row-CSE memo slots workers allocate.
 	memoCount int
+	// maxDims is the largest rank of any stage domain or reduction domain;
+	// persistent workers size their point odometer with it once.
+	maxDims int
+	// isOutput marks the pipeline's declared outputs (Graph.LiveOuts).
+	isOutput map[string]bool
+
+	// exec is the lazily created persistent runtime (see Executor).
+	execOnce sync.Once
+	exec     *Executor
 
 	// SplitStats counts points computed in each split-tiling phase (filled
 	// by runs with Options.Tiling == SplitTiling; diagnostics only).
@@ -182,6 +199,44 @@ func Compile(gr *schedule.Grouping, params map[string]int64, opts Options) (*Pro
 			}
 		}
 		p.groups = append(p.groups, ge)
+	}
+	for _, ls := range p.stages {
+		if len(ls.dom) > p.maxDims {
+			p.maxDims = len(ls.dom)
+		}
+		if len(ls.redDom) > p.maxDims {
+			p.maxDims = len(ls.redDom)
+		}
+	}
+	p.isOutput = make(map[string]bool, len(g.LiveOuts))
+	for _, lo := range g.LiveOuts {
+		p.isOutput[lo] = true
+	}
+	// Precompute the pooled-execution buffer schedule: which group
+	// allocates each full buffer and after which group it recycles (its
+	// last consumer group), so runs do no liveness analysis.
+	groupOf := make(map[string]int, len(p.stages))
+	for gi, ge := range p.groups {
+		for _, m := range ge.grp.Members {
+			groupOf[m] = gi
+		}
+	}
+	for _, ge := range p.groups {
+		for _, name := range ge.tp.LiveOuts {
+			ge.allocs = append(ge.allocs, p.stages[name])
+		}
+	}
+	for _, name := range p.fullStages {
+		if p.isOutput[name] {
+			continue
+		}
+		last := groupOf[name]
+		for _, c := range g.Stages[name].Consumers {
+			if gi := groupOf[c]; gi > last {
+				last = gi
+			}
+		}
+		p.groups[last].releases = append(p.groups[last].releases, p.stages[name])
 	}
 	return p, nil
 }

@@ -34,6 +34,9 @@ type tempPool struct {
 	bufs [][]float64
 	next int
 	size int
+
+	boolBufs [][]bool
+	boolNext int
 }
 
 func (p *tempPool) get(n int) []float64 {
@@ -49,7 +52,20 @@ func (p *tempPool) get(n int) []float64 {
 	return b[:n]
 }
 
-func (p *tempPool) reset() { p.next = 0 }
+func (p *tempPool) getBool(n int) []bool {
+	if p.boolNext == len(p.boolBufs) {
+		p.boolBufs = append(p.boolBufs, make([]bool, max(n, p.size)))
+	}
+	b := p.boolBufs[p.boolNext]
+	if len(b) < n {
+		b = make([]bool, n)
+		p.boolBufs[p.boolNext] = b
+	}
+	p.boolNext++
+	return b[:n]
+}
+
+func (p *tempPool) reset() { p.next = 0; p.boolNext = 0 }
 
 type rowFn func(c *RowCtx) []float64
 type rowCondFn func(c *RowCtx) []bool
@@ -294,11 +310,9 @@ func (cp *compiler) compileRowCond(cond expr.Cond) (rowCondFn, error) {
 	case expr.BoolConst:
 		v := n.V
 		return func(c *RowCtx) []bool {
-			t := make([]bool, c.n)
-			if v {
-				for i := range t {
-					t[i] = true
-				}
+			t := c.pool.getBool(c.n)
+			for i := range t {
+				t[i] = v
 			}
 			return t
 		}, nil
@@ -315,7 +329,7 @@ func (cp *compiler) compileRowCond(cond expr.Cond) (rowCondFn, error) {
 		return func(c *RowCtx) []bool {
 			a := l(c)
 			b := r(c)
-			t := make([]bool, len(a))
+			t := c.pool.getBool(len(a))
 			switch op {
 			case expr.LT:
 				for i := range t {

@@ -25,7 +25,8 @@ import (
 
 // runSplit executes a fused group with split tiling along its outermost
 // tiled dimension.
-func (p *Program) runSplit(ge *groupExec, base []*Buffer, outputs map[string]*Buffer) error {
+func (e *Executor) runSplit(ge *groupExec, outputs map[string]*Buffer) error {
+	p := e.p
 	// Single tiled dimension, as for parallelogram tiling.
 	grp := *ge.grp
 	grp.TileSizes = append([]int64(nil), ge.grp.TileSizes...)
@@ -59,13 +60,21 @@ func (p *Program) runSplit(ge *groupExec, base []*Buffer, outputs map[string]*Bu
 		liveOut[lo] = true
 	}
 	full := make(map[string]*Buffer, len(ge.members))
+	var scratch []*Buffer
 	for _, ls := range ge.members {
 		if liveOut[ls.name] {
 			full[ls.name] = outputs[ls.name]
 		} else {
-			full[ls.name] = NewBuffer(ls.dom)
+			buf := e.arena.get(ls.dom)
+			full[ls.name] = buf
+			scratch = append(scratch, buf)
 		}
 	}
+	defer func() {
+		for _, buf := range scratch {
+			e.arena.put(buf)
+		}
+	}()
 
 	trimDim := make(map[string]int, len(ge.members))
 	for _, ls := range ge.members {
@@ -80,13 +89,8 @@ func (p *Program) runSplit(ge *groupExec, base []*Buffer, outputs map[string]*Bu
 		}
 	}
 
-	maxDims := 0
-	for _, ls := range ge.members {
-		if len(ls.dom) > maxDims {
-			maxDims = len(ls.dom)
-		}
-	}
-	w := p.newWorker(base, maxDims)
+	w := e.seq
+	e.bind(w)
 	for _, ls := range ge.members {
 		w.ctx.bufs[ls.slot] = full[ls.name]
 	}

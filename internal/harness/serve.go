@@ -1,0 +1,74 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"time"
+
+	"repro/internal/apps"
+	"repro/internal/baseline"
+	"repro/internal/schedule"
+)
+
+// Serve measures the steady-state serving scenario for one app: compile
+// once, then answer `requests` back-to-back requests through the persistent
+// executor, recycling outputs between requests. It reports throughput,
+// latency, per-request heap allocations and the buffer arena's hit rate —
+// the numbers that show what the compile-once/run-many runtime saves over
+// per-request setup.
+func Serve(w io.Writer, appName string, requests int, cfg Config) error {
+	app, err := apps.Get(appName)
+	if err != nil {
+		return err
+	}
+	v, err := baseline.Get("opt+vec")
+	if err != nil {
+		return err
+	}
+	if requests < 1 {
+		requests = 1
+	}
+	params := ScaledParams(app, cfg.Scale)
+	compileStart := time.Now()
+	p, err := Prepare(app, v, params, cfg.Threads, schedule.DefaultOptions(), cfg.Seed)
+	if err != nil {
+		return err
+	}
+	defer p.Close()
+	compileMs := float64(time.Since(compileStart).Microseconds()) / 1000.0
+	e := p.Prog.Executor()
+
+	// Warm-up request: populates the arena and starts the pool.
+	out, err := e.Run(p.Inputs)
+	if err != nil {
+		return err
+	}
+	e.Recycle(out)
+
+	var ms0, ms1 runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&ms0)
+	start := time.Now()
+	for i := 0; i < requests; i++ {
+		out, err := e.Run(p.Inputs)
+		if err != nil {
+			return err
+		}
+		e.Recycle(out)
+	}
+	wall := time.Since(start)
+	runtime.ReadMemStats(&ms1)
+
+	hits, misses := e.ArenaStats()
+	perReq := wall / time.Duration(requests)
+	fmt.Fprintf(w, "serve %s [scale 1/%d, %d requests, opt+vec]\n", app.Name, cfg.Scale, requests)
+	fmt.Fprintf(w, "  compile           %10.2f ms (once)\n", compileMs)
+	fmt.Fprintf(w, "  latency           %10.2f ms/request\n", float64(perReq.Microseconds())/1000.0)
+	fmt.Fprintf(w, "  throughput        %10.2f requests/s\n", float64(requests)/wall.Seconds())
+	fmt.Fprintf(w, "  heap allocations  %10.1f KB/request (%d objects/request)\n",
+		float64(ms1.TotalAlloc-ms0.TotalAlloc)/float64(requests)/1024.0,
+		(ms1.Mallocs-ms0.Mallocs)/uint64(requests))
+	fmt.Fprintf(w, "  buffer arena      %d hits, %d misses since compile\n", hits, misses)
+	return nil
+}

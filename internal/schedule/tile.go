@@ -162,12 +162,33 @@ func (tp *TilePlan) InGroupAccesses(m string) []MemberAccess {
 // member's domain exactly, so parallel tiles never write the same live-out
 // element twice (overlap regions are recomputed into scratchpads only).
 func (tp *TilePlan) OwnedBox(m string, idx []int64) affine.Box {
+	dom := tp.domCache[m]
+	out := make(affine.Box, len(dom))
+	tp.ownedBoxInto(out, m, idx)
+	return out
+}
+
+// ownedBoxInto computes OwnedBox into dst (len(dst) must equal the member's
+// rank) without allocating — the steady-state path for repeated Required
+// calls.
+func (tp *TilePlan) ownedBoxInto(out affine.Box, m string, idx []int64) {
 	if m == tp.Group.Anchor {
-		return tp.TileBox(idx)
+		for d, r := range tp.AnchorBox {
+			if tp.TileSizes[d] == 0 {
+				out[d] = r
+				continue
+			}
+			lo := r.Lo + idx[d]*tp.TileSizes[d]
+			hi := lo + tp.TileSizes[d] - 1
+			if hi > r.Hi {
+				hi = r.Hi
+			}
+			out[d] = affine.Range{Lo: lo, Hi: hi}
+		}
+		return
 	}
 	scales := tp.Group.Scales[m]
 	dom := tp.domCache[m]
-	out := make(affine.Box, len(dom))
 	for d, r := range dom {
 		ds := scales[d]
 		if ds.AnchorDim < 0 || tp.TileSizes[ds.AnchorDim] == 0 {
@@ -188,7 +209,9 @@ func (tp *TilePlan) OwnedBox(m string, idx []int64) affine.Box {
 		}
 		out[d] = affine.Range{Lo: lo, Hi: hi}
 	}
-	return out.Intersect(dom)
+	for d := range out {
+		out[d] = out[d].Intersect(dom[d])
+	}
 }
 
 // Required computes, for the tile at idx, the region of every member that
@@ -202,18 +225,29 @@ func (tp *TilePlan) Required(idx []int64, dst map[string]affine.Box) (map[string
 		req = make(map[string]affine.Box, len(tp.Group.Members))
 	}
 	members := tp.Group.Members
+	// Boxes in req are reused in place across calls (steady-state Required
+	// allocates nothing): a member not required by this tile holds an
+	// all-empty box rather than nil, which callers treat identically.
 	for _, m := range members {
-		req[m] = nil
+		dom := tp.domCache[m]
+		b := req[m]
+		if len(b) != len(dom) {
+			b = make(affine.Box, len(dom))
+			req[m] = b
+		}
+		for d := range b {
+			b[d] = affine.Range{Lo: 0, Hi: -1} // empty
+		}
 	}
 	// Seed with owned live-out regions.
 	for _, lo := range tp.LiveOuts {
-		req[lo] = tp.OwnedBox(lo, idx)
+		tp.ownedBoxInto(req[lo], lo, idx)
 	}
 	// Backward propagation: consumers before producers.
 	for i := len(members) - 1; i >= 0; i-- {
 		cname := members[i]
 		crq := req[cname]
-		if crq == nil || crq.Empty() {
+		if crq.Empty() {
 			continue
 		}
 		for target, accs := range tp.accessCache[cname] {
@@ -222,12 +256,6 @@ func (tp *TilePlan) Required(idx []int64, dst map[string]affine.Box) (map[string
 			}
 			pdom := tp.domCache[target]
 			prq := req[target]
-			if prq == nil {
-				prq = make(affine.Box, len(pdom))
-				for d := range prq {
-					prq[d] = affine.Range{Lo: 0, Hi: -1} // empty
-				}
-			}
 			for _, aa := range accs {
 				if !aa.OK {
 					return nil, fmt.Errorf("schedule: non-affine in-group access %s -> %s", cname, target)
@@ -242,13 +270,14 @@ func (tp *TilePlan) Required(idx []int64, dst map[string]affine.Box) (map[string
 				}
 				prq[aa.ProducerDim] = prq[aa.ProducerDim].Union(rng.Intersect(pdom[aa.ProducerDim]))
 			}
-			req[target] = prq
 		}
 	}
-	// Clip to domains.
+	// Clip to domains (in place).
 	for _, m := range members {
-		if req[m] != nil {
-			req[m] = req[m].Intersect(tp.domCache[m])
+		b := req[m]
+		dom := tp.domCache[m]
+		for d := range b {
+			b[d] = b[d].Intersect(dom[d])
 		}
 	}
 	return req, nil

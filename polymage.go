@@ -163,7 +163,16 @@ const (
 type Pipeline = core.Pipeline
 
 // Program is a pipeline lowered for a concrete parameter binding.
+// Program.Run is safe for concurrent use; for serving workloads that run
+// one compiled pipeline many times, use Program.Executor — the persistent
+// runtime whose worker pool and buffer arena make repeated runs nearly
+// allocation-free (recycle outputs with Executor.Recycle) — and release it
+// with Program.Close when done.
 type Program = engine.Program
+
+// Executor is a Program's persistent execution runtime: a long-lived
+// worker pool plus a cross-run buffer arena. See Program.Executor.
+type Executor = engine.Executor
 
 // Compile runs the PolyMage compiler phases (Figure 4 of the paper) on a
 // specification: graph construction, bounds checking, inlining, grouping
