@@ -1,9 +1,16 @@
 GO ?= go
 
-.PHONY: all build test race bench bench-kernels serve clean
+# Coverage floors enforced by `make cover` (per-package test coverage; the
+# differential and golden oracle suites add cross-package coverage on top).
+COVER_FLOOR_ENGINE   ?= 75.0
+COVER_FLOOR_SCHEDULE ?= 75.0
+
+.PHONY: all build test race fuzz cover bench bench-kernels serve clean
 
 all: build test
 
+# `test` is tier 1 and includes the difftest seed corpus (TestSeedCorpus:
+# 200 random DAGs through the full 11-knob schedule/execution sweep).
 build:
 	$(GO) build ./...
 
@@ -11,9 +18,24 @@ test:
 	$(GO) test ./...
 
 # Race-checked run of the execution engine, including the concurrent
-# Program.Run stress test (TestConcurrentRun). CI should run this target.
+# Program.Run stress test (TestConcurrentRun) and the executor lifecycle
+# races (TestConcurrentRunRecycleClose). CI should run this target.
 race:
 	$(GO) test -race ./internal/engine/...
+
+# Short coverage-guided differential fuzzing budget; use
+# `go test -fuzz=FuzzDiff -fuzztime=10m ./internal/difftest` (or
+# cmd/polymage-difftest -duration) for real soaks.
+fuzz:
+	$(GO) test -fuzz=FuzzDiff -fuzztime=20s ./internal/difftest
+
+# Per-package coverage with checked-in floors for the two packages most
+# exposed to silent miscompiles.
+cover:
+	@$(GO) test -cover ./internal/engine/ ./internal/schedule/ | tee /tmp/polymage-cover.txt
+	@awk -v floor=$(COVER_FLOOR_ENGINE) '/internal\/engine/ { for (i=1;i<=NF;i++) if ($$i ~ /%/) { sub("%","",$$i); if ($$i+0 < floor) { printf "FAIL: internal/engine coverage %s%% below floor %s%%\n", $$i, floor; exit 1 } } }' /tmp/polymage-cover.txt
+	@awk -v floor=$(COVER_FLOOR_SCHEDULE) '/internal\/schedule/ { for (i=1;i<=NF;i++) if ($$i ~ /%/) { sub("%","",$$i); if ($$i+0 < floor) { printf "FAIL: internal/schedule coverage %s%% below floor %s%%\n", $$i, floor; exit 1 } } }' /tmp/polymage-cover.txt
+	@echo "coverage floors met (engine >= $(COVER_FLOOR_ENGINE)%, schedule >= $(COVER_FLOOR_SCHEDULE)%)"
 
 # Paper tables/figures benchmarks (scaled down; POLYMAGE_BENCH_SCALE=1 for
 # paper-sized inputs).

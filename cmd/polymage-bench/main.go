@@ -36,10 +36,11 @@ func main() {
 	csvOut := flag.Bool("csv", false, "emit Figure 9/10 data as CSV instead of tables")
 	serve := flag.String("serve", "", "steady-state serving mode: compile the named app once, time repeated requests")
 	requests := flag.Int("requests", 100, "number of requests for -serve")
+	seed := flag.Int64("seed", harness.DefaultSeed, "seed for synthetic benchmark inputs")
 	flag.Parse()
 
 	if *serve != "" {
-		cfg := harness.Config{Scale: *scale, Runs: *runs, Threads: *threads, Seed: 42}
+		cfg := harness.Config{Scale: *scale, Runs: *runs, Threads: *threads, Seed: *seed}
 		if err := harness.Serve(os.Stdout, *serve, *requests, cfg); err != nil {
 			fatal(err)
 		}
@@ -49,7 +50,7 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	cfg := harness.Config{Scale: *scale, Runs: *runs, Threads: *threads, Tune: *tune, Seed: 42}
+	cfg := harness.Config{Scale: *scale, Runs: *runs, Threads: *threads, Tune: *tune, Seed: *seed}
 
 	if *table2 || *all {
 		if err := harness.Table2(os.Stdout, cfg); err != nil {

@@ -1,0 +1,120 @@
+// polymage-difftest soaks the optimizer against the reference interpreter:
+// it generates seeded random pipeline DAGs (see internal/difftest) and runs
+// each through the full schedule/execution knob sweep, shrinking and
+// printing a replayable repro for the first mismatch.
+//
+// Usage:
+//
+//	polymage-difftest [-seeds 1000] [-start 20260805] [-duration 0]
+//	                  [-quick] [-jobs N] [-v]
+//	polymage-difftest -replay 20260871
+//
+// Exit status is 1 if any mismatch was found.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/difftest"
+)
+
+func main() {
+	seeds := flag.Int64("seeds", 1000, "number of random DAGs to check")
+	start := flag.Int64("start", 20260805, "first generator seed")
+	duration := flag.Duration("duration", 0, "if set, soak until this much time has elapsed instead of -seeds")
+	quick := flag.Bool("quick", false, "use the quick 4-knob subset instead of the full sweep")
+	jobs := flag.Int("jobs", max(1, runtime.GOMAXPROCS(0)/4), "concurrent DAGs in flight (each knob may use up to 4 threads)")
+	verbose := flag.Bool("v", false, "log every seed")
+	replay := flag.Int64("replay", 0, "re-check a single seed and exit")
+	flag.Parse()
+
+	opts := difftest.RunOptions{}
+	if *quick {
+		opts.Knobs = difftest.QuickKnobs()
+	}
+
+	if *replay != 0 {
+		sp := difftest.Generate(*replay)
+		fmt.Printf("replaying seed %d: %s\n%s\n", *replay, sp.ShortString(), difftest.SpecLiteral(sp))
+		if !check(sp, opts) {
+			os.Exit(1)
+		}
+		fmt.Println("ok")
+		return
+	}
+
+	begin := time.Now()
+	var next atomic.Int64
+	next.Store(*start)
+	var checked atomic.Int64
+	failed := &atomic.Bool{}
+	stop := func(seed int64) bool {
+		if failed.Load() {
+			return true
+		}
+		if *duration > 0 {
+			return time.Since(begin) >= *duration
+		}
+		return seed >= *start+*seeds
+	}
+
+	var wg sync.WaitGroup
+	for j := 0; j < *jobs; j++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				seed := next.Add(1) - 1
+				if stop(seed) {
+					return
+				}
+				if *verbose {
+					fmt.Printf("seed %d: %s\n", seed, difftest.Generate(seed).ShortString())
+				}
+				if !check(difftest.Generate(seed), opts) {
+					failed.Store(true)
+					return
+				}
+				n := checked.Add(1)
+				if !*verbose && n%500 == 0 {
+					fmt.Printf("%d DAGs checked (%.0f/sec)\n", n, float64(n)/time.Since(begin).Seconds())
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	fmt.Printf("checked %d random DAGs in %v\n", checked.Load(), time.Since(begin).Round(time.Millisecond))
+	if failed.Load() {
+		os.Exit(1)
+	}
+}
+
+// check diffs one spec, shrinking and reporting on failure. Returns false
+// on a mismatch or infrastructure error.
+func check(sp difftest.PipelineSpec, opts difftest.RunOptions) bool {
+	m, err := difftest.Diff(sp, opts)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "difftest infrastructure error: %v\n", err)
+		return false
+	}
+	if m == nil {
+		return true
+	}
+	fmt.Fprintf(os.Stderr, "MISMATCH: %v\nshrinking...\n", m)
+	shrunk := difftest.Shrink(m.Spec, func(s difftest.PipelineSpec) bool {
+		sm, err := difftest.Diff(s, opts)
+		return err == nil && sm != nil
+	})
+	sm, err := difftest.Diff(shrunk, opts)
+	if err != nil || sm == nil {
+		sm = m
+	}
+	fmt.Fprintf(os.Stderr, "replayable repro:\n%s", difftest.GoSnippet(sm))
+	return false
+}

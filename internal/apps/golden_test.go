@@ -1,0 +1,79 @@
+package apps
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/difftest"
+	"repro/internal/engine"
+	"repro/internal/schedule"
+)
+
+// TestGoldenOracles pins every benchmark application to the reference
+// interpreter across the full execution-option sweep: Fast kernels on/off
+// × 1 vs 4 threads × buffer pooling on/off, each run twice through the
+// persistent executor (the second run after Recycle must reproduce the
+// first bit-for-bit). Outputs are ULP-compared against the reference on a
+// fixed small input, and checksummed to catch run-to-run nondeterminism.
+func TestGoldenOracles(t *testing.T) {
+	for _, app := range All() {
+		app := app
+		t.Run(app.Name, func(t *testing.T) {
+			b, outs := app.Build()
+			params := app.TestParams
+			inputs, err := app.Inputs(b, params, 42)
+			if err != nil {
+				t.Fatal(err)
+			}
+			pl, err := core.Compile(b, outs, core.Options{
+				Estimates:     params,
+				Schedule:      schedule.Options{TileSizes: []int64{16, 32}, MinTileExtent: 8, MinSize: 64},
+				AllowUnproven: true,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			ref, err := engine.Reference(pl.Graph, params, inputs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, fast := range []bool{false, true} {
+				for _, threads := range []int{1, 4} {
+					for _, reuse := range []bool{false, true} {
+						name := fmt.Sprintf("fast=%v/threads=%d/reuse=%v", fast, threads, reuse)
+						prog, err := pl.Bind(params, engine.Options{
+							Fast: fast, Threads: threads, ReuseBuffers: reuse, Debug: true,
+						})
+						if err != nil {
+							t.Fatalf("%s: %v", name, err)
+						}
+						sums := make(map[string]uint64)
+						for pass := 0; pass < 2; pass++ {
+							got, err := prog.Run(inputs)
+							if err != nil {
+								t.Fatalf("%s run %d: %v", name, pass, err)
+							}
+							for _, o := range outs {
+								if got[o] == nil {
+									t.Fatalf("%s run %d: output %s missing", name, pass, o)
+								}
+								if d := difftest.Compare(got[o], ref[o], 2e-3, 64); d != "" {
+									t.Errorf("%s run %d: output %s diverges from reference: %s", name, pass, o, d)
+								}
+								sum := difftest.Checksum(got[o])
+								if pass == 0 {
+									sums[o] = sum
+								} else if sum != sums[o] {
+									t.Errorf("%s: output %s not deterministic across runs: %x vs %x", name, o, sums[o], sum)
+								}
+							}
+							prog.Executor().Recycle(got)
+						}
+						prog.Close()
+					}
+				}
+			}
+		})
+	}
+}

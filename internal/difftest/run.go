@@ -1,0 +1,301 @@
+package difftest
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/bounds"
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/inline"
+	"repro/internal/schedule"
+)
+
+// Knob is one point of the schedule/execution configuration sweep: the
+// compile-time transformations (tiling, grouping, inlining) and run-time
+// execution options (fast kernels, threads, buffer pooling) the optimized
+// side is exercised under.
+type Knob struct {
+	Name string
+	// Tiles feeds schedule.Options.TileSizes.
+	Tiles []int64
+	// DisableFusion keeps every stage in its own group.
+	DisableFusion bool
+	// DisableInline turns the point-wise inlining pass off.
+	DisableInline bool
+	// Fast selects the specialized float32 kernels and row evaluation.
+	Fast bool
+	// Threads is the worker count (1 = fully sequential).
+	Threads int
+	// ReuseBuffers pools intermediate full buffers across groups.
+	ReuseBuffers bool
+	// Tiling selects the strategy for fused groups (overlapped, the
+	// default, or the Figure 5 alternatives).
+	Tiling engine.TilingStrategy
+}
+
+func (k Knob) String() string {
+	return fmt.Sprintf("%s{tiles=%v fusion=%v inline=%v fast=%v threads=%d pool=%v tiling=%d}",
+		k.Name, k.Tiles, !k.DisableFusion, !k.DisableInline, k.Fast, k.Threads, k.ReuseBuffers, k.Tiling)
+}
+
+// schedOptions maps the knob to scheduling options scaled for the small
+// fuzz extents (tiny MinSize so grouping actually triggers, the high
+// overlap threshold the original fuzzers used).
+func (k Knob) schedOptions() schedule.Options {
+	return schedule.Options{
+		TileSizes:        k.Tiles,
+		MinTileExtent:    4,
+		MinSize:          8,
+		OverlapThreshold: 0.95,
+		DisableFusion:    k.DisableFusion,
+	}
+}
+
+func (k Knob) inlineOptions() inline.Options {
+	if k.DisableInline {
+		return inline.Options{Disabled: true}
+	}
+	return inline.DefaultOptions()
+}
+
+func (k Knob) engineOptions() engine.Options {
+	return engine.Options{Fast: k.Fast, Threads: k.Threads, Debug: true,
+		ReuseBuffers: k.ReuseBuffers, Tiling: k.Tiling}
+}
+
+// DefaultKnobs is the standard sweep: 11 combinations covering every axis
+// (tile sizes incl. degenerate and asymmetric, fusion on/off, inlining
+// on/off, fast float32 path on/off, 1 vs N threads, pooling on/off, and
+// the alternative tiling strategies of Figure 5).
+func DefaultKnobs() []Knob {
+	return []Knob{
+		{Name: "scalar-seq", Tiles: []int64{8, 16}, Threads: 1},
+		{Name: "fast-seq", Tiles: []int64{8, 16}, Fast: true, Threads: 1},
+		{Name: "fast-par-pool", Tiles: []int64{16}, Fast: true, Threads: 4, ReuseBuffers: true},
+		{Name: "noinline-par", Tiles: []int64{32, 8}, DisableInline: true, Threads: 2},
+		{Name: "nofuse-fast-par", Tiles: []int64{16, 16}, DisableFusion: true, Fast: true, Threads: 4},
+		{Name: "nofuse-noinline-pool", Tiles: []int64{8}, DisableFusion: true, DisableInline: true, Threads: 1, ReuseBuffers: true},
+		{Name: "asym-tile-fast-pool", Tiles: []int64{8, 32}, Fast: true, Threads: 2, ReuseBuffers: true},
+		{Name: "tiny-tile-par", Tiles: []int64{4, 4}, Threads: 4},
+		{Name: "huge-tile-fast", Tiles: []int64{512, 512}, Fast: true, Threads: 2},
+		{Name: "parallelogram-fast", Tiles: []int64{16, 16}, Fast: true, Threads: 2, Tiling: engine.ParallelogramTiling},
+		{Name: "split-fast", Tiles: []int64{16, 16}, Fast: true, Threads: 2, Tiling: engine.SplitTiling},
+	}
+}
+
+// QuickKnobs is a 4-point subset for the native fuzzing loop, where
+// per-input cost matters more than axis coverage.
+func QuickKnobs() []Knob {
+	k := DefaultKnobs()
+	return []Knob{k[1], k[2], k[5], k[7]}
+}
+
+// RunOptions configures a differential run.
+type RunOptions struct {
+	// Knobs to sweep; nil means DefaultKnobs().
+	Knobs []Knob
+	// Atol is the absolute tolerance; values within it always compare
+	// equal (guards denormal noise around zero). Default 1e-5.
+	Atol float64
+	// MaxULP is the unit-in-the-last-place budget for values outside
+	// Atol. Default 32 (the fast float32 kernels re-associate sums).
+	MaxULP uint32
+	// Perturb builds the optimized side from the perturbed variant of the
+	// spec (stages with StageSpec.Perturb scale their definition), the
+	// fault-injection hook of the mutation smoke tests.
+	Perturb bool
+}
+
+func (o RunOptions) withDefaults() RunOptions {
+	if o.Knobs == nil {
+		o.Knobs = DefaultKnobs()
+	}
+	if o.Atol == 0 {
+		o.Atol = 1e-5
+	}
+	if o.MaxULP == 0 {
+		o.MaxULP = 32
+	}
+	return o
+}
+
+// Mismatch reports one differential failure: the knob under which the
+// optimized execution diverged from the reference interpreter (or errored)
+// and a human-readable detail.
+type Mismatch struct {
+	Spec   PipelineSpec
+	Knob   Knob
+	Output string
+	Detail string
+}
+
+func (m *Mismatch) Error() string {
+	return fmt.Sprintf("difftest: %s under %s: output %q: %s", m.Spec.ShortString(), m.Knob, m.Output, m.Detail)
+}
+
+// Diff executes the spec through the reference interpreter once and
+// through the optimized compiler+engine under every knob, comparing all
+// live-outs. It returns the first Mismatch found (nil if all knobs agree)
+// or an error for infrastructure failures — a broken generator invariant
+// or a reference-side failure, which indicate a bug in difftest itself
+// rather than in the optimizer.
+func Diff(sp PipelineSpec, opts RunOptions) (*Mismatch, error) {
+	opts = opts.withDefaults()
+	refB, err := sp.Build(false)
+	if err != nil {
+		return nil, err
+	}
+	// The generator's central invariant: every access is provably in
+	// bounds. Check it once on the reference build; the optimized builds
+	// are re-checked inside core.Compile.
+	res, err := bounds.Check(refB.Graph, refB.Params)
+	if err != nil {
+		return nil, err
+	}
+	if err := res.Err(); err != nil {
+		return nil, fmt.Errorf("difftest: generator produced out-of-bounds accesses for %s: %w", sp.ShortString(), err)
+	}
+	ref, err := engine.Reference(refB.Graph, refB.Params, refB.Inputs)
+	if err != nil {
+		return nil, fmt.Errorf("difftest: reference execution of %s: %w", sp.ShortString(), err)
+	}
+	for _, k := range opts.Knobs {
+		if m := diffOne(sp, k, opts, refB, ref); m != nil {
+			return m, nil
+		}
+	}
+	return nil, nil
+}
+
+// diffOne compiles and runs the spec under one knob and compares against
+// the precomputed reference. Compile or run errors on the optimized side
+// are findings (they shrink like value mismatches), not infrastructure
+// errors.
+func diffOne(sp PipelineSpec, k Knob, opts RunOptions, refB *built, ref map[string]*engine.Buffer) *Mismatch {
+	fail := func(output, detail string) *Mismatch {
+		return &Mismatch{Spec: sp, Knob: k, Output: output, Detail: detail}
+	}
+	optB, err := sp.Build(opts.Perturb)
+	if err != nil {
+		return fail("", fmt.Sprintf("build: %v", err))
+	}
+	pl, err := core.Compile(optB.Graph.Builder, optB.LiveOuts, core.Options{
+		Estimates:     optB.Params,
+		Schedule:      k.schedOptions(),
+		Inline:        k.inlineOptions(),
+		AllowUnproven: true,
+	})
+	if err != nil {
+		return fail("", fmt.Sprintf("compile: %v", err))
+	}
+	prog, err := pl.Bind(optB.Params, k.engineOptions())
+	if err != nil {
+		return fail("", fmt.Sprintf("bind: %v", err))
+	}
+	defer prog.Close()
+	// Run twice through the persistent executor, recycling in between:
+	// the second run must see no stale scratchpad/arena state.
+	for pass := 0; pass < 2; pass++ {
+		out, err := prog.Run(refB.Inputs)
+		if err != nil {
+			return fail("", fmt.Sprintf("run %d: %v", pass, err))
+		}
+		for _, lo := range refB.LiveOuts {
+			got, ok := out[lo]
+			if !ok || got == nil {
+				return fail(lo, fmt.Sprintf("run %d: output missing", pass))
+			}
+			if detail := Compare(got, ref[lo], opts.Atol, opts.MaxULP); detail != "" {
+				return fail(lo, fmt.Sprintf("run %d: %s", pass, detail))
+			}
+		}
+		prog.Executor().Recycle(out)
+	}
+	return nil
+}
+
+// Compare checks shape and value equality of two buffers; it returns ""
+// on success or a description of the first divergence. A value pair is
+// accepted when its absolute difference is within atol or its distance is
+// within maxULP units in the last place (the relative criterion). It is
+// the oracle shared by the knob sweep and the golden app tests.
+func Compare(got, want *engine.Buffer, atol float64, maxULP uint32) string {
+	if want == nil {
+		return "no reference buffer"
+	}
+	if len(got.Box) != len(want.Box) {
+		return fmt.Sprintf("rank %d, want %d", len(got.Box), len(want.Box))
+	}
+	for d := range got.Box {
+		if got.Box[d] != want.Box[d] {
+			return fmt.Sprintf("box dim %d is %v, want %v", d, got.Box[d], want.Box[d])
+		}
+	}
+	for i := range got.Data {
+		g, w := got.Data[i], want.Data[i]
+		if g == w {
+			continue
+		}
+		d := float64(g) - float64(w)
+		if d >= -atol && d <= atol {
+			continue
+		}
+		if u := ulpDiff(g, w); u <= maxULP {
+			continue
+		}
+		return fmt.Sprintf("data[%d] = %v, want %v (ulp=%d, checksum got=%x want=%x)",
+			i, g, w, ulpDiff(g, w), Checksum(got), Checksum(want))
+	}
+	return ""
+}
+
+// ulpDiff returns the distance between two float32 values in units in the
+// last place (the number of representable values between them). NaNs are
+// infinitely far from everything including themselves.
+func ulpDiff(a, b float32) uint32 {
+	if math.IsNaN(float64(a)) || math.IsNaN(float64(b)) {
+		return math.MaxUint32
+	}
+	ia, ib := orderedBits(a), orderedBits(b)
+	d := ia - ib
+	if d < 0 {
+		d = -d
+	}
+	if d > math.MaxUint32 {
+		return math.MaxUint32
+	}
+	return uint32(d)
+}
+
+// orderedBits maps a float32 onto a monotone integer line (sign-magnitude
+// to offset representation), so ULP distance is integer subtraction.
+func orderedBits(f float32) int64 {
+	u := math.Float32bits(f)
+	if u&0x8000_0000 != 0 {
+		return -int64(u & 0x7fff_ffff)
+	}
+	return int64(u)
+}
+
+// Checksum returns an order-dependent FNV-style hash of a buffer's shape
+// and exact bit contents — a compact fingerprint for golden oracles and
+// failure messages.
+func Checksum(b *engine.Buffer) uint64 {
+	const prime = 1099511628211
+	h := uint64(14695981039346656037)
+	mix := func(v uint64) {
+		for s := 0; s < 64; s += 8 {
+			h ^= (v >> s) & 0xff
+			h *= prime
+		}
+	}
+	for _, r := range b.Box {
+		mix(uint64(r.Lo))
+		mix(uint64(r.Hi))
+	}
+	for _, v := range b.Data {
+		mix(uint64(math.Float32bits(v)))
+	}
+	return h
+}

@@ -2,7 +2,6 @@ package engine
 
 import (
 	"fmt"
-	"math/rand"
 	"runtime"
 	"testing"
 
@@ -507,27 +506,9 @@ func TestAlternativeTilingStrategies(t *testing.T) {
 				}
 			}
 		})
-		t.Run(strat.name+"/sampling", func(t *testing.T) {
-			// Reuse the random 2-D generator for sampling coverage.
-			r := rand.New(rand.NewSource(31415))
-			for trial := 0; trial < 10; trial++ {
-				g, params, inputs := randPipeline2D(t, r, 4+r.Intn(8))
-				ref, err := Reference(g, params, inputs)
-				if err != nil {
-					t.Fatal(err)
-				}
-				liveOut := g.LiveOuts[0]
-				if _, err := inline.Apply(g, inline.DefaultOptions()); err != nil {
-					t.Fatal(err)
-				}
-				sopts := schedule.Options{TileSizes: []int64{16, 16}, MinTileExtent: 8, MinSize: 8, OverlapThreshold: 0.95}
-				out := compileAndRun(t, g, params, sopts,
-					Options{Fast: true, Debug: true, Tiling: strat.tiling}, inputs)
-				if eq, msg := out[liveOut].Equal(ref[liveOut], 1e-5); !eq {
-					t.Fatalf("trial %d: %s", trial, msg)
-				}
-			}
-		})
+		// Random sampling-pipeline coverage for both strategies lives in
+		// internal/difftest (the parallelogram-fast and split-fast knobs
+		// of its DefaultKnobs sweep).
 	}
 }
 

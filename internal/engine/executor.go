@@ -212,10 +212,19 @@ func (e *Executor) Close() {
 
 // Recycle returns output buffers from a previous Run to the executor's
 // arena so later runs reuse their storage. Only buffers for the Program's
-// own stages are taken (inputs in the map are ignored). The caller must be
-// done with the buffers and must not pass the same map twice.
+// own stages are taken (inputs, nil entries and unknown names in the map
+// are ignored). The caller must be done with the buffers and must not
+// pass the same map twice. After Close, Recycle is a no-op: a closed
+// executor serves no further runs, so keeping the storage would only pin
+// memory.
 func (e *Executor) Recycle(outputs map[string]*Buffer) {
+	if e.closed.Load() {
+		return
+	}
 	for name, b := range outputs {
+		if b == nil {
+			continue
+		}
 		if _, ok := e.p.Graph.Stages[name]; ok {
 			e.arena.put(b)
 		}
@@ -242,7 +251,7 @@ func (e *Executor) Run(inputs map[string]*Buffer) (map[string]*Buffer, error) {
 	}
 	for name := range p.Graph.Images {
 		buf, ok := inputs[name]
-		if !ok {
+		if !ok || buf == nil {
 			return nil, fmt.Errorf("engine: missing input image %q", name)
 		}
 		want, err := p.InputBox(name)

@@ -36,10 +36,15 @@ type Config struct {
 	Seed int64
 }
 
+// DefaultSeed is the fixed seed for synthetic benchmark inputs: runs are
+// reproducible by default and comparable across machines and sessions.
+// Override with cmd/polymage-bench's -seed flag.
+const DefaultSeed = 42
+
 // DefaultConfig returns a quick configuration (scaled-down inputs, few
 // runs).
 func DefaultConfig() Config {
-	return Config{Scale: 4, Runs: 3, Seed: 42}
+	return Config{Scale: 4, Runs: 3, Seed: DefaultSeed}
 }
 
 // ScaledParams divides the paper parameters by the scale, clamping at the
