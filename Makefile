@@ -5,17 +5,28 @@ GO ?= go
 COVER_FLOOR_ENGINE   ?= 75.0
 COVER_FLOOR_SCHEDULE ?= 75.0
 
-.PHONY: all build test race fuzz cover bench bench-kernels serve clean
+.PHONY: all build test vet api race fuzz cover bench bench-kernels serve stats clean
 
 all: build test
 
 # `test` is tier 1 and includes the difftest seed corpus (TestSeedCorpus:
-# 200 random DAGs through the full 11-knob schedule/execution sweep).
+# 200 random DAGs through the full 11-knob schedule/execution sweep), plus
+# `go vet` and the exported-API golden (TestAPIGolden against api.txt).
 build:
 	$(GO) build ./...
 
-test:
+test: vet
 	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# Regenerate the exported-API listing and fail on drift against the
+# committed api.txt. To accept a deliberate API change:
+#   go run ./cmd/polymage-api > api.txt
+api:
+	@$(GO) run ./cmd/polymage-api > /tmp/polymage-api.txt
+	@diff -u api.txt /tmp/polymage-api.txt && echo "api.txt up to date"
 
 # Race-checked run of the execution engine, including the concurrent
 # Program.Run stress test (TestConcurrentRun) and the executor lifecycle
@@ -49,6 +60,11 @@ bench-kernels:
 
 serve:
 	$(GO) run ./cmd/polymage-bench -serve harris -requests 100
+
+# Per-stage observability sweep over every benchmark app (executor metrics
+# on: kernel time, tiles, measured recomputation vs the model's estimate).
+stats:
+	$(GO) run ./cmd/polymage-bench -stats
 
 clean:
 	$(GO) clean ./...

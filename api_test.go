@@ -1,0 +1,25 @@
+package polymage_test
+
+import (
+	"os"
+	"testing"
+
+	"repro/internal/apitext"
+)
+
+// TestAPIGolden pins the exported surface of the root package to the
+// committed api.txt. On drift, regenerate with
+// `go run ./cmd/polymage-api > api.txt` (or `make api` to just check).
+func TestAPIGolden(t *testing.T) {
+	want, err := os.ReadFile("api.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := apitext.Dump(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != string(want) {
+		t.Errorf("exported API drifted from api.txt; regenerate with `go run ./cmd/polymage-api > api.txt`\ngot:\n%s", got)
+	}
+}

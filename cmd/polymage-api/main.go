@@ -1,0 +1,27 @@
+// polymage-api prints the exported API surface of the root polymage
+// package as deterministic text. The committed api.txt is this program's
+// output; `make api` diffs the two so API changes are always deliberate.
+//
+// Usage:
+//
+//	polymage-api [-dir .]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/apitext"
+)
+
+func main() {
+	dir := flag.String("dir", ".", "package directory to dump")
+	flag.Parse()
+	out, err := apitext.Dump(*dir)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "polymage-api:", err)
+		os.Exit(1)
+	}
+	fmt.Print(out)
+}

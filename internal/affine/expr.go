@@ -10,10 +10,15 @@
 package affine
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"strings"
 )
+
+// ErrUnboundParam reports evaluation of an affine expression whose parameter
+// has no value in the binding. Returned errors wrap it: test with errors.Is.
+var ErrUnboundParam = errors.New("unbound parameter")
 
 // Expr is an affine expression c + Σ coeff_i · param_i over named integer
 // parameters. The zero value is the constant 0.
@@ -129,7 +134,7 @@ func (e Expr) Eval(params map[string]int64) (int64, error) {
 	for n, c := range e.terms {
 		pv, ok := params[n]
 		if !ok {
-			return 0, fmt.Errorf("affine: unbound parameter %q", n)
+			return 0, fmt.Errorf("affine: %w %q", ErrUnboundParam, n)
 		}
 		v += c * pv
 	}

@@ -1,0 +1,121 @@
+// Package apitext renders the exported surface of a Go package as a
+// deterministic, diff-friendly text listing. The repository commits the
+// root package's listing as api.txt; `make api` and the root golden test
+// regenerate it and fail on any drift, so changes to the public API are
+// always explicit in review.
+package apitext
+
+import (
+	"bytes"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/printer"
+	"go/token"
+	"io/fs"
+	"sort"
+	"strings"
+)
+
+// Dump parses the (non-test) Go files of the package in dir and returns one
+// entry per exported declaration, sorted, one block per line group. Doc
+// comments are stripped: the listing tracks the surface, not its prose.
+func Dump(dir string) (string, error) {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, func(fi fs.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, parser.ParseComments)
+	if err != nil {
+		return "", err
+	}
+	var entries []string
+	for _, pkg := range pkgs {
+		if strings.HasSuffix(pkg.Name, "_test") {
+			continue
+		}
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				entries = append(entries, declEntries(fset, decl)...)
+			}
+		}
+	}
+	sort.Strings(entries)
+	return strings.Join(entries, "\n") + "\n", nil
+}
+
+func declEntries(fset *token.FileSet, decl ast.Decl) []string {
+	switch d := decl.(type) {
+	case *ast.FuncDecl:
+		if !d.Name.IsExported() || !exportedRecv(d.Recv) {
+			return nil
+		}
+		fn := &ast.FuncDecl{Recv: d.Recv, Name: d.Name, Type: d.Type}
+		return []string{render(fset, fn)}
+	case *ast.GenDecl:
+		var out []string
+		for _, spec := range d.Specs {
+			switch s := spec.(type) {
+			case *ast.TypeSpec:
+				if !s.Name.IsExported() {
+					continue
+				}
+				c := *s
+				c.Doc, c.Comment = nil, nil
+				out = append(out, render(fset, &ast.GenDecl{Tok: d.Tok, Specs: []ast.Spec{&c}}))
+			case *ast.ValueSpec:
+				if len(exportedNames(s.Names)) == 0 {
+					continue
+				}
+				c := *s
+				c.Doc, c.Comment = nil, nil
+				out = append(out, render(fset, &ast.GenDecl{Tok: d.Tok, Specs: []ast.Spec{&c}}))
+			}
+		}
+		return out
+	}
+	return nil
+}
+
+func exportedNames(ids []*ast.Ident) []string {
+	var out []string
+	for _, id := range ids {
+		if id.IsExported() {
+			out = append(out, id.Name)
+		}
+	}
+	return out
+}
+
+// exportedRecv reports whether a method's receiver type is exported
+// (functions have a nil receiver and always qualify).
+func exportedRecv(recv *ast.FieldList) bool {
+	if recv == nil || len(recv.List) == 0 {
+		return true
+	}
+	t := recv.List[0].Type
+	for {
+		switch tt := t.(type) {
+		case *ast.StarExpr:
+			t = tt.X
+		case *ast.IndexExpr:
+			t = tt.X
+		case *ast.Ident:
+			return tt.IsExported()
+		default:
+			return false
+		}
+	}
+}
+
+func render(fset *token.FileSet, node any) string {
+	var buf bytes.Buffer
+	cfg := printer.Config{Mode: printer.UseSpaces, Tabwidth: 4}
+	if err := cfg.Fprint(&buf, fset, node); err != nil {
+		return fmt.Sprintf("<render error: %v>", err)
+	}
+	// Collapse multi-line declarations (struct types etc.) to one line so
+	// every entry sorts and diffs as a unit.
+	s := buf.String()
+	s = strings.Join(strings.Fields(s), " ")
+	return s
+}

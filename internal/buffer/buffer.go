@@ -1,0 +1,169 @@
+// Package buffer provides the N-dimensional float32 array exchanged with
+// compiled pipelines. It sits below both the DSL front-end and the
+// execution engine (which re-exports Buffer for compatibility), so any
+// layer can allocate buffers without importing the runtime.
+package buffer
+
+import (
+	"fmt"
+
+	"repro/internal/affine"
+)
+
+// Buffer is an N-dimensional float32 array covering a box region. Indexing
+// is relative to the box's lower corner, so a scratchpad allocated for a
+// tile's region is addressed with the same global coordinates as a full
+// buffer (the "relative indexing" of Section 3.6).
+type Buffer struct {
+	Box    affine.Box
+	Stride []int64 // element stride per dimension; innermost is 1
+	Data   []float32
+}
+
+// New allocates a buffer covering box.
+func New(box affine.Box) *Buffer {
+	b := &Buffer{}
+	b.Reset(box)
+	return b
+}
+
+// NewForDomain evaluates a parametric domain at params and allocates a
+// buffer covering it.
+func NewForDomain(dom affine.Domain, params map[string]int64) (*Buffer, error) {
+	box, err := dom.Eval(params)
+	if err != nil {
+		return nil, err
+	}
+	return New(box), nil
+}
+
+// Reset re-shapes the buffer to cover box, reusing the backing array when
+// large enough (scratchpads are Reset per tile and reuse their storage).
+// The covered region reads as zero afterwards: domain points not written by
+// any case evaluate to 0, exactly as in freshly allocated full buffers and
+// the reference interpreter (pipelines use this for zero-padded aprons).
+func (b *Buffer) Reset(box affine.Box) {
+	n := int64(1)
+	if cap(b.Box) >= len(box) {
+		b.Box = b.Box[:len(box)]
+		copy(b.Box, box)
+	} else {
+		b.Box = box.Clone()
+	}
+	if cap(b.Stride) >= len(box) {
+		b.Stride = b.Stride[:len(box)]
+	} else {
+		b.Stride = make([]int64, len(box))
+	}
+	for d := len(box) - 1; d >= 0; d-- {
+		b.Stride[d] = n
+		sz := box[d].Size()
+		if sz < 0 {
+			sz = 0
+		}
+		n *= sz
+	}
+	if int64(cap(b.Data)) >= n {
+		b.Data = b.Data[:n]
+		for i := range b.Data {
+			b.Data[i] = 0
+		}
+	} else {
+		b.Data = make([]float32, n)
+	}
+}
+
+// Fill fills the buffer with v.
+func (b *Buffer) Fill(v float32) {
+	for i := range b.Data {
+		b.Data[i] = v
+	}
+}
+
+// Offset returns the flat index of the point (which must lie in Box).
+func (b *Buffer) Offset(pt []int64) int64 {
+	var off int64
+	for d, x := range pt {
+		off += (x - b.Box[d].Lo) * b.Stride[d]
+	}
+	return off
+}
+
+// At reads the value at pt.
+func (b *Buffer) At(pt ...int64) float32 { return b.Data[b.Offset(pt)] }
+
+// Set writes the value at pt.
+func (b *Buffer) Set(v float32, pt ...int64) { b.Data[b.Offset(pt)] = v }
+
+// Rank returns the number of dimensions.
+func (b *Buffer) Rank() int { return len(b.Box) }
+
+// Len returns the number of elements covered.
+func (b *Buffer) Len() int { return len(b.Data) }
+
+// CopyRegion copies the values in region from src into b; region must be
+// contained in both boxes.
+func (b *Buffer) CopyRegion(src *Buffer, region affine.Box) {
+	if region.Empty() {
+		return
+	}
+	nd := len(region)
+	if nd == 0 {
+		return
+	}
+	// Iterate all dims but the last; copy contiguous runs along the last.
+	pt := make([]int64, nd)
+	for d := range region {
+		pt[d] = region[d].Lo
+	}
+	rowLen := region[nd-1].Size()
+	for {
+		so := src.Offset(pt)
+		do := b.Offset(pt)
+		copy(b.Data[do:do+rowLen], src.Data[so:so+rowLen])
+		// Advance the outer dims odometer.
+		d := nd - 2
+		for ; d >= 0; d-- {
+			pt[d]++
+			if pt[d] <= region[d].Hi {
+				break
+			}
+			pt[d] = region[d].Lo
+		}
+		if d < 0 {
+			return
+		}
+	}
+}
+
+// Equal reports whether two buffers cover the same box with values within
+// tol of each other; used by tests.
+func (b *Buffer) Equal(o *Buffer, tol float64) (bool, string) {
+	if len(b.Box) != len(o.Box) {
+		return false, "rank mismatch"
+	}
+	for d := range b.Box {
+		if b.Box[d] != o.Box[d] {
+			return false, fmt.Sprintf("box mismatch dim %d: %v vs %v", d, b.Box[d], o.Box[d])
+		}
+	}
+	for i := range b.Data {
+		d := float64(b.Data[i]) - float64(o.Data[i])
+		if d < -tol || d > tol {
+			return false, fmt.Sprintf("data[%d] = %v vs %v", i, b.Data[i], o.Data[i])
+		}
+	}
+	return true, ""
+}
+
+// FillPattern writes a deterministic pseudo-random pattern into a buffer
+// (used by tests and synthetic workloads).
+func FillPattern(b *Buffer, seed int64) {
+	s := uint64(seed)*2654435761 + 1
+	for i := range b.Data {
+		s ^= s << 13
+		s ^= s >> 7
+		s ^= s << 17
+		b.Data[i] = float32(s%10000) / 10000
+	}
+}

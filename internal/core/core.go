@@ -12,6 +12,7 @@ import (
 	"repro/internal/dsl"
 	"repro/internal/engine"
 	"repro/internal/inline"
+	"repro/internal/obs"
 	"repro/internal/pipeline"
 	"repro/internal/schedule"
 )
@@ -40,6 +41,10 @@ type Pipeline struct {
 	Bounds   *bounds.Result
 	Inlined  []string
 	Opts     Options
+	// Trace records the wall time of each compiler phase (graph build,
+	// bounds check, inlining, grouping). Bind attaches it to the Program it
+	// produces, so Program.Stats carries the full compile-time picture.
+	Trace *obs.Trace
 }
 
 // Compile runs the front-end and optimizer on a DSL specification.
@@ -47,11 +52,16 @@ func Compile(b *dsl.Builder, liveOuts []string, opts Options) (*Pipeline, error)
 	if opts.Estimates == nil {
 		opts.Estimates = map[string]int64{}
 	}
+	tr := &obs.Trace{}
+	done := tr.Start("graph")
 	g, err := pipeline.Build(b, liveOuts...)
+	done()
 	if err != nil {
 		return nil, err
 	}
+	done = tr.Start("bounds")
 	res, err := bounds.Check(g, opts.Estimates)
+	done()
 	if err != nil {
 		return nil, err
 	}
@@ -62,15 +72,19 @@ func Compile(b *dsl.Builder, liveOuts []string, opts Options) (*Pipeline, error)
 		v := res.Unproven[0]
 		return nil, fmt.Errorf("core: %d access(es) not provable for all parameters (first: %s); set AllowUnproven or fix the specification", len(res.Unproven), v.String())
 	}
+	done = tr.Start("inline")
 	inlined, err := inline.Apply(g, opts.Inline)
+	done()
 	if err != nil {
 		return nil, err
 	}
+	done = tr.Start("group")
 	gr, err := schedule.BuildGroups(g, opts.Estimates, opts.Schedule)
+	done()
 	if err != nil {
 		return nil, err
 	}
-	return &Pipeline{Graph: g, Grouping: gr, Bounds: res, Inlined: inlined, Opts: opts}, nil
+	return &Pipeline{Graph: g, Grouping: gr, Bounds: res, Inlined: inlined, Opts: opts, Trace: tr}, nil
 }
 
 // Bind lowers the pipeline for a concrete parameter binding. The grouping
@@ -78,7 +92,27 @@ func Compile(b *dsl.Builder, liveOuts []string, opts Options) (*Pipeline, error)
 // the implementation is valid for all parameter values even though it is
 // optimized around the estimates.
 func (p *Pipeline) Bind(params map[string]int64, eopts engine.Options) (*engine.Program, error) {
-	return engine.Compile(p.Grouping, params, eopts)
+	prog, err := engine.Compile(p.Grouping, params, eopts)
+	if err != nil {
+		return nil, err
+	}
+	prog.CompileTrace = p.Trace
+	return prog, nil
+}
+
+// NewInputs allocates one buffer per declared input image under the given
+// parameter binding, keyed by image name — ready to fill and pass to
+// Program.Run.
+func (p *Pipeline) NewInputs(params map[string]int64) (map[string]*engine.Buffer, error) {
+	out := make(map[string]*engine.Buffer, len(p.Graph.Images))
+	for name, im := range p.Graph.Images {
+		buf, err := im.NewBuffer(params)
+		if err != nil {
+			return nil, fmt.Errorf("core: input %q: %w", name, err)
+		}
+		out[name] = buf
+	}
+	return out, nil
 }
 
 // GroupSummary renders the grouping (the dashed boxes of Figure 8) as one

@@ -9,6 +9,7 @@ import (
 	"fmt"
 
 	"repro/internal/affine"
+	"repro/internal/buffer"
 	"repro/internal/expr"
 )
 
@@ -142,6 +143,13 @@ func (im *Image) Domain() affine.Domain {
 }
 
 func (iv Interval) toAffine() affine.Interval { return affine.Interval{Lo: iv.Lo, Hi: iv.Hi} }
+
+// NewBuffer allocates a buffer matching the image's domain under the given
+// parameter binding — the one documented way to build an input buffer for a
+// declared image.
+func (im *Image) NewBuffer(params map[string]int64) (*buffer.Buffer, error) {
+	return buffer.NewForDomain(im.Domain(), params)
+}
 
 // At builds an access to the image. Arguments may be *Variable, *Parameter,
 // expr.Expr or integer constants.

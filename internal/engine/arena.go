@@ -111,3 +111,17 @@ func (a *arena) stats() (hits, misses int64) {
 	defer a.mu.Unlock()
 	return a.hits, a.misses
 }
+
+// gauge reports hit/miss counters plus how many buffers (and how much
+// backing storage, in bytes) are currently parked awaiting reuse.
+func (a *arena) gauge() (hits, misses, pooled, pooledBytes int64) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	for _, bucket := range a.classes {
+		pooled += int64(len(bucket))
+		for _, b := range bucket {
+			pooledBytes += int64(cap(b.Data)) * 4
+		}
+	}
+	return a.hits, a.misses, pooled, pooledBytes
+}

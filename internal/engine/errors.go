@@ -1,0 +1,19 @@
+package engine
+
+import "errors"
+
+// Sentinel errors wrapped by the engine's failure paths so callers can
+// dispatch with errors.Is instead of matching message strings. The root
+// polymage package re-exports them.
+var (
+	// ErrClosed: Run was called on an executor after Close.
+	ErrClosed = errors.New("executor closed")
+	// ErrNilInput: an input image was missing from the input map or its
+	// buffer was nil.
+	ErrNilInput = errors.New("missing or nil input buffer")
+	// ErrShape: an input buffer's rank or box does not match the declared
+	// image domain under the program's parameter binding.
+	ErrShape = errors.New("input shape mismatch")
+	// ErrUnknownStage: a stage or image name is not part of the pipeline.
+	ErrUnknownStage = errors.New("unknown stage or image")
+)

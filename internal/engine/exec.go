@@ -1,11 +1,15 @@
 package engine
 
 import (
+	"context"
 	"fmt"
+	"runtime/pprof"
 	"sync/atomic"
 
 	"repro/internal/affine"
 	"repro/internal/dsl"
+	"repro/internal/obs"
+	"repro/internal/schedule"
 )
 
 // Run executes the compiled pipeline on the given input images and returns
@@ -83,7 +87,7 @@ func (e *Executor) runSingle(ls *loweredStage, out *Buffer) error {
 	return e.parallel(threads, func(w *worker, fe *firstErr) {
 		e.bind(w)
 		if threads <= 1 {
-			e.p.computeRegion(w, ls, ls.dom, out)
+			e.p.computeStageObs(w, ls, ls.dom, out, 0, 0)
 			return
 		}
 		for {
@@ -96,7 +100,7 @@ func (e *Executor) runSingle(ls *loweredStage, out *Buffer) error {
 			region := cloneBoxInto(w.region, ls.dom)
 			w.region = region
 			region[split] = affine.Range{Lo: lo, Hi: hi}
-			e.p.computeRegion(w, ls, region, out)
+			e.p.computeStageObs(w, ls, region, out, 0, 0)
 		}
 	})
 }
@@ -140,6 +144,9 @@ func (e *Executor) runTiled(ge *groupExec, outputs map[string]*Buffer) error {
 				fe.set(err)
 				return
 			}
+			if w.shard != nil {
+				w.shard.Tile(ge.id)
+			}
 			for i, ls := range ge.members {
 				box := w.req[ls.name]
 				if box == nil || box.Empty() {
@@ -162,7 +169,17 @@ func (e *Executor) runTiled(ge *groupExec, outputs map[string]*Buffer) error {
 					out = sc
 				}
 				w.ctx.bufs[ls.slot] = out
-				e.p.computeRegion(w, ls, box, out)
+				if w.shard == nil {
+					e.p.computeStage(w, ls, box, out)
+				} else {
+					var recPts, recRows int64
+					if !isAnchor {
+						// The anchor writes exactly its owned tile; other
+						// members recompute the halo outside their owned box.
+						recPts, recRows = w.recomputed(tp, ls.name, idx, box)
+					}
+					e.p.computeStageObs(w, ls, box, out, recPts, recRows)
+				}
 				if ge.liveOut[i] && !isAnchor {
 					owned := tp.OwnedBox(ls.name, idx).Intersect(box)
 					if !owned.Empty() {
@@ -172,6 +189,77 @@ func (e *Executor) runTiled(ge *groupExec, outputs map[string]*Buffer) error {
 			}
 		}
 	})
+}
+
+// computeStage evaluates a stage over region, attributing CPU samples to
+// the stage via pprof labels when profiling is on (the label closure is
+// only materialized on the profiled branch, so the default path allocates
+// nothing).
+func (p *Program) computeStage(w *worker, ls *loweredStage, region affine.Box, out *Buffer) {
+	if ls.prof != nil {
+		pprof.Do(context.Background(), *ls.prof, func(context.Context) {
+			p.computeRegion(w, ls, region, out)
+		})
+		return
+	}
+	p.computeRegion(w, ls, region, out)
+}
+
+// computeStageObs is computeStage plus kernel metrics: when the worker
+// carries a shard it records the span, the points/rows evaluated and the
+// recomputed portion (recPts/recRows: work outside the tile's owned box).
+// With metrics off this is one nil check in front of computeStage.
+func (p *Program) computeStageObs(w *worker, ls *loweredStage, region affine.Box, out *Buffer, recPts, recRows int64) {
+	if w.shard == nil {
+		p.computeStage(w, ls, region, out)
+		return
+	}
+	t0 := obs.Now()
+	p.computeStage(w, ls, region, out)
+	w.shard.StageKernel(ls.id, obs.Now()-t0, region.Size(), recPts, rowsOf(region), recRows)
+}
+
+// rowsOf counts the rows of a box: the product of all extents except the
+// innermost (a rank-1 box is one row).
+func rowsOf(b affine.Box) int64 {
+	if len(b) == 0 {
+		return 0
+	}
+	last := b[len(b)-1].Size()
+	if last <= 0 {
+		return 0
+	}
+	return b.Size() / last
+}
+
+// recomputed measures the overlap-halo portion of box: the points and rows
+// outside the tile's owned region of member m — the paper's redundant
+// computation (Section 3.4), measured rather than estimated. Uses the
+// worker's statBox scratch so the metrics path allocates nothing.
+func (w *worker) recomputed(tp *schedule.TilePlan, m string, idx []int64, box affine.Box) (recPts, recRows int64) {
+	if len(box) == 0 {
+		return 0, 0
+	}
+	owned := w.statBox
+	if cap(owned) < len(box) {
+		owned = make(affine.Box, len(box))
+	}
+	owned = owned[:len(box)]
+	w.statBox = owned
+	tp.OwnedBoxInto(owned, m, idx)
+	ownedPts, ownedRows := int64(1), int64(1)
+	for d := range box {
+		sz := owned[d].Intersect(box[d]).Size()
+		if sz <= 0 {
+			ownedPts, ownedRows = 0, 0
+			break
+		}
+		ownedPts *= sz
+		if d < len(box)-1 {
+			ownedRows *= sz
+		}
+	}
+	return box.Size() - ownedPts, rowsOf(box) - ownedRows
 }
 
 // computeRegion evaluates a stage over region into out, one case piece at a
@@ -289,6 +377,21 @@ func (e *Executor) runSelfRef(ls *loweredStage, out *Buffer) error {
 	w := e.seq
 	e.bind(w)
 	w.ctx.bufs[ls.slot] = out
+	if w.shard != nil {
+		t0 := obs.Now()
+		defer func() {
+			w.shard.StageKernel(ls.id, obs.Now()-t0, ls.dom.Size(), 0, rowsOf(ls.dom), 0)
+		}()
+	}
+	if ls.prof != nil {
+		pprof.Do(context.Background(), *ls.prof, func(context.Context) { e.selfRefLoop(w, ls, out) })
+		return nil
+	}
+	e.selfRefLoop(w, ls, out)
+	return nil
+}
+
+func (e *Executor) selfRefLoop(w *worker, ls *loweredStage, out *Buffer) {
 	c := &w.ctx.Ctx
 	nd := len(ls.dom)
 	pt := c.pt[:nd]
@@ -296,7 +399,7 @@ func (e *Executor) runSelfRef(ls *loweredStage, out *Buffer) error {
 		pt[d] = ls.dom[d].Lo
 	}
 	if ls.dom.Empty() {
-		return nil
+		return
 	}
 	for {
 		for pi := range ls.pieces {
@@ -319,7 +422,7 @@ func (e *Executor) runSelfRef(ls *loweredStage, out *Buffer) error {
 			pt[d] = ls.dom[d].Lo
 		}
 		if d < 0 {
-			return nil
+			return
 		}
 	}
 }
@@ -345,7 +448,7 @@ func (e *Executor) runAccumulator(ls *loweredStage, out *Buffer) error {
 	if !parallel {
 		w := e.seq
 		e.bind(w)
-		p.accumulateRegion(w, ls, red, out)
+		p.accumulateStage(w, ls, red, out)
 		return nil
 	}
 	parts := make([]*Buffer, threads)
@@ -367,7 +470,7 @@ func (e *Executor) runAccumulator(ls *loweredStage, out *Buffer) error {
 				Lo: red[split].Lo + t*n/int64(threads),
 				Hi: red[split].Lo + (t+1)*n/int64(threads) - 1,
 			}
-			p.accumulateRegion(w, ls, region, part)
+			p.accumulateStage(w, ls, region, part)
 		}
 	})
 	if err != nil {
@@ -383,6 +486,26 @@ func (e *Executor) runAccumulator(ls *loweredStage, out *Buffer) error {
 		e.arena.put(part)
 	}
 	return nil
+}
+
+// accumulateStage is accumulateRegion behind the same metrics/profiling
+// gates as computeStage: points recorded are the reduction-domain points
+// swept (not output elements), and nothing is ever counted as recomputed.
+func (p *Program) accumulateStage(w *worker, ls *loweredStage, region affine.Box, out *Buffer) {
+	var t0 int64
+	if w.shard != nil {
+		t0 = obs.Now()
+	}
+	if ls.prof != nil {
+		pprof.Do(context.Background(), *ls.prof, func(context.Context) {
+			p.accumulateRegion(w, ls, region, out)
+		})
+	} else {
+		p.accumulateRegion(w, ls, region, out)
+	}
+	if w.shard != nil {
+		w.shard.StageKernel(ls.id, obs.Now()-t0, region.Size(), 0, rowsOf(region), 0)
+	}
 }
 
 func (p *Program) accumulateRegion(w *worker, ls *loweredStage, region affine.Box, out *Buffer) {

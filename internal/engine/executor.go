@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/affine"
+	"repro/internal/obs"
 )
 
 // Executor is the persistent execution runtime attached to a compiled
@@ -42,6 +43,11 @@ type Executor struct {
 
 	arena arena
 
+	// rec is the metrics recorder; nil unless Options.Metrics was set when
+	// the executor was created. Workers carry their shard, so the disabled
+	// hot path is a single nil check.
+	rec *obs.Recorder
+
 	// The pool starts lazily on the first parallel section (a Threads: 1
 	// program never spawns a goroutine).
 	startOnce sync.Once
@@ -63,13 +69,18 @@ type worker struct {
 	ctx     RowCtx
 	scratch map[string]*Buffer
 
+	// shard is the worker's private metric shard (nil with metrics off).
+	shard *obs.Shard
+
 	// Reusable per-task scratch (tile odometer, Required map, accumulator
-	// target index, region clones).
+	// target index, region clones; statBox is the metrics path's owned-box
+	// scratch so measuring recomputation allocates nothing).
 	tileIdx []int64
 	req     map[string]affine.Box
 	accIdx  []int64
 	region  affine.Box
 	iBox    affine.Box
+	statBox affine.Box
 }
 
 // task is one unit of pool work: fn pulls work items from a shared atomic
@@ -82,6 +93,10 @@ type task struct {
 
 func (t task) run(w *worker) {
 	defer t.wg.Done()
+	if w.shard != nil {
+		t0 := obs.Now()
+		defer func() { w.shard.Busy(obs.Now() - t0) }()
+	}
 	defer func() {
 		// Debug-mode access checks panic with context; surface them as
 		// errors rather than crashing the worker pool.
@@ -118,7 +133,11 @@ func newExecutor(p *Program) *Executor {
 		base:    make([]*Buffer, p.slotCount),
 		live:    make(map[string]*Buffer),
 	}
-	e.seq = e.newWorker()
+	if p.Opts.Metrics {
+		// Shard 0 belongs to the sequential worker, 1..threads to the pool.
+		e.rec = obs.NewRecorder(p.stageNames, p.groupNames, e.threads+1)
+	}
+	e.seq = e.newWorker(0)
 	return e
 }
 
@@ -133,9 +152,9 @@ func (p *Program) Executor() *Executor {
 // recycled buffers). The Program must not be run afterwards.
 func (p *Program) Close() { p.Executor().Close() }
 
-func (e *Executor) newWorker() *worker {
+func (e *Executor) newWorker(shard int) *worker {
 	p := e.p
-	w := &worker{scratch: make(map[string]*Buffer)}
+	w := &worker{scratch: make(map[string]*Buffer), shard: e.rec.Shard(shard)}
 	w.ctx.pt = make([]int64, p.maxDims)
 	w.ctx.bufs = make([]*Buffer, p.slotCount)
 	w.ctx.pool = &tempPool{size: 1024}
@@ -152,7 +171,7 @@ func (e *Executor) start() {
 		e.tasks = make(chan task, e.threads)
 		e.quit = make(chan struct{})
 		for i := 0; i < e.threads; i++ {
-			go e.workerLoop(e.newWorker())
+			go e.workerLoop(e.newWorker(i + 1))
 		}
 	})
 }
@@ -234,7 +253,38 @@ func (e *Executor) Recycle(outputs map[string]*Buffer) {
 // ArenaStats reports how many full-buffer allocations were served from
 // recycled storage (hits) versus fresh make calls (misses) since the
 // executor was created.
+//
+// Deprecated: use Snapshot, which folds the arena counters into one
+// consistent view alongside the per-stage metrics.
 func (e *Executor) ArenaStats() (hits, misses int64) { return e.arena.stats() }
+
+// Snapshot returns a consistent merged view of the executor's metrics:
+// per-stage kernel time/points/recomputation, per-group tiles against the
+// tile plan, worker-pool utilization and the buffer arena. Arena counters
+// are always present; the rest requires the program to have been compiled
+// with Options.Metrics (Snapshot.Enabled reports which). Safe to call
+// concurrently with Run — totals grow monotonically between calls.
+func (e *Executor) Snapshot() obs.Snapshot {
+	snap := e.rec.Snapshot() // nil-safe: zero snapshot with Enabled=false
+	hits, misses, pooled, pooledBytes := e.arena.gauge()
+	snap.Arena = obs.ArenaStats{Hits: hits, Misses: misses, Pooled: pooled, PooledBytes: pooledBytes}
+	if !snap.Enabled {
+		return snap
+	}
+	snap.Workers.Workers = e.threads
+	if snap.WallNanos > 0 && e.threads > 0 {
+		snap.Workers.Utilization = float64(snap.Workers.BusyNanos) / (float64(snap.WallNanos) * float64(e.threads))
+	}
+	for i, ge := range e.p.groups {
+		g := &snap.Groups[i]
+		g.Members = append([]string(nil), ge.grp.Members...)
+		g.OverlapRatio = append([]float64(nil), ge.grp.OverlapRatio...)
+		if ge.grp.Tiled {
+			g.PlannedTiles = ge.tp.NumTiles()
+		}
+	}
+	return snap
+}
 
 // Run executes the compiled pipeline on the given input images; see
 // Program.Run for the output contract.
@@ -242,8 +292,23 @@ func (e *Executor) Run(inputs map[string]*Buffer) (map[string]*Buffer, error) {
 	e.runMu.Lock()
 	defer e.runMu.Unlock()
 	if e.closed.Load() {
-		return nil, fmt.Errorf("engine: Run on closed executor")
+		return nil, fmt.Errorf("engine: Run on closed executor: %w", ErrClosed)
 	}
+	if e.rec == nil {
+		return e.runLocked(inputs)
+	}
+	t0 := obs.Now()
+	out, err := e.runLocked(inputs)
+	if err == nil {
+		// Failed runs (input validation, mid-run errors) are not counted:
+		// Snapshot.Runs × per-run totals must stay a meaningful average.
+		e.rec.RecordRun(obs.Now() - t0)
+	}
+	return out, err
+}
+
+// runLocked is Run's body; the caller holds runMu and has checked closed.
+func (e *Executor) runLocked(inputs map[string]*Buffer) (map[string]*Buffer, error) {
 	p := e.p
 	base := e.base
 	for i := range base {
@@ -252,18 +317,18 @@ func (e *Executor) Run(inputs map[string]*Buffer) (map[string]*Buffer, error) {
 	for name := range p.Graph.Images {
 		buf, ok := inputs[name]
 		if !ok || buf == nil {
-			return nil, fmt.Errorf("engine: missing input image %q", name)
+			return nil, fmt.Errorf("engine: missing input image %q: %w", name, ErrNilInput)
 		}
 		want, err := p.InputBox(name)
 		if err != nil {
 			return nil, err
 		}
 		if len(buf.Box) != len(want) {
-			return nil, fmt.Errorf("engine: input %q rank %d, want %d", name, len(buf.Box), len(want))
+			return nil, fmt.Errorf("engine: input %q rank %d, want %d: %w", name, len(buf.Box), len(want), ErrShape)
 		}
 		for d := range want {
 			if buf.Box[d] != want[d] {
-				return nil, fmt.Errorf("engine: input %q dim %d is %v, want %v", name, d, buf.Box[d], want[d])
+				return nil, fmt.Errorf("engine: input %q dim %d is %v, want %v: %w", name, d, buf.Box[d], want[d], ErrShape)
 			}
 		}
 		base[p.slots[name]] = buf

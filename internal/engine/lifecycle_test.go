@@ -1,7 +1,7 @@
 package engine
 
 import (
-	"strings"
+	"errors"
 	"sync"
 	"testing"
 
@@ -17,12 +17,12 @@ func TestRunNilInputBuffer(t *testing.T) {
 	prog, _, _ := compileHarris(t, Options{Threads: 1})
 	defer prog.Close()
 	_, err := prog.Run(map[string]*Buffer{"I": nil})
-	if err == nil || !strings.Contains(err.Error(), "missing input") {
-		t.Fatalf("Run with nil input buffer: err = %v, want missing-input error", err)
+	if !errors.Is(err, ErrNilInput) {
+		t.Fatalf("Run with nil input buffer: err = %v, want ErrNilInput", err)
 	}
 	_, err = prog.Run(nil)
-	if err == nil {
-		t.Fatal("Run with nil input map should fail")
+	if !errors.Is(err, ErrNilInput) {
+		t.Fatalf("Run with nil input map: err = %v, want ErrNilInput", err)
 	}
 }
 
@@ -63,8 +63,8 @@ func TestRecycleAfterClose(t *testing.T) {
 	prog.Close() // double Close stays idempotent
 	e.Recycle(out)
 	hits, _ := e.ArenaStats()
-	if _, err := prog.Run(inputs); err == nil {
-		t.Fatal("Run after Close should fail")
+	if _, err := prog.Run(inputs); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Run after Close: err = %v, want ErrClosed", err)
 	}
 	if h, _ := e.ArenaStats(); h != hits {
 		t.Fatal("closed executor served arena buffers")
@@ -86,7 +86,7 @@ func TestConcurrentRunRecycleClose(t *testing.T) {
 			for i := 0; i < 8; i++ {
 				out, err := prog.Run(inputs)
 				if err != nil {
-					if !strings.Contains(err.Error(), "closed") {
+					if !errors.Is(err, ErrClosed) {
 						errs <- err
 					}
 					return

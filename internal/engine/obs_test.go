@@ -1,0 +1,129 @@
+package engine
+
+import (
+	"testing"
+)
+
+// TestMetricsSnapshotConsistency runs an instrumented single-threaded
+// executor and checks the snapshot's internal consistency: with one worker,
+// kernel time summed over stages cannot exceed the measured run wall time,
+// and tile counters must agree exactly with the tile plan.
+func TestMetricsSnapshotConsistency(t *testing.T) {
+	prog, inputs, ref := compileHarris(t, Options{Fast: true, Threads: 1, Metrics: true})
+	defer prog.Close()
+	e := prog.Executor()
+	const runs = 3
+	for i := 0; i < runs; i++ {
+		out, err := e.Run(inputs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if eq, msg := out["harris"].Equal(ref["harris"], 1e-5); !eq {
+			t.Fatalf("instrumented run differs from reference: %s", msg)
+		}
+		e.Recycle(out)
+	}
+	snap := e.Snapshot()
+	if !snap.Enabled {
+		t.Fatal("Snapshot.Enabled = false on a Metrics executor")
+	}
+	if snap.Runs != runs {
+		t.Fatalf("Runs = %d, want %d", snap.Runs, runs)
+	}
+	var kernel int64
+	for _, st := range snap.Stages {
+		if st.Points <= 0 {
+			t.Errorf("stage %s: Points = %d, want > 0", st.Name, st.Points)
+		}
+		if st.RecomputedPoints < 0 || st.RecomputedPoints > st.Points {
+			t.Errorf("stage %s: RecomputedPoints = %d outside [0, %d]", st.Name, st.RecomputedPoints, st.Points)
+		}
+		if st.RecomputedRows < 0 || st.RecomputedRows > st.Rows {
+			t.Errorf("stage %s: RecomputedRows = %d outside [0, %d]", st.Name, st.RecomputedRows, st.Rows)
+		}
+		kernel += st.KernelNanos
+	}
+	if kernel <= 0 {
+		t.Fatal("total kernel time is zero")
+	}
+	// One worker: every kernel nanosecond is inside some Run call.
+	if kernel > snap.WallNanos {
+		t.Errorf("kernel time %d ns exceeds wall time %d ns with one worker", kernel, snap.WallNanos)
+	}
+	model := prog.Stats()
+	if len(model.Groups) != len(snap.Groups) {
+		t.Fatalf("model has %d groups, snapshot has %d", len(model.Groups), len(snap.Groups))
+	}
+	tiled := false
+	for i, g := range snap.Groups {
+		if g.PlannedTiles != 0 && g.Tiles != runs*g.PlannedTiles {
+			t.Errorf("group %s: Tiles = %d, want runs × planned = %d", g.Anchor, g.Tiles, runs*g.PlannedTiles)
+		}
+		if model.Groups[i].PlannedTiles != g.PlannedTiles {
+			t.Errorf("group %s: model PlannedTiles %d != snapshot %d", g.Anchor, model.Groups[i].PlannedTiles, g.PlannedTiles)
+		}
+		if g.PlannedTiles > 1 {
+			tiled = true
+		}
+	}
+	if !tiled {
+		t.Error("harris pipeline produced no tiled group; tile accounting untested")
+	}
+	// The fused harris group recomputes its halo: the derivative stages
+	// must report a nonzero recompute fraction.
+	if st, ok := snap.Stage("Ix"); !ok || st.RecomputedPoints == 0 {
+		t.Errorf("stage Ix: RecomputedPoints = 0, want halo recomputation (ok=%v)", ok)
+	}
+}
+
+// TestMetricsDisabled pins the off state: a default executor reports an
+// empty (Enabled=false) snapshot with only arena gauges, and its
+// steady-state Run path allocates no more than the instrumented one — the
+// metrics hooks must be a nil check, not hidden bookkeeping.
+func TestMetricsDisabled(t *testing.T) {
+	steady := func(metrics bool) float64 {
+		prog, inputs, _ := compileHarris(t, Options{Fast: true, Threads: 1, Metrics: metrics})
+		defer prog.Close()
+		e := prog.Executor()
+		for i := 0; i < 2; i++ { // warm the arena and the pool
+			out, err := e.Run(inputs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			e.Recycle(out)
+		}
+		return testing.AllocsPerRun(10, func() {
+			out, err := e.Run(inputs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			e.Recycle(out)
+		})
+	}
+
+	prog, inputs, _ := compileHarris(t, Options{Fast: true, Threads: 1})
+	snap := prog.Executor().Snapshot()
+	if snap.Enabled {
+		t.Fatal("Snapshot.Enabled = true without Options.Metrics")
+	}
+	if len(snap.Stages) != 0 || snap.Runs != 0 {
+		t.Fatalf("disabled snapshot carries data: %+v", snap)
+	}
+	if _, err := prog.Run(inputs); err != nil {
+		t.Fatal(err)
+	}
+	if a := prog.Executor().Snapshot().Arena; a.Misses == 0 {
+		t.Error("disabled snapshot should still gauge the arena")
+	}
+	prog.Close()
+
+	off, on := steady(false), steady(true)
+	// Recording uses per-worker atomics, so metrics must not add
+	// steady-state allocations (small slack for map growth jitter).
+	if on > off+4 {
+		t.Errorf("metrics-on steady state allocates %.0f/run vs %.0f/run off", on, off)
+	}
+	if off > 64 {
+		t.Errorf("steady-state Run allocates %.0f/run, want a small constant", off)
+	}
+}

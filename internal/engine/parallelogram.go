@@ -139,7 +139,7 @@ func (e *Executor) runParallelogram(ge *groupExec, outputs map[string]*Buffer) e
 			if region.Empty() {
 				continue
 			}
-			p.computeRegion(w, ls, region, full[ls.name])
+			p.computeStageObs(w, ls, region, full[ls.name], 0, 0)
 		}
 	}
 	return nil

@@ -3,11 +3,13 @@ package engine
 import (
 	"fmt"
 	"runtime"
+	"runtime/pprof"
 	"sync"
 
 	"repro/internal/affine"
 	"repro/internal/dsl"
 	"repro/internal/expr"
+	"repro/internal/obs"
 	"repro/internal/pipeline"
 	"repro/internal/schedule"
 )
@@ -34,6 +36,18 @@ type Options struct {
 	// With pooling on, Run returns only the pipeline's declared outputs —
 	// other stage buffers may alias recycled storage.
 	ReuseBuffers bool
+	// Metrics enables the executor's observability layer: per-stage and
+	// per-group kernel times, tiles, recomputation and worker-pool
+	// utilization, read via Executor.Snapshot. Must be set before the
+	// Program's first Run/Executor call (the recorder is sized when the
+	// executor is created). When false, the instrumented call sites reduce
+	// to a nil check and the steady-state Run path is unchanged.
+	Metrics bool
+	// Profile attaches runtime/pprof labels ("polymage_stage") to every
+	// per-stage kernel execution so CPU profiles attribute samples to
+	// pipeline stages. Independent of Metrics; off by default because
+	// label switching has per-kernel cost.
+	Profile bool
 }
 
 func (o Options) threads() int {
@@ -60,9 +74,13 @@ type loweredPiece struct {
 type loweredStage struct {
 	name    string
 	slot    int
+	id      int // dense stage id (index into Program.stageNames), for metrics
 	dom     affine.Box
 	pieces  []loweredPiece
 	selfRef bool
+	// prof carries the stage's pprof label set when Options.Profile is on
+	// (nil otherwise — the disabled path is a nil check).
+	prof *pprof.LabelSet
 
 	isAcc  bool
 	accOp  dsl.ReduceOp
@@ -75,6 +93,7 @@ type loweredStage struct {
 type groupExec struct {
 	grp     *schedule.Group
 	tp      *schedule.TilePlan
+	id      int // dense group id (execution order), for metrics
 	members []*loweredStage
 	// liveOut[i] reports whether members[i] must be written to its full
 	// buffer.
@@ -109,6 +128,18 @@ type Program struct {
 	maxDims int
 	// isOutput marks the pipeline's declared outputs (Graph.LiveOuts).
 	isOutput map[string]bool
+	// stageNames/groupNames give the dense metric-id spaces: stage id i is
+	// stageNames[i] (topological order), group id i the i-th executed
+	// group's anchor.
+	stageNames []string
+	groupNames []string
+
+	// BindTrace times the lowering phases of this parameter binding
+	// (stage lowering, tile planning); part of Stats().
+	BindTrace obs.Trace
+	// CompileTrace, when set by core.Pipeline.Bind, carries the front-end
+	// phase timings (graph construction, bounds, inlining, grouping).
+	CompileTrace *obs.Trace
 
 	// exec is the lazily created persistent runtime (see Executor).
 	execOnce sync.Once
@@ -171,21 +202,31 @@ func Compile(gr *schedule.Grouping, params map[string]int64, opts Options) (*Pro
 			}
 		}
 	}
-	for _, name := range g.Order {
+	lowerDone := p.BindTrace.Start("lower")
+	p.stageNames = append(p.stageNames, g.Order...)
+	for i, name := range g.Order {
 		ls, err := p.lowerStage(g.Stages[name], cp)
 		if err != nil {
 			return nil, err
 		}
+		ls.id = i
+		if opts.Profile {
+			labels := pprof.Labels("polymage_stage", name)
+			ls.prof = &labels
+		}
 		p.stages[name] = ls
 	}
+	lowerDone()
 	p.memoCount = cp.memoNext
+	planDone := p.BindTrace.Start("tileplan")
 	seenFull := make(map[string]bool)
 	for _, grp := range gr.Groups {
 		tp, err := schedule.NewTilePlan(g, grp, params)
 		if err != nil {
 			return nil, err
 		}
-		ge := &groupExec{grp: grp, tp: tp}
+		ge := &groupExec{grp: grp, tp: tp, id: len(p.groups)}
+		p.groupNames = append(p.groupNames, grp.Anchor)
 		lo := make(map[string]bool, len(tp.LiveOuts))
 		for _, m := range tp.LiveOuts {
 			lo[m] = true
@@ -200,6 +241,7 @@ func Compile(gr *schedule.Grouping, params map[string]int64, opts Options) (*Pro
 		}
 		p.groups = append(p.groups, ge)
 	}
+	planDone()
 	for _, ls := range p.stages {
 		if len(ls.dom) > p.maxDims {
 			p.maxDims = len(ls.dom)
@@ -351,7 +393,7 @@ func (p *Program) lowerStage(st *pipeline.Stage, cp *compiler) (*loweredStage, e
 func (p *Program) InputBox(name string) (affine.Box, error) {
 	im, ok := p.Graph.Images[name]
 	if !ok {
-		return nil, fmt.Errorf("engine: unknown input image %q", name)
+		return nil, fmt.Errorf("engine: unknown input image %q: %w", name, ErrUnknownStage)
 	}
 	return im.Domain().Eval(p.Params)
 }
@@ -360,7 +402,33 @@ func (p *Program) InputBox(name string) (affine.Box, error) {
 func (p *Program) OutputBox(name string) (affine.Box, error) {
 	st, ok := p.Graph.Stages[name]
 	if !ok {
-		return nil, fmt.Errorf("engine: unknown stage %q", name)
+		return nil, fmt.Errorf("engine: unknown stage %q: %w", name, ErrUnknownStage)
 	}
 	return st.Decl.Domain().Eval(p.Params)
+}
+
+// Stats returns the compile-time side of the program's observability
+// surface: front-end phase timings (when the program was compiled through
+// core.Compile), the lowering phase timings of this binding, and the
+// schedule model — tile sizes/counts and estimated overlap — per group.
+// Compare against Executor.Snapshot to see how the model's predictions
+// line up with measured recomputation.
+func (p *Program) Stats() obs.ProgramStats {
+	st := obs.ProgramStats{Compile: p.CompileTrace, Bind: p.BindTrace}
+	st.Groups = make([]obs.GroupModel, 0, len(p.groups))
+	for _, ge := range p.groups {
+		gm := obs.GroupModel{
+			Anchor:       ge.grp.Anchor,
+			Members:      append([]string(nil), ge.grp.Members...),
+			Tiled:        ge.grp.Tiled,
+			TileSizes:    append([]int64(nil), ge.tp.TileSizes...),
+			TileCounts:   append([]int64(nil), ge.tp.TileCounts...),
+			OverlapRatio: append([]float64(nil), ge.grp.OverlapRatio...),
+		}
+		if ge.grp.Tiled {
+			gm.PlannedTiles = ge.tp.NumTiles()
+		}
+		st.Groups = append(st.Groups, gm)
+	}
+	return st
 }

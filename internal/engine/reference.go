@@ -3,7 +3,6 @@ package engine
 import (
 	"fmt"
 
-	"repro/internal/affine"
 	"repro/internal/dsl"
 	"repro/internal/expr"
 	"repro/internal/pipeline"
@@ -127,26 +126,4 @@ func referenceAccumulate(st *pipeline.Stage, params map[string]int64, out *Buffe
 			return nil
 		}
 	}
-}
-
-// FillPattern writes a deterministic pseudo-random pattern into a buffer
-// (used by tests and synthetic workloads).
-func FillPattern(b *Buffer, seed int64) {
-	s := uint64(seed)*2654435761 + 1
-	for i := range b.Data {
-		s ^= s << 13
-		s ^= s >> 7
-		s ^= s << 17
-		b.Data[i] = float32(s%10000) / 10000
-	}
-}
-
-// NewBufferForDomain evaluates a parametric domain and allocates a buffer
-// covering it.
-func NewBufferForDomain(dom affine.Domain, params map[string]int64) (*Buffer, error) {
-	box, err := dom.Eval(params)
-	if err != nil {
-		return nil, err
-	}
-	return NewBuffer(box), nil
 }

@@ -113,7 +113,7 @@ func (e *Executor) runSplit(ge *groupExec, outputs map[string]*Buffer) error {
 			if td < 0 {
 				// Unaligned members: compute fully with the first tile.
 				if t == 0 && total[ls.name] != nil && !total[ls.name].Empty() {
-					p.computeRegion(w, ls, total[ls.name], full[ls.name])
+					p.computeStageObs(w, ls, total[ls.name], full[ls.name], 0, 0)
 				}
 				continue
 			}
@@ -177,7 +177,7 @@ func (e *Executor) runSplit(ge *groupExec, outputs map[string]*Buffer) error {
 			region := total[ls.name].Clone()
 			region[td] = r
 			p.SplitStats.Phase1 += region.Size()
-			p.computeRegion(w, ls, region, full[ls.name])
+			p.computeStageObs(w, ls, region, full[ls.name], 0, 0)
 			phase1[ls.name] = append(phase1[ls.name], r)
 		}
 	}
@@ -193,7 +193,7 @@ func (e *Executor) runSplit(ge *groupExec, outputs map[string]*Buffer) error {
 			region := total[ls.name].Clone()
 			region[td] = gap
 			p.SplitStats.Phase2 += region.Size()
-			p.computeRegion(w, ls, region, full[ls.name])
+			p.computeStageObs(w, ls, region, full[ls.name], 0, 0)
 		}
 	}
 	return nil

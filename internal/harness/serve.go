@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
 	"runtime"
@@ -37,6 +38,7 @@ func Serve(w io.Writer, appName string, requests int, cfg Config) error {
 	}
 	defer p.Close()
 	compileMs := float64(time.Since(compileStart).Microseconds()) / 1000.0
+	p.Prog.Opts.Metrics = true
 	e := p.Prog.Executor()
 
 	// Warm-up request: populates the arena and starts the pool.
@@ -46,6 +48,28 @@ func Serve(w io.Writer, appName string, requests int, cfg Config) error {
 	}
 	e.Recycle(out)
 
+	// Periodic observability: while requests are served, emit the
+	// executor's metrics snapshot as one JSON line per second — the shape a
+	// sidecar scraper would consume. Snapshot is safe concurrently with
+	// Run, so this goroutine never blocks the serving loop.
+	stop := make(chan struct{})
+	ticks := make(chan struct{})
+	go func() {
+		defer close(ticks)
+		t := time.NewTicker(time.Second)
+		defer t.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-t.C:
+				if b, err := json.Marshal(e.Snapshot()); err == nil {
+					fmt.Fprintf(w, "snapshot %s\n", b)
+				}
+			}
+		}
+	}()
+
 	var ms0, ms1 runtime.MemStats
 	runtime.GC()
 	runtime.ReadMemStats(&ms0)
@@ -53,12 +77,16 @@ func Serve(w io.Writer, appName string, requests int, cfg Config) error {
 	for i := 0; i < requests; i++ {
 		out, err := e.Run(p.Inputs)
 		if err != nil {
+			close(stop)
+			<-ticks
 			return err
 		}
 		e.Recycle(out)
 	}
 	wall := time.Since(start)
 	runtime.ReadMemStats(&ms1)
+	close(stop)
+	<-ticks
 
 	hits, misses := e.ArenaStats()
 	perReq := wall / time.Duration(requests)
@@ -70,5 +98,9 @@ func Serve(w io.Writer, appName string, requests int, cfg Config) error {
 		float64(ms1.TotalAlloc-ms0.TotalAlloc)/float64(requests)/1024.0,
 		(ms1.Mallocs-ms0.Mallocs)/uint64(requests))
 	fmt.Fprintf(w, "  buffer arena      %d hits, %d misses since compile\n", hits, misses)
+	// Final snapshot so runs shorter than the ticker period still emit one.
+	if b, err := json.Marshal(e.Snapshot()); err == nil {
+		fmt.Fprintf(w, "snapshot %s\n", b)
+	}
 	return nil
 }

@@ -1,0 +1,105 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/apps"
+	"repro/internal/baseline"
+	"repro/internal/obs"
+	"repro/internal/schedule"
+)
+
+// Stats compiles every benchmark app with executor metrics enabled, runs it
+// cfg.Runs times and renders a per-stage breakdown: kernel time, points and
+// tiles executed, and the measured recomputation fraction next to the
+// schedule model's overlap estimate. This is the observability layer's
+// human-readable front end (polymage-bench -stats).
+func Stats(w io.Writer, cfg Config) error {
+	v, err := baseline.Get("opt+vec")
+	if err != nil {
+		return err
+	}
+	for _, app := range apps.All() {
+		if err := statsApp(w, app, v, cfg); err != nil {
+			return fmt.Errorf("stats %s: %w", app.Name, err)
+		}
+	}
+	return nil
+}
+
+func statsApp(w io.Writer, app *apps.App, v baseline.Variant, cfg Config) error {
+	params := ScaledParams(app, cfg.Scale)
+	p, err := Prepare(app, v, params, cfg.Threads, schedule.DefaultOptions(), cfg.Seed)
+	if err != nil {
+		return err
+	}
+	defer p.Close()
+	// Metrics must be on before the executor is created; Prepare does not
+	// run the program, so the first Run below builds the instrumented pool.
+	p.Prog.Opts.Metrics = true
+	runs := cfg.Runs
+	if runs < 1 {
+		runs = 1
+	}
+	e := p.Prog.Executor()
+	for i := 0; i < runs; i++ {
+		out, err := e.Run(p.Inputs)
+		if err != nil {
+			return err
+		}
+		e.Recycle(out)
+	}
+	renderStats(w, app.Name, cfg, e.Snapshot(), p.Prog.Stats())
+	return nil
+}
+
+func renderStats(w io.Writer, name string, cfg Config, snap obs.Snapshot, model obs.ProgramStats) {
+	fmt.Fprintf(w, "stats %s [scale 1/%d, %d runs, opt+vec]\n", name, cfg.Scale, snap.Runs)
+	if model.Compile != nil {
+		fmt.Fprintf(w, "  compile  %s\n", model.Compile.String())
+	}
+	fmt.Fprintf(w, "  lower    %s\n", model.Bind.String())
+	fmt.Fprintf(w, "  run      %.2f ms wall, %d workers, %.0f%% utilization\n",
+		snap.WallMillis(), snap.Workers.Workers, snap.Workers.Utilization*100)
+	fmt.Fprintf(w, "  arena    %d hits, %d misses, %d pooled (%.1f KB)\n",
+		snap.Arena.Hits, snap.Arena.Misses, snap.Arena.Pooled, float64(snap.Arena.PooledBytes)/1024.0)
+	fmt.Fprintf(w, "  %-22s %10s %6s %8s %12s %10s\n", "stage", "kernel ms", "%", "tiles", "points", "recompute")
+	totalNanos := int64(0)
+	for _, st := range snap.Stages {
+		totalNanos += st.KernelNanos
+	}
+	for _, st := range snap.Stages {
+		pct := 0.0
+		if totalNanos > 0 {
+			pct = 100 * float64(st.KernelNanos) / float64(totalNanos)
+		}
+		fmt.Fprintf(w, "  %-22s %10.2f %5.1f%% %8d %12d %9.1f%%\n",
+			st.Name, st.KernelMillis(), pct, st.Tiles, st.Points, 100*st.RecomputeFraction())
+	}
+	for i, g := range snap.Groups {
+		if len(g.Members) <= 1 {
+			continue
+		}
+		modeled := 0.0
+		if i < len(model.Groups) {
+			modeled = model.Groups[i].MaxOverlap()
+		}
+		fmt.Fprintf(w, "  group %s: %d members, %d tiles/run, modeled overlap %.2f\n",
+			g.Anchor, len(g.Members), g.PlannedTiles, modeled)
+	}
+	fmt.Fprintln(w)
+}
+
+// statsVariant exists so tests can drive one app without the full sweep.
+func statsVariant(w io.Writer, appName string, cfg Config) error {
+	app, err := apps.Get(appName)
+	if err != nil {
+		return err
+	}
+	v, err := baseline.Get("opt+vec")
+	if err != nil {
+		return err
+	}
+	return statsApp(w, app, v, cfg)
+}

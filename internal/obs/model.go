@@ -1,0 +1,48 @@
+package obs
+
+// GroupModel is the schedule model's static view of one group: what the
+// compiler decided (tile sizes, overlap estimates) as opposed to what the
+// executor measured (Snapshot). Comparing GroupModel.OverlapRatio against
+// StageStats.RecomputeFraction shows how well the paper's Section 3.5 cost
+// model predicts the measured redundant computation.
+type GroupModel struct {
+	Anchor  string
+	Members []string
+	// Tiled reports whether the group executes with overlapped tiling.
+	Tiled bool
+	// TileSizes / TileCounts per anchor dimension (0 size = untiled dim).
+	TileSizes  []int64
+	TileCounts []int64
+	// PlannedTiles is the product of TileCounts: tiles per run.
+	PlannedTiles int64
+	// OverlapRatio is the model's redundant-computation estimate per
+	// anchor dimension (Algorithm 1 line 11), evaluated at the compile
+	// estimates.
+	OverlapRatio []float64
+}
+
+// MaxOverlap returns the largest per-dimension overlap ratio.
+func (g GroupModel) MaxOverlap() float64 {
+	m := 0.0
+	for _, r := range g.OverlapRatio {
+		if r > m {
+			m = r
+		}
+	}
+	return m
+}
+
+// ProgramStats is the compile-time side of the observability surface,
+// returned by Program.Stats(): phase timings of the front-end and of the
+// lowering, plus the schedule model per group.
+type ProgramStats struct {
+	// Compile holds the front-end phase timings (graph construction,
+	// bounds checking, inlining, grouping); nil when the Program was
+	// lowered directly from a Grouping without the core front-end.
+	Compile *Trace
+	// Bind holds the lowering phase timings (stage lowering, tile
+	// planning) for this parameter binding.
+	Bind Trace
+	// Groups lists the schedule model per group, in execution order.
+	Groups []GroupModel
+}

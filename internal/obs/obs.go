@@ -1,0 +1,36 @@
+// Package obs is the observability core shared by the compiler and the
+// execution runtime: monotonic spans, compile-phase traces, and lock-free
+// per-worker metric shards merged into consistent snapshots.
+//
+// The package is deliberately zero-dependency (standard library only, no
+// imports from the rest of the repository) so every layer — dsl front-end,
+// scheduler, engine, harness — can report into it without import cycles.
+//
+// Design contract (pinned by tests in internal/engine):
+//
+//   - Disabled is free. A nil *Recorder (and a nil *Shard) is the off
+//     state; instrumented call sites guard with a single nil check and
+//     execute no other observability code. Steady-state execution with
+//     metrics off allocates nothing on behalf of this package.
+//   - Enabled is lock-free on the hot path. Each worker owns one Shard and
+//     only ever adds to its own counters; Snapshot readers merge shards
+//     with atomic loads, so recording never takes a lock and never blocks
+//     a reader.
+//   - Snapshots are internally consistent: with one worker, the sum of
+//     per-stage kernel times never exceeds the recorded wall time, and
+//     per-group tile counts equal the tile plan times the number of runs.
+package obs
+
+import "time"
+
+// base anchors the package clock. Durations derived from it use Go's
+// monotonic clock reading, so spans are immune to wall-clock adjustments.
+var base = time.Now()
+
+// Now returns the monotonic package time in nanoseconds. Span a region
+// with:
+//
+//	t0 := obs.Now()
+//	... work ...
+//	shard.StageKernel(id, obs.Now()-t0, ...)
+func Now() int64 { return int64(time.Since(base)) }

@@ -1,0 +1,125 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestTrace(t *testing.T) {
+	var tr Trace
+	end := tr.Start("bounds")
+	end()
+	tr.Add("group", 2e6)
+	if len(tr.Phases) != 2 {
+		t.Fatalf("phases = %d, want 2", len(tr.Phases))
+	}
+	if tr.Phases[0].Name != "bounds" || tr.Phases[0].Nanos < 0 {
+		t.Errorf("bad first phase: %+v", tr.Phases[0])
+	}
+	if p, ok := tr.Find("group"); !ok || p.Nanos != 2e6 {
+		t.Errorf("Find(group) = %+v, %v", p, ok)
+	}
+	if tr.Total() < 2e6 {
+		t.Errorf("Total = %d, want >= 2e6", tr.Total())
+	}
+	if s := tr.String(); !strings.Contains(s, "group=2.00ms") {
+		t.Errorf("String = %q", s)
+	}
+	var nilTr *Trace
+	if s := nilTr.String(); s != "<empty trace>" {
+		t.Errorf("nil trace String = %q", s)
+	}
+}
+
+// TestNilRecorder: the disabled path must be callable everywhere without
+// panics — nil receivers are the off switch.
+func TestNilRecorder(t *testing.T) {
+	var r *Recorder
+	r.RecordRun(1)
+	var s *Shard = r.Shard(3)
+	s.StageKernel(0, 1, 2, 3, 4, 5)
+	s.Tile(0)
+	s.Busy(1)
+	snap := r.Snapshot()
+	if snap.Enabled {
+		t.Error("nil recorder snapshot reports Enabled")
+	}
+}
+
+// TestSnapshotMerge: counters recorded into different shards merge into
+// one consistent snapshot.
+func TestSnapshotMerge(t *testing.T) {
+	r := NewRecorder([]string{"a", "b"}, []string{"g0"}, 3)
+	r.Shard(0).StageKernel(0, 100, 10, 2, 5, 1)
+	r.Shard(1).StageKernel(0, 50, 6, 0, 3, 0)
+	r.Shard(2).StageKernel(1, 25, 4, 4, 2, 2)
+	r.Shard(0).Tile(0)
+	r.Shard(1).Tile(0)
+	r.Shard(1).Busy(75)
+	r.RecordRun(500)
+	r.RecordRun(300)
+
+	snap := r.Snapshot()
+	if !snap.Enabled || snap.Runs != 2 || snap.WallNanos != 800 {
+		t.Fatalf("run totals: %+v", snap)
+	}
+	a, ok := snap.Stage("a")
+	if !ok || a.KernelNanos != 150 || a.Points != 16 || a.RecomputedPoints != 2 ||
+		a.Rows != 8 || a.RecomputedRows != 1 || a.Tiles != 2 {
+		t.Errorf("stage a = %+v", a)
+	}
+	b, _ := snap.Stage("b")
+	if b.RecomputeFraction() != 1.0 {
+		t.Errorf("stage b recompute fraction = %v, want 1", b.RecomputeFraction())
+	}
+	if snap.Groups[0].Tiles != 2 {
+		t.Errorf("group tiles = %d, want 2", snap.Groups[0].Tiles)
+	}
+	if snap.Workers.BusyNanos != 75 {
+		t.Errorf("busy = %d, want 75", snap.Workers.BusyNanos)
+	}
+	if _, ok := snap.Stage("ghost"); ok {
+		t.Error("Stage(ghost) found")
+	}
+}
+
+// TestConcurrentSnapshot: snapshots taken while shards record must not
+// race (run under -race) and totals grow monotonically.
+func TestConcurrentSnapshot(t *testing.T) {
+	r := NewRecorder([]string{"s"}, []string{"g"}, 2)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func(sh *Shard) {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					sh.StageKernel(0, 1, 1, 0, 1, 0)
+					sh.Tile(0)
+				}
+			}
+		}(r.Shard(i))
+	}
+	var last int64
+	for i := 0; i < 100; i++ {
+		snap := r.Snapshot()
+		if snap.Stages[0].Points < last {
+			t.Fatalf("points went backwards: %d < %d", snap.Stages[0].Points, last)
+		}
+		last = snap.Stages[0].Points
+	}
+	close(stop)
+	wg.Wait()
+}
+
+func TestGroupModel(t *testing.T) {
+	g := GroupModel{OverlapRatio: []float64{0.1, 0.4}}
+	if g.MaxOverlap() != 0.4 {
+		t.Errorf("MaxOverlap = %v", g.MaxOverlap())
+	}
+}

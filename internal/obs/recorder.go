@@ -1,0 +1,111 @@
+package obs
+
+import "sync/atomic"
+
+// Recorder collects executor metrics for one compiled program. It is
+// created with the program's stage and group names (indices into those
+// slices are the dense ids call sites record against) and a fixed number
+// of worker shards.
+//
+// A nil *Recorder is the disabled state: call sites hold a nil *Shard and
+// skip all recording behind one nil check.
+type Recorder struct {
+	stages []string
+	groups []string
+	shards []*Shard
+
+	// Run-level counters (recorded once per Run by the caller that holds
+	// the run lock, read atomically by Snapshot).
+	runs     atomic.Int64
+	runNanos atomic.Int64
+}
+
+// NewRecorder builds a recorder for the given stage and group names with
+// shards worker shards. All counter storage is allocated up front so the
+// recording path never allocates.
+func NewRecorder(stages, groups []string, shards int) *Recorder {
+	if shards < 1 {
+		shards = 1
+	}
+	r := &Recorder{stages: stages, groups: groups, shards: make([]*Shard, shards)}
+	for i := range r.shards {
+		r.shards[i] = newShard(len(stages), len(groups))
+	}
+	return r
+}
+
+// Shard returns worker shard i (0 ≤ i < the shard count given at
+// construction). Each worker must record only into its own shard.
+func (r *Recorder) Shard(i int) *Shard {
+	if r == nil {
+		return nil
+	}
+	return r.shards[i]
+}
+
+// RecordRun adds one completed pipeline run with the given wall time.
+func (r *Recorder) RecordRun(nanos int64) {
+	if r == nil {
+		return
+	}
+	r.runs.Add(1)
+	r.runNanos.Add(nanos)
+}
+
+// Shard is one worker's private slice of the metric space. The owning
+// worker adds with atomic writes (uncontended: the cache line is local);
+// Snapshot merges shards with atomic loads, so concurrent reads are safe
+// without locks.
+type Shard struct {
+	stageNanos  []atomic.Int64 // per stage: kernel time
+	stagePts    []atomic.Int64 // per stage: points computed
+	stageRecPts []atomic.Int64 // per stage: points recomputed in overlap halos
+	stageRows   []atomic.Int64 // per stage: rows evaluated
+	stageRecRow []atomic.Int64 // per stage: rows recomputed in overlap halos
+	stageTiles  []atomic.Int64 // per stage: tile-member executions
+	groupTiles  []atomic.Int64 // per group: tiles executed
+	busyNanos   atomic.Int64   // time spent inside pool tasks
+}
+
+func newShard(stages, groups int) *Shard {
+	return &Shard{
+		stageNanos:  make([]atomic.Int64, stages),
+		stagePts:    make([]atomic.Int64, stages),
+		stageRecPts: make([]atomic.Int64, stages),
+		stageRows:   make([]atomic.Int64, stages),
+		stageRecRow: make([]atomic.Int64, stages),
+		stageTiles:  make([]atomic.Int64, stages),
+		groupTiles:  make([]atomic.Int64, groups),
+	}
+}
+
+// StageKernel records one kernel execution of stage id: its duration, the
+// points and rows it evaluated, and how many of those were recomputation
+// in an overlapped-tile halo.
+func (s *Shard) StageKernel(id int, nanos, points, recomputedPts, rows, recomputedRows int64) {
+	if s == nil {
+		return
+	}
+	s.stageNanos[id].Add(nanos)
+	s.stagePts[id].Add(points)
+	s.stageRecPts[id].Add(recomputedPts)
+	s.stageRows[id].Add(rows)
+	s.stageRecRow[id].Add(recomputedRows)
+	s.stageTiles[id].Add(1)
+}
+
+// Tile records one executed tile of group id.
+func (s *Shard) Tile(group int) {
+	if s == nil {
+		return
+	}
+	s.groupTiles[group].Add(1)
+}
+
+// Busy records nanos spent executing a pool task (worker utilization).
+func (s *Shard) Busy(nanos int64) {
+	if s == nil {
+		return
+	}
+	s.busyNanos.Add(nanos)
+}

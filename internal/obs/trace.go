@@ -1,0 +1,72 @@
+package obs
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Phase is one named span of a Trace.
+type Phase struct {
+	Name  string
+	Nanos int64
+}
+
+// Millis returns the phase duration in milliseconds.
+func (p Phase) Millis() float64 { return float64(p.Nanos) / 1e6 }
+
+// Trace is an ordered list of timed phases — the compile-side counterpart
+// of the executor's Snapshot. core.Compile records the front-end phases
+// (graph construction, bounds checking, inlining, grouping) and
+// engine.Compile the lowering phases (stage lowering, tile planning) into
+// one.
+type Trace struct {
+	Phases []Phase
+}
+
+// Start opens a span named name and returns a func that closes it,
+// appending the phase to the trace:
+//
+//	defer tr.Start("bounds")()
+func (t *Trace) Start(name string) func() {
+	t0 := Now()
+	return func() { t.Add(name, Now()-t0) }
+}
+
+// Add appends a phase with an externally measured duration.
+func (t *Trace) Add(name string, nanos int64) {
+	t.Phases = append(t.Phases, Phase{Name: name, Nanos: nanos})
+}
+
+// Total returns the summed duration of all phases.
+func (t *Trace) Total() int64 {
+	var n int64
+	for _, p := range t.Phases {
+		n += p.Nanos
+	}
+	return n
+}
+
+// Find returns the first phase with the given name.
+func (t *Trace) Find(name string) (Phase, bool) {
+	for _, p := range t.Phases {
+		if p.Name == name {
+			return p, true
+		}
+	}
+	return Phase{}, false
+}
+
+// String renders the trace as "name=1.23ms name=0.45ms ...".
+func (t *Trace) String() string {
+	if t == nil || len(t.Phases) == 0 {
+		return "<empty trace>"
+	}
+	var b strings.Builder
+	for i, p := range t.Phases {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%s=%.2fms", p.Name, p.Millis())
+	}
+	return b.String()
+}

@@ -168,6 +168,13 @@ func (tp *TilePlan) OwnedBox(m string, idx []int64) affine.Box {
 	return out
 }
 
+// OwnedBoxInto computes OwnedBox into dst (len(dst) must equal the member's
+// rank) without allocating — used by the engine's metrics path to measure
+// recomputation without perturbing the run it is measuring.
+func (tp *TilePlan) OwnedBoxInto(dst affine.Box, m string, idx []int64) {
+	tp.ownedBoxInto(dst, m, idx)
+}
+
 // ownedBoxInto computes OwnedBox into dst (len(dst) must equal the member's
 // rank) without allocating — the steady-state path for repeated Required
 // calls.

@@ -33,6 +33,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/expr"
 	"repro/internal/inline"
+	"repro/internal/obs"
 	"repro/internal/schedule"
 )
 
@@ -83,13 +84,19 @@ const (
 	Short  = expr.Short
 )
 
-// Reduction operators.
+// Reduction operators for Accumulator definitions. The Reduce prefix keeps
+// them distinct from the expression helpers Min, Max and Mul below.
 const (
-	Sum = dsl.SumOp
-	Min = dsl.MinOp
-	Max = dsl.MaxOp
-	Mul = dsl.MulOp
+	ReduceSum  = dsl.SumOp
+	ReduceMin  = dsl.MinOp
+	ReduceMax  = dsl.MaxOp
+	ReduceProd = dsl.MulOp
 )
+
+// Sum is the reduction operator ReduceSum.
+//
+// Deprecated: use ReduceSum.
+const Sum = ReduceSum
 
 // NewBuilder returns an empty pipeline specification.
 func NewBuilder() *Builder { return dsl.NewBuilder() }
@@ -106,18 +113,19 @@ var (
 	ConstSpan = dsl.ConstSpan
 )
 
-// Expression helpers (see internal/dsl for details). Arithmetic helpers
-// accept Expr, *Variable, *Parameter and Go numbers.
+// Expression helpers (see internal/dsl for details). The arithmetic helpers
+// Add, Sub, Mul, Div, Min and Max accept Expr, *Variable, *Parameter and Go
+// numbers uniformly.
 var (
 	E          = dsl.E
 	Add        = dsl.Add
 	Sub        = dsl.Sub
-	MulE       = dsl.Mul
+	Mul        = dsl.Mul
 	Div        = dsl.Div
 	IDiv       = dsl.IDiv
 	Neg        = dsl.Neg
-	MinE       = dsl.Min
-	MaxE       = dsl.Max
+	Min        = dsl.Min
+	Max        = dsl.Max
 	Abs        = dsl.Abs
 	Sqrt       = dsl.Sqrt
 	Exp        = dsl.Exp
@@ -134,6 +142,16 @@ var (
 	Stencil    = dsl.Stencil
 	SeparableX = dsl.SeparableX
 	SeparableY = dsl.SeparableY
+)
+
+// MulE, MinE and MaxE are the old names of the Mul, Min and Max expression
+// helpers, from when the bare names were taken by reduction operators.
+//
+// Deprecated: use Mul, Min and Max.
+var (
+	MulE = dsl.Mul
+	MinE = dsl.Min
+	MaxE = dsl.Max
 )
 
 // Options configures compilation; see core.Options.
@@ -181,11 +199,16 @@ func Compile(b *Builder, outputs []string, opts Options) (*Pipeline, error) {
 	return core.Compile(b, outputs, opts)
 }
 
-// NewBuffer allocates a buffer covering box.
+// NewBuffer allocates a buffer covering box. It is the single buffer
+// constructor; for parametric shapes use Image.NewBuffer (one input image)
+// or Pipeline.NewInputs (every input at once).
 func NewBuffer(box Box) *Buffer { return engine.NewBuffer(box) }
 
 // NewBufferForDomain allocates a buffer for a parametric domain bound at
-// params (e.g. an input image's domain).
+// params.
+//
+// Deprecated: use Image.NewBuffer or Pipeline.NewInputs; for concrete
+// shapes, NewBuffer.
 func NewBufferForDomain(dom []Interval, params map[string]int64) (*Buffer, error) {
 	ad := make(affine.Domain, len(dom))
 	for i, iv := range dom {
@@ -196,14 +219,54 @@ func NewBufferForDomain(dom []Interval, params map[string]int64) (*Buffer, error
 
 // NewInputBuffer allocates a buffer matching a declared input image under
 // the given parameter binding.
+//
+// Deprecated: use im.NewBuffer(params).
 func NewInputBuffer(im *Image, params map[string]int64) (*Buffer, error) {
-	box, err := im.Domain().Eval(params)
-	if err != nil {
-		return nil, err
-	}
-	return engine.NewBuffer(box), nil
+	return im.NewBuffer(params)
 }
 
 // FillPattern writes a deterministic pseudo-random pattern (synthetic
 // input images for tests and benchmarks).
 func FillPattern(b *Buffer, seed int64) { engine.FillPattern(b, seed) }
+
+// Sentinel errors. Errors returned by the runtime wrap these; test with
+// errors.Is.
+var (
+	// ErrClosed reports a Run or Recycle on a closed Program/Executor.
+	ErrClosed = engine.ErrClosed
+	// ErrNilInput reports a missing or nil input buffer passed to Run.
+	ErrNilInput = engine.ErrNilInput
+	// ErrShape reports an input buffer whose box does not match the
+	// image's domain under the bound parameters.
+	ErrShape = engine.ErrShape
+	// ErrUnknownStage reports a stage or image name the pipeline does not
+	// declare.
+	ErrUnknownStage = engine.ErrUnknownStage
+	// ErrUnboundParam reports a parameter with no value in a binding.
+	ErrUnboundParam = affine.ErrUnboundParam
+)
+
+// Observability. Compile with ExecOptions.Metrics to count kernel time,
+// points, tiles and recomputation per stage (Executor.Snapshot); with
+// ExecOptions.Profile to label CPU profiles per stage; Program.Stats
+// reports the schedule model (compile-phase times, per-group overlap) with
+// no execution at all.
+type (
+	// Trace is an ordered list of named wall-time phases (compiler phases,
+	// lowering phases).
+	Trace = obs.Trace
+	// Snapshot is a point-in-time view of an Executor's metrics.
+	Snapshot = obs.Snapshot
+	// StageStats is one stage's executor counters within a Snapshot.
+	StageStats = obs.StageStats
+	// GroupStats is one group's executor counters within a Snapshot.
+	GroupStats = obs.GroupStats
+	// WorkerStats summarizes worker-pool utilization within a Snapshot.
+	WorkerStats = obs.WorkerStats
+	// ArenaStats counts buffer-arena hits, misses and pooled storage.
+	ArenaStats = obs.ArenaStats
+	// ProgramStats is the static schedule model from Program.Stats.
+	ProgramStats = obs.ProgramStats
+	// GroupModel is one group's schedule model within ProgramStats.
+	GroupModel = obs.GroupModel
+)
