@@ -5,21 +5,28 @@ GO ?= go
 COVER_FLOOR_ENGINE   ?= 75.0
 COVER_FLOOR_SCHEDULE ?= 75.0
 
-.PHONY: all build test vet api race fuzz cover bench bench-kernels serve stats clean
+.PHONY: all build test vet api race fuzz cover bench bench-kernels serve serve-smoke serve-http stats clean
 
 all: build test
 
 # `test` is tier 1 and includes the difftest seed corpus (TestSeedCorpus:
-# 200 random DAGs through the full 11-knob schedule/execution sweep), plus
-# `go vet` and the exported-API golden (TestAPIGolden against api.txt).
+# 200 random DAGs through the full 11-knob schedule/execution sweep), the
+# serving-layer smoke test (serve-smoke), plus `go vet` and the
+# exported-API golden (TestAPIGolden against api.txt).
 build:
 	$(GO) build ./...
 
-test: vet
+test: vet serve-smoke
 	$(GO) test ./...
 
 vet:
 	$(GO) vet ./...
+
+# In-process end-to-end gate for the HTTP serving layer: cold/warm/
+# overload/oversized requests plus /healthz, /metrics and the snapshot
+# stream against a live server (see internal/service/smoke_test.go).
+serve-smoke:
+	$(GO) test ./internal/service/ -run 'TestServeSmoke' -count=1
 
 # Regenerate the exported-API listing and fail on drift against the
 # committed api.txt. To accept a deliberate API change:
@@ -28,11 +35,13 @@ api:
 	@$(GO) run ./cmd/polymage-api > /tmp/polymage-api.txt
 	@diff -u api.txt /tmp/polymage-api.txt && echo "api.txt up to date"
 
-# Race-checked run of the execution engine, including the concurrent
-# Program.Run stress test (TestConcurrentRun) and the executor lifecycle
-# races (TestConcurrentRunRecycleClose). CI should run this target.
+# Race-checked run of the execution engine and the serving layer:
+# concurrent Program.Run stress (TestConcurrentRun), executor lifecycle
+# races (TestConcurrentRunRecycleClose), and concurrent cold-cache
+# compiles / warm hits / shutdown against the HTTP service
+# (TestConcurrentColdWarmShutdown). CI should run this target.
 race:
-	$(GO) test -race ./internal/engine/...
+	$(GO) test -race ./internal/engine/... ./internal/service/...
 
 # Short coverage-guided differential fuzzing budget; use
 # `go test -fuzz=FuzzDiff -fuzztime=10m ./internal/difftest` (or
@@ -60,6 +69,11 @@ bench-kernels:
 
 serve:
 	$(GO) run ./cmd/polymage-bench -serve harris -requests 100
+
+# Run the pipeline-as-a-service HTTP server (POST /run, GET /healthz,
+# GET /metrics, GET /apps).
+serve-http:
+	$(GO) run ./cmd/polymage-serve -addr :8080
 
 # Per-stage observability sweep over every benchmark app (executor metrics
 # on: kernel time, tiles, measured recomputation vs the model's estimate).

@@ -48,7 +48,18 @@ type Pipeline struct {
 }
 
 // Compile runs the front-end and optimizer on a DSL specification.
-func Compile(b *dsl.Builder, liveOuts []string, opts Options) (*Pipeline, error) {
+//
+// Compile never panics on a malformed specification: internal panics from
+// the DSL layer or the compiler phases are recovered and returned as errors
+// (the panic messages carry the offending stage's name). Long-lived callers
+// — the serving layer compiles untrusted specifications — rely on this
+// barrier.
+func Compile(b *dsl.Builder, liveOuts []string, opts Options) (pl *Pipeline, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			pl, err = nil, fmt.Errorf("core: malformed specification: %v", r)
+		}
+	}()
 	if opts.Estimates == nil {
 		opts.Estimates = map[string]int64{}
 	}
@@ -91,8 +102,15 @@ func Compile(b *dsl.Builder, liveOuts []string, opts Options) (*Pipeline, error)
 // (decided at the estimates) is reused — like the paper's generated code,
 // the implementation is valid for all parameter values even though it is
 // optimized around the estimates.
-func (p *Pipeline) Bind(params map[string]int64, eopts engine.Options) (*engine.Program, error) {
-	prog, err := engine.Compile(p.Grouping, params, eopts)
+func (p *Pipeline) Bind(params map[string]int64, eopts engine.Options) (prog *engine.Program, err error) {
+	// Same panic barrier as Compile: lowering a hostile spec/binding must
+	// yield (nil, error), never crash a serving process.
+	defer func() {
+		if r := recover(); r != nil {
+			prog, err = nil, fmt.Errorf("core: bind panicked: %v", r)
+		}
+	}()
+	prog, err = engine.Compile(p.Grouping, params, eopts)
 	if err != nil {
 		return nil, err
 	}

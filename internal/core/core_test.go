@@ -130,3 +130,35 @@ func TestScheduleOptionsFlowThrough(t *testing.T) {
 		t.Errorf("DisableFusion should keep 2 groups, got %d", len(pl.Grouping.Groups))
 	}
 }
+
+// TestCompileRecoversMalformedSpecPanic feeds Compile a malformed spec that
+// slips past construction-time checks: the access double(x, x) has the
+// wrong arity but sits inside a case condition, which the bounds checker
+// does not scan, so the inliner hits it mid-substitution. Compile's recover
+// barrier must turn that panic into (nil, error) carrying the panic message
+// and stage name — a crash here would take down a serving process compiling
+// an untrusted spec.
+func TestCompileRecoversMalformedSpecPanic(t *testing.T) {
+	b := dsl.NewBuilder()
+	W := b.Param("W")
+	in := b.Image("in", expr.Float, W.Affine())
+	x := b.Var("x")
+	dom := []dsl.Interval{dsl.Span(affine.Const(0), W.Affine().AddConst(-1))}
+	double := b.Func("double", expr.Float, []*dsl.Variable{x}, dom)
+	double.Define(dsl.Case{E: dsl.Mul(2, in.At(x))})
+	out := b.Func("out", expr.Float, []*dsl.Variable{x}, dom)
+	out.Define(
+		dsl.Case{Cond: dsl.Cond(double.At(x, x), ">", 0), E: double.At(x)},
+		dsl.Case{E: dsl.E(0.0)},
+	)
+	pl, err := Compile(b, []string{"out"}, Options{Estimates: map[string]int64{"W": 256}})
+	if err == nil {
+		t.Fatal("Compile accepted a malformed spec (arity-mismatched access in condition)")
+	}
+	if pl != nil {
+		t.Fatalf("Compile returned non-nil pipeline alongside error %v", err)
+	}
+	if !strings.Contains(err.Error(), "double") {
+		t.Errorf("error should name the offending stage: %v", err)
+	}
+}

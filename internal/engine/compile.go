@@ -69,7 +69,7 @@ func (cp *compiler) compile(e expr.Expr) (evalFn, error) {
 	case expr.ParamRef:
 		pv, ok := cp.params[n.Name]
 		if !ok {
-			return nil, fmt.Errorf("engine: unbound parameter %q", n.Name)
+			return nil, fmt.Errorf("engine: %w %q", affine.ErrUnboundParam, n.Name)
 		}
 		v := float64(pv)
 		return func(*Ctx) float64 { return v }, nil

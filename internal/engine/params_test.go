@@ -1,0 +1,83 @@
+package engine
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/affine"
+	"repro/internal/dsl"
+	"repro/internal/expr"
+	"repro/internal/pipeline"
+	"repro/internal/schedule"
+)
+
+// paramPipeline builds a 1-D pipeline whose domain bounds use parameter W
+// and whose definition references parameter K inside the expression, so an
+// incomplete binding can be missing either an affine-domain parameter or an
+// expression-level one.
+func paramPipeline(t *testing.T) *pipeline.Graph {
+	t.Helper()
+	b := dsl.NewBuilder()
+	w := b.Param("W")
+	b.Param("K")
+	in := b.Image("in", expr.Float, w.Affine())
+	x := b.Var("x")
+	f := b.Func("f", expr.Float, []*dsl.Variable{x},
+		[]dsl.Interval{dsl.Span(affine.Const(1), w.Affine().AddConst(-2))})
+	f.Define(dsl.Case{E: dsl.Add(in.At(x), expr.ParamRef{Name: "K"})})
+	g, err := pipeline.Build(b, "f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// TestBindUnboundParam checks that an incomplete parameter binding fails at
+// Compile (Bind) time with an error satisfying errors.Is(err,
+// affine.ErrUnboundParam) — on both paths: a parameter used only in affine
+// domain bounds, and a parameter referenced inside a kernel expression
+// (previously a plain fmt.Errorf that defeated errors.Is, and previously
+// only detected by a panic at kernel-evaluation time).
+func TestBindUnboundParam(t *testing.T) {
+	g := paramPipeline(t)
+	full := map[string]int64{"W": 64, "K": 3}
+	gr, err := schedule.BuildGroups(g, full, schedule.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name   string
+		params map[string]int64
+	}{
+		{"missing-domain-param", map[string]int64{"K": 3}},
+		{"missing-expr-param", map[string]int64{"W": 64}},
+		{"missing-all", nil},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := Compile(gr, tc.params, Options{}); !errors.Is(err, affine.ErrUnboundParam) {
+				t.Fatalf("Compile(%v) error = %v, want errors.Is ErrUnboundParam", tc.params, err)
+			}
+			if _, err := Reference(g, tc.params, nil); !errors.Is(err, affine.ErrUnboundParam) {
+				t.Fatalf("Reference(%v) error = %v, want errors.Is ErrUnboundParam", tc.params, err)
+			}
+		})
+	}
+	// The full binding still compiles and runs.
+	prog, err := Compile(gr, full, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer prog.Close()
+	in := NewBuffer(affine.Box{{Lo: 0, Hi: 63}})
+	FillPattern(in, 1)
+	out, err := prog.Run(map[string]*Buffer{"in": in})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := out["f"].At(5)
+	want := in.At(5) + 3
+	if got != want {
+		t.Fatalf("f(5) = %v, want %v", got, want)
+	}
+}

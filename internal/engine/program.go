@@ -173,9 +173,14 @@ func registerCSE(cp *compiler, e expr.Expr, counts map[string]int) {
 	})
 }
 
-// Compile lowers a grouped pipeline for the given parameter binding.
+// Compile lowers a grouped pipeline for the given parameter binding. The
+// binding must cover every parameter the pipeline references; missing ones
+// are reported up front as an error wrapping affine.ErrUnboundParam.
 func Compile(gr *schedule.Grouping, params map[string]int64, opts Options) (*Program, error) {
 	g := gr.Graph
+	if err := checkParams(g, params); err != nil {
+		return nil, err
+	}
 	p := &Program{
 		Graph:    g,
 		Grouping: gr,

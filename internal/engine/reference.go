@@ -13,6 +13,11 @@ import (
 // It is the ground truth the optimized engine is tested against (and is
 // deliberately slow and simple).
 func Reference(g *pipeline.Graph, params map[string]int64, inputs map[string]*Buffer) (map[string]*Buffer, error) {
+	// Validate the binding up front: the tree-walking evaluator panics on an
+	// unbound parameter (an internal invariant once this check has passed).
+	if err := checkParams(g, params); err != nil {
+		return nil, err
+	}
 	bufs := make(map[string]*Buffer)
 	for name, im := range g.Images {
 		in, ok := inputs[name]

@@ -24,6 +24,11 @@ func Eval(e Expr, env *Env) float64 {
 	case ParamRef:
 		v, ok := env.Params[n.Name]
 		if !ok {
+			// Internal invariant, not a user-reachable failure: every entry
+			// point that evaluates expressions (engine.Compile,
+			// engine.Reference) validates the full parameter set up front and
+			// returns ErrUnboundParam, so an unbound parameter here means a
+			// caller skipped that validation.
 			panic(fmt.Sprintf("expr: unbound parameter %q", n.Name))
 		}
 		return float64(v)

@@ -1,106 +1,87 @@
 package harness
 
 import (
-	"encoding/json"
+	"context"
 	"fmt"
 	"io"
 	"runtime"
 	"time"
 
 	"repro/internal/apps"
-	"repro/internal/baseline"
-	"repro/internal/schedule"
+	"repro/internal/obs"
+	"repro/internal/service"
 )
 
-// Serve measures the steady-state serving scenario for one app: compile
-// once, then answer `requests` back-to-back requests through the persistent
-// executor, recycling outputs between requests. It reports throughput,
-// latency, per-request heap allocations and the buffer arena's hit rate —
-// the numbers that show what the compile-once/run-many runtime saves over
-// per-request setup.
+// Serve measures the steady-state serving scenario for one app through the
+// serving layer itself: the first request compiles the program into the
+// service's cache, then `requests` back-to-back warm-cache requests run
+// through the per-program persistent executor with buffer recycling. It
+// reports throughput, latency, per-request heap allocations and the buffer
+// arena's hit rate — the numbers that show what the compile-once/run-many
+// runtime saves over per-request setup, now including the service layer's
+// admission and cache-lookup overhead (which must stay in the noise).
 func Serve(w io.Writer, appName string, requests int, cfg Config) error {
 	app, err := apps.Get(appName)
-	if err != nil {
-		return err
-	}
-	v, err := baseline.Get("opt+vec")
 	if err != nil {
 		return err
 	}
 	if requests < 1 {
 		requests = 1
 	}
-	params := ScaledParams(app, cfg.Scale)
-	compileStart := time.Now()
-	p, err := Prepare(app, v, params, cfg.Threads, schedule.DefaultOptions(), cfg.Seed)
+	svc := service.New(service.Config{
+		Threads: cfg.Threads,
+		// The loop is synchronous; a generous deadline keeps paper-sized
+		// runs from tripping the per-request timeout.
+		RequestTimeout: time.Hour,
+	})
+	defer svc.Close(context.Background())
+
+	req := &service.RunRequest{
+		App:    app.Name,
+		Params: ScaledParams(app, cfg.Scale),
+		Seed:   cfg.Seed,
+		Output: service.OutputNone,
+	}
+	ctx := context.Background()
+
+	// Warm-up request: compiles into the cache, populates the arena and
+	// starts the worker pool.
+	first, err := svc.Do(ctx, req)
 	if err != nil {
 		return err
 	}
-	defer p.Close()
-	compileMs := float64(time.Since(compileStart).Microseconds()) / 1000.0
-	p.Prog.Opts.Metrics = true
-	e := p.Prog.Executor()
 
-	// Warm-up request: populates the arena and starts the pool.
-	out, err := e.Run(p.Inputs)
-	if err != nil {
-		return err
-	}
-	e.Recycle(out)
-
-	// Periodic observability: while requests are served, emit the
-	// executor's metrics snapshot as one JSON line per second — the shape a
-	// sidecar scraper would consume. Snapshot is safe concurrently with
-	// Run, so this goroutine never blocks the serving loop.
-	stop := make(chan struct{})
-	ticks := make(chan struct{})
-	go func() {
-		defer close(ticks)
-		t := time.NewTicker(time.Second)
-		defer t.Stop()
-		for {
-			select {
-			case <-stop:
-				return
-			case <-t.C:
-				if b, err := json.Marshal(e.Snapshot()); err == nil {
-					fmt.Fprintf(w, "snapshot %s\n", b)
-				}
-			}
-		}
-	}()
+	// Periodic observability: while requests are served, emit the merged
+	// executor snapshot as one JSON line per second — the shape a sidecar
+	// scraper would consume. Snapshot is safe concurrently with Run, so
+	// the stream never blocks the serving loop.
+	stop := obs.StreamSnapshots(w, "snapshot ", time.Second, svc.Snapshot)
 
 	var ms0, ms1 runtime.MemStats
 	runtime.GC()
 	runtime.ReadMemStats(&ms0)
 	start := time.Now()
 	for i := 0; i < requests; i++ {
-		out, err := e.Run(p.Inputs)
-		if err != nil {
-			close(stop)
-			<-ticks
+		if _, err := svc.Do(ctx, req); err != nil {
+			stop()
 			return err
 		}
-		e.Recycle(out)
 	}
 	wall := time.Since(start)
 	runtime.ReadMemStats(&ms1)
-	close(stop)
-	<-ticks
+	// stop emits a final snapshot line, so runs shorter than the ticker
+	// period still produce one.
+	stop()
 
-	hits, misses := e.ArenaStats()
+	snap := svc.Snapshot()
 	perReq := wall / time.Duration(requests)
 	fmt.Fprintf(w, "serve %s [scale 1/%d, %d requests, opt+vec]\n", app.Name, cfg.Scale, requests)
-	fmt.Fprintf(w, "  compile           %10.2f ms (once)\n", compileMs)
+	fmt.Fprintf(w, "  compile           %10.2f ms (once)\n", first.CompileMillis)
 	fmt.Fprintf(w, "  latency           %10.2f ms/request\n", float64(perReq.Microseconds())/1000.0)
 	fmt.Fprintf(w, "  throughput        %10.2f requests/s\n", float64(requests)/wall.Seconds())
 	fmt.Fprintf(w, "  heap allocations  %10.1f KB/request (%d objects/request)\n",
 		float64(ms1.TotalAlloc-ms0.TotalAlloc)/float64(requests)/1024.0,
 		(ms1.Mallocs-ms0.Mallocs)/uint64(requests))
-	fmt.Fprintf(w, "  buffer arena      %d hits, %d misses since compile\n", hits, misses)
-	// Final snapshot so runs shorter than the ticker period still emit one.
-	if b, err := json.Marshal(e.Snapshot()); err == nil {
-		fmt.Fprintf(w, "snapshot %s\n", b)
-	}
+	fmt.Fprintf(w, "  buffer arena      %d hits, %d misses since compile\n", snap.Arena.Hits, snap.Arena.Misses)
 	return nil
 }

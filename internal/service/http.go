@@ -1,0 +1,155 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"repro/internal/apps"
+	"repro/internal/obs"
+)
+
+// Handler returns the service's HTTP surface:
+//
+//	POST /run      execute a pipeline (RunRequest -> RunResponse)
+//	GET  /healthz  liveness + admission gauges (Health)
+//	GET  /metrics  counters + per-program executor snapshots (Metrics);
+//	               ?stream=<interval> streams merged obs.Snapshot JSON
+//	               lines until the client disconnects
+//	GET  /apps     the registered applications and their parameters
+//
+// Every handler runs behind a recover barrier: a panic answers 500 and
+// the process keeps serving.
+func (s *Service) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/run", s.handleRun)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/apps", s.handleApps)
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			if rec := recover(); rec != nil {
+				s.panics.Add(1)
+				writeError(w, errf(500, "internal error: %v", rec))
+			}
+		}()
+		mux.ServeHTTP(w, r)
+	})
+}
+
+func (s *Service) handleRun(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		writeError(w, errf(405, "POST only"))
+		return
+	}
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	var req RunRequest
+	if err := dec.Decode(&req); err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			writeError(w, errf(413, "request body exceeds %d bytes", mbe.Limit))
+			return
+		}
+		writeError(w, errf(400, "bad request body: %v", err))
+		return
+	}
+	resp, err := s.Do(r.Context(), &req)
+	if err != nil {
+		writeError(w, toError(err))
+		return
+	}
+	writeJSON(w, 200, resp)
+}
+
+func (s *Service) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	h := s.Health()
+	code := 200
+	if h.Status != "ok" {
+		code = 503
+	}
+	writeJSON(w, code, h)
+}
+
+func (s *Service) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	stream := r.URL.Query().Get("stream")
+	if stream == "" {
+		writeJSON(w, 200, s.Metrics())
+		return
+	}
+	interval, err := time.ParseDuration(stream)
+	if err != nil {
+		writeError(w, errf(400, "bad stream interval %q: %v", stream, err))
+		return
+	}
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, errf(500, "streaming unsupported by this connection"))
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(200)
+	fl.Flush()
+	stop := obs.StreamSnapshots(flushWriter{w, fl}, "", interval, s.Snapshot)
+	<-r.Context().Done()
+	stop()
+}
+
+// flushWriter flushes after every write so each snapshot line reaches the
+// client immediately.
+type flushWriter struct {
+	w  http.ResponseWriter
+	fl http.Flusher
+}
+
+func (f flushWriter) Write(p []byte) (int, error) {
+	n, err := f.w.Write(p)
+	f.fl.Flush()
+	return n, err
+}
+
+// appInfo is one entry of GET /apps.
+type appInfo struct {
+	Name        string           `json:"name"`
+	Title       string           `json:"title"`
+	Stages      int              `json:"stages"`
+	PaperParams map[string]int64 `json:"paper_params,omitempty"`
+	TestParams  map[string]int64 `json:"test_params,omitempty"`
+}
+
+func (s *Service) handleApps(w http.ResponseWriter, r *http.Request) {
+	var out []appInfo
+	for _, a := range apps.All() {
+		out = append(out, appInfo{
+			Name:        a.Name,
+			Title:       a.Title,
+			Stages:      a.StageCount(),
+			PaperParams: a.PaperParams,
+			TestParams:  a.TestParams,
+		})
+	}
+	writeJSON(w, 200, out)
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	if err := enc.Encode(v); err != nil {
+		// Headers are gone; nothing useful left to do.
+		fmt.Fprintln(w)
+	}
+}
+
+func writeError(w http.ResponseWriter, e *Error) {
+	if e.RetryAfterSec > 0 {
+		w.Header().Set("Retry-After", strconv.Itoa(e.RetryAfterSec))
+	}
+	writeJSON(w, e.Status, e)
+}

@@ -1,0 +1,196 @@
+package service
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"sort"
+
+	"repro/internal/difftest"
+	"repro/internal/engine"
+	"repro/internal/obs"
+)
+
+// Output payload modes for RunRequest.Output.
+const (
+	// OutputChecksum returns each live-out's box and content checksum
+	// (the default: responses stay small regardless of image size).
+	OutputChecksum = "checksum"
+	// OutputData additionally returns the raw float32 data, row-major.
+	OutputData = "data"
+	// OutputNone returns no per-output payload at all (benchmark mode).
+	OutputNone = "none"
+)
+
+// RunRequest is the body of POST /run: one pipeline execution. The
+// pipeline is named either by a registered benchmark application (App) or
+// by an inline specification (Spec, the difftest generator's serializable
+// DAG format); compiled programs are cached across requests, keyed by the
+// pipeline identity, parameter binding and schedule/execution options.
+type RunRequest struct {
+	// App names a registered application (see GET /apps). Exactly one of
+	// App and Spec must be set.
+	App string `json:"app,omitempty"`
+	// Spec is an inline pipeline specification. Spec requests are treated
+	// as untrusted: construction panics and compile errors come back as
+	// HTTP errors, never crash the server.
+	Spec *difftest.PipelineSpec `json:"spec,omitempty"`
+	// Params binds the pipeline's integer parameters (image sizes). App
+	// requests must bind every parameter the app declares; Spec requests
+	// ignore it (the spec carries its own extent).
+	Params map[string]int64 `json:"params,omitempty"`
+	// Seed selects the synthetic input pattern when Inputs is absent
+	// (0 = the app default seed, or the spec's own seed).
+	Seed int64 `json:"seed,omitempty"`
+	// Inputs optionally supplies raw input data per image, row-major over
+	// the image's domain box.
+	Inputs map[string][]float32 `json:"inputs,omitempty"`
+	// Threads overrides the per-program worker count (0 = server default).
+	Threads int `json:"threads,omitempty"`
+	// Fast selects the specialized float32 kernels (default true).
+	Fast *bool `json:"fast,omitempty"`
+	// Tiles overrides the schedule's tile sizes (part of the cache key).
+	Tiles []int64 `json:"tiles,omitempty"`
+	// Output selects the response payload: "checksum" (default), "data" or
+	// "none".
+	Output string `json:"output,omitempty"`
+	// Verify (Spec only) also runs the reference interpreter and fails the
+	// request with 500 if the optimized engine's outputs diverge.
+	Verify bool `json:"verify,omitempty"`
+	// Perturb (Spec only) builds the fault-injected variant of the spec —
+	// stages marked Perturb emulate a miscompiled kernel. With Verify set
+	// this is the serving layer's fault-injection hook: the poisoned
+	// request fails, the process keeps serving.
+	Perturb bool `json:"perturb,omitempty"`
+}
+
+// validate checks request-level invariants that do not need compilation.
+func (r *RunRequest) validate() *Error {
+	if (r.App == "") == (r.Spec == nil) {
+		return errf(400, "exactly one of \"app\" and \"spec\" must be set")
+	}
+	switch r.Output {
+	case "", OutputChecksum, OutputData, OutputNone:
+	default:
+		return errf(400, "output must be %q, %q or %q", OutputChecksum, OutputData, OutputNone)
+	}
+	if r.Verify || r.Perturb {
+		if r.Spec == nil {
+			return errf(400, "verify/perturb require an inline spec")
+		}
+	}
+	if r.Verify {
+		if len(r.Inputs) > 0 {
+			return errf(400, "verify uses the spec's synthetic inputs; explicit inputs are not supported")
+		}
+		if r.Seed != 0 && r.Seed != r.Spec.Seed {
+			return errf(400, "verify compares against the reference at the spec's own seed %d", r.Spec.Seed)
+		}
+	}
+	return nil
+}
+
+// cacheKey derives the compiled-program cache key: a hash over the
+// pipeline identity (app name or full spec JSON plus the perturb flag),
+// the parameter binding and every schedule/execution option that changes
+// the compiled artifact. Requests that differ only in inputs, seed or
+// output mode share a program.
+func (r *RunRequest) cacheKey(eo engine.Options, tiles []int64) string {
+	h := sha256.New()
+	if r.App != "" {
+		fmt.Fprintf(h, "app=%s;", r.App)
+	} else {
+		b, _ := json.Marshal(r.Spec)
+		fmt.Fprintf(h, "spec=%s;perturb=%v;", b, r.Perturb)
+	}
+	names := make([]string, 0, len(r.Params))
+	for n := range r.Params {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		fmt.Fprintf(h, "%s=%d;", n, r.Params[n])
+	}
+	fmt.Fprintf(h, "threads=%d;fast=%v;metrics=%v;tiles=%v", eo.Threads, eo.Fast, eo.Metrics, tiles)
+	return hex.EncodeToString(h.Sum(nil))[:16]
+}
+
+// OutputResult is one live-out stage's result in a RunResponse.
+type OutputResult struct {
+	// Box is the output's concrete domain, one [lo, hi] pair per dimension.
+	Box [][2]int64 `json:"box"`
+	// Checksum fingerprints shape and exact contents (difftest.Checksum).
+	Checksum string `json:"checksum,omitempty"`
+	// Data is the raw row-major float32 data (Output == "data" only).
+	Data []float32 `json:"data,omitempty"`
+}
+
+// RunResponse is the body of a successful POST /run.
+type RunResponse struct {
+	// Pipeline labels the compiled pipeline (app name or spec summary).
+	Pipeline string `json:"pipeline"`
+	// Key is the program-cache key the request resolved to.
+	Key string `json:"key"`
+	// Cached reports whether the program was served from the cache; when
+	// false, CompileMillis is the compile+bind time this request paid.
+	Cached        bool    `json:"cached"`
+	CompileMillis float64 `json:"compile_ms,omitempty"`
+	// RunMillis is the pipeline execution time (excluding queueing,
+	// input synthesis and response encoding).
+	RunMillis float64 `json:"run_ms"`
+	// Verified reports that the outputs were checked against the
+	// reference interpreter (Verify requests only).
+	Verified bool                    `json:"verified,omitempty"`
+	Outputs  map[string]OutputResult `json:"outputs,omitempty"`
+}
+
+// Error is the service's typed failure: an HTTP status, a message (the
+// JSON body), and an optional Retry-After hint for overload statuses.
+type Error struct {
+	Status        int    `json:"status"`
+	Msg           string `json:"error"`
+	RetryAfterSec int    `json:"retry_after_sec,omitempty"`
+}
+
+func (e *Error) Error() string { return e.Msg }
+
+func errf(status int, format string, args ...any) *Error {
+	return &Error{Status: status, Msg: fmt.Sprintf(format, args...)}
+}
+
+// Health is the body of GET /healthz.
+type Health struct {
+	Status        string  `json:"status"` // "ok" or "draining"
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	InFlight      int64   `json:"in_flight"`
+	Queued        int64   `json:"queued"`
+	Programs      int     `json:"programs"`
+}
+
+// ProgramMetrics is one cached program's slice of GET /metrics.
+type ProgramMetrics struct {
+	Key      string       `json:"key"`
+	Pipeline string       `json:"pipeline"`
+	Requests int64        `json:"requests"`
+	Snapshot obs.Snapshot `json:"snapshot"`
+}
+
+// Metrics is the body of GET /metrics: service-level counters plus every
+// cached program's executor snapshot and their merged aggregate.
+type Metrics struct {
+	Health          Health           `json:"health"`
+	Requests        int64            `json:"requests"`
+	Errors          int64            `json:"errors"`
+	PanicsRecovered int64            `json:"panics_recovered"`
+	Rejected429     int64            `json:"rejected_429"`
+	Rejected503     int64            `json:"rejected_503"`
+	Timeouts        int64            `json:"timeouts"`
+	CacheHits       int64            `json:"cache_hits"`
+	CacheMisses     int64            `json:"cache_misses"`
+	Compiles        int64            `json:"compiles"`
+	CompileErrors   int64            `json:"compile_errors"`
+	Evictions       int64            `json:"evictions"`
+	Programs        []ProgramMetrics `json:"programs"`
+	Merged          obs.Snapshot     `json:"merged"`
+}

@@ -1,0 +1,568 @@
+// Package service is the pipeline-as-a-service layer: it accepts pipeline
+// execution requests (a registered app or an inline spec, plus a parameter
+// binding and input data), resolves them through a compiled-program cache,
+// and executes them on per-program persistent executors with buffer
+// recycling — the serving-path embodiment of the paper's compile-once /
+// run-many model.
+//
+// The request path is panic-free by construction: DSL construction and
+// compiler panics are converted to errors at the core.Compile boundary,
+// and the service adds its own recover barriers around request handling
+// and kernel execution, so a hostile specification costs one HTTP 500,
+// never the process. Admission is bounded (an in-flight limit plus a
+// short queue; overload answers 429/503 with Retry-After), every request
+// runs under a deadline, and Close drains in-flight work before closing
+// the cached executors.
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/affine"
+	"repro/internal/apps"
+	"repro/internal/core"
+	"repro/internal/difftest"
+	"repro/internal/engine"
+	"repro/internal/obs"
+	"repro/internal/schedule"
+)
+
+// defaultSeed matches the harness's default synthetic-input seed.
+const defaultSeed = 42
+
+// Config tunes a Service. The zero value is usable: every field has a
+// serving-appropriate default.
+type Config struct {
+	// MaxInFlight bounds concurrently executing requests (0 =
+	// GOMAXPROCS). Each program's executor serializes its own runs, so
+	// this mostly bounds cross-program concurrency and compiles.
+	MaxInFlight int
+	// MaxQueue bounds requests waiting for an execution slot (0 = default
+	// 64, negative = no queue: reject immediately when saturated).
+	MaxQueue int
+	// QueueTimeout bounds the wait for a slot (default 5s); expiry
+	// answers 503.
+	QueueTimeout time.Duration
+	// RequestTimeout is the per-request deadline, covering queueing,
+	// compilation and execution (default 60s). The tighter of this and
+	// the caller's context applies.
+	RequestTimeout time.Duration
+	// MaxPrograms caps the compiled-program cache; least-recently-used
+	// idle programs are evicted and closed (default 32).
+	MaxPrograms int
+	// MaxBodyBytes caps /run request bodies (default 64 MiB).
+	MaxBodyBytes int64
+	// Threads is the default per-program worker count (0 = GOMAXPROCS);
+	// requests may override it.
+	Threads int
+	// DisableSpecs rejects inline-spec requests (403), leaving only the
+	// registered apps callable.
+	DisableSpecs bool
+	// DisableMetrics compiles programs without the observability
+	// recorder; /metrics then reports counters but empty snapshots.
+	DisableMetrics bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxInFlight <= 0 {
+		c.MaxInFlight = runtime.GOMAXPROCS(0)
+	}
+	switch {
+	case c.MaxQueue == 0:
+		c.MaxQueue = 64
+	case c.MaxQueue < 0:
+		c.MaxQueue = 0
+	}
+	if c.QueueTimeout <= 0 {
+		c.QueueTimeout = 5 * time.Second
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 60 * time.Second
+	}
+	if c.MaxPrograms <= 0 {
+		c.MaxPrograms = 32
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 64 << 20
+	}
+	return c
+}
+
+// Service executes pipeline requests against a compiled-program cache.
+// Create with New, serve HTTP through Handler, or call Do directly
+// (harness.Serve does); Close drains and releases everything.
+type Service struct {
+	cfg   Config
+	cache *programCache
+	start time.Time
+
+	// sem holds one token per in-flight execution; queued counts requests
+	// waiting for a token.
+	sem      chan struct{}
+	queued   atomic.Int64
+	inflight atomic.Int64
+
+	mu       sync.Mutex
+	draining bool
+	wg       sync.WaitGroup
+
+	requests, errs, panics          atomic.Int64
+	rejected429, rejected503, slows atomic.Int64
+
+	// beforeRun, when set (tests only), runs on the execution goroutine
+	// just before the program runs — the hook overload and deadline tests
+	// use to hold a slot deterministically.
+	beforeRun func(*RunRequest)
+}
+
+// New returns a ready Service.
+func New(cfg Config) *Service {
+	cfg = cfg.withDefaults()
+	return &Service{
+		cfg:   cfg,
+		cache: newProgramCache(cfg.MaxPrograms),
+		start: time.Now(),
+		sem:   make(chan struct{}, cfg.MaxInFlight),
+	}
+}
+
+// Do executes one request: admission, program-cache resolution (compiling
+// on a miss), input synthesis, execution, optional verification, and
+// response encoding. Failures are returned as *Error with an HTTP status;
+// panics anywhere on the path are recovered into a 500. Do is safe for
+// concurrent use.
+func (s *Service) Do(ctx context.Context, req *RunRequest) (resp *RunResponse, err error) {
+	s.requests.Add(1)
+	defer func() {
+		if r := recover(); r != nil {
+			s.panics.Add(1)
+			resp, err = nil, errf(500, "internal error: %v", r)
+		}
+		if err != nil {
+			s.errs.Add(1)
+		}
+	}()
+
+	if verr := req.validate(); verr != nil {
+		return nil, verr
+	}
+	if req.Spec != nil && s.cfg.DisableSpecs {
+		return nil, errf(403, "inline specs are disabled on this server")
+	}
+
+	// Track the request for graceful shutdown before anything else; after
+	// this point Close waits for us.
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		return nil, &Error{Status: 503, Msg: "server is shutting down", RetryAfterSec: 1}
+	}
+	s.wg.Add(1)
+	s.mu.Unlock()
+	defer s.wg.Done()
+
+	ctx, cancel := context.WithTimeout(ctx, s.cfg.RequestTimeout)
+	defer cancel()
+
+	// Admission: one slot per executing request, bounded queue behind it.
+	// The slot covers compilation too — a cold-cache stampede compiles at
+	// most MaxInFlight programs at once.
+	release, aerr := s.admit(ctx)
+	if aerr != nil {
+		return nil, aerr
+	}
+	handedOff := false
+	defer func() {
+		if !handedOff {
+			release()
+		}
+	}()
+
+	eo := engine.Options{
+		Threads:      req.Threads,
+		Fast:         req.Fast == nil || *req.Fast,
+		ReuseBuffers: true,
+		Metrics:      !s.cfg.DisableMetrics,
+	}
+	if eo.Threads == 0 {
+		eo.Threads = s.cfg.Threads
+	}
+	key := req.cacheKey(eo, req.Tiles)
+	e, cached, cerr := s.cache.acquire(ctx, key, func() (compiled, error) {
+		return s.build(req, eo)
+	})
+	if cerr != nil {
+		return nil, toError(cerr)
+	}
+	defer s.cache.release(e)
+
+	inputs, ierr := s.inputsFor(e, req)
+	if ierr != nil {
+		return nil, ierr
+	}
+
+	// Execute on a separate goroutine so the request can time out without
+	// abandoning slot accounting: the goroutine owns the admission slot
+	// and the shutdown waitgroup until the run actually finishes, and on
+	// timeout a drain goroutine recycles the late result.
+	type runResult struct {
+		out    map[string]*engine.Buffer
+		err    error
+		millis float64
+	}
+	ch := make(chan runResult, 1)
+	s.wg.Add(1) // safe: our own wg.Add(1) above is still held
+	s.inflight.Add(1)
+	handedOff = true
+	go func() {
+		defer s.wg.Done()
+		defer s.inflight.Add(-1)
+		defer release()
+		defer func() {
+			if r := recover(); r != nil {
+				s.panics.Add(1)
+				ch <- runResult{err: errf(500, "execution panicked: %v", r)}
+			}
+		}()
+		if s.beforeRun != nil {
+			s.beforeRun(req)
+		}
+		t0 := time.Now()
+		out, rerr := e.res.prog.Run(inputs)
+		ch <- runResult{out: out, err: rerr, millis: float64(time.Since(t0).Nanoseconds()) / 1e6}
+	}()
+
+	var r runResult
+	select {
+	case r = <-ch:
+	case <-ctx.Done():
+		// The kernel cannot be interrupted mid-run; abandon it. Its slot
+		// frees and its outputs recycle when it completes.
+		s.slows.Add(1)
+		prog := e.res.prog
+		go func() {
+			if late := <-ch; late.out != nil {
+				prog.Executor().Recycle(late.out)
+			}
+		}()
+		return nil, &Error{Status: 503, Msg: "deadline exceeded while executing; retry with a longer deadline", RetryAfterSec: 2}
+	}
+	if r.err != nil {
+		return nil, toError(r.err)
+	}
+
+	recycle := func() { e.res.prog.Executor().Recycle(r.out) }
+	if req.Verify {
+		ref, rerr := e.reference()
+		if rerr != nil {
+			recycle()
+			return nil, errf(500, "reference execution: %v", rerr)
+		}
+		for _, lo := range e.res.prog.Graph.LiveOuts {
+			if detail := difftest.Compare(r.out[lo], ref[lo], 1e-5, 32); detail != "" {
+				recycle()
+				return nil, errf(500, "verification failed: output %q: %s", lo, detail)
+			}
+		}
+	}
+
+	resp = &RunResponse{
+		Pipeline:  e.res.label,
+		Key:       key,
+		Cached:    cached,
+		RunMillis: r.millis,
+		Verified:  req.Verify,
+	}
+	if !cached {
+		resp.CompileMillis = e.res.compileMillis
+	}
+	if req.Output != OutputNone {
+		resp.Outputs = make(map[string]OutputResult, len(e.res.prog.Graph.LiveOuts))
+		for _, lo := range e.res.prog.Graph.LiveOuts {
+			b := r.out[lo]
+			if b == nil {
+				continue
+			}
+			o := OutputResult{Box: make([][2]int64, len(b.Box))}
+			for d, iv := range b.Box {
+				o.Box[d] = [2]int64{iv.Lo, iv.Hi}
+			}
+			o.Checksum = fmt.Sprintf("%016x", difftest.Checksum(b))
+			if req.Output == OutputData {
+				o.Data = append([]float32(nil), b.Data...)
+			}
+			resp.Outputs[lo] = o
+		}
+	}
+	recycle()
+	return resp, nil
+}
+
+// admit acquires an execution slot, queueing briefly when saturated. The
+// returned release func must be called exactly once.
+func (s *Service) admit(ctx context.Context) (func(), *Error) {
+	release := func() { <-s.sem }
+	select {
+	case s.sem <- struct{}{}:
+		return release, nil
+	default:
+	}
+	if q := s.queued.Add(1); q > int64(s.cfg.MaxQueue) {
+		s.queued.Add(-1)
+		s.rejected429.Add(1)
+		return nil, &Error{Status: 429, Msg: "server at capacity: in-flight limit reached and queue full", RetryAfterSec: 1}
+	}
+	defer s.queued.Add(-1)
+	t := time.NewTimer(s.cfg.QueueTimeout)
+	defer t.Stop()
+	select {
+	case s.sem <- struct{}{}:
+		return release, nil
+	case <-t.C:
+		s.rejected503.Add(1)
+		return nil, &Error{Status: 503, Msg: "timed out waiting for an execution slot", RetryAfterSec: 2}
+	case <-ctx.Done():
+		s.rejected503.Add(1)
+		return nil, &Error{Status: 503, Msg: "request deadline expired while queued", RetryAfterSec: 2}
+	}
+}
+
+// build compiles the request's pipeline (app or spec) behind the
+// compile-barrier: any panic becomes a 500-classed error.
+func (s *Service) build(req *RunRequest, eo engine.Options) (c compiled, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			s.panics.Add(1)
+			c, err = compiled{}, errf(500, "compile panicked: %v", r)
+		}
+	}()
+	so := schedule.DefaultOptions()
+	if len(req.Tiles) > 0 {
+		so.TileSizes = append([]int64(nil), req.Tiles...)
+	}
+	t0 := time.Now()
+	if req.App != "" {
+		app, aerr := apps.Get(req.App)
+		if aerr != nil {
+			return c, errf(404, "%v", aerr)
+		}
+		b, outs := app.Build()
+		pl, perr := core.Compile(b, outs, core.Options{
+			Estimates:     req.Params,
+			Schedule:      so,
+			AllowUnproven: true,
+		})
+		if perr != nil {
+			return c, toError(perr)
+		}
+		prog, berr := pl.Bind(req.Params, eo)
+		if berr != nil {
+			return c, toError(berr)
+		}
+		c = compiled{label: req.App, prog: prog, app: app, builder: b, params: req.Params}
+	} else {
+		rb, berr := req.Spec.Build(req.Perturb)
+		if berr != nil {
+			return c, errf(400, "spec: %v", berr)
+		}
+		pl, perr := core.Compile(rb.Graph.Builder, rb.LiveOuts, core.Options{
+			Estimates:     rb.Params,
+			Schedule:      so,
+			AllowUnproven: true,
+		})
+		if perr != nil {
+			return c, toError(perr)
+		}
+		prog, berr2 := pl.Bind(rb.Params, eo)
+		if berr2 != nil {
+			return c, toError(berr2)
+		}
+		spec := *req.Spec
+		c = compiled{label: "spec:" + spec.ShortString(), prog: prog, spec: &spec, params: rb.Params}
+	}
+	c.compileMillis = float64(time.Since(t0).Nanoseconds()) / 1e6
+	return c, nil
+}
+
+// inputsFor resolves the request's input buffers: explicit data when
+// supplied, otherwise synthetic inputs memoized on the entry per seed.
+func (s *Service) inputsFor(e *entry, req *RunRequest) (map[string]*engine.Buffer, *Error) {
+	prog := e.res.prog
+	if len(req.Inputs) > 0 {
+		in := make(map[string]*engine.Buffer, len(req.Inputs))
+		for name, data := range req.Inputs {
+			box, err := prog.InputBox(name)
+			if err != nil {
+				return nil, errf(400, "input %q: %v", name, err)
+			}
+			buf := engine.NewBuffer(box)
+			if len(buf.Data) != len(data) {
+				return nil, errf(400, "input %q: got %d values, want %d for box %v", name, len(data), len(buf.Data), box)
+			}
+			copy(buf.Data, data)
+			in[name] = buf
+		}
+		return in, nil
+	}
+
+	seed := req.Seed
+	if seed == 0 {
+		if e.res.spec != nil {
+			seed = e.res.spec.Seed
+		} else {
+			seed = defaultSeed
+		}
+	}
+	e.imu.Lock()
+	defer e.imu.Unlock()
+	if in, ok := e.inputs[seed]; ok {
+		return in, nil
+	}
+	var in map[string]*engine.Buffer
+	if e.res.app != nil {
+		var err error
+		in, err = e.res.app.Inputs(e.res.builder, e.res.params, seed)
+		if err != nil {
+			return nil, errf(400, "inputs: %v", err)
+		}
+	} else {
+		in = make(map[string]*engine.Buffer, len(prog.Graph.Images))
+		for name := range prog.Graph.Images {
+			box, err := prog.InputBox(name)
+			if err != nil {
+				return nil, errf(500, "input %q: %v", name, err)
+			}
+			buf := engine.NewBuffer(box)
+			engine.FillPattern(buf, seed)
+			in[name] = buf
+		}
+	}
+	if e.inputs == nil {
+		e.inputs = make(map[int64]map[string]*engine.Buffer)
+	}
+	// Memoize a handful of seeds; a seed-scanning client should not pin
+	// unbounded input memory.
+	if len(e.inputs) < 4 {
+		e.inputs[seed] = in
+	}
+	return in, nil
+}
+
+// toError maps an internal error to a typed *Error: compile- and
+// binding-level failures are the client's fault (400); anything else is a
+// server-side 500.
+func toError(err error) *Error {
+	var se *Error
+	if errors.As(err, &se) {
+		return se
+	}
+	switch {
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+		return &Error{Status: 503, Msg: "request deadline expired", RetryAfterSec: 2}
+	case errors.Is(err, affine.ErrUnboundParam),
+		errors.Is(err, engine.ErrShape),
+		errors.Is(err, engine.ErrNilInput),
+		errors.Is(err, engine.ErrUnknownStage):
+		return &Error{Status: 400, Msg: err.Error()}
+	}
+	msg := err.Error()
+	for _, pre := range []string{"core: ", "pipeline: ", "bounds: ", "inline: ", "schedule: ", "engine: ", "difftest: "} {
+		if len(msg) >= len(pre) && msg[:len(pre)] == pre {
+			return &Error{Status: 400, Msg: msg}
+		}
+	}
+	return &Error{Status: 500, Msg: msg}
+}
+
+// Close drains: new requests are refused with 503, in-flight requests
+// (including abandoned-deadline runs) finish, then every cached program's
+// executor and arena shut down. ctx bounds the drain; on expiry the
+// programs are left to the OS and ctx's error is returned.
+func (s *Service) Close(ctx context.Context) error {
+	s.mu.Lock()
+	s.draining = true
+	s.mu.Unlock()
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-ctx.Done():
+		return fmt.Errorf("service: drain interrupted: %w", ctx.Err())
+	}
+	s.cache.closeAll()
+	return nil
+}
+
+// Health reports liveness for /healthz.
+func (s *Service) Health() Health {
+	s.mu.Lock()
+	draining := s.draining
+	s.mu.Unlock()
+	st := "ok"
+	if draining {
+		st = "draining"
+	}
+	return Health{
+		Status:        st,
+		UptimeSeconds: time.Since(s.start).Seconds(),
+		InFlight:      s.inflight.Load(),
+		Queued:        s.queued.Load(),
+		Programs:      s.cache.len(),
+	}
+}
+
+// Metrics assembles the /metrics body: service counters, cache counters,
+// and per-program executor snapshots plus their merged aggregate.
+func (s *Service) Metrics() Metrics {
+	cs, entries := s.cache.stats()
+	m := Metrics{
+		Health:          s.Health(),
+		Requests:        s.requests.Load(),
+		Errors:          s.errs.Load(),
+		PanicsRecovered: s.panics.Load(),
+		Rejected429:     s.rejected429.Load(),
+		Rejected503:     s.rejected503.Load(),
+		Timeouts:        s.slows.Load(),
+		CacheHits:       cs.hits,
+		CacheMisses:     cs.misses,
+		Compiles:        cs.misses,
+		CompileErrors:   cs.compileErrors,
+		Evictions:       cs.evictions,
+	}
+	snaps := make([]obs.Snapshot, 0, len(entries))
+	for _, e := range entries {
+		snap := e.res.prog.Executor().Snapshot()
+		snaps = append(snaps, snap)
+		e.imu.Lock()
+		n := e.requests
+		e.imu.Unlock()
+		m.Programs = append(m.Programs, ProgramMetrics{
+			Key:      e.key,
+			Pipeline: e.res.label,
+			Requests: n,
+			Snapshot: snap,
+		})
+	}
+	m.Merged = obs.Merge(snaps...)
+	return m
+}
+
+// Snapshot returns the merged executor snapshot across all cached
+// programs — the stream source for /metrics?stream and harness.Serve.
+func (s *Service) Snapshot() obs.Snapshot {
+	_, entries := s.cache.stats()
+	snaps := make([]obs.Snapshot, 0, len(entries))
+	for _, e := range entries {
+		snaps = append(snaps, e.res.prog.Executor().Snapshot())
+	}
+	return obs.Merge(snaps...)
+}

@@ -195,6 +195,16 @@ type Executor = engine.Executor
 // Compile runs the PolyMage compiler phases (Figure 4 of the paper) on a
 // specification: graph construction, bounds checking, inlining, grouping
 // and overlapped-tiling schedule construction.
+//
+// Compile and Pipeline.Bind never panic on a malformed specification:
+// internal panics from the DSL layer or the compiler phases are recovered
+// and returned as errors carrying the panic message and the offending
+// stage's name. An incomplete parameter binding is rejected at Bind time
+// with an error satisfying errors.Is(err, ErrUnboundParam). Long-lived
+// servers compiling untrusted specifications rely on both guarantees; see
+// internal/service and cmd/polymage-serve for the HTTP serving layer
+// built on them (compiled-program cache, bounded admission, /healthz and
+// /metrics).
 func Compile(b *Builder, outputs []string, opts Options) (*Pipeline, error) {
 	return core.Compile(b, outputs, opts)
 }
