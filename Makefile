@@ -5,19 +5,27 @@ GO ?= go
 COVER_FLOOR_ENGINE   ?= 75.0
 COVER_FLOOR_SCHEDULE ?= 75.0
 
-.PHONY: all build test vet api race fuzz cover bench bench-kernels serve serve-smoke serve-http stats clean
+.PHONY: all build test vet api race rowvm-race fuzz cover bench bench-kernels bench-json serve serve-smoke serve-http stats clean
 
 all: build test
 
 # `test` is tier 1 and includes the difftest seed corpus (TestSeedCorpus:
-# 200 random DAGs through the full 11-knob schedule/execution sweep), the
-# serving-layer smoke test (serve-smoke), plus `go vet` and the
-# exported-API golden (TestAPIGolden against api.txt).
+# 200 random DAGs through the full 13-knob schedule/execution sweep, which
+# covers the row bytecode VM and the closure row evaluator), the
+# race-checked row-VM suite (rowvm-race), the serving-layer smoke test
+# (serve-smoke), plus `go vet` and the exported-API golden (TestAPIGolden
+# against api.txt).
 build:
 	$(GO) build ./...
 
-test: vet serve-smoke
+test: vet rowvm-race serve-smoke
 	$(GO) test ./...
+
+# Race-checked run of the row bytecode VM suite (differential vs scalar,
+# fusion/regalloc shape, fallback, float32 gate, pool shrink, end-to-end
+# closure-vs-VM pipeline).
+rowvm-race:
+	$(GO) test -race -run TestRowVM ./internal/engine/
 
 vet:
 	$(GO) vet ./...
@@ -66,6 +74,13 @@ bench:
 # repeated-Run steady state of the persistent executor.
 bench-kernels:
 	$(GO) test -bench 'BenchmarkStencil|BenchmarkCombination|BenchmarkAccumulator|BenchmarkRepeatedRun' -benchmem -run '^$$' ./internal/engine/
+
+# Machine-readable benchmark record: per-app Table-2 wall clocks and the
+# row-evaluator microbenchmarks, each under the bytecode VM and the
+# closure rows. Compare two files with cmd/polymage-benchdiff.
+bench-json:
+	$(GO) run ./cmd/polymage-bench -bench-json BENCH_rowvm.json -runs 5
+	@echo "wrote BENCH_rowvm.json"
 
 serve:
 	$(GO) run ./cmd/polymage-bench -serve harris -requests 100

@@ -38,9 +38,26 @@ func main() {
 	serve := flag.String("serve", "", "steady-state serving mode: compile the named app once, time repeated requests")
 	requests := flag.Int("requests", 100, "number of requests for -serve")
 	stats := flag.Bool("stats", false, "run every app with executor metrics on and print per-stage breakdowns")
+	benchJSON := flag.String("bench-json", "", "write machine-readable benchmarks (apps + row-evaluator micros, VM vs closure) to the given file ('-' = stdout)")
 	seed := flag.Int64("seed", harness.DefaultSeed, "seed for synthetic benchmark inputs")
 	flag.Parse()
 
+	if *benchJSON != "" {
+		cfg := harness.Config{Scale: *scale, Runs: *runs, Threads: *threads, Seed: *seed}
+		out := os.Stdout
+		if *benchJSON != "-" {
+			f, err := os.Create(*benchJSON)
+			if err != nil {
+				fatal(err)
+			}
+			defer f.Close()
+			out = f
+		}
+		if err := harness.BenchJSON(out, cfg); err != nil {
+			fatal(err)
+		}
+		return
+	}
 	if *stats {
 		cfg := harness.Config{Scale: *scale, Runs: *runs, Threads: *threads, Seed: *seed}
 		if err := harness.Stats(os.Stdout, cfg); err != nil {

@@ -1,0 +1,101 @@
+// polymage-benchdiff compares two benchmark JSON files produced by
+// `make bench-json` (harness.BenchJSON) and flags regressions: any
+// configuration whose wall clock grew by more than the threshold (default
+// 10%) fails the comparison and the process exits non-zero, so the perf
+// trajectory between two commits can gate CI.
+//
+// Usage:
+//
+//	polymage-benchdiff old.json new.json [-threshold 0.10]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/harness"
+)
+
+func main() {
+	threshold := flag.Float64("threshold", 0.10, "relative slowdown that counts as a regression (0.10 = 10%)")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: polymage-benchdiff [-threshold 0.10] old.json new.json\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 2 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	oldBF, err := load(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	newBF, err := load(flag.Arg(1))
+	if err != nil {
+		fatal(err)
+	}
+	regressions := diff(os.Stdout, oldBF, newBF, *threshold)
+	if regressions > 0 {
+		fmt.Printf("\nFAIL: %d regression(s) beyond %.0f%%\n", regressions, *threshold*100)
+		os.Exit(1)
+	}
+	fmt.Println("\nOK: no regressions beyond threshold")
+}
+
+func load(path string) (*harness.BenchFile, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var bf harness.BenchFile
+	if err := json.Unmarshal(data, &bf); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if bf.Schema != harness.BenchSchema {
+		return nil, fmt.Errorf("%s: schema %q, want %q", path, bf.Schema, harness.BenchSchema)
+	}
+	return &bf, nil
+}
+
+type key struct{ name, variant string }
+
+// diff prints a comparison table and returns the number of regressions.
+func diff(w *os.File, oldBF, newBF *harness.BenchFile, threshold float64) int {
+	oldMs := make(map[key]float64, len(oldBF.Results))
+	for _, r := range oldBF.Results {
+		oldMs[key{r.Name, r.Variant}] = r.Millis
+	}
+	fmt.Fprintf(w, "%-24s %-6s %12s %12s %9s\n", "name", "var", "old ms", "new ms", "delta")
+	regressions := 0
+	matched := 0
+	for _, r := range newBF.Results {
+		old, ok := oldMs[key{r.Name, r.Variant}]
+		if !ok {
+			fmt.Fprintf(w, "%-24s %-6s %12s %12.3f %9s\n", r.Name, r.Variant, "-", r.Millis, "new")
+			continue
+		}
+		matched++
+		delta := 0.0
+		if old > 0 {
+			delta = (r.Millis - old) / old
+		}
+		mark := ""
+		if delta > threshold {
+			mark = "  << REGRESSION"
+			regressions++
+		}
+		fmt.Fprintf(w, "%-24s %-6s %12.3f %12.3f %+8.1f%%%s\n", r.Name, r.Variant, old, r.Millis, delta*100, mark)
+	}
+	if matched == 0 {
+		fmt.Fprintln(w, "warning: no overlapping configurations between the two files")
+	}
+	return regressions
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "polymage-benchdiff:", err)
+	os.Exit(1)
+}

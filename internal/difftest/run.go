@@ -32,11 +32,15 @@ type Knob struct {
 	// Tiling selects the strategy for fused groups (overlapped, the
 	// default, or the Figure 5 alternatives).
 	Tiling engine.TilingStrategy
+	// NoRowVM disables the row bytecode VM so Fast stages lower through
+	// the per-node closure row evaluator: the sweep differentially tests
+	// both evaluators against the reference interpreter.
+	NoRowVM bool
 }
 
 func (k Knob) String() string {
-	return fmt.Sprintf("%s{tiles=%v fusion=%v inline=%v fast=%v threads=%d pool=%v tiling=%d}",
-		k.Name, k.Tiles, !k.DisableFusion, !k.DisableInline, k.Fast, k.Threads, k.ReuseBuffers, k.Tiling)
+	return fmt.Sprintf("%s{tiles=%v fusion=%v inline=%v fast=%v threads=%d pool=%v tiling=%d vm=%v}",
+		k.Name, k.Tiles, !k.DisableFusion, !k.DisableInline, k.Fast, k.Threads, k.ReuseBuffers, k.Tiling, !k.NoRowVM)
 }
 
 // schedOptions maps the knob to scheduling options scaled for the small
@@ -61,13 +65,17 @@ func (k Knob) inlineOptions() inline.Options {
 
 func (k Knob) engineOptions() engine.Options {
 	return engine.Options{Fast: k.Fast, Threads: k.Threads, Debug: true,
-		ReuseBuffers: k.ReuseBuffers, Tiling: k.Tiling}
+		ReuseBuffers: k.ReuseBuffers, Tiling: k.Tiling, NoRowVM: k.NoRowVM}
 }
 
-// DefaultKnobs is the standard sweep: 11 combinations covering every axis
+// DefaultKnobs is the standard sweep: 13 combinations covering every axis
 // (tile sizes incl. degenerate and asymmetric, fusion on/off, inlining
-// on/off, fast float32 path on/off, 1 vs N threads, pooling on/off, and
-// the alternative tiling strategies of Figure 5).
+// on/off, fast float32 path on/off, 1 vs N threads, pooling on/off, the
+// alternative tiling strategies of Figure 5, and the row VM vs the closure
+// row evaluator). The Fast knobs without NoRowVM run the bytecode VM, so
+// the VM is differentially tested against the reference on every seed; the
+// fast-novm-* knobs pin the closure evaluator, testing the two row
+// evaluators against each other through the shared reference.
 func DefaultKnobs() []Knob {
 	return []Knob{
 		{Name: "scalar-seq", Tiles: []int64{8, 16}, Threads: 1},
@@ -81,14 +89,17 @@ func DefaultKnobs() []Knob {
 		{Name: "huge-tile-fast", Tiles: []int64{512, 512}, Fast: true, Threads: 2},
 		{Name: "parallelogram-fast", Tiles: []int64{16, 16}, Fast: true, Threads: 2, Tiling: engine.ParallelogramTiling},
 		{Name: "split-fast", Tiles: []int64{16, 16}, Fast: true, Threads: 2, Tiling: engine.SplitTiling},
+		{Name: "fast-novm-seq", Tiles: []int64{8, 16}, Fast: true, Threads: 1, NoRowVM: true},
+		{Name: "fast-novm-par-pool", Tiles: []int64{16, 16}, Fast: true, Threads: 4, ReuseBuffers: true, NoRowVM: true},
 	}
 }
 
-// QuickKnobs is a 4-point subset for the native fuzzing loop, where
-// per-input cost matters more than axis coverage.
+// QuickKnobs is a 5-point subset for the native fuzzing loop, where
+// per-input cost matters more than axis coverage (both row evaluators stay
+// covered).
 func QuickKnobs() []Knob {
 	k := DefaultKnobs()
-	return []Knob{k[1], k[2], k[5], k[7]}
+	return []Knob{k[1], k[2], k[5], k[7], k[11]}
 }
 
 // RunOptions configures a differential run.

@@ -43,6 +43,11 @@ type Executor struct {
 
 	arena arena
 
+	// pools aggregates temp-pool and row-VM register occupancy across all
+	// workers (sequential + pool); shared by reference so Snapshot never
+	// walks per-worker state.
+	pools poolGauges
+
 	// rec is the metrics recorder; nil unless Options.Metrics was set when
 	// the executor was created. Workers carry their shard, so the disabled
 	// hot path is a single nil check.
@@ -157,7 +162,8 @@ func (e *Executor) newWorker(shard int) *worker {
 	w := &worker{scratch: make(map[string]*Buffer), shard: e.rec.Shard(shard)}
 	w.ctx.pt = make([]int64, p.maxDims)
 	w.ctx.bufs = make([]*Buffer, p.slotCount)
-	w.ctx.pool = &tempPool{size: 1024}
+	w.ctx.pool = &tempPool{size: 1024, g: &e.pools}
+	w.ctx.vm.gauge = &e.pools.vmBytes
 	if p.memoCount > 0 {
 		w.ctx.memoStamp = make([]int64, p.memoCount)
 		w.ctx.memoVal = make([][]float64, p.memoCount)
@@ -268,6 +274,13 @@ func (e *Executor) Snapshot() obs.Snapshot {
 	snap := e.rec.Snapshot() // nil-safe: zero snapshot with Enabled=false
 	hits, misses, pooled, pooledBytes := e.arena.gauge()
 	snap.Arena = obs.ArenaStats{Hits: hits, Misses: misses, Pooled: pooled, PooledBytes: pooledBytes}
+	snap.TempPools = obs.TempPoolStats{
+		Temps:          e.pools.temps.Load(),
+		Bytes:          e.pools.bytes.Load(),
+		HighWaterBytes: e.pools.hw.Load(),
+		Shrinks:        e.pools.shrinks.Load(),
+		VMRegBytes:     e.pools.vmBytes.Load(),
+	}
 	if !snap.Enabled {
 		return snap
 	}

@@ -174,6 +174,147 @@ func BenchmarkAccumulator(b *testing.B) {
 	}
 }
 
+// rowEvalBench compiles a single-stage pipeline whose expression is built
+// by mk and runs it b.N times, once per evaluator: the row bytecode VM and
+// the per-node closure row evaluator. The expressions are shaped so that
+// neither matchStencil nor matchCombination claims the stage (a top-level
+// clamp/select defeats both), making these direct closure-vs-VM
+// comparisons of the generic row path.
+func rowEvalBench(b *testing.B, mk func(I *dsl.Image, x, y *dsl.Variable) expr.Expr) {
+	for _, cfg := range []struct {
+		name string
+		noVM bool
+	}{{"closure", true}, {"vm", false}} {
+		b.Run(cfg.name, func(b *testing.B) {
+			bl := dsl.NewBuilder()
+			R, C := bl.Param("R"), bl.Param("C")
+			I := bl.Image("I", expr.Float, R.Affine().AddConst(4), C.Affine().AddConst(4))
+			x, y := bl.Var("x"), bl.Var("y")
+			dom := []dsl.Interval{
+				dsl.Span(affine.Const(0), R.Affine().AddConst(3)),
+				dsl.Span(affine.Const(0), C.Affine().AddConst(3)),
+			}
+			inner := dsl.InBox([]*dsl.Variable{x, y}, []any{2, 2}, []any{dsl.Add(R, 1), dsl.Add(C, 1)})
+			f := bl.Func("f", expr.Float, []*dsl.Variable{x, y}, dom)
+			f.Define(dsl.Case{Cond: inner, E: mk(I, x, y)})
+			g, err := pipeline.Build(bl, "f")
+			if err != nil {
+				b.Fatal(err)
+			}
+			params := map[string]int64{"R": 512, "C": 512}
+			in, err := NewBufferForDomain(I.Domain(), params)
+			if err != nil {
+				b.Fatal(err)
+			}
+			FillPattern(in, 23)
+			inputs := map[string]*Buffer{"I": in}
+			gr, err := schedule.BuildGroups(g, params, schedule.Options{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			prog, err := Compile(gr, params, Options{Fast: true, Threads: 1, NoRowVM: cfg.noVM})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer prog.Close()
+			e := prog.Executor()
+			b.SetBytes(int64((params["R"] + 4) * (params["C"] + 4) * 4))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				out, err := e.Run(inputs)
+				if err != nil {
+					b.Fatal(err)
+				}
+				e.Recycle(out)
+			}
+		})
+	}
+}
+
+// deepTreeExpr builds a balanced arithmetic tree over nTaps shifted reads:
+// blends with the given weight at every internal node. weight 0.5 keeps the
+// weighted mass at 1 (float32-eligible in the VM); weight 1.0 makes the
+// mass nTaps (float64 accumulation).
+func deepTreeExpr(I *dsl.Image, x, y *dsl.Variable, nTaps int, weight float64) expr.Expr {
+	var build func(lo, hi int) expr.Expr
+	build = func(lo, hi int) expr.Expr {
+		if lo == hi {
+			return I.At(x, dsl.Add(y, lo-nTaps/2))
+		}
+		mid := (lo + hi) / 2
+		return dsl.Add(dsl.Mul(weight, build(lo, mid)), dsl.Mul(weight, build(mid+1, hi)))
+	}
+	return build(0, nTaps-1)
+}
+
+// stencil9Expr is a 3x3 normalized weighted sum wrapped in a clamp so the
+// specialized stencil kernel cannot claim it and the row evaluators run.
+// The clamp hi bound participates in the VM's float32 mass gate, so the
+// normalized variant clamps to [0,1] (float32-eligible) and the
+// unnormalized one to [0,16] (float64 accumulation).
+func stencil9Expr(I *dsl.Image, x, y *dsl.Variable, factor, hi float64) expr.Expr {
+	w := []float64{1, 2, 1, 2, 4, 2, 1, 2, 1}
+	var e expr.Expr
+	k := 0
+	for dx := -1; dx <= 1; dx++ {
+		for dy := -1; dy <= 1; dy++ {
+			tap := dsl.Mul(w[k]*factor, I.At(dsl.Add(x, dx), dsl.Add(y, dy)))
+			if e == nil {
+				e = tap
+			} else {
+				e = dsl.Add(e, tap)
+			}
+			k++
+		}
+	}
+	return dsl.Min(dsl.Max(e, 0.0), hi)
+}
+
+// Deep arithmetic tree, float64 accumulation (mass 16 blocks the VM's f32
+// instruction set; the closure path is float64 everywhere).
+func BenchmarkRowEvalDeepTreeF64(b *testing.B) {
+	rowEvalBench(b, func(I *dsl.Image, x, y *dsl.Variable) expr.Expr {
+		return dsl.Min(deepTreeExpr(I, x, y, 16, 1.0), 1e6)
+	})
+}
+
+// Deep arithmetic tree, normalized: the VM runs its float32 instruction
+// set, the closure path stays float64 rows narrowed at the store.
+func BenchmarkRowEvalDeepTreeF32(b *testing.B) {
+	rowEvalBench(b, func(I *dsl.Image, x, y *dsl.Variable) expr.Expr {
+		return dsl.Min(dsl.Max(deepTreeExpr(I, x, y, 16, 0.5), 0.0), 1.0)
+	})
+}
+
+// Normalized 9-tap stencil (clamped so the stencil kernel stands aside):
+// VM float32 path vs closure float64 rows.
+func BenchmarkRowEvalStencil9F32(b *testing.B) {
+	rowEvalBench(b, func(I *dsl.Image, x, y *dsl.Variable) expr.Expr {
+		return stencil9Expr(I, x, y, 1.0/16, 1.0)
+	})
+}
+
+// Unnormalized 9-tap stencil: both evaluators accumulate in float64.
+func BenchmarkRowEvalStencil9F64(b *testing.B) {
+	rowEvalBench(b, func(I *dsl.Image, x, y *dsl.Variable) expr.Expr {
+		return stencil9Expr(I, x, y, 1.0, 16.0)
+	})
+}
+
+// Select-heavy stage: data-dependent blend with compound conditions (the
+// VM's masked-select path; always float64 — selects disqualify f32).
+func BenchmarkRowEvalSelect(b *testing.B) {
+	rowEvalBench(b, func(I *dsl.Image, x, y *dsl.Variable) expr.Expr {
+		c := I.At(x, y)
+		l := I.At(x, dsl.Sub(y, 1))
+		r := I.At(x, dsl.Add(y, 1))
+		edge := dsl.Abs(dsl.Sub(r, l))
+		return dsl.Sel(dsl.Cond(edge, ">", 0.1),
+			dsl.Sel(dsl.Cond(c, ">", 0.5), dsl.Mul(c, 0.75), dsl.Add(c, 0.1)),
+			dsl.Mul(dsl.Add(dsl.Add(l, r), dsl.Mul(2.0, c)), 0.25))
+	})
+}
+
 // BenchmarkRepeatedRun measures the Executor's steady-state allocations on
 // the Harris pipeline (the paper's running example): compile once, run
 // b.N times, recycling outputs. allocs/op here is the headline number for

@@ -48,6 +48,13 @@ type Options struct {
 	// pipeline stages. Independent of Metrics; off by default because
 	// label switching has per-kernel cost.
 	Profile bool
+	// NoRowVM disables the row bytecode VM and lowers generic Fast-path
+	// stages through the per-node closure row evaluator instead. Both
+	// evaluators stay reachable so they can be differentially tested and
+	// benchmarked against each other; the VM is the default because its
+	// register-allocated fused programs cut per-row dispatch and memory
+	// traffic (see rowvm.go).
+	NoRowVM bool
 }
 
 func (o Options) threads() int {
@@ -66,6 +73,7 @@ type loweredPiece struct {
 	pred condFn
 	eval evalFn
 	row  rowFn
+	vm   *rowVM
 	sten *stencilKernel
 	comb *combKernel
 }
@@ -383,7 +391,11 @@ func (p *Program) lowerStage(st *pipeline.Stage, cp *compiler) (*loweredStage, e
 				piece.comb = matchCombination(c.E, nd, cp)
 			}
 			if piece.sten == nil && piece.comb == nil {
-				piece.row, err = cp.compileRow(c.E)
+				if p.Opts.NoRowVM {
+					piece.row, err = cp.compileRow(c.E)
+				} else {
+					piece.vm, err = cp.compileRowVM(c.E, nd-1)
+				}
 				if err != nil {
 					return nil, err
 				}
@@ -434,6 +446,43 @@ func (p *Program) Stats() obs.ProgramStats {
 			gm.PlannedTiles = ge.tp.NumTiles()
 		}
 		st.Groups = append(st.Groups, gm)
+	}
+	st.Stages = make([]obs.StageModel, 0, len(p.stageNames))
+	for _, name := range p.stageNames {
+		ls := p.stages[name]
+		sm := obs.StageModel{Name: name}
+		if ls.isAcc {
+			sm.Scalar++
+		}
+		for pi := range ls.pieces {
+			piece := &ls.pieces[pi]
+			switch {
+			case piece.sten != nil:
+				sm.Stencil++
+			case piece.comb != nil:
+				sm.Comb++
+			case piece.vm != nil:
+				sm.RowVM++
+				vm := piece.vm
+				sm.VMInstrs += len(vm.instrs)
+				sm.VMFusedOps += vm.fused
+				sm.VMFallbacks += len(vm.falls)
+				if vm.nRegs > sm.VMRegs {
+					sm.VMRegs = vm.nRegs
+				}
+				if vm.nBool > sm.VMBoolRegs {
+					sm.VMBoolRegs = vm.nBool
+				}
+				if vm.f32 {
+					sm.VMF32 = true
+				}
+			case piece.row != nil:
+				sm.ClosureRow++
+			default:
+				sm.Scalar++
+			}
+		}
+		st.Stages = append(st.Stages, sm)
 	}
 	return st
 }

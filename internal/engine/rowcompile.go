@@ -2,6 +2,7 @@ package engine
 
 import (
 	"math"
+	"sync/atomic"
 
 	"repro/internal/affine"
 	"repro/internal/expr"
@@ -28,6 +29,36 @@ type RowCtx struct {
 	stamp     int64
 	memoStamp []int64
 	memoVal   [][]float64
+
+	// Register file for rowVM execution (persists across rows like pool).
+	vm vmRegs
+}
+
+// poolGauges aggregates temp-pool and VM-register occupancy across all of
+// an executor's workers; the executor owns one instance and wires it into
+// every worker's pool so Snapshot can report pinned bytes and shrink
+// activity without walking (racily) per-worker state. All methods are
+// nil-safe so compiler-built contexts outside an executor pay nothing.
+type poolGauges struct {
+	temps   atomic.Int64 // live pooled row buffers (float64 + bool)
+	bytes   atomic.Int64 // bytes currently pinned by temp pools
+	hw      atomic.Int64 // high-water mark of bytes
+	shrinks atomic.Int64 // pool shrink events triggered by reset()
+	vmBytes atomic.Int64 // bytes pinned by row-VM register files
+}
+
+func (g *poolGauges) add(temps, bytes int64) {
+	if g == nil {
+		return
+	}
+	g.temps.Add(temps)
+	b := g.bytes.Add(bytes)
+	for {
+		hw := g.hw.Load()
+		if b <= hw || g.hw.CompareAndSwap(hw, b) {
+			return
+		}
+	}
 }
 
 type tempPool struct {
@@ -37,35 +68,102 @@ type tempPool struct {
 
 	boolBufs [][]bool
 	boolNext int
+
+	// Shrink policy state: curMax is the largest row requested since the
+	// last reset, maxLen the largest buffer currently pinned.
+	curMax int
+	maxLen int
+	g      *poolGauges
 }
 
 func (p *tempPool) get(n int) []float64 {
+	if n > p.curMax {
+		p.curMax = n
+	}
 	if p.next == len(p.bufs) {
 		p.bufs = append(p.bufs, make([]float64, max(n, p.size)))
+		nb := len(p.bufs[p.next])
+		if nb > p.maxLen {
+			p.maxLen = nb
+		}
+		p.g.add(1, int64(nb)*8)
 	}
 	b := p.bufs[p.next]
 	if len(b) < n {
+		p.g.add(0, int64(n-len(b))*8)
 		b = make([]float64, n)
 		p.bufs[p.next] = b
+		if n > p.maxLen {
+			p.maxLen = n
+		}
 	}
 	p.next++
 	return b[:n]
 }
 
 func (p *tempPool) getBool(n int) []bool {
+	if n > p.curMax {
+		p.curMax = n
+	}
 	if p.boolNext == len(p.boolBufs) {
 		p.boolBufs = append(p.boolBufs, make([]bool, max(n, p.size)))
+		nb := len(p.boolBufs[p.boolNext])
+		if nb > p.maxLen {
+			p.maxLen = nb
+		}
+		p.g.add(1, int64(nb))
 	}
 	b := p.boolBufs[p.boolNext]
 	if len(b) < n {
+		p.g.add(0, int64(n-len(b)))
 		b = make([]bool, n)
 		p.boolBufs[p.boolNext] = b
+		if n > p.maxLen {
+			p.maxLen = n
+		}
 	}
 	p.boolNext++
 	return b[:n]
 }
 
-func (p *tempPool) reset() { p.next = 0; p.boolNext = 0 }
+// reset recycles the pool between rows. If some past oversized row left
+// buffers pinned far beyond what the current rows need (4x the largest
+// recent request, and beyond the pool's configured floor), the oversized
+// slices are dropped so a one-off wide row cannot permanently hold worker
+// memory.
+func (p *tempPool) reset() {
+	if p.curMax > 0 && p.maxLen > 4*p.curMax && p.maxLen > p.size {
+		p.shrink()
+	}
+	p.next = 0
+	p.boolNext = 0
+	p.curMax = 0
+}
+
+func (p *tempPool) shrink() {
+	keep := max(4*p.curMax, p.size)
+	newMax := 0
+	for i, b := range p.bufs {
+		if len(b) > keep {
+			p.g.add(0, -int64(len(b))*8)
+			p.bufs[i] = nil // get()'s len<n check reallocates on next use
+		} else if len(b) > newMax {
+			newMax = len(b)
+		}
+	}
+	for i, b := range p.boolBufs {
+		if len(b) > keep {
+			p.g.add(0, -int64(len(b)))
+			p.boolBufs[i] = nil
+		} else if len(b) > newMax {
+			newMax = len(b)
+		}
+	}
+	p.maxLen = newMax
+	if p.g != nil {
+		p.g.shrinks.Add(1)
+	}
+}
 
 type rowFn func(c *RowCtx) []float64
 type rowCondFn func(c *RowCtx) []bool

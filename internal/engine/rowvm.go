@@ -1,0 +1,1226 @@
+package engine
+
+import (
+	"math"
+	"sync/atomic"
+
+	"repro/internal/affine"
+	"repro/internal/expr"
+)
+
+// The row VM replaces the per-node closure tree of rowcompile.go with a
+// flat, register-allocated bytecode program per stage piece: the expression
+// DAG is linearized (with value numbering, so repeated subtrees compute
+// once per row) into three-address row instructions over a small file of
+// reused row buffers, a peephole pass fuses adjacent ops into
+// superinstructions (mulAdd, axpy, shifted-load-accumulate for stencil
+// taps, clampSel, const folding), and one switch-dispatch loop per row
+// executes the program. A deep tree that cost one pooled temp per node in
+// the closure evaluator runs in 3-6 live rows here, and a fused stencil tap
+// is one instruction instead of a load row, a scale row and an add row.
+// Subtrees with no row form (data-dependent gathers) compile to a fallback
+// instruction that evaluates the scalar closure per element, so the VM is
+// total; Options.NoRowVM keeps the whole closure evaluator reachable.
+
+// rop is a row-VM opcode. Opcodes prefixed b produce bool rows (masks) in
+// the separate bool register file.
+type rop uint8
+
+const (
+	rNop rop = iota
+	// Sources.
+	rConst // dst[i] = imm
+	rIota  // dst[i] = jLo + i (the innermost loop variable)
+	rVarB  // dst[i] = pt[aux] (outer loop variable, row-invariant)
+	// Loads; aux indexes rowVM.loads. The kind is fixed at compile time
+	// from the affine form of the innermost-varying argument.
+	rLoadU   // unit step: coeff 1, div 1
+	rLoadS   // strided: coeff != 1, div 1
+	rLoadDiv // divided: floor((coeff*j+off)/div) gather
+	rLoadB   // row-invariant access: broadcast one element
+	// Fused loads (peephole superinstructions over unit loads).
+	rLoadMulI // dst[i] = imm * load[i]           (first stencil tap)
+	rMadLoad  // dst[i] = a[i] + imm * load[i]    (stencil tap accumulate)
+	// Binary, register-register.
+	rAdd
+	rSub
+	rMul
+	rDiv
+	rMod
+	rMin
+	rMax
+	rPow
+	rFDiv
+	// Binary with a folded constant operand.
+	rAddI  // dst = a + imm (also a - c, folded as a + (-c))
+	rISub  // dst = imm - a
+	rMulI  // dst = a * imm
+	rDivI  // dst = a / imm (kept as a true division: bit-identical results)
+	rIDiv  // dst = imm / a
+	rMinI  // dst = min(a, imm)
+	rMaxI  // dst = max(a, imm)
+	rPowI  // dst = pow(a, imm)
+	rModI  // dst = mod(a, imm)
+	rFDivI // dst = floor(a / imm)
+	// Unary.
+	rNeg
+	rAbs
+	rSqrt
+	rExp
+	rLog
+	rSin
+	rCos
+	rFloor
+	rCeil
+	// Fused arithmetic.
+	rMulAdd // dst = a*b + m (three-address FMA shape)
+	rAxpy   // dst = imm*a + b
+	rClampI // dst = min(max(a, imm), imm2)
+	// Other.
+	rCast   // dst = ApplyCast(Type(aux), a)
+	rSelect // dst[i] = bool[m][i] ? a[i] : b[i]
+	rFall   // dst[i] = falls[aux] evaluated per element (scalar closure)
+	// Bool-producing ops; dst (and a/b for bAnd/bOr/bNot) index the bool
+	// register file. aux carries the expr.CmpOp for comparisons.
+	bConst // dst[i] = (imm != 0)
+	bCmp   // dst[i] = a[i] <aux> b[i]
+	bCmpI  // dst[i] = a[i] <aux> imm
+	bAnd
+	bOr
+	bNot
+)
+
+// vmLoad describes one affine access: everything but the per-row base
+// offset is resolved at compile time.
+type vmLoad struct {
+	slot   int
+	nd     int
+	varDim int // producer dim whose index varies along the row; -1 = none
+	affs   []affine.Access
+	offs   []int64
+}
+
+// rowBase resolves the buffer and the offset contribution of the
+// row-invariant dimensions for the current row.
+func (l *vmLoad) rowBase(c *RowCtx) (*Buffer, int64) {
+	b := c.bufs[l.slot]
+	var base int64
+	for d := 0; d < l.nd; d++ {
+		if d == l.varDim {
+			continue
+		}
+		aff := l.affs[d]
+		var x int64
+		if aff.Var < 0 {
+			x = affine.FloorDiv(l.offs[d], aff.Div)
+		} else {
+			x = affine.FloorDiv(aff.Coeff*c.pt[aff.Var]+l.offs[d], aff.Div)
+		}
+		base += (x - b.Box[d].Lo) * b.Stride[d]
+	}
+	return b, base
+}
+
+// rinstr is one encoded three-address row instruction. a/b are float
+// register operands (bool registers for the bool-logic ops), m is the bool
+// operand of rSelect and the third float operand of rMulAdd. imm32/imm232
+// are the immediates pre-narrowed for the float32 dispatch loop.
+type rinstr struct {
+	op     rop
+	dst    uint16
+	a, b   uint16
+	m      uint16
+	aux    int32
+	imm    float64
+	imm2   float64
+	imm32  float32
+	imm232 float32
+}
+
+// rowVM is a compiled row program for one stage piece.
+type rowVM struct {
+	instrs []rinstr
+	loads  []vmLoad
+	falls  []evalFn
+	nRegs  int    // float row registers (liveness high-water mark)
+	nBool  int    // bool row registers
+	res    uint16 // register holding the finished row
+	fused  int    // superinstructions emitted by the peephole pass
+	f32    bool   // program qualifies for the float32 instruction set
+}
+
+// vmRegs is the per-worker register file backing rowVM execution; rows are
+// grown on demand and persist across rows, tiles and runs like the temp
+// pool. gauge (shared across an executor's workers) tracks the pinned
+// bytes for Executor.Snapshot; nil outside the executor.
+type vmRegs struct {
+	f     [][]float64
+	f32   [][]float32
+	b     [][]bool
+	gauge *atomic.Int64
+}
+
+func (vr *vmRegs) ensureF(nr, n int) [][]float64 {
+	for len(vr.f) < nr {
+		vr.f = append(vr.f, nil)
+	}
+	for i := 0; i < nr; i++ {
+		if len(vr.f[i]) < n {
+			if vr.gauge != nil {
+				vr.gauge.Add(int64(n-len(vr.f[i])) * 8)
+			}
+			vr.f[i] = make([]float64, n)
+		}
+	}
+	return vr.f
+}
+
+func (vr *vmRegs) ensureB(nb, n int) [][]bool {
+	for len(vr.b) < nb {
+		vr.b = append(vr.b, nil)
+	}
+	for i := 0; i < nb; i++ {
+		if len(vr.b[i]) < n {
+			if vr.gauge != nil {
+				vr.gauge.Add(int64(n - len(vr.b[i])))
+			}
+			vr.b[i] = make([]bool, n)
+		}
+	}
+	return vr.b
+}
+
+// vmValue is one SSA value of the linearized program, before register
+// allocation. Operands a/b/m are value ids (-1 = unused); whether an
+// operand lives in the float or bool space follows from its own isBool.
+type vmValue struct {
+	op     rop
+	a, b   int
+	m      int
+	aux    int32
+	imm    float64
+	imm2   float64
+	isBool bool
+}
+
+// vmBuilder linearizes one piece expression.
+type vmBuilder struct {
+	cp     *compiler
+	last   int // innermost dimension index of the stage domain
+	vals   []vmValue
+	memo   map[string]int // structural key -> value id (DAG sharing)
+	consts map[uint64]int // float bits -> rConst value id
+	counts map[string]int // subtree occurrence counts (fusion safety)
+	loads  []vmLoad
+	falls  []evalFn
+	fused  int
+}
+
+// compileRowVM lowers an expression to a row bytecode program. last is the
+// innermost dimension index of the stage's domain (its rank - 1). Like
+// compileRow it is total over row-evaluable stages: subtrees without a row
+// form lower to per-element fallback instructions.
+func (cp *compiler) compileRowVM(e expr.Expr, last int) (*rowVM, error) {
+	vb := &vmBuilder{
+		cp:     cp,
+		last:   last,
+		memo:   make(map[string]int),
+		consts: make(map[uint64]int),
+		counts: make(map[string]int),
+	}
+	expr.Walk(e, func(x expr.Expr) bool {
+		vb.counts[exprKey(x)]++
+		return true
+	})
+	res, err := vb.emit(e)
+	if err != nil {
+		return nil, err
+	}
+	return vb.finish(res), nil
+}
+
+func (vb *vmBuilder) push(v vmValue) int {
+	vb.vals = append(vb.vals, v)
+	return len(vb.vals) - 1
+}
+
+// pushConst emits (or reuses) a constant-broadcast value.
+func (vb *vmBuilder) pushConst(v float64) int {
+	bits := math.Float64bits(v)
+	if id, ok := vb.consts[bits]; ok {
+		return id
+	}
+	id := vb.push(vmValue{op: rConst, a: -1, b: -1, m: -1, imm: v})
+	vb.consts[bits] = id
+	return id
+}
+
+// lit reports whether e folds to a compile-time scalar (constants, bound
+// parameters, negations thereof).
+func (vb *vmBuilder) lit(e expr.Expr) (float64, bool) {
+	switch n := e.(type) {
+	case expr.Const:
+		return n.V, true
+	case expr.ParamRef:
+		v, ok := vb.cp.params[n.Name]
+		return float64(v), ok
+	case expr.Unary:
+		if n.Op == expr.Neg {
+			if v, ok := vb.lit(n.X); ok {
+				return -v, true
+			}
+		}
+	}
+	return 0, false
+}
+
+func (vb *vmBuilder) emit(e expr.Expr) (int, error) {
+	key := exprKey(e)
+	if id, ok := vb.memo[key]; ok {
+		return id, nil
+	}
+	id, err := vb.emitNew(e)
+	if err != nil {
+		return 0, err
+	}
+	vb.memo[key] = id
+	return id, nil
+}
+
+func (vb *vmBuilder) emitNew(e expr.Expr) (int, error) {
+	if v, ok := vb.lit(e); ok {
+		return vb.pushConst(v), nil
+	}
+	switch n := e.(type) {
+	case expr.VarRef:
+		if n.Dim < 0 {
+			return 0, errorString("engine: unresolved variable " + n.Name)
+		}
+		if n.Dim == vb.last {
+			return vb.push(vmValue{op: rIota, a: -1, b: -1, m: -1}), nil
+		}
+		return vb.push(vmValue{op: rVarB, a: -1, b: -1, m: -1, aux: int32(n.Dim)}), nil
+	case expr.ParamRef:
+		// Unbound parameter (lit failed): mirror the scalar compiler.
+		return 0, errorString("engine: unbound parameter " + n.Name)
+	case expr.Access:
+		return vb.emitAccess(n)
+	case expr.Binary:
+		return vb.emitBinary(n)
+	case expr.Unary:
+		x, err := vb.emit(n.X)
+		if err != nil {
+			return 0, err
+		}
+		op, ok := unaryOp(n.Op)
+		if !ok {
+			return vb.emitFallback(e)
+		}
+		return vb.push(vmValue{op: op, a: x, b: -1, m: -1}), nil
+	case expr.Select:
+		if bc, ok := n.Cond.(expr.BoolConst); ok {
+			if bc.V {
+				return vb.emit(n.Then)
+			}
+			return vb.emit(n.Else)
+		}
+		m, err := vb.emitCond(n.Cond)
+		if err != nil {
+			if err == errNoRowForm {
+				return vb.emitFallback(e)
+			}
+			return 0, err
+		}
+		th, err := vb.emit(n.Then)
+		if err != nil {
+			return 0, err
+		}
+		el, err := vb.emit(n.Else)
+		if err != nil {
+			return 0, err
+		}
+		return vb.push(vmValue{op: rSelect, a: th, b: el, m: m}), nil
+	case expr.Cast:
+		x, err := vb.emit(n.X)
+		if err != nil {
+			return 0, err
+		}
+		return vb.push(vmValue{op: rCast, a: x, b: -1, m: -1, aux: int32(n.To)}), nil
+	}
+	return vb.emitFallback(e)
+}
+
+func unaryOp(op expr.UnOp) (rop, bool) {
+	switch op {
+	case expr.Neg:
+		return rNeg, true
+	case expr.Abs:
+		return rAbs, true
+	case expr.Sqrt:
+		return rSqrt, true
+	case expr.Exp:
+		return rExp, true
+	case expr.Log:
+		return rLog, true
+	case expr.Sin:
+		return rSin, true
+	case expr.Cos:
+		return rCos, true
+	case expr.Floor:
+		return rFloor, true
+	case expr.Ceil:
+		return rCeil, true
+	}
+	return rNop, false
+}
+
+// foldBin evaluates a binary op over two compile-time scalars with the same
+// semantics as the scalar evaluator.
+func foldBin(op expr.BinOp, a, b float64) float64 {
+	switch op {
+	case expr.Add:
+		return a + b
+	case expr.Sub:
+		return a - b
+	case expr.Mul:
+		return a * b
+	case expr.Div:
+		return a / b
+	case expr.Mod:
+		return math.Mod(a, b)
+	case expr.Min:
+		return math.Min(a, b)
+	case expr.Max:
+		return math.Max(a, b)
+	case expr.Pow:
+		return math.Pow(a, b)
+	case expr.FDiv:
+		return math.Floor(a / b)
+	}
+	return math.NaN()
+}
+
+func (vb *vmBuilder) emitBinary(n expr.Binary) (int, error) {
+	lv, lok := vb.lit(n.L)
+	rv, rok := vb.lit(n.R)
+	if lok && rok {
+		return vb.pushConst(foldBin(n.Op, lv, rv)), nil
+	}
+	switch n.Op {
+	case expr.Add:
+		if id, ok, err := vb.tryMulAdd(n.L, n.R); ok || err != nil {
+			return id, err
+		}
+		if id, ok, err := vb.tryMulAdd(n.R, n.L); ok || err != nil {
+			return id, err
+		}
+		if rok {
+			return vb.emitRegImm(rAddI, n.L, rv)
+		}
+		if lok {
+			return vb.emitRegImm(rAddI, n.R, lv)
+		}
+		return vb.emitRegReg(rAdd, n.L, n.R)
+	case expr.Sub:
+		if rok {
+			// a - c == a + (-c) bit-for-bit in IEEE arithmetic.
+			return vb.emitRegImm(rAddI, n.L, -rv)
+		}
+		if lok {
+			return vb.emitRegImm(rISub, n.R, lv)
+		}
+		return vb.emitRegReg(rSub, n.L, n.R)
+	case expr.Mul:
+		if rok {
+			return vb.emitMulI(n.L, rv)
+		}
+		if lok {
+			return vb.emitMulI(n.R, lv)
+		}
+		return vb.emitRegReg(rMul, n.L, n.R)
+	case expr.Div:
+		if rok {
+			return vb.emitRegImm(rDivI, n.L, rv)
+		}
+		if lok {
+			return vb.emitRegImm(rIDiv, n.R, lv)
+		}
+		return vb.emitRegReg(rDiv, n.L, n.R)
+	case expr.Mod:
+		if rok {
+			return vb.emitRegImm(rModI, n.L, rv)
+		}
+		return vb.emitRegReg(rMod, n.L, n.R)
+	case expr.Min:
+		if id, ok, err := vb.tryClamp(n); ok || err != nil {
+			return id, err
+		}
+		if rok {
+			return vb.emitRegImm(rMinI, n.L, rv)
+		}
+		if lok {
+			return vb.emitRegImm(rMinI, n.R, lv)
+		}
+		return vb.emitRegReg(rMin, n.L, n.R)
+	case expr.Max:
+		if rok {
+			return vb.emitRegImm(rMaxI, n.L, rv)
+		}
+		if lok {
+			return vb.emitRegImm(rMaxI, n.R, lv)
+		}
+		return vb.emitRegReg(rMax, n.L, n.R)
+	case expr.Pow:
+		if rok {
+			return vb.emitRegImm(rPowI, n.L, rv)
+		}
+		return vb.emitRegReg(rPow, n.L, n.R)
+	case expr.FDiv:
+		if rok {
+			return vb.emitRegImm(rFDivI, n.L, rv)
+		}
+		return vb.emitRegReg(rFDiv, n.L, n.R)
+	}
+	return vb.emitFallback(n)
+}
+
+func (vb *vmBuilder) emitRegReg(op rop, l, r expr.Expr) (int, error) {
+	a, err := vb.emit(l)
+	if err != nil {
+		return 0, err
+	}
+	b, err := vb.emit(r)
+	if err != nil {
+		return 0, err
+	}
+	return vb.push(vmValue{op: op, a: a, b: b, m: -1}), nil
+}
+
+func (vb *vmBuilder) emitRegImm(op rop, x expr.Expr, imm float64) (int, error) {
+	a, err := vb.emit(x)
+	if err != nil {
+		return 0, err
+	}
+	return vb.push(vmValue{op: op, a: a, b: -1, m: -1, imm: imm}), nil
+}
+
+// emitMulI emits x*imm, fusing a single-use unit load into rLoadMulI (the
+// first tap of a weighted stencil sum).
+func (vb *vmBuilder) emitMulI(x expr.Expr, imm float64) (int, error) {
+	if li, ok := vb.fuseLoad(x); ok {
+		vb.fused++
+		return vb.push(vmValue{op: rLoadMulI, a: -1, b: -1, m: -1, aux: int32(li), imm: imm}), nil
+	}
+	return vb.emitRegImm(rMulI, x, imm)
+}
+
+// tryMulAdd fuses mulE + otherE when mulE is a single-use product:
+// rMadLoad for weight*load (the stencil-tap accumulate), rAxpy for
+// weight*x, rMulAdd for the general a*b + c shape.
+func (vb *vmBuilder) tryMulAdd(mulE, otherE expr.Expr) (int, bool, error) {
+	m, ok := mulE.(expr.Binary)
+	if !ok || m.Op != expr.Mul || vb.counts[exprKey(mulE)] > 1 {
+		return 0, false, nil
+	}
+	w, wok := vb.lit(m.L)
+	x := m.R
+	if !wok {
+		w, wok = vb.lit(m.R)
+		x = m.L
+	}
+	if wok {
+		other, err := vb.emit(otherE)
+		if err != nil {
+			return 0, true, err
+		}
+		if li, lok := vb.fuseLoad(x); lok {
+			vb.fused++
+			return vb.push(vmValue{op: rMadLoad, a: other, b: -1, m: -1, aux: int32(li), imm: w}), true, nil
+		}
+		xi, err := vb.emit(x)
+		if err != nil {
+			return 0, true, err
+		}
+		vb.fused++
+		return vb.push(vmValue{op: rAxpy, a: xi, b: other, m: -1, imm: w}), true, nil
+	}
+	p, err := vb.emit(m.L)
+	if err != nil {
+		return 0, true, err
+	}
+	q, err := vb.emit(m.R)
+	if err != nil {
+		return 0, true, err
+	}
+	c, err := vb.emit(otherE)
+	if err != nil {
+		return 0, true, err
+	}
+	vb.fused++
+	return vb.push(vmValue{op: rMulAdd, a: p, b: q, m: c}), true, nil
+}
+
+// tryClamp fuses min(max(x, lo), hi) with literal bounds (lo <= hi) into
+// one clamp instruction. The fused loop applies the same math.Max-then-
+// math.Min calls, so results are bit-identical.
+func (vb *vmBuilder) tryClamp(n expr.Binary) (int, bool, error) {
+	inner, hi, ok := n.L, 0.0, false
+	if v, lok := vb.lit(n.R); lok {
+		hi, ok = v, true
+	} else if v, lok := vb.lit(n.L); lok {
+		hi, ok, inner = v, true, n.R
+	}
+	if !ok {
+		return 0, false, nil
+	}
+	mx, isB := inner.(expr.Binary)
+	if !isB || mx.Op != expr.Max || vb.counts[exprKey(inner)] > 1 {
+		return 0, false, nil
+	}
+	lo, x := 0.0, mx.L
+	if v, lok := vb.lit(mx.R); lok {
+		lo = v
+	} else if v, lok := vb.lit(mx.L); lok {
+		lo, x = v, mx.R
+	} else {
+		return 0, false, nil
+	}
+	if !(lo <= hi) {
+		return 0, false, nil
+	}
+	xi, err := vb.emit(x)
+	if err != nil {
+		return 0, true, err
+	}
+	vb.fused++
+	return vb.push(vmValue{op: rClampI, a: xi, b: -1, m: -1, imm: lo, imm2: hi}), true, nil
+}
+
+// analyzeLoad resolves an access's affine form. It returns (nil, 0, nil)
+// when the access has no row form (non-affine argument, or more than one
+// argument varying along the row) and the caller should fall back.
+func (vb *vmBuilder) analyzeLoad(a expr.Access) (*vmLoad, rop, error) {
+	slot, ok := vb.cp.slots[a.Target]
+	if !ok {
+		return nil, rNop, errorString("engine: no buffer slot for " + a.Target)
+	}
+	nd := len(a.Args)
+	l := &vmLoad{slot: slot, nd: nd, varDim: -1,
+		affs: make([]affine.Access, nd), offs: make([]int64, nd)}
+	for d, arg := range a.Args {
+		aff, ok := expr.ToAffineAccess(arg)
+		if !ok {
+			return nil, rNop, nil
+		}
+		off, err := aff.Off.Eval(vb.cp.params)
+		if err != nil {
+			return nil, rNop, err
+		}
+		l.affs[d] = aff
+		l.offs[d] = off
+		if aff.Var >= 0 && aff.Var == vb.last {
+			if l.varDim >= 0 {
+				// Two producer dims varying along one row (diagonal
+				// access): no single-step row form.
+				return nil, rNop, nil
+			}
+			l.varDim = d
+		}
+	}
+	if l.varDim < 0 {
+		return l, rLoadB, nil
+	}
+	aff := l.affs[l.varDim]
+	switch {
+	case aff.Coeff == 1 && aff.Div == 1:
+		return l, rLoadU, nil
+	case aff.Div == 1:
+		return l, rLoadS, nil
+	default:
+		return l, rLoadDiv, nil
+	}
+}
+
+func (vb *vmBuilder) emitAccess(a expr.Access) (int, error) {
+	l, op, err := vb.analyzeLoad(a)
+	if err != nil {
+		return 0, err
+	}
+	if l == nil {
+		return vb.emitFallback(a)
+	}
+	vb.loads = append(vb.loads, *l)
+	return vb.push(vmValue{op: op, a: -1, b: -1, m: -1, aux: int32(len(vb.loads) - 1)}), nil
+}
+
+// fuseLoad returns a load-table index for e when it is a single-use
+// unit-step access, letting the caller absorb it into a fused instruction.
+func (vb *vmBuilder) fuseLoad(e expr.Expr) (int, bool) {
+	a, ok := e.(expr.Access)
+	if !ok || vb.counts[exprKey(e)] > 1 {
+		return 0, false
+	}
+	l, op, err := vb.analyzeLoad(a)
+	if err != nil || l == nil || op != rLoadU {
+		return 0, false
+	}
+	vb.loads = append(vb.loads, *l)
+	return len(vb.loads) - 1, true
+}
+
+// emitFallback compiles the subtree with the scalar compiler and emits a
+// per-element fallback instruction — the closure path's escape hatch for
+// data-dependent gathers and exotic ops.
+func (vb *vmBuilder) emitFallback(e expr.Expr) (int, error) {
+	f, err := vb.cp.compile(e)
+	if err != nil {
+		return 0, err
+	}
+	vb.falls = append(vb.falls, f)
+	return vb.push(vmValue{op: rFall, a: -1, b: -1, m: -1, aux: int32(len(vb.falls) - 1)}), nil
+}
+
+func flipCmp(op expr.CmpOp) expr.CmpOp {
+	switch op {
+	case expr.LT:
+		return expr.GT
+	case expr.LE:
+		return expr.GE
+	case expr.GT:
+		return expr.LT
+	case expr.GE:
+		return expr.LE
+	}
+	return op // EQ, NE are symmetric
+}
+
+func (vb *vmBuilder) emitCond(c expr.Cond) (int, error) {
+	switch n := c.(type) {
+	case expr.BoolConst:
+		imm := 0.0
+		if n.V {
+			imm = 1
+		}
+		return vb.push(vmValue{op: bConst, a: -1, b: -1, m: -1, imm: imm, isBool: true}), nil
+	case expr.Cmp:
+		lv, lok := vb.lit(n.L)
+		rv, rok := vb.lit(n.R)
+		if rok {
+			a, err := vb.emit(n.L)
+			if err != nil {
+				return 0, err
+			}
+			return vb.push(vmValue{op: bCmpI, a: a, b: -1, m: -1, aux: int32(n.Op), imm: rv, isBool: true}), nil
+		}
+		if lok {
+			a, err := vb.emit(n.R)
+			if err != nil {
+				return 0, err
+			}
+			return vb.push(vmValue{op: bCmpI, a: a, b: -1, m: -1, aux: int32(flipCmp(n.Op)), imm: lv, isBool: true}), nil
+		}
+		a, err := vb.emit(n.L)
+		if err != nil {
+			return 0, err
+		}
+		b, err := vb.emit(n.R)
+		if err != nil {
+			return 0, err
+		}
+		return vb.push(vmValue{op: bCmp, a: a, b: b, m: -1, aux: int32(n.Op), isBool: true}), nil
+	case expr.And:
+		return vb.emitBoolPair(bAnd, n.A, n.B)
+	case expr.Or:
+		return vb.emitBoolPair(bOr, n.A, n.B)
+	case expr.Not:
+		a, err := vb.emitCond(n.A)
+		if err != nil {
+			return 0, err
+		}
+		return vb.push(vmValue{op: bNot, a: a, b: -1, m: -1, isBool: true}), nil
+	}
+	return 0, errNoRowForm
+}
+
+func (vb *vmBuilder) emitBoolPair(op rop, l, r expr.Cond) (int, error) {
+	a, err := vb.emitCond(l)
+	if err != nil {
+		return 0, err
+	}
+	b, err := vb.emitCond(r)
+	if err != nil {
+		return 0, err
+	}
+	return vb.push(vmValue{op: op, a: a, b: b, m: -1, isBool: true}), nil
+}
+
+// finish runs liveness-based register allocation over the value list and
+// encodes the instruction stream. Registers free as soon as their value's
+// last consumer executes — freeing happens before the consumer's own
+// destination is assigned, so elementwise ops may compute in place (every
+// op reads operand element i before writing destination element i).
+func (vb *vmBuilder) finish(res int) *rowVM {
+	n := len(vb.vals)
+	lastUse := make([]int, n)
+	for i := range lastUse {
+		lastUse[i] = i
+	}
+	for i, v := range vb.vals {
+		for _, o := range [3]int{v.a, v.b, v.m} {
+			if o >= 0 {
+				lastUse[o] = i
+			}
+		}
+	}
+	lastUse[res] = n // the result row survives the program
+
+	reg := make([]int, n)
+	var freeF, freeB []int
+	nF, nB := 0, 0
+	for i, v := range vb.vals {
+		prev := -1
+		for _, o := range [3]int{v.a, v.b, v.m} {
+			if o < 0 || lastUse[o] != i || o == prev {
+				continue
+			}
+			prev = o
+			if vb.vals[o].isBool {
+				freeB = append(freeB, reg[o])
+			} else {
+				freeF = append(freeF, reg[o])
+			}
+		}
+		if v.isBool {
+			if len(freeB) > 0 {
+				reg[i] = freeB[len(freeB)-1]
+				freeB = freeB[:len(freeB)-1]
+			} else {
+				reg[i] = nB
+				nB++
+			}
+		} else {
+			if len(freeF) > 0 {
+				reg[i] = freeF[len(freeF)-1]
+				freeF = freeF[:len(freeF)-1]
+			} else {
+				reg[i] = nF
+				nF++
+			}
+		}
+	}
+
+	ins := make([]rinstr, n)
+	for i, v := range vb.vals {
+		in := rinstr{op: v.op, dst: uint16(reg[i]), aux: v.aux,
+			imm: v.imm, imm2: v.imm2,
+			imm32: float32(v.imm), imm232: float32(v.imm2)}
+		if v.a >= 0 {
+			in.a = uint16(reg[v.a])
+		}
+		if v.b >= 0 {
+			in.b = uint16(reg[v.b])
+		}
+		if v.m >= 0 {
+			in.m = uint16(reg[v.m])
+		}
+		ins[i] = in
+	}
+	vm := &rowVM{instrs: ins, loads: vb.loads, falls: vb.falls,
+		nRegs: nF, nBool: nB, res: uint16(reg[res]), fused: vb.fused}
+	vm.f32 = vmFloat32OK(vb.vals, res)
+	return vm
+}
+
+// run evaluates the program for the current row (c.n, c.jLo, c.pt) and
+// writes the narrowed result into dst.
+func (vm *rowVM) run(c *RowCtx, dst []float32) {
+	res := vm.eval64(c)
+	for i := range dst {
+		dst[i] = float32(res[i])
+	}
+}
+
+// loadRow resolves a load's buffer, row pointer and stride for unit-form
+// loads (rLoadU, rLoadMulI, rMadLoad).
+func (l *vmLoad) loadRow(c *RowCtx) (*Buffer, int64, int64) {
+	b, base := l.rowBase(c)
+	stride := b.Stride[l.varDim]
+	p := base + (c.jLo+l.offs[l.varDim]-b.Box[l.varDim].Lo)*stride
+	return b, p, stride
+}
+
+// eval64 is the float64 dispatch loop: one switch per instruction, each
+// case a tight slice loop over the row.
+func (vm *rowVM) eval64(c *RowCtx) []float64 {
+	n := c.n
+	regs := c.vm.ensureF(vm.nRegs, n)
+	var bregs [][]bool
+	if vm.nBool > 0 {
+		bregs = c.vm.ensureB(vm.nBool, n)
+	}
+	for ii := range vm.instrs {
+		in := &vm.instrs[ii]
+		switch in.op {
+		case rConst:
+			t := regs[in.dst][:n]
+			v := in.imm
+			for i := range t {
+				t[i] = v
+			}
+		case rIota:
+			t := regs[in.dst][:n]
+			j := c.jLo
+			for i := range t {
+				t[i] = float64(j + int64(i))
+			}
+		case rVarB:
+			t := regs[in.dst][:n]
+			v := float64(c.pt[in.aux])
+			for i := range t {
+				t[i] = v
+			}
+		case rLoadU:
+			t := regs[in.dst][:n]
+			b, p, stride := vm.loads[in.aux].loadRow(c)
+			if stride == 1 {
+				src := b.Data[p : p+int64(n)]
+				for i := range t {
+					t[i] = float64(src[i])
+				}
+			} else {
+				for i := range t {
+					t[i] = float64(b.Data[p])
+					p += stride
+				}
+			}
+		case rLoadS:
+			l := &vm.loads[in.aux]
+			b, base := l.rowBase(c)
+			aff := l.affs[l.varDim]
+			stride := b.Stride[l.varDim]
+			p := base + (aff.Coeff*c.jLo+l.offs[l.varDim]-b.Box[l.varDim].Lo)*stride
+			step := aff.Coeff * stride
+			t := regs[in.dst][:n]
+			for i := range t {
+				t[i] = float64(b.Data[p])
+				p += step
+			}
+		case rLoadDiv:
+			l := &vm.loads[in.aux]
+			b, base := l.rowBase(c)
+			aff := l.affs[l.varDim]
+			stride := b.Stride[l.varDim]
+			lo := b.Box[l.varDim].Lo
+			off := l.offs[l.varDim]
+			t := regs[in.dst][:n]
+			for i := range t {
+				x := affine.FloorDiv(aff.Coeff*(c.jLo+int64(i))+off, aff.Div)
+				t[i] = float64(b.Data[base+(x-lo)*stride])
+			}
+		case rLoadB:
+			l := &vm.loads[in.aux]
+			b, base := l.rowBase(c)
+			v := float64(b.Data[base])
+			t := regs[in.dst][:n]
+			for i := range t {
+				t[i] = v
+			}
+		case rLoadMulI:
+			t := regs[in.dst][:n]
+			w := in.imm
+			b, p, stride := vm.loads[in.aux].loadRow(c)
+			if stride == 1 {
+				src := b.Data[p : p+int64(n)]
+				for i := range t {
+					t[i] = w * float64(src[i])
+				}
+			} else {
+				for i := range t {
+					t[i] = w * float64(b.Data[p])
+					p += stride
+				}
+			}
+		case rMadLoad:
+			t := regs[in.dst][:n]
+			a := regs[in.a][:n]
+			w := in.imm
+			b, p, stride := vm.loads[in.aux].loadRow(c)
+			if stride == 1 {
+				src := b.Data[p : p+int64(n)]
+				for i := range t {
+					t[i] = a[i] + w*float64(src[i])
+				}
+			} else {
+				for i := range t {
+					t[i] = a[i] + w*float64(b.Data[p])
+					p += stride
+				}
+			}
+		case rAdd:
+			t, a, b := regs[in.dst][:n], regs[in.a][:n], regs[in.b][:n]
+			for i := range t {
+				t[i] = a[i] + b[i]
+			}
+		case rSub:
+			t, a, b := regs[in.dst][:n], regs[in.a][:n], regs[in.b][:n]
+			for i := range t {
+				t[i] = a[i] - b[i]
+			}
+		case rMul:
+			t, a, b := regs[in.dst][:n], regs[in.a][:n], regs[in.b][:n]
+			for i := range t {
+				t[i] = a[i] * b[i]
+			}
+		case rDiv:
+			t, a, b := regs[in.dst][:n], regs[in.a][:n], regs[in.b][:n]
+			for i := range t {
+				t[i] = a[i] / b[i]
+			}
+		case rMod:
+			t, a, b := regs[in.dst][:n], regs[in.a][:n], regs[in.b][:n]
+			for i := range t {
+				t[i] = math.Mod(a[i], b[i])
+			}
+		case rMin:
+			t, a, b := regs[in.dst][:n], regs[in.a][:n], regs[in.b][:n]
+			for i := range t {
+				t[i] = math.Min(a[i], b[i])
+			}
+		case rMax:
+			t, a, b := regs[in.dst][:n], regs[in.a][:n], regs[in.b][:n]
+			for i := range t {
+				t[i] = math.Max(a[i], b[i])
+			}
+		case rPow:
+			t, a, b := regs[in.dst][:n], regs[in.a][:n], regs[in.b][:n]
+			for i := range t {
+				t[i] = math.Pow(a[i], b[i])
+			}
+		case rFDiv:
+			t, a, b := regs[in.dst][:n], regs[in.a][:n], regs[in.b][:n]
+			for i := range t {
+				t[i] = math.Floor(a[i] / b[i])
+			}
+		case rAddI:
+			t, a, v := regs[in.dst][:n], regs[in.a][:n], in.imm
+			for i := range t {
+				t[i] = a[i] + v
+			}
+		case rISub:
+			t, a, v := regs[in.dst][:n], regs[in.a][:n], in.imm
+			for i := range t {
+				t[i] = v - a[i]
+			}
+		case rMulI:
+			t, a, v := regs[in.dst][:n], regs[in.a][:n], in.imm
+			for i := range t {
+				t[i] = a[i] * v
+			}
+		case rDivI:
+			t, a, v := regs[in.dst][:n], regs[in.a][:n], in.imm
+			for i := range t {
+				t[i] = a[i] / v
+			}
+		case rIDiv:
+			t, a, v := regs[in.dst][:n], regs[in.a][:n], in.imm
+			for i := range t {
+				t[i] = v / a[i]
+			}
+		case rMinI:
+			t, a, v := regs[in.dst][:n], regs[in.a][:n], in.imm
+			for i := range t {
+				t[i] = math.Min(a[i], v)
+			}
+		case rMaxI:
+			t, a, v := regs[in.dst][:n], regs[in.a][:n], in.imm
+			for i := range t {
+				t[i] = math.Max(a[i], v)
+			}
+		case rPowI:
+			t, a, v := regs[in.dst][:n], regs[in.a][:n], in.imm
+			for i := range t {
+				t[i] = math.Pow(a[i], v)
+			}
+		case rModI:
+			t, a, v := regs[in.dst][:n], regs[in.a][:n], in.imm
+			for i := range t {
+				t[i] = math.Mod(a[i], v)
+			}
+		case rFDivI:
+			t, a, v := regs[in.dst][:n], regs[in.a][:n], in.imm
+			for i := range t {
+				t[i] = math.Floor(a[i] / v)
+			}
+		case rNeg:
+			t, a := regs[in.dst][:n], regs[in.a][:n]
+			for i := range t {
+				t[i] = -a[i]
+			}
+		case rAbs:
+			t, a := regs[in.dst][:n], regs[in.a][:n]
+			for i := range t {
+				t[i] = math.Abs(a[i])
+			}
+		case rSqrt:
+			t, a := regs[in.dst][:n], regs[in.a][:n]
+			for i := range t {
+				t[i] = math.Sqrt(a[i])
+			}
+		case rExp:
+			t, a := regs[in.dst][:n], regs[in.a][:n]
+			for i := range t {
+				t[i] = math.Exp(a[i])
+			}
+		case rLog:
+			t, a := regs[in.dst][:n], regs[in.a][:n]
+			for i := range t {
+				t[i] = math.Log(a[i])
+			}
+		case rSin:
+			t, a := regs[in.dst][:n], regs[in.a][:n]
+			for i := range t {
+				t[i] = math.Sin(a[i])
+			}
+		case rCos:
+			t, a := regs[in.dst][:n], regs[in.a][:n]
+			for i := range t {
+				t[i] = math.Cos(a[i])
+			}
+		case rFloor:
+			t, a := regs[in.dst][:n], regs[in.a][:n]
+			for i := range t {
+				t[i] = math.Floor(a[i])
+			}
+		case rCeil:
+			t, a := regs[in.dst][:n], regs[in.a][:n]
+			for i := range t {
+				t[i] = math.Ceil(a[i])
+			}
+		case rMulAdd:
+			t, a, b, cc := regs[in.dst][:n], regs[in.a][:n], regs[in.b][:n], regs[in.m][:n]
+			for i := range t {
+				t[i] = a[i]*b[i] + cc[i]
+			}
+		case rAxpy:
+			t, a, b, v := regs[in.dst][:n], regs[in.a][:n], regs[in.b][:n], in.imm
+			for i := range t {
+				t[i] = v*a[i] + b[i]
+			}
+		case rClampI:
+			t, a, lo, hi := regs[in.dst][:n], regs[in.a][:n], in.imm, in.imm2
+			for i := range t {
+				t[i] = math.Min(math.Max(a[i], lo), hi)
+			}
+		case rCast:
+			t, a := regs[in.dst][:n], regs[in.a][:n]
+			to := expr.Type(in.aux)
+			for i := range t {
+				t[i] = expr.ApplyCast(to, a[i])
+			}
+		case rSelect:
+			t, a, b, m := regs[in.dst][:n], regs[in.a][:n], regs[in.b][:n], bregs[in.m][:n]
+			for i := range t {
+				if m[i] {
+					t[i] = a[i]
+				} else {
+					t[i] = b[i]
+				}
+			}
+		case rFall:
+			t := regs[in.dst][:n]
+			f := vm.falls[in.aux]
+			saved := c.pt[c.last]
+			for i := range t {
+				c.pt[c.last] = c.jLo + int64(i)
+				t[i] = f(&c.Ctx)
+			}
+			c.pt[c.last] = saved
+		case bConst:
+			t := bregs[in.dst][:n]
+			v := in.imm != 0
+			for i := range t {
+				t[i] = v
+			}
+		case bCmp:
+			t, a, b := bregs[in.dst][:n], regs[in.a][:n], regs[in.b][:n]
+			cmpRows64(t, a, b, expr.CmpOp(in.aux))
+		case bCmpI:
+			t, a := bregs[in.dst][:n], regs[in.a][:n]
+			cmpRowImm64(t, a, in.imm, expr.CmpOp(in.aux))
+		case bAnd:
+			t, a, b := bregs[in.dst][:n], bregs[in.a][:n], bregs[in.b][:n]
+			for i := range t {
+				t[i] = a[i] && b[i]
+			}
+		case bOr:
+			t, a, b := bregs[in.dst][:n], bregs[in.a][:n], bregs[in.b][:n]
+			for i := range t {
+				t[i] = a[i] || b[i]
+			}
+		case bNot:
+			t, a := bregs[in.dst][:n], bregs[in.a][:n]
+			for i := range t {
+				t[i] = !a[i]
+			}
+		}
+	}
+	return regs[vm.res][:n]
+}
+
+func cmpRows64(t []bool, a, b []float64, op expr.CmpOp) {
+	switch op {
+	case expr.LT:
+		for i := range t {
+			t[i] = a[i] < b[i]
+		}
+	case expr.LE:
+		for i := range t {
+			t[i] = a[i] <= b[i]
+		}
+	case expr.GT:
+		for i := range t {
+			t[i] = a[i] > b[i]
+		}
+	case expr.GE:
+		for i := range t {
+			t[i] = a[i] >= b[i]
+		}
+	case expr.EQ:
+		for i := range t {
+			t[i] = a[i] == b[i]
+		}
+	case expr.NE:
+		for i := range t {
+			t[i] = a[i] != b[i]
+		}
+	}
+}
+
+func cmpRowImm64(t []bool, a []float64, v float64, op expr.CmpOp) {
+	switch op {
+	case expr.LT:
+		for i := range t {
+			t[i] = a[i] < v
+		}
+	case expr.LE:
+		for i := range t {
+			t[i] = a[i] <= v
+		}
+	case expr.GT:
+		for i := range t {
+			t[i] = a[i] > v
+		}
+	case expr.GE:
+		for i := range t {
+			t[i] = a[i] >= v
+		}
+	case expr.EQ:
+		for i := range t {
+			t[i] = a[i] == v
+		}
+	case expr.NE:
+		for i := range t {
+			t[i] = a[i] != v
+		}
+	}
+}

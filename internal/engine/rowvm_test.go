@@ -1,0 +1,428 @@
+package engine
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/affine"
+	"repro/internal/dsl"
+	"repro/internal/expr"
+	"repro/internal/pipeline"
+	"repro/internal/schedule"
+)
+
+// vmHarness compiles an expression with the scalar compiler and the row VM
+// and evaluates both over one row, comparing element-wise. It returns the
+// compiled program so callers can assert on its shape (instruction mix,
+// register counts, fallbacks). When the program qualifies for the float32
+// instruction set, run32 is checked against the float64 result too.
+func vmHarness(t *testing.T, e expr.Expr, bufs map[string]*Buffer, pt []int64, n int) *rowVM {
+	t.Helper()
+	slots := map[string]int{}
+	ctxBufs := []*Buffer{}
+	for name, b := range bufs {
+		slots[name] = len(ctxBufs)
+		ctxBufs = append(ctxBufs, b)
+	}
+	cp := &compiler{slots: slots, params: map[string]int64{"P": 3}}
+	scalar, err := cp.compile(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vm, err := cp.compileRowVM(e, len(pt)-1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rc := &RowCtx{}
+	rc.pt = append([]int64(nil), pt...)
+	rc.bufs = ctxBufs
+	rc.last = len(pt) - 1
+	rc.jLo = pt[len(pt)-1]
+	rc.n = n
+	got := vm.eval64(rc)
+
+	sc := &Ctx{pt: append([]int64(nil), pt...), bufs: ctxBufs}
+	for i := 0; i < n; i++ {
+		sc.pt[len(pt)-1] = pt[len(pt)-1] + int64(i)
+		want := scalar(sc)
+		if d := math.Abs(got[i] - want); d > 1e-12 && !(math.IsNaN(got[i]) && math.IsNaN(want)) {
+			t.Fatalf("vm[%d] = %v, scalar = %v (expr %v)", i, got[i], want, e)
+		}
+	}
+	if vm.f32 {
+		dst := make([]float32, n)
+		vm.run32(rc, dst)
+		ref := vm.eval64(rc)
+		for i := 0; i < n; i++ {
+			d := math.Abs(float64(dst[i]) - ref[i])
+			if d > 1e-5+1e-5*math.Abs(ref[i]) {
+				t.Fatalf("f32[%d] = %v, f64 = %v (expr %v)", i, dst[i], ref[i], e)
+			}
+		}
+	}
+	return vm
+}
+
+// TestRowVMMatchesScalar is the differential property for the bytecode
+// evaluator: every expression form the closure row evaluator handles must
+// produce identical rows through the VM, including forms that exercise the
+// fused superinstructions and the per-subtree scalar fallback.
+func TestRowVMMatchesScalar(t *testing.T) {
+	src := NewBuffer(affine.Box{{Lo: 0, Hi: 19}, {Lo: 0, Hi: 39}})
+	FillPattern(src, 9)
+	bufs := map[string]*Buffer{"g": src}
+	x := expr.VarRef{Dim: 0, Name: "x"}
+	y := expr.VarRef{Dim: 1, Name: "y"}
+	g := func(a, b expr.Expr) expr.Expr {
+		return expr.Access{Target: "g", Args: []expr.Expr{a, b}}
+	}
+	cases := []expr.Expr{
+		expr.C(2.5),
+		x, y,
+		expr.ParamRef{Name: "P"},
+		g(x, y), // unit stride
+		g(expr.AddE(x, expr.C(1)), expr.SubE(y, expr.C(2))),  // offsets
+		g(x, expr.MulE(expr.C(2), y)),                        // strided gather
+		g(x, expr.Binary{Op: expr.FDiv, L: y, R: expr.C(2)}), // divided gather
+		g(expr.Binary{Op: expr.FDiv, L: x, R: expr.C(2)}, y), // row-constant div
+		expr.AddE(g(x, y), expr.MulE(expr.C(0.5), g(x, expr.AddE(y, expr.C(1))))), // madLoad
+		expr.Unary{Op: expr.Sqrt, X: expr.Unary{Op: expr.Abs, X: g(x, y)}},
+		expr.MinE(g(x, y), expr.C(0.5)),
+		expr.Binary{Op: expr.Pow, L: expr.MaxE(g(x, y), expr.C(0.1)), R: expr.C(1.5)},
+		expr.Select{
+			Cond: expr.Cmp{Op: expr.GT, L: g(x, y), R: expr.C(0.5)},
+			Then: expr.C(1),
+			Else: g(x, expr.AddE(y, expr.C(2))),
+		},
+		expr.Cast{To: expr.Int, X: expr.MulE(g(x, y), expr.C(100))},
+		// Data-dependent gather exercises the scalar fallback path.
+		g(x, expr.Cast{To: expr.Int, X: expr.MulE(g(x, y), expr.C(30))}),
+		// Reg-reg forms (no literal operand anywhere).
+		expr.DivE(g(x, y), expr.AddE(g(x, expr.AddE(y, expr.C(1))), expr.C(2))),
+		expr.Binary{Op: expr.Mod, L: expr.MulE(g(x, y), expr.C(7)), R: expr.AddE(g(x, expr.AddE(y, expr.C(1))), expr.C(1.5))},
+		expr.Binary{Op: expr.FDiv, L: expr.MulE(g(x, y), expr.C(9)), R: expr.AddE(g(x, expr.AddE(y, expr.C(1))), expr.C(1))},
+		// Constant-left forms (ISub, IDiv, flipped compares).
+		expr.SubE(expr.C(1), g(x, y)),
+		expr.DivE(expr.C(1), expr.AddE(g(x, y), expr.C(2))),
+		expr.Select{
+			Cond: expr.Cmp{Op: expr.LT, L: expr.C(0.5), R: g(x, y)},
+			Then: g(x, y),
+			Else: expr.C(0),
+		},
+		// Clamp pattern, both operand orders of the outer Min.
+		expr.MinE(expr.MaxE(g(x, y), expr.C(0.2)), expr.C(0.8)),
+		expr.MinE(expr.C(0.8), expr.MaxE(g(x, y), expr.C(0.2))),
+		// Compound conditions.
+		expr.Select{
+			Cond: expr.And{
+				A: expr.Cmp{Op: expr.GE, L: g(x, y), R: expr.C(0.25)},
+				B: expr.Not{A: expr.Cmp{Op: expr.EQ, L: y, R: expr.C(7)}},
+			},
+			Then: expr.MulE(g(x, y), expr.C(2)),
+			Else: expr.Select{
+				Cond: expr.Or{
+					A: expr.Cmp{Op: expr.NE, L: g(x, y), R: g(x, expr.AddE(y, expr.C(1)))},
+					B: expr.BoolConst{V: true},
+				},
+				Then: expr.C(3),
+				Else: expr.C(4),
+			},
+		},
+		// axpy: literal weight times a non-load expression, plus another row.
+		expr.AddE(expr.MulE(expr.C(0.3), expr.Unary{Op: expr.Sqrt, X: expr.Unary{Op: expr.Abs, X: g(x, y)}}), g(x, expr.AddE(y, expr.C(1)))),
+		// General FMA shape: product of two non-literal rows plus a third.
+		expr.AddE(expr.MulE(g(x, y), g(x, expr.AddE(y, expr.C(1)))), g(x, expr.AddE(y, expr.C(2)))),
+		// Shared subtree (DAG): value numbering must evaluate it once.
+		func() expr.Expr {
+			sh := expr.Unary{Op: expr.Sqrt, X: expr.AddE(expr.Unary{Op: expr.Abs, X: g(x, y)}, expr.C(1))}
+			return expr.AddE(expr.MulE(sh, expr.C(2)), sh)
+		}(),
+		// Select over a BoolConst condition folds to the taken branch.
+		expr.Select{Cond: expr.BoolConst{V: false}, Then: expr.C(1), Else: g(x, y)},
+	}
+	for _, e := range cases {
+		vmHarness(t, e, bufs, []int64{3, 2}, 30)
+	}
+}
+
+// TestRowVMFusion checks the peephole pass on the canonical stencil shape:
+// a 9-term weighted sum of shifted unit loads must compile to one
+// loadMul + eight madLoad superinstructions running in a single register.
+func TestRowVMFusion(t *testing.T) {
+	src := NewBuffer(affine.Box{{Lo: 0, Hi: 19}, {Lo: 0, Hi: 39}})
+	FillPattern(src, 5)
+	x := expr.VarRef{Dim: 0, Name: "x"}
+	y := expr.VarRef{Dim: 1, Name: "y"}
+	var e expr.Expr
+	w := []float64{1, 2, 1, 2, 4, 2, 1, 2, 1}
+	k := 0
+	for dx := -1; dx <= 1; dx++ {
+		for dy := -1; dy <= 1; dy++ {
+			tap := expr.MulE(expr.C(w[k]/16), expr.Access{Target: "g", Args: []expr.Expr{
+				expr.AddE(x, expr.C(float64(dx))), expr.AddE(y, expr.C(float64(dy))),
+			}})
+			if e == nil {
+				e = tap
+			} else {
+				e = expr.AddE(e, tap)
+			}
+			k++
+		}
+	}
+	vm := vmHarness(t, e, map[string]*Buffer{"g": src}, []int64{3, 2}, 30)
+	if len(vm.instrs) != 9 {
+		t.Fatalf("9-tap sum compiled to %d instructions, want 9 (one per tap)", len(vm.instrs))
+	}
+	if vm.nRegs != 1 {
+		t.Fatalf("9-tap sum uses %d registers, want 1", vm.nRegs)
+	}
+	if vm.fused != 9 {
+		t.Fatalf("fused = %d, want 9", vm.fused)
+	}
+	var loadMul, madLoad int
+	for _, in := range vm.instrs {
+		switch in.op {
+		case rLoadMulI:
+			loadMul++
+		case rMadLoad:
+			madLoad++
+		}
+	}
+	if loadMul != 1 || madLoad != 8 {
+		t.Fatalf("got %d loadMul + %d madLoad, want 1 + 8", loadMul, madLoad)
+	}
+	if !vm.f32 {
+		t.Fatal("normalized 9-tap sum should qualify for the float32 instruction set")
+	}
+}
+
+// TestRowVMRegisterAllocation verifies the liveness allocator: a balanced
+// 16-leaf multiply tree (31 SSA values, no fusion opportunities) must run
+// in at most 6 live rows — the closure evaluator would use one pooled temp
+// per node.
+func TestRowVMRegisterAllocation(t *testing.T) {
+	src := NewBuffer(affine.Box{{Lo: 0, Hi: 19}, {Lo: 0, Hi: 39}})
+	FillPattern(src, 7)
+	x := expr.VarRef{Dim: 0, Name: "x"}
+	y := expr.VarRef{Dim: 1, Name: "y"}
+	var build func(lo, hi int) expr.Expr
+	build = func(lo, hi int) expr.Expr {
+		if lo == hi {
+			return expr.Access{Target: "g", Args: []expr.Expr{
+				x, expr.AddE(y, expr.C(float64(lo))),
+			}}
+		}
+		mid := (lo + hi) / 2
+		return expr.MulE(build(lo, mid), build(mid+1, hi))
+	}
+	e := build(0, 15)
+	vm := vmHarness(t, e, map[string]*Buffer{"g": src}, []int64{3, 2}, 16)
+	if len(vm.instrs) != 31 {
+		t.Fatalf("16-leaf tree compiled to %d instructions, want 31", len(vm.instrs))
+	}
+	if vm.nRegs > 6 {
+		t.Fatalf("16-leaf balanced tree uses %d registers, want <= 6", vm.nRegs)
+	}
+	if vm.nRegs < 2 {
+		t.Fatalf("register count %d implausibly low for a product tree", vm.nRegs)
+	}
+}
+
+// TestRowVMFallback pins the per-subtree escape hatch: a data-dependent
+// gather compiles to a fallback instruction (not an error, not a wrong
+// answer), and the rest of the expression still runs as bytecode.
+func TestRowVMFallback(t *testing.T) {
+	src := NewBuffer(affine.Box{{Lo: 0, Hi: 19}, {Lo: 0, Hi: 39}})
+	FillPattern(src, 9)
+	x := expr.VarRef{Dim: 0, Name: "x"}
+	y := expr.VarRef{Dim: 1, Name: "y"}
+	g := func(a, b expr.Expr) expr.Expr {
+		return expr.Access{Target: "g", Args: []expr.Expr{a, b}}
+	}
+	gather := g(x, expr.Cast{To: expr.Int, X: expr.MulE(g(x, y), expr.C(30))})
+	e := expr.AddE(expr.MulE(gather, expr.C(0.5)), g(x, y))
+	vm := vmHarness(t, e, map[string]*Buffer{"g": src}, []int64{3, 2}, 30)
+	if len(vm.falls) != 1 {
+		t.Fatalf("fallback count = %d, want 1", len(vm.falls))
+	}
+	if vm.f32 {
+		t.Fatal("a program with scalar fallbacks must not take the float32 path")
+	}
+	// A diagonal access g(y, y) varies two producer dims along the row:
+	// no single-stride row form exists, so it must also fall back.
+	diag := vmHarness(t, g(expr.Binary{Op: expr.FDiv, L: y, R: expr.C(4)}, y),
+		map[string]*Buffer{"g": src}, []int64{3, 2}, 18)
+	if len(diag.falls) != 1 {
+		t.Fatalf("diagonal access fallback count = %d, want 1", len(diag.falls))
+	}
+}
+
+// TestRowVMFloat32Gate pins the eligibility analysis for the float32
+// instruction set.
+func TestRowVMFloat32Gate(t *testing.T) {
+	src := NewBuffer(affine.Box{{Lo: 0, Hi: 19}, {Lo: 0, Hi: 39}})
+	FillPattern(src, 3)
+	bufs := map[string]*Buffer{"g": src}
+	x := expr.VarRef{Dim: 0, Name: "x"}
+	y := expr.VarRef{Dim: 1, Name: "y"}
+	g := func(dy float64) expr.Expr {
+		return expr.Access{Target: "g", Args: []expr.Expr{x, expr.AddE(y, expr.C(dy))}}
+	}
+	// Normalized blend, clamped: mass 1, fully in the f32 subset.
+	in := expr.MinE(expr.MaxE(expr.AddE(expr.MulE(expr.C(0.25), g(0)), expr.MulE(expr.C(0.75), g(1))), expr.C(0)), expr.C(1))
+	if vm := vmHarness(t, in, bufs, []int64{3, 2}, 30); !vm.f32 {
+		t.Fatal("normalized clamped blend should qualify for float32")
+	}
+	// Unnormalized 9x sum: mass 9 exceeds the gate (same policy as the
+	// stencil kernel's accumulation-width choice).
+	big := expr.AddE(expr.MulE(expr.C(4.5), g(0)), expr.MulE(expr.C(4.5), g(1)))
+	if vm := vmHarness(t, big, bufs, []int64{3, 2}, 30); vm.f32 {
+		t.Fatal("mass-9 sum must keep float64 accumulation")
+	}
+	// Transcendentals and loop-variable rows stay in float64.
+	if vm := vmHarness(t, expr.Unary{Op: expr.Exp, X: g(0)}, bufs, []int64{3, 2}, 30); vm.f32 {
+		t.Fatal("exp must disqualify the float32 path")
+	}
+	if vm := vmHarness(t, expr.AddE(y, g(0)), bufs, []int64{3, 2}, 30); vm.f32 {
+		t.Fatal("iota rows must disqualify the float32 path")
+	}
+	// Integer-semantics cast disqualifies; cast to Float is the identity.
+	if vm := vmHarness(t, expr.Cast{To: expr.Int, X: g(0)}, bufs, []int64{3, 2}, 30); vm.f32 {
+		t.Fatal("int cast must disqualify the float32 path")
+	}
+	if vm := vmHarness(t, expr.Cast{To: expr.Float, X: expr.MulE(expr.C(0.5), g(0))}, bufs, []int64{3, 2}, 30); !vm.f32 {
+		t.Fatal("float cast is the identity in float32 registers and should qualify")
+	}
+}
+
+// TestRowVMTempPoolShrink pins the pool-growth fix: a one-off oversized row
+// must not keep worker memory pinned once rows return to steady size, and
+// the gauges must track the release.
+func TestRowVMTempPoolShrink(t *testing.T) {
+	g := &poolGauges{}
+	p := &tempPool{size: 64, g: g}
+	p.get(100000)
+	p.getBool(100000)
+	p.reset() // oversized row is itself the high water: no shrink yet
+	if g.shrinks.Load() != 0 {
+		t.Fatal("shrink fired while the oversized row was still current")
+	}
+	p.get(100)
+	p.reset() // steady row is 100; 100000-length buffers now shrink away
+	if got := g.shrinks.Load(); got != 1 {
+		t.Fatalf("shrinks = %d, want 1", got)
+	}
+	if p.bufs[0] != nil || p.boolBufs[0] != nil {
+		t.Fatal("oversized buffers still pinned after shrink")
+	}
+	if got := g.bytes.Load(); got != 0 {
+		t.Fatalf("pinned bytes = %d after shrink, want 0", got)
+	}
+	if hw := g.hw.Load(); hw < 800000 {
+		t.Fatalf("high water = %d, want >= 800000", hw)
+	}
+	// The pool must still serve buffers correctly after shrinking.
+	b := p.get(200)
+	if len(b) != 200 {
+		t.Fatalf("post-shrink get returned len %d, want 200", len(b))
+	}
+	if got := g.bytes.Load(); got != 200*8 {
+		t.Fatalf("pinned bytes = %d after realloc, want %d", got, 200*8)
+	}
+}
+
+// TestRowVMEndToEnd compiles a small two-stage pipeline with and without
+// the VM and compares outputs, and checks that the lowering decisions are
+// visible in Program.Stats().
+func TestRowVMEndToEnd(t *testing.T) {
+	build := func() (*pipeline.Graph, map[string]*Buffer, map[string]int64) {
+		bl := dsl.NewBuilder()
+		R, C := bl.Param("R"), bl.Param("C")
+		I := bl.Image("I", expr.Float, R.Affine().AddConst(2), C.Affine().AddConst(2))
+		x, y := bl.Var("x"), bl.Var("y")
+		dom := []dsl.Interval{
+			dsl.Span(affine.Const(0), R.Affine().AddConst(1)),
+			dsl.Span(affine.Const(0), C.Affine().AddConst(1)),
+		}
+		inner := dsl.InBox([]*dsl.Variable{x, y}, []any{1, 1}, []any{dsl.Add(R, 0), dsl.Add(C, 0)})
+		// u: sqrt/abs keep matchStencil and matchCombination from claiming
+		// the stage, so it exercises the generic row evaluators.
+		u := bl.Func("u", expr.Float, []*dsl.Variable{x, y}, dom)
+		u.Define(dsl.Case{Cond: inner, E: dsl.Sqrt(dsl.Abs(dsl.Add(
+			dsl.Mul(0.25, I.At(x, dsl.Sub(y, 1))),
+			dsl.Add(dsl.Mul(0.5, I.At(x, y)), dsl.Mul(0.25, I.At(x, dsl.Add(y, 1)))))))})
+		// out: select-heavy stage over u.
+		out := bl.Func("out", expr.Float, []*dsl.Variable{x, y}, dom)
+		out.Define(dsl.Case{E: dsl.Sel(dsl.Cond(u.At(x, y), ">", 0.5),
+			dsl.Min(dsl.Mul(u.At(x, y), 2.0), 1.5),
+			dsl.Max(dsl.Sub(1.0, u.At(x, y)), 0.0))})
+		gph, err := pipeline.Build(bl, "out")
+		if err != nil {
+			t.Fatal(err)
+		}
+		params := map[string]int64{"R": 96, "C": 96}
+		in, err := NewBufferForDomain(I.Domain(), params)
+		if err != nil {
+			t.Fatal(err)
+		}
+		FillPattern(in, 19)
+		return gph, map[string]*Buffer{"I": in}, params
+	}
+	run := func(noVM bool) (*Buffer, *Program) {
+		gph, inputs, params := build()
+		gr, err := schedule.BuildGroups(gph, params, schedule.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		prog, err := Compile(gr, params, Options{Fast: true, Threads: 1, NoRowVM: noVM})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(prog.Close)
+		outs, err := prog.Run(inputs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return outs["out"], prog
+	}
+	vmOut, vmProg := run(false)
+	clOut, clProg := run(true)
+	if len(vmOut.Data) != len(clOut.Data) {
+		t.Fatalf("output sizes differ: %d vs %d", len(vmOut.Data), len(clOut.Data))
+	}
+	for i := range vmOut.Data {
+		a, b := float64(vmOut.Data[i]), float64(clOut.Data[i])
+		if d := math.Abs(a - b); d > 1e-5+1e-5*math.Abs(b) {
+			t.Fatalf("output[%d]: vm %v vs closure %v", i, a, b)
+		}
+	}
+	var vmPieces, vmInstrs, clRows int
+	for _, sm := range vmProg.Stats().Stages {
+		vmPieces += sm.RowVM
+		vmInstrs += sm.VMInstrs
+		if sm.RowVM > 0 && sm.VMRegs == 0 {
+			t.Fatalf("stage %s reports a VM piece with zero registers", sm.Name)
+		}
+	}
+	if vmPieces < 2 || vmInstrs == 0 {
+		t.Fatalf("expected >= 2 VM-lowered pieces with instructions, got %d pieces / %d instrs", vmPieces, vmInstrs)
+	}
+	for _, sm := range clProg.Stats().Stages {
+		clRows += sm.ClosureRow
+		if sm.RowVM != 0 {
+			t.Fatalf("NoRowVM program still lowered stage %s to the VM", sm.Name)
+		}
+	}
+	if clRows < 2 {
+		t.Fatalf("expected >= 2 closure-row pieces with NoRowVM, got %d", clRows)
+	}
+	// The executor snapshot must expose the temp-pool gauges.
+	snap := vmProg.Executor().Snapshot()
+	if snap.TempPools.VMRegBytes <= 0 {
+		t.Fatalf("VMRegBytes = %d, want > 0 after a VM run", snap.TempPools.VMRegBytes)
+	}
+	clSnap := clProg.Executor().Snapshot()
+	if clSnap.TempPools.Bytes <= 0 {
+		t.Fatalf("closure temp pool bytes = %d, want > 0", clSnap.TempPools.Bytes)
+	}
+}

@@ -78,6 +78,12 @@ type Prepared struct {
 
 // Prepare compiles the app under the variant's scheduling options.
 func Prepare(app *apps.App, v baseline.Variant, params map[string]int64, threads int, base schedule.Options, seed int64) (*Prepared, error) {
+	return PrepareEngine(app, v, params, threads, base, seed, nil)
+}
+
+// PrepareEngine is Prepare with a hook to adjust the final execution
+// options (e.g. toggling ExecOptions.NoRowVM for evaluator comparisons).
+func PrepareEngine(app *apps.App, v baseline.Variant, params map[string]int64, threads int, base schedule.Options, seed int64, mod func(*engine.Options)) (*Prepared, error) {
 	b, outs := app.Build()
 	inputs, err := app.Inputs(b, params, seed)
 	if err != nil {
@@ -91,7 +97,11 @@ func Prepare(app *apps.App, v baseline.Variant, params map[string]int64, threads
 	if err != nil {
 		return nil, err
 	}
-	prog, err := pl.Bind(params, v.EngineOptions(threads))
+	eo := v.EngineOptions(threads)
+	if mod != nil {
+		mod(&eo)
+	}
+	prog, err := pl.Bind(params, eo)
 	if err != nil {
 		return nil, err
 	}

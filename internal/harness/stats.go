@@ -64,6 +64,9 @@ func renderStats(w io.Writer, name string, cfg Config, snap obs.Snapshot, model 
 		snap.WallMillis(), snap.Workers.Workers, snap.Workers.Utilization*100)
 	fmt.Fprintf(w, "  arena    %d hits, %d misses, %d pooled (%.1f KB)\n",
 		snap.Arena.Hits, snap.Arena.Misses, snap.Arena.Pooled, float64(snap.Arena.PooledBytes)/1024.0)
+	fmt.Fprintf(w, "  pools    %.1f KB temp rows (high water %.1f KB, %d shrinks), %.1f KB VM registers\n",
+		float64(snap.TempPools.Bytes)/1024.0, float64(snap.TempPools.HighWaterBytes)/1024.0,
+		snap.TempPools.Shrinks, float64(snap.TempPools.VMRegBytes)/1024.0)
 	fmt.Fprintf(w, "  %-22s %10s %6s %8s %12s %10s\n", "stage", "kernel ms", "%", "tiles", "points", "recompute")
 	totalNanos := int64(0)
 	for _, st := range snap.Stages {
@@ -76,6 +79,29 @@ func renderStats(w io.Writer, name string, cfg Config, snap obs.Snapshot, model 
 		}
 		fmt.Fprintf(w, "  %-22s %10.2f %5.1f%% %8d %12d %9.1f%%\n",
 			st.Name, st.KernelMillis(), pct, st.Tiles, st.Points, 100*st.RecomputeFraction())
+	}
+	hasVM := false
+	for _, sm := range model.Stages {
+		if sm.RowVM > 0 {
+			hasVM = true
+			break
+		}
+	}
+	if hasVM {
+		fmt.Fprintf(w, "  %-22s %6s %7s %6s %6s %5s %5s %4s\n",
+			"row VM", "pieces", "instrs", "fused", "falls", "regs", "bools", "f32")
+		for _, sm := range model.Stages {
+			if sm.RowVM == 0 {
+				continue
+			}
+			f32 := "-"
+			if sm.VMF32 {
+				f32 = "yes"
+			}
+			fmt.Fprintf(w, "  %-22s %6d %7d %6d %6d %5d %5d %4s\n",
+				sm.Name, sm.RowVM, sm.VMInstrs, sm.VMFusedOps, sm.VMFallbacks,
+				sm.VMRegs, sm.VMBoolRegs, f32)
+		}
 	}
 	for i, g := range snap.Groups {
 		if len(g.Members) <= 1 {

@@ -45,4 +45,28 @@ type ProgramStats struct {
 	Bind Trace
 	// Groups lists the schedule model per group, in execution order.
 	Groups []GroupModel
+	// Stages lists per-stage lowering decisions — which evaluator each
+	// case piece compiled to and, for row-VM pieces, the instruction mix
+	// and register footprint. Filled for Fast-compiled programs.
+	Stages []StageModel
+}
+
+// StageModel describes how one stage's case pieces were lowered: the
+// kernel/evaluator chosen per piece and the row-VM program shape. The VM
+// counters aggregate over the stage's VM pieces.
+type StageModel struct {
+	Name string
+	// Evaluator selection, counted per case piece.
+	Stencil    int // specialized stencil kernel
+	Comb       int // pointwise combination kernel
+	RowVM      int // row bytecode VM
+	ClosureRow int // per-node closure row evaluator
+	Scalar     int // per-point scalar loop (predicated pieces, accumulators)
+	// Row-VM program shape (zero when RowVM == 0).
+	VMInstrs    int  // instructions across the stage's VM programs
+	VMFusedOps  int  // superinstructions emitted by the peephole pass
+	VMFallbacks int  // per-subtree scalar fallback instructions
+	VMRegs      int  // float row-register high-water mark (max over pieces)
+	VMBoolRegs  int  // bool row-register high-water mark
+	VMF32       bool // some piece qualifies for the float32 instruction set
 }

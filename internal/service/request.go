@@ -174,6 +174,10 @@ type ProgramMetrics struct {
 	Pipeline string       `json:"pipeline"`
 	Requests int64        `json:"requests"`
 	Snapshot obs.Snapshot `json:"snapshot"`
+	// Stages is the compile-time kernel/row-VM model per stage: which
+	// evaluator each piece lowered to, the VM instruction mix, fused-op
+	// counts and register high-water (obs.StageModel).
+	Stages []obs.StageModel `json:"stages,omitempty"`
 }
 
 // Metrics is the body of GET /metrics: service-level counters plus every

@@ -550,6 +550,7 @@ func (s *Service) Metrics() Metrics {
 			Pipeline: e.res.label,
 			Requests: n,
 			Snapshot: snap,
+			Stages:   e.res.prog.Stats().Stages,
 		})
 	}
 	m.Merged = obs.Merge(snaps...)
