@@ -778,12 +778,25 @@ func (vb *vmBuilder) finish(res int) *rowVM {
 	var freeF, freeB []int
 	nF, nB := 0, 0
 	for i, v := range vb.vals {
-		prev := -1
-		for _, o := range [3]int{v.a, v.b, v.m} {
-			if o < 0 || lastUse[o] != i || o == prev {
+		ops := [3]int{v.a, v.b, v.m}
+		for k, o := range ops {
+			if o < 0 || lastUse[o] != i {
 				continue
 			}
-			prev = o
+			// An instruction may name the same value in several operand
+			// slots (e.g. rMulAdd fused from x*y+x has a == m); free its
+			// register once, not per slot, or a later value would alias a
+			// still-live register.
+			dup := false
+			for _, p := range ops[:k] {
+				if p == o {
+					dup = true
+					break
+				}
+			}
+			if dup {
+				continue
+			}
 			if vb.vals[o].isBool {
 				freeB = append(freeB, reg[o])
 			} else {

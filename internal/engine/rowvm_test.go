@@ -132,6 +132,26 @@ func TestRowVMMatchesScalar(t *testing.T) {
 		expr.AddE(expr.MulE(expr.C(0.3), expr.Unary{Op: expr.Sqrt, X: expr.Unary{Op: expr.Abs, X: g(x, y)}}), g(x, expr.AddE(y, expr.C(1)))),
 		// General FMA shape: product of two non-literal rows plus a third.
 		expr.AddE(expr.MulE(g(x, y), g(x, expr.AddE(y, expr.C(1)))), g(x, expr.AddE(y, expr.C(2)))),
+		// mulAdd fused from a*b + a names the same value in two operand
+		// slots (a == m, with b between them); the allocator must free its
+		// register once. The trailing sqrt terms create register pressure
+		// so a double-free would hand the live mulAdd register to a later
+		// value and silently corrupt the result.
+		func() expr.Expr {
+			a := g(x, y)
+			b := g(x, expr.AddE(y, expr.C(1)))
+			ma := expr.AddE(expr.MulE(a, b), a)
+			press := expr.AddE(
+				expr.Unary{Op: expr.Sqrt, X: expr.Unary{Op: expr.Abs, X: g(x, expr.AddE(y, expr.C(2)))}},
+				expr.Unary{Op: expr.Sqrt, X: expr.Unary{Op: expr.Abs, X: g(x, expr.AddE(y, expr.C(3)))}},
+			)
+			return expr.AddE(ma, press)
+		}(),
+		// Degenerate shared operand: a*a + a puts one value in all three slots.
+		func() expr.Expr {
+			a := g(x, y)
+			return expr.AddE(expr.AddE(expr.MulE(a, a), a), expr.Unary{Op: expr.Sqrt, X: expr.Unary{Op: expr.Abs, X: g(x, expr.AddE(y, expr.C(1)))}})
+		}(),
 		// Shared subtree (DAG): value numbering must evaluate it once.
 		func() expr.Expr {
 			sh := expr.Unary{Op: expr.Sqrt, X: expr.AddE(expr.Unary{Op: expr.Abs, X: g(x, y)}, expr.C(1))}
