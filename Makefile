@@ -5,20 +5,21 @@ GO ?= go
 COVER_FLOOR_ENGINE   ?= 75.0
 COVER_FLOOR_SCHEDULE ?= 75.0
 
-.PHONY: all build test vet api race rowvm-race fuzz cover bench bench-kernels bench-json serve serve-smoke serve-http stats clean
+.PHONY: all build test vet api race rowvm-race fleet-race fuzz cover bench bench-kernels bench-json serve serve-smoke serve-http stats clean
 
 all: build test
 
 # `test` is tier 1 and includes the difftest seed corpus (TestSeedCorpus:
-# 200 random DAGs through the full 13-knob schedule/execution sweep, which
-# covers the row bytecode VM and the closure row evaluator), the
-# race-checked row-VM suite (rowvm-race), the serving-layer smoke test
+# 200 random DAGs through the full schedule/execution knob sweep, which
+# covers the row bytecode VM, the closure row evaluator and the concurrent
+# fleet knob), the race-checked row-VM suite (rowvm-race), the race-checked
+# shared-fleet scheduler stress (fleet-race), the serving-layer smoke test
 # (serve-smoke), plus `go vet` and the exported-API golden (TestAPIGolden
 # against api.txt).
 build:
 	$(GO) build ./...
 
-test: vet rowvm-race serve-smoke
+test: vet rowvm-race fleet-race serve-smoke
 	$(GO) test ./...
 
 # Race-checked run of the row bytecode VM suite (differential vs scalar,
@@ -26,6 +27,15 @@ test: vet rowvm-race serve-smoke
 # closure-vs-VM pipeline).
 rowvm-race:
 	$(GO) test -race -run TestRowVM ./internal/engine/
+
+# Race-checked saturation stress of the shared-fleet scheduler: concurrent
+# same-program runs, multi-program interleaving on shared workers,
+# Close-during-Run / Recycle-after-Close lifecycle, batching, and service
+# cache eviction under concurrent multi-program load. POLYMAGE_FLEET=4
+# forces a multi-worker fleet so the deque/steal/park paths are exercised
+# even on single-core CI machines.
+fleet-race:
+	POLYMAGE_FLEET=4 $(GO) test -race -run TestFleet ./internal/engine/ ./internal/service/ -count=1
 
 vet:
 	$(GO) vet ./...
@@ -45,11 +55,13 @@ api:
 
 # Race-checked run of the execution engine and the serving layer:
 # concurrent Program.Run stress (TestConcurrentRun), executor lifecycle
-# races (TestConcurrentRunRecycleClose), and concurrent cold-cache
-# compiles / warm hits / shutdown against the HTTP service
-# (TestConcurrentColdWarmShutdown). CI should run this target.
+# races (TestConcurrentRunRecycleClose), fleet scheduler stress
+# (TestFleet*), and concurrent cold-cache compiles / warm hits / shutdown
+# against the HTTP service (TestConcurrentColdWarmShutdown). CI should run
+# this target. POLYMAGE_FLEET=4 keeps the scheduler multi-worker on
+# single-core machines.
 race:
-	$(GO) test -race ./internal/engine/... ./internal/service/...
+	POLYMAGE_FLEET=4 $(GO) test -race ./internal/engine/... ./internal/service/...
 
 # Short coverage-guided differential fuzzing budget; use
 # `go test -fuzz=FuzzDiff -fuzztime=10m ./internal/difftest` (or
@@ -75,12 +87,16 @@ bench:
 bench-kernels:
 	$(GO) test -bench 'BenchmarkStencil|BenchmarkCombination|BenchmarkAccumulator|BenchmarkRepeatedRun' -benchmem -run '^$$' ./internal/engine/
 
-# Machine-readable benchmark record: per-app Table-2 wall clocks and the
-# row-evaluator microbenchmarks, each under the bytecode VM and the
-# closure rows. Compare two files with cmd/polymage-benchdiff.
+# Machine-readable benchmark records: per-app Table-2 wall clocks and the
+# row-evaluator microbenchmarks (BENCH_rowvm.json), plus the multi-program
+# saturation benchmark of the shared fleet scheduler vs the serialized
+# per-program baseline (BENCH_fleet.json). Compare two files with
+# cmd/polymage-benchdiff (use -max-regress to gate the geomean).
 bench-json:
 	$(GO) run ./cmd/polymage-bench -bench-json BENCH_rowvm.json -runs 5
 	@echo "wrote BENCH_rowvm.json"
+	$(GO) run ./cmd/polymage-bench -fleet-json BENCH_fleet.json -runs 5
+	@echo "wrote BENCH_fleet.json"
 
 serve:
 	$(GO) run ./cmd/polymage-bench -serve harris -requests 100

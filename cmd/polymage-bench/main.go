@@ -15,6 +15,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
@@ -39,22 +40,31 @@ func main() {
 	requests := flag.Int("requests", 100, "number of requests for -serve")
 	stats := flag.Bool("stats", false, "run every app with executor metrics on and print per-stage breakdowns")
 	benchJSON := flag.String("bench-json", "", "write machine-readable benchmarks (apps + row-evaluator micros, VM vs closure) to the given file ('-' = stdout)")
+	fleetJSON := flag.String("fleet-json", "", "write the multi-program saturation benchmark (shared fleet vs serialized per-program baseline) to the given file ('-' = stdout)")
 	seed := flag.Int64("seed", harness.DefaultSeed, "seed for synthetic benchmark inputs")
 	flag.Parse()
 
-	if *benchJSON != "" {
+	if *benchJSON != "" || *fleetJSON != "" {
 		cfg := harness.Config{Scale: *scale, Runs: *runs, Threads: *threads, Seed: *seed}
-		out := os.Stdout
-		if *benchJSON != "-" {
-			f, err := os.Create(*benchJSON)
-			if err != nil {
+		run := func(path string, f func(io.Writer, harness.Config) error) {
+			out := io.Writer(os.Stdout)
+			if path != "-" {
+				file, err := os.Create(path)
+				if err != nil {
+					fatal(err)
+				}
+				defer file.Close()
+				out = file
+			}
+			if err := f(out, cfg); err != nil {
 				fatal(err)
 			}
-			defer f.Close()
-			out = f
 		}
-		if err := harness.BenchJSON(out, cfg); err != nil {
-			fatal(err)
+		if *benchJSON != "" {
+			run(*benchJSON, harness.BenchJSON)
+		}
+		if *fleetJSON != "" {
+			run(*fleetJSON, harness.BenchFleetJSON)
 		}
 		return
 	}

@@ -1,18 +1,23 @@
 // polymage-benchdiff compares two benchmark JSON files produced by
-// `make bench-json` (harness.BenchJSON) and flags regressions: any
-// configuration whose wall clock grew by more than the threshold (default
-// 10%) fails the comparison and the process exits non-zero, so the perf
-// trajectory between two commits can gate CI.
+// `make bench-json` (harness.BenchJSON / harness.BenchFleetJSON) and flags
+// regressions: any configuration whose wall clock grew by more than the
+// threshold (default 10%) fails the comparison and the process exits
+// non-zero, so the perf trajectory between two commits can gate CI. The
+// summary line reports the geomean new/old ratio over all matched
+// configurations; -max-regress additionally fails the comparison when that
+// geomean slowdown exceeds the given fraction, gating aggregate drift that
+// stays under the per-configuration threshold.
 //
 // Usage:
 //
-//	polymage-benchdiff old.json new.json [-threshold 0.10]
+//	polymage-benchdiff old.json new.json [-threshold 0.10] [-max-regress 0.05]
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"math"
 	"os"
 
 	"repro/internal/harness"
@@ -20,8 +25,9 @@ import (
 
 func main() {
 	threshold := flag.Float64("threshold", 0.10, "relative slowdown that counts as a regression (0.10 = 10%)")
+	maxRegress := flag.Float64("max-regress", -1, "fail when the geomean slowdown over all matched configurations exceeds this fraction (negative = off)")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: polymage-benchdiff [-threshold 0.10] old.json new.json\n")
+		fmt.Fprintf(os.Stderr, "usage: polymage-benchdiff [-threshold 0.10] [-max-regress 0.05] old.json new.json\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -37,12 +43,23 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	regressions := diff(os.Stdout, oldBF, newBF, *threshold)
+	regressions, gm := diff(os.Stdout, oldBF, newBF, *threshold)
+	if gm > 0 {
+		fmt.Printf("\ngeomean new/old: %.3f (%+.1f%%)\n", gm, (gm-1)*100)
+	}
+	fail := false
 	if regressions > 0 {
-		fmt.Printf("\nFAIL: %d regression(s) beyond %.0f%%\n", regressions, *threshold*100)
+		fmt.Printf("FAIL: %d regression(s) beyond %.0f%%\n", regressions, *threshold*100)
+		fail = true
+	}
+	if *maxRegress >= 0 && gm > 1+*maxRegress {
+		fmt.Printf("FAIL: geomean slowdown %.1f%% beyond %.0f%%\n", (gm-1)*100, *maxRegress*100)
+		fail = true
+	}
+	if fail {
 		os.Exit(1)
 	}
-	fmt.Println("\nOK: no regressions beyond threshold")
+	fmt.Println("OK: no regressions beyond threshold")
 }
 
 func load(path string) (*harness.BenchFile, error) {
@@ -62,8 +79,10 @@ func load(path string) (*harness.BenchFile, error) {
 
 type key struct{ name, variant string }
 
-// diff prints a comparison table and returns the number of regressions.
-func diff(w *os.File, oldBF, newBF *harness.BenchFile, threshold float64) int {
+// diff prints a comparison table and returns the number of per-row
+// regressions plus the geomean new/old ratio over matched rows (0 when
+// nothing matched).
+func diff(w *os.File, oldBF, newBF *harness.BenchFile, threshold float64) (int, float64) {
 	oldMs := make(map[key]float64, len(oldBF.Results))
 	for _, r := range oldBF.Results {
 		oldMs[key{r.Name, r.Variant}] = r.Millis
@@ -71,6 +90,7 @@ func diff(w *os.File, oldBF, newBF *harness.BenchFile, threshold float64) int {
 	fmt.Fprintf(w, "%-24s %-6s %12s %12s %9s\n", "name", "var", "old ms", "new ms", "delta")
 	regressions := 0
 	matched := 0
+	logSum := 0.0
 	for _, r := range newBF.Results {
 		old, ok := oldMs[key{r.Name, r.Variant}]
 		if !ok {
@@ -81,6 +101,9 @@ func diff(w *os.File, oldBF, newBF *harness.BenchFile, threshold float64) int {
 		delta := 0.0
 		if old > 0 {
 			delta = (r.Millis - old) / old
+			if r.Millis > 0 {
+				logSum += math.Log(r.Millis / old)
+			}
 		}
 		mark := ""
 		if delta > threshold {
@@ -91,8 +114,9 @@ func diff(w *os.File, oldBF, newBF *harness.BenchFile, threshold float64) int {
 	}
 	if matched == 0 {
 		fmt.Fprintln(w, "warning: no overlapping configurations between the two files")
+		return regressions, 0
 	}
-	return regressions
+	return regressions, math.Exp(logSum / float64(matched))
 }
 
 func fatal(err error) {

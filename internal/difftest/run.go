@@ -3,6 +3,7 @@ package difftest
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"repro/internal/bounds"
 	"repro/internal/core"
@@ -36,11 +37,17 @@ type Knob struct {
 	// the per-node closure row evaluator: the sweep differentially tests
 	// both evaluators against the reference interpreter.
 	NoRowVM bool
+	// Concurrent runs the compiled program from this many goroutines at
+	// once through the shared fleet scheduler, ULP-comparing every
+	// result against the sequential reference — the differential gate for
+	// per-run state isolation (slot tables, liveness maps, scratchpads).
+	// 0 or 1 means the plain sequential two-pass check.
+	Concurrent int
 }
 
 func (k Knob) String() string {
-	return fmt.Sprintf("%s{tiles=%v fusion=%v inline=%v fast=%v threads=%d pool=%v tiling=%d vm=%v}",
-		k.Name, k.Tiles, !k.DisableFusion, !k.DisableInline, k.Fast, k.Threads, k.ReuseBuffers, k.Tiling, !k.NoRowVM)
+	return fmt.Sprintf("%s{tiles=%v fusion=%v inline=%v fast=%v threads=%d pool=%v tiling=%d vm=%v conc=%d}",
+		k.Name, k.Tiles, !k.DisableFusion, !k.DisableInline, k.Fast, k.Threads, k.ReuseBuffers, k.Tiling, !k.NoRowVM, k.Concurrent)
 }
 
 // schedOptions maps the knob to scheduling options scaled for the small
@@ -91,6 +98,7 @@ func DefaultKnobs() []Knob {
 		{Name: "split-fast", Tiles: []int64{16, 16}, Fast: true, Threads: 2, Tiling: engine.SplitTiling},
 		{Name: "fast-novm-seq", Tiles: []int64{8, 16}, Fast: true, Threads: 1, NoRowVM: true},
 		{Name: "fast-novm-par-pool", Tiles: []int64{16, 16}, Fast: true, Threads: 4, ReuseBuffers: true, NoRowVM: true},
+		{Name: "fleet-concurrent", Tiles: []int64{16, 16}, Fast: true, Threads: 4, ReuseBuffers: true, Concurrent: 4},
 	}
 }
 
@@ -205,6 +213,9 @@ func diffOne(sp PipelineSpec, k Knob, opts RunOptions, refB *built, ref map[stri
 		return fail("", fmt.Sprintf("bind: %v", err))
 	}
 	defer prog.Close()
+	if k.Concurrent > 1 {
+		return diffConcurrent(k, opts, prog, refB, ref, fail)
+	}
 	// Run twice through the persistent executor, recycling in between:
 	// the second run must see no stale scratchpad/arena state.
 	for pass := 0; pass < 2; pass++ {
@@ -224,6 +235,51 @@ func diffOne(sp PipelineSpec, k Knob, opts RunOptions, refB *built, ref map[stri
 		prog.Executor().Recycle(out)
 	}
 	return nil
+}
+
+// diffConcurrent runs the program from k.Concurrent goroutines at once
+// (two rounds each, recycling between rounds) and compares every result
+// against the sequential reference. All runs share the fleet scheduler, so
+// a slot table, liveness map or scratchpad shared across runs shows up as
+// a value mismatch here even when each run is individually correct.
+func diffConcurrent(k Knob, opts RunOptions, prog *engine.Program, refB *built, ref map[string]*engine.Buffer, fail func(output, detail string) *Mismatch) *Mismatch {
+	var mu sync.Mutex
+	var first *Mismatch
+	report := func(m *Mismatch) {
+		mu.Lock()
+		if first == nil {
+			first = m
+		}
+		mu.Unlock()
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < k.Concurrent; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for pass := 0; pass < 2; pass++ {
+				out, err := prog.Run(refB.Inputs)
+				if err != nil {
+					report(fail("", fmt.Sprintf("goroutine %d run %d: %v", g, pass, err)))
+					return
+				}
+				for _, lo := range refB.LiveOuts {
+					got, ok := out[lo]
+					if !ok || got == nil {
+						report(fail(lo, fmt.Sprintf("goroutine %d run %d: output missing", g, pass)))
+						return
+					}
+					if detail := Compare(got, ref[lo], opts.Atol, opts.MaxULP); detail != "" {
+						report(fail(lo, fmt.Sprintf("goroutine %d run %d: %s", g, pass, detail)))
+						return
+					}
+				}
+				prog.Executor().Recycle(out)
+			}
+		}(g)
+	}
+	wg.Wait()
+	return first
 }
 
 // Compare checks shape and value equality of two buffers; it returns ""

@@ -26,39 +26,32 @@ func (p *Program) Run(inputs map[string]*Buffer) (map[string]*Buffer, error) {
 	return p.Executor().Run(inputs)
 }
 
-func (e *Executor) runGroup(ge *groupExec, outputs map[string]*Buffer) error {
+func (e *Executor) runGroup(rc *runCtx, ge *groupExec, outputs map[string]*Buffer) error {
 	if len(ge.members) == 1 {
 		ls := ge.members[0]
 		switch {
 		case ls.isAcc:
-			return e.runAccumulator(ls, outputs[ls.name])
+			return e.runAccumulator(rc, ls, outputs[ls.name])
 		case ls.selfRef:
-			return e.runSelfRef(ls, outputs[ls.name])
+			return e.runSelfRef(rc, ls, outputs[ls.name])
 		default:
-			return e.runSingle(ls, outputs[ls.name])
+			return e.runSingle(rc, ls, outputs[ls.name])
 		}
 	}
 	switch e.p.Opts.Tiling {
 	case ParallelogramTiling:
-		return e.runParallelogram(ge, outputs)
+		return e.runParallelogram(rc, ge, outputs)
 	case SplitTiling:
-		return e.runSplit(ge, outputs)
+		return e.runSplit(rc, ge, outputs)
 	}
-	return e.runTiled(ge, outputs)
-}
-
-// bind refreshes a worker's slot table from the run's base buffers; called
-// at the start of every task because workers persist across groups (stale
-// scratch bindings from the previous group must not leak through).
-func (e *Executor) bind(w *worker) {
-	copy(w.ctx.bufs, e.base)
+	return e.runTiled(rc, ge, outputs)
 }
 
 // runSingle executes an untiled single-stage group: the stage's domain is
 // computed into its full buffer, parallelized by slicing the outermost
 // dimension with extent > 1 across workers (the paper's per-stage OpenMP
 // parallel loop for ungrouped stages).
-func (e *Executor) runSingle(ls *loweredStage, out *Buffer) error {
+func (e *Executor) runSingle(rc *runCtx, ls *loweredStage, out *Buffer) error {
 	if out == nil {
 		return fmt.Errorf("engine: no output buffer for %s", ls.name)
 	}
@@ -84,8 +77,8 @@ func (e *Executor) runSingle(ls *loweredStage, out *Buffer) error {
 		}
 	}
 	var next atomic.Int64
-	return e.parallel(threads, func(w *worker, fe *firstErr) {
-		e.bind(w)
+	return e.parallel(rc, threads, func(w *worker, fe *firstErr) {
+		rc.bind(w)
 		if threads <= 1 {
 			e.p.computeStageObs(w, ls, ls.dom, out, 0, 0)
 			return
@@ -120,7 +113,7 @@ func cloneBoxInto(dst, src affine.Box) affine.Box {
 // independent (the halo is recomputed), so they are distributed over the
 // worker pool as a bag of tasks; intermediates live in per-worker
 // scratchpads that are reused across tiles, groups and runs (Section 3.6).
-func (e *Executor) runTiled(ge *groupExec, outputs map[string]*Buffer) error {
+func (e *Executor) runTiled(rc *runCtx, ge *groupExec, outputs map[string]*Buffer) error {
 	tp := ge.tp
 	numTiles := tp.NumTiles()
 	threads := e.threads
@@ -128,8 +121,8 @@ func (e *Executor) runTiled(ge *groupExec, outputs map[string]*Buffer) error {
 		threads = int(numTiles)
 	}
 	var next atomic.Int64
-	return e.parallel(threads, func(w *worker, fe *firstErr) {
-		e.bind(w)
+	return e.parallel(rc, threads, func(w *worker, fe *firstErr) {
+		rc.bind(w)
 		w.tileIdx = growI64(w.tileIdx, len(tp.TileCounts))
 		idx := w.tileIdx
 		for {
@@ -416,12 +409,12 @@ func (p *Program) scalarLoop(w *worker, piece *loweredPiece, r affine.Box, out *
 
 // runSelfRef executes a self-referencing (time-iterated) stage in
 // lexicographic order, which respects the dependence on earlier values.
-func (e *Executor) runSelfRef(ls *loweredStage, out *Buffer) error {
+func (e *Executor) runSelfRef(rc *runCtx, ls *loweredStage, out *Buffer) error {
 	if out == nil {
 		return fmt.Errorf("engine: no output buffer for %s", ls.name)
 	}
-	w := e.seq
-	e.bind(w)
+	w := rc.w
+	rc.bind(w)
 	w.ctx.bufs[ls.slot] = out
 	if w.shard != nil {
 		t0 := obs.Now()
@@ -478,7 +471,7 @@ func (e *Executor) selfRefLoop(w *worker, ls *loweredStage, out *Buffer) {
 // copies merged at the end (the histogram parallelization the paper's
 // OpenMP code uses); otherwise the sweep is sequential. The private copies
 // come from the arena, so repeated runs reuse their storage.
-func (e *Executor) runAccumulator(ls *loweredStage, out *Buffer) error {
+func (e *Executor) runAccumulator(rc *runCtx, ls *loweredStage, out *Buffer) error {
 	if out == nil {
 		return fmt.Errorf("engine: no output buffer for %s", ls.name)
 	}
@@ -492,16 +485,16 @@ func (e *Executor) runAccumulator(ls *loweredStage, out *Buffer) error {
 	split := 0
 	parallel := threads > 1 && out.Len() <= 1<<22 && len(red) > 0 && red[split].Size() >= int64(threads)
 	if !parallel {
-		w := e.seq
-		e.bind(w)
+		w := rc.w
+		rc.bind(w)
 		p.accumulateStage(w, ls, red, out)
 		return nil
 	}
 	parts := make([]*Buffer, threads)
 	n := red[split].Size()
 	var nextPart atomic.Int64
-	err := e.parallel(threads, func(w *worker, fe *firstErr) {
-		e.bind(w)
+	err := e.parallel(rc, threads, func(w *worker, fe *firstErr) {
+		rc.bind(w)
 		for {
 			t := nextPart.Add(1) - 1
 			if t >= int64(threads) || fe.isSet() {

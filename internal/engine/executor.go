@@ -9,13 +9,21 @@ import (
 	"repro/internal/obs"
 )
 
+// extShards is the number of metric shards reserved for run-context
+// (caller-side) workers on top of the fleet workers' shards. Run contexts
+// beyond extShards share shards round-robin; shard counters are atomic
+// adds, so sharing is safe — at worst two very concurrent callers contend
+// on one cache line.
+const extShards = 4
+
 // Executor is the persistent execution runtime attached to a compiled
-// Program. Where the per-call execution path forked a fresh goroutine set
-// and re-allocated worker state for every group, the Executor owns
+// Program. It owns
 //
-//   - one long-lived worker pool: goroutines parked on a task channel,
-//     each with a worker whose RowCtx, scratchpads, temp pools and memo
-//     tables persist across groups and across Run calls, and
+//   - the program's slice of the process-wide worker fleet: per-fleet-worker
+//     evaluation state (RowCtx, scratchpads, temp pools, memo tables, metric
+//     shards) materialized lazily and reused across groups and Run calls —
+//     the fleet's goroutines themselves are shared by every program in the
+//     process (see fleet.go), and
 //   - a cross-run buffer arena (size-class best-fit) from which all full
 //     buffers are drawn: intermediates return to it automatically at the
 //     end of their liveness, outputs when the caller hands them back via
@@ -26,25 +34,24 @@ import (
 // serving workload needs.
 //
 // Thread-safety contract: Run may be called concurrently from any number
-// of goroutines; calls serialize on an internal mutex, so exactly one
-// pipeline execution is in flight at a time and each execution uses the
-// full worker pool. Output buffers returned by Run are owned by the caller
-// and are never reused by the Executor until (and unless) returned with
-// Recycle; Recycle and ArenaStats are safe to call concurrently with Run.
-// Close releases the pool's goroutines; a closed Executor rejects further
-// Run calls.
+// of goroutines and calls do NOT serialize — each run carries its own slot
+// table, liveness map and caller-side worker (a runCtx), and its parallel
+// sections feed the shared fleet, so several runs of one program make
+// progress together on an idle machine. Output buffers returned by Run are
+// owned by the caller and are never reused by the Executor until (and
+// unless) returned with Recycle; Recycle, Snapshot and ArenaStats are safe
+// to call concurrently with Run. Close marks the executor closed (further
+// Run calls fail with ErrClosed) and waits for every in-flight run to
+// drain before returning.
 type Executor struct {
 	p       *Program
-	threads int
-
-	// runMu serializes Run calls: the worker pool, slot table and live map
-	// below are reused across runs and belong to the run in flight.
-	runMu sync.Mutex
+	fleet   *fleet
+	threads int // effective parallelism: min(Opts.Threads or GOMAXPROCS, fleet size)
 
 	arena arena
 
 	// pools aggregates temp-pool and row-VM register occupancy across all
-	// workers (sequential + pool); shared by reference so Snapshot never
+	// workers (fleet + run contexts); shared by reference so Snapshot never
 	// walks per-worker state.
 	pools poolGauges
 
@@ -53,23 +60,49 @@ type Executor struct {
 	// hot path is a single nil check.
 	rec *obs.Recorder
 
-	// The pool starts lazily on the first parallel section (a Threads: 1
-	// program never spawns a goroutine).
-	startOnce sync.Once
-	tasks     chan task
-	quit      chan struct{}
-	seq       *worker // worker for sequential paths, reused across runs
+	// fws holds this program's per-fleet-worker evaluation state, indexed
+	// by fleet worker id. Slot i is only ever touched by fleet goroutine i
+	// (stolen stubs still execute on the thief's own goroutine against the
+	// thief's slot), so access needs no locks.
+	fws []*worker
 
-	closed atomic.Bool
+	// Lifecycle: Run registers with inflight under stateMu; Close flips
+	// closed and waits on drained until inflight hits zero. closed is
+	// additionally an atomic so Recycle stays lock-free.
+	stateMu  sync.Mutex
+	drained  *sync.Cond
+	inflight int
+	closed   atomic.Bool
 
-	// Per-run state reused across Run calls (guarded by runMu).
+	// Free list of run contexts (slot table + liveness map + caller-side
+	// worker), so steady-state runs reuse their per-run state.
+	rcMu   sync.Mutex
+	rcFree []*runCtx
+	rcSeq  int
+}
+
+// runCtx is the per-run execution state that used to live on the Executor
+// (guarded by the removed runMu): the slot table the run's workers bind
+// their buffer views from, the pooled-execution liveness map, and the
+// calling goroutine's own worker — used for sequential sections and for
+// the caller's participation in parallel ones.
+type runCtx struct {
 	base []*Buffer
 	live map[string]*Buffer
+	w    *worker
+}
+
+// bind refreshes a worker's slot table from this run's base buffers;
+// called at the start of every task because fleet workers hop between
+// groups, runs and programs (stale bindings must not leak through).
+func (rc *runCtx) bind(w *worker) {
+	copy(w.ctx.bufs, rc.base)
 }
 
 // worker wraps the per-goroutine evaluation state. Workers are persistent:
 // scratch buffers, temp pools, memo tables and the small per-task slices
-// below survive across groups and across Run calls.
+// below survive across groups, runs and (for fleet workers) programs'
+// idle periods.
 type worker struct {
 	ctx     RowCtx
 	scratch map[string]*Buffer
@@ -88,8 +121,9 @@ type worker struct {
 	statBox affine.Box
 }
 
-// task is one unit of pool work: fn pulls work items from a shared atomic
-// counter until none remain, reporting failures through err.
+// task is one unit of fleet work: fn pulls work items from a shared atomic
+// counter until none remain, reporting failures through err and counting
+// down the section's barrier through wg.
 type task struct {
 	fn  func(*worker, *firstErr)
 	wg  *sync.WaitGroup
@@ -104,7 +138,7 @@ func (t task) run(w *worker) {
 	}
 	defer func() {
 		// Debug-mode access checks panic with context; surface them as
-		// errors rather than crashing the worker pool.
+		// errors rather than crashing the fleet worker.
 		if r := recover(); r != nil {
 			t.err.set(fmt.Errorf("engine: %v", r))
 		}
@@ -132,17 +166,29 @@ func (f *firstErr) get() error {
 func (f *firstErr) isSet() bool { return f.p.Load() != nil }
 
 func newExecutor(p *Program) *Executor {
+	f := p.Opts.fleet
+	if f == nil {
+		f = defaultFleet()
+	}
+	t := p.Opts.threads()
+	if t > f.size {
+		// The fleet is the machine: a per-program Threads option larger
+		// than it would only oversubscribe, so it is clamped here and the
+		// effective value reported via Snapshot().Workers.
+		t = f.size
+	}
 	e := &Executor{
 		p:       p,
-		threads: p.Opts.threads(),
-		base:    make([]*Buffer, p.slotCount),
-		live:    make(map[string]*Buffer),
+		fleet:   f,
+		threads: t,
+		fws:     make([]*worker, f.size),
 	}
+	e.drained = sync.NewCond(&e.stateMu)
 	if p.Opts.Metrics {
-		// Shard 0 belongs to the sequential worker, 1..threads to the pool.
-		e.rec = obs.NewRecorder(p.stageNames, p.groupNames, e.threads+1)
+		// Shards 0..fleet-1 belong to the fleet workers, the rest to run
+		// contexts (round-robin beyond extShards).
+		e.rec = obs.NewRecorder(p.stageNames, p.groupNames, f.size+extShards)
 	}
-	e.seq = e.newWorker(0)
 	return e
 }
 
@@ -153,8 +199,8 @@ func (p *Program) Executor() *Executor {
 	return p.exec
 }
 
-// Close releases the Program's executor (parked worker goroutines and
-// recycled buffers). The Program must not be run afterwards.
+// Close releases the Program's executor (drains in-flight runs and rejects
+// new ones). The Program must not be run afterwards.
 func (p *Program) Close() { p.Executor().Close() }
 
 func (e *Executor) newWorker(shard int) *worker {
@@ -171,68 +217,108 @@ func (e *Executor) newWorker(shard int) *worker {
 	return w
 }
 
-// start spawns the pool goroutines, once.
-func (e *Executor) start() {
-	e.startOnce.Do(func() {
-		e.tasks = make(chan task, e.threads)
-		e.quit = make(chan struct{})
-		for i := 0; i < e.threads; i++ {
-			go e.workerLoop(e.newWorker(i + 1))
-		}
-	})
+// workerFor returns this program's evaluation state for fleet worker i,
+// creating it on first use. Only fleet goroutine i ever calls workerFor(i)
+// on any executor, so the slot needs no synchronization.
+func (e *Executor) workerFor(i int) *worker {
+	if w := e.fws[i]; w != nil {
+		return w
+	}
+	w := e.newWorker(i)
+	e.fws[i] = w
+	return w
 }
 
-func (e *Executor) workerLoop(w *worker) {
-	for {
-		select {
-		case t := <-e.tasks:
-			t.run(w)
-		case <-e.quit:
-			return
-		}
+// acquireRun checks a run context out of the free list (or builds one).
+func (e *Executor) acquireRun() *runCtx {
+	e.rcMu.Lock()
+	if n := len(e.rcFree); n > 0 {
+		rc := e.rcFree[n-1]
+		e.rcFree[n-1] = nil
+		e.rcFree = e.rcFree[:n-1]
+		e.rcMu.Unlock()
+		return rc
+	}
+	seq := e.rcSeq
+	e.rcSeq++
+	e.rcMu.Unlock()
+	return &runCtx{
+		base: make([]*Buffer, e.p.slotCount),
+		live: make(map[string]*Buffer),
+		w:    e.newWorker(e.fleet.size + seq%extShards),
 	}
 }
 
-// parallel runs fn on up to n pool workers and waits for all of them; fn
-// must pull its work from a shared counter so any subset of workers can
-// drain it. With n ≤ 1 fn runs inline on the sequential worker.
-func (e *Executor) parallel(n int, fn func(*worker, *firstErr)) error {
+func (e *Executor) releaseRun(rc *runCtx) {
+	for i := range rc.base {
+		rc.base[i] = nil
+	}
+	clear(rc.live)
+	e.rcMu.Lock()
+	e.rcFree = append(e.rcFree, rc)
+	e.rcMu.Unlock()
+}
+
+// parallel runs fn on up to n workers and waits for all of them; fn must
+// pull its work from a shared counter so any subset of workers can drain
+// it. The calling goroutine always participates with the run's own worker;
+// the other n-1 stubs are submitted to the shared fleet, where any fleet
+// worker — busy or not with other programs — may pick them up. The
+// WaitGroup is this section's private countdown: no other run, and no
+// other section of this run, is waited on. With n ≤ 1 fn runs inline.
+func (e *Executor) parallel(rc *runCtx, n int, fn func(*worker, *firstErr)) error {
 	if n > e.threads {
 		n = e.threads
 	}
 	var fe firstErr
 	var wg sync.WaitGroup
+	t := task{fn: fn, wg: &wg, err: &fe}
 	if n <= 1 {
 		wg.Add(1)
-		task{fn: fn, wg: &wg, err: &fe}.run(e.seq)
+		t.run(rc.w)
 		return fe.get()
 	}
-	e.start()
-	for i := 0; i < n; i++ {
-		wg.Add(1)
-		e.tasks <- task{fn: fn, wg: &wg, err: &fe}
-	}
+	wg.Add(n)
+	e.fleet.submit(e, t, n-1)
+	t.run(rc.w)
 	wg.Wait()
 	return fe.get()
 }
 
-// Close stops the worker goroutines and rejects further Run calls. Safe to
-// call more than once and concurrently with Run (it waits for the run in
-// flight to finish).
+// Close marks the executor closed and waits for in-flight runs to drain:
+// a Run that began before Close completes normally (Close returns only
+// after it has), a Run that begins after fails deterministically with
+// ErrClosed. Safe to call more than once and concurrently with Run. The
+// fleet's goroutines are process-wide and are not stopped; this program's
+// per-worker state simply becomes garbage with the executor.
 func (e *Executor) Close() {
-	if e.closed.Swap(true) {
-		return
+	e.stateMu.Lock()
+	e.closed.Store(true)
+	for e.inflight > 0 {
+		e.drained.Wait()
 	}
-	e.runMu.Lock()
-	defer e.runMu.Unlock()
-	started := false
-	e.startOnce.Do(func() {}) // poison: no pool may start after Close
-	if e.quit != nil {
-		started = true
+	e.stateMu.Unlock()
+}
+
+// beginRun registers a run for the Close drain; it fails once Close has
+// been observed, so closed executors reject work deterministically.
+func (e *Executor) beginRun() error {
+	e.stateMu.Lock()
+	defer e.stateMu.Unlock()
+	if e.closed.Load() {
+		return fmt.Errorf("engine: Run on closed executor: %w", ErrClosed)
 	}
-	if started {
-		close(e.quit)
+	e.inflight++
+	return nil
+}
+
+func (e *Executor) endRun() {
+	e.stateMu.Lock()
+	e.inflight--
+	if e.inflight == 0 {
+		e.drained.Broadcast()
 	}
+	e.stateMu.Unlock()
 }
 
 // Recycle returns output buffers from a previous Run to the executor's
@@ -266,10 +352,12 @@ func (e *Executor) ArenaStats() (hits, misses int64) { return e.arena.stats() }
 
 // Snapshot returns a consistent merged view of the executor's metrics:
 // per-stage kernel time/points/recomputation, per-group tiles against the
-// tile plan, worker-pool utilization and the buffer arena. Arena counters
-// are always present; the rest requires the program to have been compiled
-// with Options.Metrics (Snapshot.Enabled reports which). Safe to call
-// concurrently with Run — totals grow monotonically between calls.
+// tile plan, worker utilization and the buffer arena. Arena counters are
+// always present; the rest requires the program to have been compiled
+// with Options.Metrics (Snapshot.Enabled reports which). Workers reports
+// the program's effective parallelism (its Threads option clamped to the
+// fleet) and Fleet the process-wide fleet size. Safe to call concurrently
+// with Run — totals grow monotonically between calls.
 func (e *Executor) Snapshot() obs.Snapshot {
 	snap := e.rec.Snapshot() // nil-safe: zero snapshot with Enabled=false
 	hits, misses, pooled, pooledBytes := e.arena.gauge()
@@ -285,6 +373,7 @@ func (e *Executor) Snapshot() obs.Snapshot {
 		return snap
 	}
 	snap.Workers.Workers = e.threads
+	snap.Workers.Fleet = e.fleet.size
 	if snap.WallNanos > 0 && e.threads > 0 {
 		snap.Workers.Utilization = float64(snap.Workers.BusyNanos) / (float64(snap.WallNanos) * float64(e.threads))
 	}
@@ -300,18 +389,21 @@ func (e *Executor) Snapshot() obs.Snapshot {
 }
 
 // Run executes the compiled pipeline on the given input images; see
-// Program.Run for the output contract.
+// Program.Run for the output contract. Concurrent calls proceed together:
+// each run owns a private run context and its tile tasks interleave with
+// every other in-flight run's on the shared fleet.
 func (e *Executor) Run(inputs map[string]*Buffer) (map[string]*Buffer, error) {
-	e.runMu.Lock()
-	defer e.runMu.Unlock()
-	if e.closed.Load() {
-		return nil, fmt.Errorf("engine: Run on closed executor: %w", ErrClosed)
+	if err := e.beginRun(); err != nil {
+		return nil, err
 	}
+	defer e.endRun()
+	rc := e.acquireRun()
+	defer e.releaseRun(rc)
 	if e.rec == nil {
-		return e.runLocked(inputs)
+		return e.run(rc, inputs)
 	}
 	t0 := obs.Now()
-	out, err := e.runLocked(inputs)
+	out, err := e.run(rc, inputs)
 	if err == nil {
 		// Failed runs (input validation, mid-run errors) are not counted:
 		// Snapshot.Runs × per-run totals must stay a meaningful average.
@@ -320,10 +412,56 @@ func (e *Executor) Run(inputs map[string]*Buffer) (map[string]*Buffer, error) {
 	return out, err
 }
 
-// runLocked is Run's body; the caller holds runMu and has checked closed.
-func (e *Executor) runLocked(inputs map[string]*Buffer) (map[string]*Buffer, error) {
+// RunBatch executes several input sets through the shared fleet in one
+// call and returns their outputs in order. Members run concurrently: each
+// gets its own run context, and because every member's tile tasks feed the
+// same fleet, one member's per-group barrier stall is filled with another
+// member's tiles — the same-program batching that amortizes group setup
+// idle time across queued requests. On error the successful members'
+// outputs are recycled and only the first error is returned.
+func (e *Executor) RunBatch(inputs []map[string]*Buffer) ([]map[string]*Buffer, error) {
+	outs := make([]map[string]*Buffer, len(inputs))
+	if len(inputs) == 0 {
+		return outs, nil
+	}
+	if len(inputs) == 1 {
+		out, err := e.Run(inputs[0])
+		if err != nil {
+			return nil, err
+		}
+		outs[0] = out
+		return outs, nil
+	}
+	var fe firstErr
+	var wg sync.WaitGroup
+	for i := range inputs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			out, err := e.Run(inputs[i])
+			if err != nil {
+				fe.set(err)
+				return
+			}
+			outs[i] = out
+		}(i)
+	}
+	wg.Wait()
+	if err := fe.get(); err != nil {
+		for _, out := range outs {
+			if out != nil {
+				e.Recycle(out)
+			}
+		}
+		return nil, err
+	}
+	return outs, nil
+}
+
+// run is Run's body; the caller has registered the run and owns rc.
+func (e *Executor) run(rc *runCtx, inputs map[string]*Buffer) (map[string]*Buffer, error) {
 	p := e.p
-	base := e.base
+	base := rc.base
 	for i := range base {
 		base[i] = nil
 	}
@@ -347,7 +485,7 @@ func (e *Executor) runLocked(inputs map[string]*Buffer) (map[string]*Buffer, err
 		base[p.slots[name]] = buf
 	}
 	if p.Opts.ReuseBuffers {
-		return e.runPooled()
+		return e.runPooled(rc)
 	}
 	outputs := make(map[string]*Buffer, len(p.fullStages))
 	for _, name := range p.fullStages {
@@ -357,7 +495,7 @@ func (e *Executor) runLocked(inputs map[string]*Buffer) (map[string]*Buffer, err
 		base[ls.slot] = buf
 	}
 	for _, ge := range p.groups {
-		if err := e.runGroup(ge, outputs); err != nil {
+		if err := e.runGroup(rc, ge, outputs); err != nil {
 			return nil, err
 		}
 	}
@@ -369,10 +507,10 @@ func (e *Executor) runLocked(inputs map[string]*Buffer) (map[string]*Buffer, err
 // group executes (the allocation/release schedule is precomputed at
 // compile time), so across runs the steady state allocates nothing but the
 // returned output map.
-func (e *Executor) runPooled() (map[string]*Buffer, error) {
+func (e *Executor) runPooled(rc *runCtx) (map[string]*Buffer, error) {
 	p := e.p
 	outputs := make(map[string]*Buffer, len(p.Graph.LiveOuts))
-	live := e.live
+	live := rc.live
 	clear(live)
 	for _, ge := range p.groups {
 		for _, ls := range ge.allocs {
@@ -381,19 +519,19 @@ func (e *Executor) runPooled() (map[string]*Buffer, error) {
 			}
 			buf := e.arena.get(ls.dom)
 			live[ls.name] = buf
-			e.base[ls.slot] = buf
+			rc.base[ls.slot] = buf
 			if p.isOutput[ls.name] {
 				outputs[ls.name] = buf
 			}
 		}
-		if err := e.runGroup(ge, live); err != nil {
+		if err := e.runGroup(rc, ge, live); err != nil {
 			return nil, err
 		}
 		for _, ls := range ge.releases {
 			if buf := live[ls.name]; buf != nil {
 				e.arena.put(buf)
 				delete(live, ls.name)
-				e.base[ls.slot] = nil
+				rc.base[ls.slot] = nil
 			}
 		}
 	}

@@ -39,7 +39,7 @@ const (
 )
 
 // runParallelogram executes a fused group with parallelogram tiling.
-func (e *Executor) runParallelogram(ge *groupExec, outputs map[string]*Buffer) error {
+func (e *Executor) runParallelogram(rc *runCtx, ge *groupExec, outputs map[string]*Buffer) error {
 	p := e.p
 	// Restrict to one tiled dimension: keep the outermost tiled dim of the
 	// overlapped plan, untile the rest (the skewed-prefix trimming is
@@ -63,8 +63,8 @@ func (e *Executor) runParallelogram(ge *groupExec, outputs map[string]*Buffer) e
 		tiledDim = 0
 	}
 
-	w := e.seq
-	e.bind(w)
+	w := rc.w
+	rc.bind(w)
 
 	// Full buffers for every member; live-outs use the allocated outputs,
 	// intermediates come from the arena and recycle after the group.

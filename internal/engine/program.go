@@ -55,6 +55,12 @@ type Options struct {
 	// register-allocated fused programs cut per-row dispatch and memory
 	// traffic (see rowvm.go).
 	NoRowVM bool
+
+	// fleet overrides the process-wide scheduler this program's executor
+	// attaches to. Test hook only: lets scheduler tests build a private
+	// multi-worker fleet without touching the process singleton (whose size
+	// tracks the machine).
+	fleet *fleet
 }
 
 func (o Options) threads() int {

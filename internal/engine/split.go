@@ -2,6 +2,7 @@ package engine
 
 import (
 	"sort"
+	"sync/atomic"
 
 	"repro/internal/affine"
 	"repro/internal/schedule"
@@ -25,7 +26,7 @@ import (
 
 // runSplit executes a fused group with split tiling along its outermost
 // tiled dimension.
-func (e *Executor) runSplit(ge *groupExec, outputs map[string]*Buffer) error {
+func (e *Executor) runSplit(rc *runCtx, ge *groupExec, outputs map[string]*Buffer) error {
 	p := e.p
 	// Single tiled dimension, as for parallelogram tiling.
 	grp := *ge.grp
@@ -89,8 +90,8 @@ func (e *Executor) runSplit(ge *groupExec, outputs map[string]*Buffer) error {
 		}
 	}
 
-	w := e.seq
-	e.bind(w)
+	w := rc.w
+	rc.bind(w)
 	for _, ls := range ge.members {
 		w.ctx.bufs[ls.slot] = full[ls.name]
 	}
@@ -176,7 +177,7 @@ func (e *Executor) runSplit(ge *groupExec, outputs map[string]*Buffer) error {
 			}
 			region := total[ls.name].Clone()
 			region[td] = r
-			p.SplitStats.Phase1 += region.Size()
+			atomic.AddInt64(&p.SplitStats.Phase1, region.Size())
 			p.computeStageObs(w, ls, region, full[ls.name], 0, 0)
 			phase1[ls.name] = append(phase1[ls.name], r)
 		}
@@ -192,7 +193,7 @@ func (e *Executor) runSplit(ge *groupExec, outputs map[string]*Buffer) error {
 		for _, gap := range intervalGaps(total[ls.name][td], phase1[ls.name]) {
 			region := total[ls.name].Clone()
 			region[td] = gap
-			p.SplitStats.Phase2 += region.Size()
+			atomic.AddInt64(&p.SplitStats.Phase2, region.Size())
 			p.computeStageObs(w, ls, region, full[ls.name], 0, 0)
 		}
 	}

@@ -1,0 +1,154 @@
+package harness
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"repro/internal/apps"
+	"repro/internal/baseline"
+	"repro/internal/schedule"
+)
+
+// Multi-program saturation benchmark (make bench-json -> BENCH_fleet.json):
+// M cached programs served to K concurrent clients, measured twice —
+// "serial" emulates the pre-fleet executor (a per-program mutex around Run,
+// the runMu serialization every program used to carry) and "fleet" runs the
+// same load through the shared work-stealing scheduler with concurrent
+// runs. The serial emulation is conservative: the old design additionally
+// oversubscribed the machine with one goroutine pool per program, which the
+// emulation does not reproduce, so measured speedups are a floor. Aggregate
+// speedups scale with core count; on a single-core machine both sides are
+// compute-bound on the same CPU and the ratios sit near 1.
+
+// fleetSaturationClients and fleetSaturationPrograms define the saturation
+// point of the ISSUE's acceptance target: 8 concurrent clients spread over
+// 4 cached programs.
+const (
+	fleetSaturationClients  = 8
+	fleetSaturationPrograms = 4
+)
+
+// BenchFleetJSON measures the multi-program saturation scenario and the
+// same-program scaling scenario and writes a BenchFile JSON to w.
+func BenchFleetJSON(w io.Writer, cfg Config) error {
+	threads := effThreads(cfg.Threads)
+	bf := &BenchFile{
+		Schema:    BenchSchema,
+		Timestamp: time.Now().UTC().Format(time.RFC3339),
+		Scale:     cfg.Scale,
+		Runs:      cfg.Runs,
+	}
+	v, err := baseline.Get("opt+vec")
+	if err != nil {
+		return err
+	}
+	all := apps.All()
+	if len(all) > fleetSaturationPrograms {
+		all = all[:fleetSaturationPrograms]
+	}
+	preps := make([]*Prepared, len(all))
+	for i, app := range all {
+		params := ScaledParams(app, cfg.Scale)
+		p, err := PrepareEngine(app, v, params, threads, schedule.DefaultOptions(), cfg.Seed, nil)
+		if err != nil {
+			return fmt.Errorf("%s: %w", app.Name, err)
+		}
+		defer p.Close()
+		// One warm-up run per program so arenas and scratchpads are hot on
+		// both sides of the comparison.
+		out, err := p.Prog.Run(p.Inputs)
+		if err != nil {
+			return fmt.Errorf("%s: %w", app.Name, err)
+		}
+		p.Prog.Executor().Recycle(out)
+		preps[i] = p
+	}
+
+	perClient := cfg.Runs
+	if perClient < 2 {
+		perClient = 2
+	}
+
+	satName := fmt.Sprintf("fleet-saturation-%dx%d", fleetSaturationClients, len(preps))
+	serialMs, err := fleetLoad(preps, fleetSaturationClients, perClient, true)
+	if err != nil {
+		return err
+	}
+	fleetMs, err := fleetLoad(preps, fleetSaturationClients, perClient, false)
+	if err != nil {
+		return err
+	}
+	bf.Results = append(bf.Results,
+		BenchResult{Name: satName, Kind: "fleet", Variant: "serial", Millis: serialMs, Threads: threads},
+		BenchResult{Name: satName, Kind: "fleet", Variant: "fleet", Millis: fleetMs, Threads: threads})
+	if fleetMs > 0 {
+		bf.Summary.FleetSaturationSpeedup = serialMs / fleetMs
+	}
+
+	one := preps[:1]
+	oneMs, err := fleetLoad(one, 1, perClient*2, false)
+	if err != nil {
+		return err
+	}
+	twoMs, err := fleetLoad(one, 2, perClient, false)
+	if err != nil {
+		return err
+	}
+	bf.Results = append(bf.Results,
+		BenchResult{Name: "fleet-sameprog-1client", Kind: "fleet", Variant: "fleet", Millis: oneMs, Threads: threads},
+		BenchResult{Name: "fleet-sameprog-2client", Kind: "fleet", Variant: "fleet", Millis: twoMs, Threads: threads})
+	if twoMs > 0 {
+		bf.Summary.FleetSameProgramScaling = oneMs / twoMs
+	}
+
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(bf)
+}
+
+// fleetLoad runs clients goroutines, each issuing perClient requests
+// round-robin over the prepared programs, and returns the aggregate wall
+// time per request in milliseconds. With serialize set, each program's
+// runs are wrapped in a per-program mutex — the pre-fleet executor's runMu
+// behaviour — so the same load measures the old serialization cost.
+func fleetLoad(preps []*Prepared, clients, perClient int, serialize bool) (float64, error) {
+	mus := make([]sync.Mutex, len(preps))
+	var wg sync.WaitGroup
+	errCh := make(chan error, clients)
+	start := time.Now()
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for k := 0; k < perClient; k++ {
+				i := (c + k) % len(preps)
+				p := preps[i]
+				if serialize {
+					mus[i].Lock()
+				}
+				out, err := p.Prog.Run(p.Inputs)
+				if err == nil {
+					p.Prog.Executor().Recycle(out)
+				}
+				if serialize {
+					mus[i].Unlock()
+				}
+				if err != nil {
+					errCh <- fmt.Errorf("%s: %w", p.App.Name, err)
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+	close(errCh)
+	for err := range errCh {
+		return 0, err
+	}
+	total := clients * perClient
+	return float64(wall.Microseconds()) / float64(total) / 1000.0, nil
+}

@@ -52,6 +52,19 @@ type BenchSummary struct {
 	AppWorstRatio float64 `json:"app_worst_ratio"`
 	// MicroSpeedup maps microbenchmark name to novm/vm.
 	MicroSpeedup map[string]float64 `json:"micro_speedup"`
+
+	// Fleet summary (files written by BenchFleetJSON only).
+	//
+	// FleetSaturationSpeedup is serial/fleet aggregate ms-per-request at
+	// the saturation point (8 clients × 4 programs): > 1 means the shared
+	// fleet beats the serialized per-program baseline by that factor. The
+	// achievable value is bounded by the core count — on a 1-core machine
+	// it hovers near 1 because both sides are compute-bound on one CPU.
+	FleetSaturationSpeedup float64 `json:"fleet_saturation_speedup,omitempty"`
+	// FleetSameProgramScaling is 1-client/2-client ms-per-request on one
+	// program: > 1 means two concurrent runs of the same program no
+	// longer serialize (again bounded by available cores).
+	FleetSameProgramScaling float64 `json:"fleet_sameprog_scaling,omitempty"`
 }
 
 // BenchFile is the root JSON document.

@@ -2,6 +2,7 @@ package harness
 
 import (
 	"bytes"
+	"fmt"
 	"strings"
 	"testing"
 
@@ -127,8 +128,11 @@ func TestCSVOutputs(t *testing.T) {
 		t.Fatal(err)
 	}
 	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
-	if lines[0] != "app,tile0,tile1,othresh,ms_1core,ms_2core" {
-		t.Errorf("csv header = %q", lines[0])
+	// The n-core column reflects the effective thread count, which is the
+	// configured count clamped to GOMAXPROCS (so ms_1core on a 1-core box).
+	wantHeader := fmt.Sprintf("app,tile0,tile1,othresh,ms_1core,ms_%dcore", effThreads(tinyConfig().Threads))
+	if lines[0] != wantHeader {
+		t.Errorf("csv header = %q, want %q", lines[0], wantHeader)
 	}
 	if len(lines) != 1+3*space.Size() {
 		t.Errorf("csv rows = %d, want %d", len(lines)-1, 3*space.Size())

@@ -159,9 +159,14 @@ func Figure9(w io.Writer, cfg Config, space autotune.Space) error {
 	return nil
 }
 
+// effThreads resolves a configured thread count to the effective one: 0
+// means GOMAXPROCS, and explicit values are clamped to GOMAXPROCS — the
+// shared fleet is machine-sized, so asking for more only misreports the
+// measurement's parallelism.
 func effThreads(t int) int {
-	if t > 0 {
-		return t
+	max := defaultThreads()
+	if t <= 0 || t > max {
+		return max
 	}
-	return defaultThreads()
+	return t
 }

@@ -45,14 +45,20 @@ type GroupStats struct {
 	OverlapRatio []float64
 }
 
-// WorkerStats reports worker-pool usage.
+// WorkerStats reports worker usage.
 type WorkerStats struct {
-	// Workers is the pool size (excluding the sequential fallback worker).
+	// Workers is the program's effective parallelism: its Threads option
+	// clamped to the shared fleet's size (a program cannot use more workers
+	// than the process has).
 	Workers int
-	// BusyNanos is the total time workers spent executing tasks.
+	// Fleet is the size of the process-wide shared worker fleet all
+	// programs' parallel sections feed (GOMAXPROCS at first use).
+	Fleet int
+	// BusyNanos is the total time workers spent executing this program's
+	// tasks (fleet workers and run-context callers combined).
 	BusyNanos int64
 	// Utilization is BusyNanos / (wall · Workers): the fraction of the
-	// pool's capacity spent doing work during measured runs.
+	// program's parallel capacity spent doing work during measured runs.
 	Utilization float64
 }
 

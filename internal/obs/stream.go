@@ -68,6 +68,11 @@ func Merge(snaps ...Snapshot) Snapshot {
 		out.Groups = append(out.Groups, s.Groups...)
 		out.Workers.Workers += s.Workers.Workers
 		out.Workers.BusyNanos += s.Workers.BusyNanos
+		// The fleet is process-wide and shared, so merging takes the max
+		// rather than summing per-program views of the same worker set.
+		if s.Workers.Fleet > out.Workers.Fleet {
+			out.Workers.Fleet = s.Workers.Fleet
+		}
 		out.Arena.Hits += s.Arena.Hits
 		out.Arena.Misses += s.Arena.Misses
 		out.Arena.Pooled += s.Arena.Pooled

@@ -40,8 +40,9 @@ const defaultSeed = 42
 // serving-appropriate default.
 type Config struct {
 	// MaxInFlight bounds concurrently executing requests (0 =
-	// GOMAXPROCS). Each program's executor serializes its own runs, so
-	// this mostly bounds cross-program concurrency and compiles.
+	// GOMAXPROCS). Executors run concurrent requests through the shared
+	// process-wide worker fleet, so this bounds memory (live run contexts
+	// and buffers) rather than CPU oversubscription.
 	MaxInFlight int
 	// MaxQueue bounds requests waiting for an execution slot (0 = default
 	// 64, negative = no queue: reject immediately when saturated).
@@ -59,7 +60,8 @@ type Config struct {
 	// MaxBodyBytes caps /run request bodies (default 64 MiB).
 	MaxBodyBytes int64
 	// Threads is the default per-program worker count (0 = GOMAXPROCS);
-	// requests may override it.
+	// requests may override it. Values above GOMAXPROCS are clamped — the
+	// shared fleet never runs more workers than the machine has cores.
 	Threads int
 	// DisableSpecs rejects inline-spec requests (403), leaving only the
 	// registered apps callable.
@@ -90,6 +92,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxBodyBytes <= 0 {
 		c.MaxBodyBytes = 64 << 20
+	}
+	if max := runtime.GOMAXPROCS(0); c.Threads > max {
+		c.Threads = max
 	}
 	return c
 }
@@ -192,6 +197,11 @@ func (s *Service) Do(ctx context.Context, req *RunRequest) (resp *RunResponse, e
 	}
 	if eo.Threads == 0 {
 		eo.Threads = s.cfg.Threads
+	}
+	if max := runtime.GOMAXPROCS(0); eo.Threads > max {
+		// Clamp before the cache key is built so "Threads: 64" and
+		// "Threads: 128" on a 8-core box share one compiled program.
+		eo.Threads = max
 	}
 	key := req.cacheKey(eo, req.Tiles)
 	e, cached, cerr := s.cache.acquire(ctx, key, func() (compiled, error) {

@@ -449,3 +449,81 @@ func TestLRUEviction(t *testing.T) {
 		t.Fatal("evicted program reported as cached")
 	}
 }
+
+// TestFleetServiceEvictionUnderLoad: refcounted LRU eviction while many
+// goroutines hammer the service across more programs than the cache holds.
+// With MaxPrograms below the working set every other request churns the
+// cache, so evictions constantly race in-flight runs of the evicted
+// programs — the refcount must keep each program alive until its last
+// user finishes, and every response must stay correct (run with -race).
+func TestFleetServiceEvictionUnderLoad(t *testing.T) {
+	const (
+		programs  = 4
+		clients   = 8
+		perClient = 8
+	)
+	svc := New(Config{MaxPrograms: 2, MaxInFlight: clients, MaxQueue: -1})
+	defer svc.Close(context.Background())
+
+	specs := make([]*difftest.PipelineSpec, programs)
+	want := make([]string, programs)
+	ctx := context.Background()
+	for i := range specs {
+		specs[i] = testSpec()
+		specs[i].Seed = int64(100 + i)
+		resp, err := svc.Do(ctx, &RunRequest{Spec: specs[i]})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, o := range resp.Outputs {
+			want[i] = o.Checksum
+		}
+		if want[i] == "" {
+			t.Fatalf("spec %d: no output checksum", i)
+		}
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, clients)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for k := 0; k < perClient; k++ {
+				i := (c + k) % programs
+				resp, err := svc.Do(ctx, &RunRequest{Spec: specs[i]})
+				if err != nil {
+					errs <- fmt.Errorf("client %d spec %d: %v", c, i, err)
+					return
+				}
+				for _, o := range resp.Outputs {
+					if o.Checksum != want[i] {
+						errs <- fmt.Errorf("client %d spec %d: checksum %s, want %s", c, i, o.Checksum, want[i])
+						return
+					}
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	met := svc.Metrics()
+	if met.Evictions == 0 {
+		t.Fatal("working set of 4 programs in a 2-slot cache produced no evictions")
+	}
+	// Eviction runs at insert time, so over-capacity entries parked by
+	// referenced-at-eviction races linger until the next miss; one more
+	// fresh compile must bring the cache back within bounds.
+	fresh := testSpec()
+	fresh.Seed = 999
+	if _, err := svc.Do(ctx, &RunRequest{Spec: fresh}); err != nil {
+		t.Fatal(err)
+	}
+	if got := svc.cache.len(); got > 2 {
+		t.Fatalf("cache holds %d entries after idle insert, capacity 2", got)
+	}
+}
