@@ -4,8 +4,10 @@ GO ?= go
 # differential and golden oracle suites add cross-package coverage on top).
 COVER_FLOOR_ENGINE   ?= 75.0
 COVER_FLOOR_SCHEDULE ?= 75.0
+COVER_FLOOR_SERVICE  ?= 80.0
+COVER_FLOOR_DIFFTEST ?= 80.0
 
-.PHONY: all build test vet api race rowvm-race fleet-race fuzz cover bench bench-kernels bench-json serve serve-smoke serve-http stats clean
+.PHONY: all build test vet api race rowvm-race fleet-race stream-race fuzz cover bench bench-kernels bench-json serve serve-smoke serve-http stats clean
 
 all: build test
 
@@ -19,7 +21,7 @@ all: build test
 build:
 	$(GO) build ./...
 
-test: vet rowvm-race fleet-race serve-smoke
+test: vet rowvm-race fleet-race stream-race serve-smoke
 	$(GO) test ./...
 
 # Race-checked run of the row bytecode VM suite (differential vs scalar,
@@ -36,6 +38,13 @@ rowvm-race:
 # even on single-core CI machines.
 fleet-race:
 	POLYMAGE_FLEET=4 $(GO) test -race -run TestFleet ./internal/engine/ ./internal/service/ -count=1
+
+# Race-checked run of the streaming / dirty-rectangle suite: frame
+# sequences with feedback, partial-recompute correctness against
+# whole-frame execution, stream-vs-Close lifecycle, mid-stream deadline
+# abandonment and the ndjson serving surface.
+stream-race:
+	POLYMAGE_FLEET=4 $(GO) test -race -run TestStream ./internal/engine/ ./internal/service/ -count=1
 
 vet:
 	$(GO) vet ./...
@@ -69,13 +78,16 @@ race:
 fuzz:
 	$(GO) test -fuzz=FuzzDiff -fuzztime=20s ./internal/difftest
 
-# Per-package coverage with checked-in floors for the two packages most
-# exposed to silent miscompiles.
+# Per-package coverage with checked-in floors for the packages most
+# exposed to silent miscompiles (engine, schedule), the serving surface
+# and the differential oracle itself.
 cover:
-	@$(GO) test -cover ./internal/engine/ ./internal/schedule/ | tee /tmp/polymage-cover.txt
+	@$(GO) test -cover ./internal/engine/ ./internal/schedule/ ./internal/service/ ./internal/difftest/ | tee /tmp/polymage-cover.txt
 	@awk -v floor=$(COVER_FLOOR_ENGINE) '/internal\/engine/ { for (i=1;i<=NF;i++) if ($$i ~ /%/) { sub("%","",$$i); if ($$i+0 < floor) { printf "FAIL: internal/engine coverage %s%% below floor %s%%\n", $$i, floor; exit 1 } } }' /tmp/polymage-cover.txt
 	@awk -v floor=$(COVER_FLOOR_SCHEDULE) '/internal\/schedule/ { for (i=1;i<=NF;i++) if ($$i ~ /%/) { sub("%","",$$i); if ($$i+0 < floor) { printf "FAIL: internal/schedule coverage %s%% below floor %s%%\n", $$i, floor; exit 1 } } }' /tmp/polymage-cover.txt
-	@echo "coverage floors met (engine >= $(COVER_FLOOR_ENGINE)%, schedule >= $(COVER_FLOOR_SCHEDULE)%)"
+	@awk -v floor=$(COVER_FLOOR_SERVICE) '/internal\/service/ { for (i=1;i<=NF;i++) if ($$i ~ /%/) { sub("%","",$$i); if ($$i+0 < floor) { printf "FAIL: internal/service coverage %s%% below floor %s%%\n", $$i, floor; exit 1 } } }' /tmp/polymage-cover.txt
+	@awk -v floor=$(COVER_FLOOR_DIFFTEST) '/internal\/difftest/ { for (i=1;i<=NF;i++) if ($$i ~ /%/) { sub("%","",$$i); if ($$i+0 < floor) { printf "FAIL: internal/difftest coverage %s%% below floor %s%%\n", $$i, floor; exit 1 } } }' /tmp/polymage-cover.txt
+	@echo "coverage floors met (engine >= $(COVER_FLOOR_ENGINE)%, schedule >= $(COVER_FLOOR_SCHEDULE)%, service >= $(COVER_FLOOR_SERVICE)%, difftest >= $(COVER_FLOOR_DIFFTEST)%)"
 
 # Paper tables/figures benchmarks (scaled down; POLYMAGE_BENCH_SCALE=1 for
 # paper-sized inputs).
@@ -97,6 +109,8 @@ bench-json:
 	@echo "wrote BENCH_rowvm.json"
 	$(GO) run ./cmd/polymage-bench -fleet-json BENCH_fleet.json -runs 5
 	@echo "wrote BENCH_fleet.json"
+	$(GO) run ./cmd/polymage-bench -stream-json BENCH_stream.json -runs 5
+	@echo "wrote BENCH_stream.json"
 
 serve:
 	$(GO) run ./cmd/polymage-bench -serve harris -requests 100

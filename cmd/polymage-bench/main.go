@@ -41,10 +41,11 @@ func main() {
 	stats := flag.Bool("stats", false, "run every app with executor metrics on and print per-stage breakdowns")
 	benchJSON := flag.String("bench-json", "", "write machine-readable benchmarks (apps + row-evaluator micros, VM vs closure) to the given file ('-' = stdout)")
 	fleetJSON := flag.String("fleet-json", "", "write the multi-program saturation benchmark (shared fleet vs serialized per-program baseline) to the given file ('-' = stdout)")
+	streamJSON := flag.String("stream-json", "", "write the streaming dirty-rectangle benchmark (whole-frame vs ROI partial recompute) to the given file ('-' = stdout)")
 	seed := flag.Int64("seed", harness.DefaultSeed, "seed for synthetic benchmark inputs")
 	flag.Parse()
 
-	if *benchJSON != "" || *fleetJSON != "" {
+	if *benchJSON != "" || *fleetJSON != "" || *streamJSON != "" {
 		cfg := harness.Config{Scale: *scale, Runs: *runs, Threads: *threads, Seed: *seed}
 		run := func(path string, f func(io.Writer, harness.Config) error) {
 			out := io.Writer(os.Stdout)
@@ -65,6 +66,9 @@ func main() {
 		}
 		if *fleetJSON != "" {
 			run(*fleetJSON, harness.BenchFleetJSON)
+		}
+		if *streamJSON != "" {
+			run(*streamJSON, harness.BenchStreamJSON)
 		}
 		return
 	}

@@ -1,0 +1,89 @@
+// Exponential motion blur — the streaming counterpart of the heat
+// example's time-iterated pattern: instead of iterating time inside one
+// pipeline, each video frame runs the pipeline once and an input image is
+// fed back from the previous frame's output (Executor.NewStream with
+// StreamOptions.Feedback). The accumulator
+//
+//	trail(x,y) = 0.25·frame(x,y) + 0.75·trail_prev(x,y)
+//
+// is an exponential moving average over the frame sequence: a bright dot
+// moving across the field leaves a decaying trail behind it.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	polymage "repro"
+)
+
+const (
+	size   = 96
+	frames = 10
+)
+
+func main() {
+	b := polymage.NewBuilder()
+	N := b.Param("N")
+	frame := b.Image("frame", polymage.Float, N.Affine(), N.Affine())
+	prev := b.Image("prev", polymage.Float, N.Affine(), N.Affine())
+	x, y := b.Var("x"), b.Var("y")
+	dom := []polymage.Interval{
+		polymage.Span(polymage.ConstExpr(0), N.Affine().AddConst(-1)),
+		polymage.Span(polymage.ConstExpr(0), N.Affine().AddConst(-1)),
+	}
+	// The feedback stage's domain equals the prev image's, as
+	// StreamOptions.Feedback requires.
+	trail := b.Func("trail", polymage.Float, []*polymage.Variable{x, y}, dom)
+	trail.Define(polymage.Case{E: polymage.Add(
+		polymage.MulE(0.25, frame.At(x, y)),
+		polymage.MulE(0.75, prev.At(x, y)))})
+
+	params := map[string]int64{"N": size}
+	pl, err := polymage.Compile(b, []string{"trail"}, polymage.Options{Estimates: params})
+	if err != nil {
+		log.Fatal(err)
+	}
+	prog, err := pl.Bind(params, polymage.ExecOptions{Fast: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer prog.Close()
+
+	box := polymage.Box{{Lo: 0, Hi: size - 1}, {Lo: 0, Hi: size - 1}}
+	cur := polymage.NewBuffer(box)  // this frame's image
+	seed := polymage.NewBuffer(box) // frame 0's (all-zero) trail state
+
+	// Each frame moves a bright dot one step along the diagonal; the
+	// stream feeds trail back into prev automatically after frame 0.
+	cur.Set(1, 8, 8) // frame 0's dot
+	seq := make([]polymage.Frame, frames)
+	for f := range seq {
+		seq[f] = polymage.Frame{Inputs: map[string]*polymage.Buffer{"frame": cur, "prev": seed}}
+	}
+	fmt.Printf("%d frames of a dot moving along the diagonal:\n", frames)
+	err = prog.Executor().RunFrames(seq, polymage.StreamOptions{Feedback: map[string]string{"prev": "trail"}},
+		func(f int, out map[string]*polymage.Buffer) error {
+			// The stream owns out; read what we need now. Sample the trail
+			// at the dot's current and first positions: the head is bright,
+			// the tail decays by 0.75 per frame behind it.
+			tr := out["trail"]
+			pos := int64(8 + 8*f)
+			head := tr.Data[pos*size+pos]
+			tail := tr.Data[8*size+8]
+			fmt.Printf("  frame %d: dot at (%d,%d)  head %.4f  tail@(8,8) %.4f\n", f, pos, pos, head, tail)
+
+			// Prepare the next frame's image: move the dot.
+			for i := range cur.Data {
+				cur.Data[i] = 0
+			}
+			next := int64(8 + 8*(f+1))
+			if next < size {
+				cur.Set(1, next, next)
+			}
+			return nil
+		})
+	if err != nil {
+		log.Fatal(err)
+	}
+}

@@ -263,3 +263,65 @@ func TestSpecLiteralRoundTrips(t *testing.T) {
 		t.Errorf("literal contains raw kind value: %s", lit)
 	}
 }
+
+// streamKnobs returns the streaming subset of the default sweep (the
+// frame-sequence knob and the dirty-rectangle knob).
+func streamKnobs(t *testing.T) []Knob {
+	t.Helper()
+	var out []Knob
+	for _, k := range DefaultKnobs() {
+		if k.Frames > 1 {
+			out = append(out, k)
+		}
+	}
+	if len(out) != 2 {
+		t.Fatalf("default sweep has %d streaming knobs, want 2", len(out))
+	}
+	return out
+}
+
+// TestStreamKnobsMutationCaught: a perturbed kernel must be caught by the
+// streaming knobs alone — every frame of the sequence is ULP-diffed
+// against the whole-frame reference, so a divergence in either the
+// recomputed or the copied region surfaces.
+func TestStreamKnobsMutationCaught(t *testing.T) {
+	opts := RunOptions{Knobs: streamKnobs(t), Perturb: true}
+	for _, seed := range []int64{3, 159} {
+		sp := Generate(seed)
+		sp.Stages[len(sp.Stages)/2].Perturb = true
+		m, err := Diff(sp, opts)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if m == nil {
+			t.Fatalf("seed %d: perturbed kernel not caught by the streaming knobs", seed)
+		}
+		if m.Knob.Frames <= 1 {
+			t.Fatalf("seed %d: mismatch reported under non-streaming knob %s", seed, m.Knob)
+		}
+	}
+}
+
+// TestKnobLiteralPreservesStreaming: repros of streamed findings must pin
+// the frame count and ROI flag so replays take the same path.
+func TestKnobLiteralPreservesStreaming(t *testing.T) {
+	ks := streamKnobs(t)
+	roiKnob := ks[1]
+	lit := KnobLiteral(roiKnob)
+	for _, frag := range []string{"Frames: 3", "ROI: true", "Fast: true", "Threads: 2"} {
+		if !strings.Contains(lit, frag) {
+			t.Errorf("KnobLiteral missing %q: %s", frag, lit)
+		}
+	}
+	m := &Mismatch{Spec: Generate(7), Knob: roiKnob, Output: "s0", Detail: "synthetic"}
+	snip := GoSnippet(m)
+	for _, frag := range []string{"Frames: 3", "ROI: true", "difftest.RunOptions{Knobs: []difftest.Knob{"} {
+		if !strings.Contains(snip, frag) {
+			t.Errorf("GoSnippet missing %q:\n%s", frag, snip)
+		}
+	}
+	// The frames-only knob must not render ROI.
+	if lit := KnobLiteral(ks[0]); strings.Contains(lit, "ROI") {
+		t.Errorf("frames knob literal should not mention ROI: %s", lit)
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"math"
 	"sync"
 
+	"repro/internal/affine"
 	"repro/internal/bounds"
 	"repro/internal/core"
 	"repro/internal/engine"
@@ -43,11 +44,26 @@ type Knob struct {
 	// per-run state isolation (slot tables, liveness maps, scratchpads).
 	// 0 or 1 means the plain sequential two-pass check.
 	Concurrent int
+	// Frames > 1 streams the program over a frame sequence through a frame
+	// stream (buffers, scratchpads and arena state retained frame to
+	// frame), mutating the inputs between frames and ULP-comparing every
+	// frame against an independent whole-graph reference execution on that
+	// frame's inputs. 0 or 1 means a single-shot run.
+	Frames int
+	// ROI confines the between-frame input mutation to a centered dirty
+	// rectangle and passes that rectangle to the stream, so frames after
+	// the first exercise the dirty-tile decision and the clean-tile copies
+	// from the previous frame's retained buffers. Requires Frames > 1.
+	ROI bool
 }
 
 func (k Knob) String() string {
-	return fmt.Sprintf("%s{tiles=%v fusion=%v inline=%v fast=%v threads=%d pool=%v tiling=%d vm=%v conc=%d}",
+	s := fmt.Sprintf("%s{tiles=%v fusion=%v inline=%v fast=%v threads=%d pool=%v tiling=%d vm=%v conc=%d",
 		k.Name, k.Tiles, !k.DisableFusion, !k.DisableInline, k.Fast, k.Threads, k.ReuseBuffers, k.Tiling, !k.NoRowVM, k.Concurrent)
+	if k.Frames > 1 {
+		s += fmt.Sprintf(" frames=%d roi=%v", k.Frames, k.ROI)
+	}
+	return s + "}"
 }
 
 // schedOptions maps the knob to scheduling options scaled for the small
@@ -99,6 +115,8 @@ func DefaultKnobs() []Knob {
 		{Name: "fast-novm-seq", Tiles: []int64{8, 16}, Fast: true, Threads: 1, NoRowVM: true},
 		{Name: "fast-novm-par-pool", Tiles: []int64{16, 16}, Fast: true, Threads: 4, ReuseBuffers: true, NoRowVM: true},
 		{Name: "fleet-concurrent", Tiles: []int64{16, 16}, Fast: true, Threads: 4, ReuseBuffers: true, Concurrent: 4},
+		{Name: "frames-stream", Tiles: []int64{16, 16}, Fast: true, Threads: 4, Frames: 3},
+		{Name: "roi-dirty", Tiles: []int64{8, 8}, Fast: true, Threads: 2, Frames: 3, ROI: true},
 	}
 }
 
@@ -213,6 +231,9 @@ func diffOne(sp PipelineSpec, k Knob, opts RunOptions, refB *built, ref map[stri
 		return fail("", fmt.Sprintf("bind: %v", err))
 	}
 	defer prog.Close()
+	if k.Frames > 1 {
+		return diffFrames(sp, k, opts, prog, refB, fail)
+	}
 	if k.Concurrent > 1 {
 		return diffConcurrent(k, opts, prog, refB, ref, fail)
 	}
@@ -235,6 +256,117 @@ func diffOne(sp PipelineSpec, k Knob, opts RunOptions, refB *built, ref map[stri
 		prog.Executor().Recycle(out)
 	}
 	return nil
+}
+
+// cloneBuffer deep-copies a buffer (the frame sweep mutates inputs between
+// frames and must not touch the spec's shared originals).
+func cloneBuffer(src *engine.Buffer) *engine.Buffer {
+	out := &engine.Buffer{}
+	out.Reset(src.Box)
+	copy(out.Data, src.Data)
+	return out
+}
+
+// centerRect returns the rectangle covering the middle half of each
+// dimension of box — the dirty region the ROI knob confines its
+// between-frame mutations to.
+func centerRect(box affine.Box) affine.Box {
+	r := make(affine.Box, len(box))
+	for d, rg := range box {
+		ext := rg.Size()
+		lo := rg.Lo + ext/4
+		hi := lo + ext/2 - 1
+		if hi < lo {
+			hi = lo
+		}
+		if hi > rg.Hi {
+			hi = rg.Hi
+		}
+		r[d] = affine.Range{Lo: lo, Hi: hi}
+	}
+	return r
+}
+
+// diffFrames streams the program over k.Frames frames, mutating the inputs
+// between frames — inside a centered dirty rectangle (passed to the stream
+// as the ROI) when k.ROI is set, everywhere otherwise — and comparing every
+// frame's live-outs against an independent whole-graph reference execution
+// on that frame's exact inputs. Frame-to-frame buffer retention, the
+// per-tile dirty decision and the clean-tile copies from the previous
+// frame's buffers are all under test.
+func diffFrames(sp PipelineSpec, k Knob, opts RunOptions, prog *engine.Program, refB *built, fail func(output, detail string) *Mismatch) *Mismatch {
+	s, err := prog.Executor().NewStream(engine.StreamOptions{})
+	if err != nil {
+		return fail("", fmt.Sprintf("stream: %v", err))
+	}
+	defer s.Close()
+	names := make([]string, 0, len(refB.Inputs))
+	for name := range refB.Inputs {
+		names = append(names, name)
+	}
+	sortNames(names)
+	cur := make(map[string]*engine.Buffer, len(refB.Inputs))
+	for _, name := range names {
+		cur[name] = cloneBuffer(refB.Inputs[name])
+	}
+	var roi affine.Box
+	if k.ROI {
+		roi = centerRect(cur[names[0]].Box)
+	}
+	for f := 0; f < k.Frames; f++ {
+		var frameROI affine.Box
+		if f > 0 {
+			seed := sp.Seed*1009 + int64(f)*37
+			if k.ROI {
+				// Refresh only the rectangle: the dirty-rect contract is
+				// that everything outside it is unchanged since the
+				// previous frame.
+				for i, name := range names {
+					b := cur[name]
+					if len(b.Box) != len(roi) {
+						continue
+					}
+					tmp := &engine.Buffer{}
+					tmp.Reset(b.Box)
+					engine.FillPattern(tmp, seed+int64(i))
+					b.CopyRegion(tmp, roi)
+				}
+				frameROI = roi
+			} else {
+				for i, name := range names {
+					engine.FillPattern(cur[name], seed+int64(i))
+				}
+			}
+		}
+		ref, err := engine.Reference(refB.Graph, refB.Params, cur)
+		if err != nil {
+			return fail("", fmt.Sprintf("frame %d reference: %v", f, err))
+		}
+		out, err := s.RunFrame(cur, frameROI)
+		if err != nil {
+			return fail("", fmt.Sprintf("frame %d: %v", f, err))
+		}
+		for _, lo := range refB.LiveOuts {
+			got, ok := out[lo]
+			if !ok || got == nil {
+				return fail(lo, fmt.Sprintf("frame %d: output missing", f))
+			}
+			if detail := Compare(got, ref[lo], opts.Atol, opts.MaxULP); detail != "" {
+				return fail(lo, fmt.Sprintf("frame %d: %s", f, detail))
+			}
+		}
+	}
+	return nil
+}
+
+// sortNames is an allocation-light insertion sort (difftest avoids the
+// sort import for its tiny name lists).
+func sortNames(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
 }
 
 // diffConcurrent runs the program from k.Concurrent goroutines at once

@@ -152,16 +152,66 @@ func SpecLiteral(sp PipelineSpec) string {
 	return b.String()
 }
 
+// KnobLiteral renders a knob as a compilable Go composite literal, so a
+// repro replays exactly the failing configuration — thread count, tiling
+// strategy, and for streamed findings the frame count and ROI flag.
+func KnobLiteral(k Knob) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "difftest.Knob{Name: %q", k.Name)
+	if len(k.Tiles) > 0 {
+		b.WriteString(", Tiles: []int64{")
+		for i, t := range k.Tiles {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			fmt.Fprintf(&b, "%d", t)
+		}
+		b.WriteString("}")
+	}
+	if k.DisableFusion {
+		b.WriteString(", DisableFusion: true")
+	}
+	if k.DisableInline {
+		b.WriteString(", DisableInline: true")
+	}
+	if k.Fast {
+		b.WriteString(", Fast: true")
+	}
+	if k.Threads != 0 {
+		fmt.Fprintf(&b, ", Threads: %d", k.Threads)
+	}
+	if k.ReuseBuffers {
+		b.WriteString(", ReuseBuffers: true")
+	}
+	if k.Tiling != 0 {
+		fmt.Fprintf(&b, ", Tiling: engine.TilingStrategy(%d)", int(k.Tiling))
+	}
+	if k.NoRowVM {
+		b.WriteString(", NoRowVM: true")
+	}
+	if k.Concurrent > 1 {
+		fmt.Fprintf(&b, ", Concurrent: %d", k.Concurrent)
+	}
+	if k.Frames > 1 {
+		fmt.Fprintf(&b, ", Frames: %d", k.Frames)
+	}
+	if k.ROI {
+		b.WriteString(", ROI: true")
+	}
+	b.WriteString("}")
+	return b.String()
+}
+
 // GoSnippet renders a ready-to-paste Go test reproducing a mismatch: the
-// generator seed, the (typically shrunk) spec literal and the knob sweep
-// call.
+// generator seed, the (typically shrunk) spec literal and a sweep pinned
+// to the failing knob (frame count and ROI preserved).
 func GoSnippet(m *Mismatch) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "// difftest repro: seed %d, knob %s\n", m.Spec.Seed, m.Knob)
 	fmt.Fprintf(&b, "// %s\n", m.Detail)
 	b.WriteString("func TestDiffRepro(t *testing.T) {\n")
 	fmt.Fprintf(&b, "\tspec := %s\n", SpecLiteral(m.Spec))
-	b.WriteString("\tm, err := difftest.Diff(spec, difftest.RunOptions{})\n")
+	fmt.Fprintf(&b, "\tm, err := difftest.Diff(spec, difftest.RunOptions{Knobs: []difftest.Knob{%s}})\n", KnobLiteral(m.Knob))
 	b.WriteString("\tif err != nil {\n\t\tt.Fatal(err)\n\t}\n")
 	b.WriteString("\tif m != nil {\n\t\tt.Fatal(m)\n\t}\n")
 	b.WriteString("}\n")

@@ -16,4 +16,7 @@ var (
 	ErrShape = errors.New("input shape mismatch")
 	// ErrUnknownStage: a stage or image name is not part of the pipeline.
 	ErrUnknownStage = errors.New("unknown stage or image")
+	// ErrROI: a dirty-rectangle region passed to a frame stream matches no
+	// input image (wrong rank for every non-feedback input).
+	ErrROI = errors.New("invalid ROI")
 )

@@ -26,7 +26,17 @@ func (p *Program) Run(inputs map[string]*Buffer) (map[string]*Buffer, error) {
 	return p.Executor().Run(inputs)
 }
 
+// runGroup dispatches one group: dirty-rectangle frames (a stream run with
+// an ROI) go through the partial-recompute path; everything else runs the
+// normal full evaluation.
 func (e *Executor) runGroup(rc *runCtx, ge *groupExec, outputs map[string]*Buffer) error {
+	if fc := rc.fc; fc != nil && !fc.full {
+		return e.runGroupDirty(rc, ge, outputs)
+	}
+	return e.runGroupAll(rc, ge, outputs)
+}
+
+func (e *Executor) runGroupAll(rc *runCtx, ge *groupExec, outputs map[string]*Buffer) error {
 	if len(ge.members) == 1 {
 		ls := ge.members[0]
 		switch {

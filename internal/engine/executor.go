@@ -90,6 +90,11 @@ type runCtx struct {
 	base []*Buffer
 	live map[string]*Buffer
 	w    *worker
+	// fc is non-nil while the run belongs to a frame stream: it carries the
+	// previous frame's retained buffers and the dirty-region state that
+	// runGroupDirty consults (see stream.go). Cleared before the context
+	// returns to the free list.
+	fc *frameCtx
 }
 
 // bind refreshes a worker's slot table from this run's base buffers;
@@ -119,6 +124,7 @@ type worker struct {
 	region  affine.Box
 	iBox    affine.Box
 	statBox affine.Box
+	ownBox  affine.Box
 }
 
 // task is one unit of fleet work: fn pulls work items from a shared atomic
@@ -254,6 +260,7 @@ func (e *Executor) releaseRun(rc *runCtx) {
 		rc.base[i] = nil
 	}
 	clear(rc.live)
+	rc.fc = nil
 	e.rcMu.Lock()
 	e.rcFree = append(e.rcFree, rc)
 	e.rcMu.Unlock()
@@ -484,7 +491,10 @@ func (e *Executor) run(rc *runCtx, inputs map[string]*Buffer) (map[string]*Buffe
 		}
 		base[p.slots[name]] = buf
 	}
-	if p.Opts.ReuseBuffers {
+	if p.Opts.ReuseBuffers && rc.fc == nil {
+		// Streamed frames (rc.fc set) never pool: every full stage must be
+		// retained so the next frame can copy clean regions and feed
+		// feedback inputs from it.
 		return e.runPooled(rc)
 	}
 	outputs := make(map[string]*Buffer, len(p.fullStages))

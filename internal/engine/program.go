@@ -105,8 +105,14 @@ type loweredStage struct {
 
 // groupExec pairs a schedule group with its tile plan and lowered members.
 type groupExec struct {
-	grp     *schedule.Group
-	tp      *schedule.TilePlan
+	grp *schedule.Group
+	tp  *schedule.TilePlan
+	// roiPlan is the tile plan dirty-rectangle frames use to decide which
+	// tiles to recompute. Usually tp itself; for untiled single plain
+	// stages a synthetic tiled plan is substituted (the full run stays
+	// untiled, but the ROI path needs tiles to skip). Nil when the group
+	// cannot go tile-by-tile (accumulators, self-referencing stages).
+	roiPlan *schedule.TilePlan
 	id      int // dense group id (execution order), for metrics
 	members []*loweredStage
 	// liveOut[i] reports whether members[i] must be written to its full
@@ -258,6 +264,20 @@ func Compile(gr *schedule.Grouping, params map[string]int64, opts Options) (*Pro
 				p.fullStages = append(p.fullStages, m)
 			}
 		}
+		ge.roiPlan = tp
+		if len(grp.Members) == 1 {
+			ls := p.stages[grp.Members[0]]
+			switch {
+			case ls.isAcc || ls.selfRef:
+				// Internal dependences cross any tile cut: the ROI path
+				// treats these groups all-or-nothing.
+				ge.roiPlan = nil
+			case tp.NumTiles() == 1:
+				if dtp := dirtyTilePlan(g, grp, ls.dom, params); dtp != nil {
+					ge.roiPlan = dtp
+				}
+			}
+		}
 		p.groups = append(p.groups, ge)
 	}
 	planDone()
@@ -300,6 +320,42 @@ func Compile(gr *schedule.Grouping, params map[string]int64, opts Options) (*Pro
 		p.groups[last].releases = append(p.groups[last].releases, p.stages[name])
 	}
 	return p, nil
+}
+
+// dirtyTilePlan builds a synthetic tiled plan for an untiled single plain
+// stage so dirty-rectangle frames can skip the clean part of its domain:
+// each dimension with extent ≥ 16 is cut into ~16 tiles (each at least 8
+// wide). The full-frame path keeps running the stage untiled; only the ROI
+// path consults this plan. Returns nil when no dimension is worth tiling
+// (tiny domains fall back to all-or-nothing via the group's 1-tile plan).
+func dirtyTilePlan(g *pipeline.Graph, grp *schedule.Group, dom affine.Box, params map[string]int64) *schedule.TilePlan {
+	sizes := make([]int64, len(dom))
+	tiled := false
+	for d, r := range dom {
+		ext := r.Size()
+		if ext < 16 {
+			continue
+		}
+		ts := (ext + 15) / 16
+		if ts < 8 {
+			ts = 8
+		}
+		if ts < ext {
+			sizes[d] = ts
+			tiled = true
+		}
+	}
+	if !tiled {
+		return nil
+	}
+	g2 := *grp
+	g2.Tiled = true
+	g2.TileSizes = sizes
+	tp, err := schedule.NewTilePlan(g, &g2, params)
+	if err != nil {
+		return nil
+	}
+	return tp
 }
 
 func sortedImageNames(g *pipeline.Graph) []string {

@@ -1,0 +1,388 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/affine"
+	"repro/internal/dsl"
+	"repro/internal/expr"
+	"repro/internal/pipeline"
+	"repro/internal/schedule"
+)
+
+func cloneBuf(src *Buffer) *Buffer {
+	b := &Buffer{}
+	b.Reset(src.Box)
+	copy(b.Data, src.Data)
+	return b
+}
+
+// bumpRegion adds delta to every point of b inside region.
+func bumpRegion(b *Buffer, region affine.Box, delta float32) {
+	for x := region[0].Lo; x <= region[0].Hi; x++ {
+		for y := region[1].Lo; y <= region[1].Hi; y++ {
+			b.Set(b.At(x, y)+delta, x, y)
+		}
+	}
+}
+
+// TestStreamDirtyRectHarris is the tentpole correctness check: a
+// dirty-rectangle frame must produce outputs bitwise identical to a
+// whole-frame run on the same inputs while recomputing only the tiles
+// whose required region reads the changed rectangle.
+func TestStreamDirtyRectHarris(t *testing.T) {
+	prog, inputs, ref := compileHarris(t, Options{Fast: true, Threads: 4, Metrics: true})
+	defer prog.Close()
+	e := prog.Executor()
+	s, err := e.NewStream(StreamOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	out0, err := s.RunFrame(inputs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eq, msg := out0["harris"].Equal(ref["harris"], 1e-5); !eq {
+		t.Fatalf("frame 0 differs from reference: %s", msg)
+	}
+
+	// Frame 1: the input changes only inside a small rectangle.
+	roi := affine.Box{{Lo: 30, Hi: 42}, {Lo: 50, Hi: 66}}
+	mod := cloneBuf(inputs["I"])
+	bumpRegion(mod, roi, 0.75)
+	want, err := e.Run(map[string]*Buffer{"I": mod})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out1, err := s.RunFrame(map[string]*Buffer{"I": mod}, roi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, wb := range want {
+		if eq, msg := out1[name].Equal(wb, 0); !eq {
+			t.Fatalf("dirty-rect frame: %s differs from whole-frame run: %s", name, msg)
+		}
+	}
+	st := s.Stats()
+	if st.Frames != 2 {
+		t.Fatalf("Stats.Frames = %d, want 2", st.Frames)
+	}
+	if st.TilesSkipped == 0 {
+		t.Fatalf("dirty-rect frame skipped no tiles (executed %d): partial recompute is not engaging", st.TilesExecuted)
+	}
+	if st.TilesExecuted == 0 {
+		t.Fatal("dirty-rect frame executed no tiles despite a non-empty ROI")
+	}
+
+	// Frame 2: an empty ROI means nothing changed — every tile must be
+	// served from the previous frame.
+	executedBefore := st.TilesExecuted
+	out2, err := s.RunFrame(map[string]*Buffer{"I": mod}, affine.Box{{Lo: 0, Hi: -1}, {Lo: 0, Hi: -1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, wb := range want {
+		if eq, msg := out2[name].Equal(wb, 0); !eq {
+			t.Fatalf("empty-ROI frame: %s differs: %s", name, msg)
+		}
+	}
+	st = s.Stats()
+	if st.TilesExecuted != executedBefore {
+		t.Fatalf("empty-ROI frame executed %d tiles, want 0", st.TilesExecuted-executedBefore)
+	}
+
+	// The obs layer must see the same story: frame counters, the latency
+	// histogram and per-group skip counts.
+	snap := e.Snapshot()
+	if snap.Frames != 3 {
+		t.Fatalf("Snapshot.Frames = %d, want 3", snap.Frames)
+	}
+	if len(snap.FrameHist) == 0 {
+		t.Fatal("Snapshot.FrameHist is empty after streamed frames")
+	}
+	var hist int64
+	for _, n := range snap.FrameHist {
+		hist += n
+	}
+	if hist != 3 {
+		t.Fatalf("FrameHist sums to %d, want 3", hist)
+	}
+	var skipped int64
+	for _, g := range snap.Groups {
+		skipped += g.TilesSkipped
+	}
+	if skipped != st.TilesSkipped {
+		t.Fatalf("Snapshot TilesSkipped = %d, Stats = %d", skipped, st.TilesSkipped)
+	}
+}
+
+// TestStreamROIErrors: an ROI whose rank matches no input image fails with
+// ErrROI; frames on a closed stream fail with ErrClosed.
+func TestStreamROIErrors(t *testing.T) {
+	prog, inputs, _ := compileHarris(t, Options{Fast: true, Threads: 2})
+	defer prog.Close()
+	s, err := prog.Executor().NewStream(StreamOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.RunFrame(inputs, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.RunFrame(inputs, affine.Box{{Lo: 0, Hi: 5}}); !errors.Is(err, ErrROI) {
+		t.Fatalf("rank-1 ROI: err = %v, want ErrROI", err)
+	}
+	s.Close()
+	if _, err := s.RunFrame(inputs, nil); !errors.Is(err, ErrClosed) {
+		t.Fatalf("RunFrame after Close: err = %v, want ErrClosed", err)
+	}
+	// Close is idempotent.
+	s.Close()
+}
+
+// blendPipeline is the exponential-motion-blur shape from the paper's
+// temporal examples: out = 0.7·state + 0.3·I, with state fed back from the
+// previous frame's out. Point-wise, so a dirty rectangle stays a dirty
+// rectangle across frames instead of growing by a stencil halo.
+func blendPipeline(t testing.TB) (*pipeline.Graph, map[string]int64, map[string]*Buffer) {
+	t.Helper()
+	b := dsl.NewBuilder()
+	R, C := b.Param("R"), b.Param("C")
+	S := b.Image("S", expr.Float, R.Affine(), C.Affine())
+	I := b.Image("I", expr.Float, R.Affine(), C.Affine())
+	x, y := b.Var("x"), b.Var("y")
+	dom := []dsl.Interval{
+		dsl.Span(affine.Const(0), R.Affine().AddConst(-1)),
+		dsl.Span(affine.Const(0), C.Affine().AddConst(-1)),
+	}
+	blur := b.Func("blur", expr.Float, []*dsl.Variable{x, y}, dom)
+	blur.Define(dsl.Case{E: dsl.Add(dsl.Mul(0.7, S.At(x, y)), dsl.Mul(0.3, I.At(x, y)))})
+	sharp := b.Func("sharp", expr.Float, []*dsl.Variable{x, y}, dom)
+	sharp.Define(dsl.Case{E: dsl.Sub(dsl.Mul(2.0, blur.At(x, y)), S.At(x, y))})
+	// edge depends on I alone — no feedback state — so its dirty region on
+	// ROI frames stays the rectangle and its clean tiles are skippable even
+	// while the blur/sharp chain's decaying state keeps that chain fully
+	// dirty.
+	edge := b.Func("edge", expr.Float, []*dsl.Variable{x, y}, dom)
+	edge.Define(dsl.Case{E: dsl.Mul(0.5, I.At(x, y))})
+	g, err := pipeline.Build(b, "sharp", "blur", "edge")
+	if err != nil {
+		t.Fatal(err)
+	}
+	params := map[string]int64{"R": 128, "C": 160}
+	seed, err := NewBufferForDomain(S.Domain(), params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	FillPattern(seed, 3)
+	in, err := NewBufferForDomain(I.Domain(), params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	FillPattern(in, 11)
+	return g, params, map[string]*Buffer{"S": seed, "I": in}
+}
+
+func compileBlend(t testing.TB, opts Options) (*Program, map[string]*Buffer) {
+	t.Helper()
+	g, params, inputs := blendPipeline(t)
+	gr, err := schedule.BuildGroups(g, params, schedule.Options{TileSizes: []int64{32, 32}, MinTileExtent: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := Compile(gr, params, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prog, inputs
+}
+
+// TestStreamFeedback: a stream with a Feedback binding must reproduce,
+// frame for frame, the manual chain that passes each frame's output back
+// as the next frame's input — including on dirty-rectangle frames, where
+// the feedback image's dirty region is last frame's change.
+func TestStreamFeedback(t *testing.T) {
+	prog, inputs := compileBlend(t, Options{Fast: true, Threads: 4, Metrics: true})
+	defer prog.Close()
+	e := prog.Executor()
+	s, err := e.NewStream(StreamOptions{Feedback: map[string]string{"S": "blur"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	roi := affine.Box{{Lo: 40, Hi: 47}, {Lo: 96, Hi: 111}}
+	state := inputs["S"]
+	in := cloneBuf(inputs["I"])
+	const frames = 5
+	for k := 0; k < frames; k++ {
+		var frameROI affine.Box
+		if k > 0 {
+			bumpRegion(in, roi, float32(k)*0.25)
+			frameROI = roi
+		}
+		out, err := s.RunFrame(map[string]*Buffer{"S": state, "I": in}, frameROI)
+		if err != nil {
+			t.Fatalf("frame %d: %v", k, err)
+		}
+		want, err := e.Run(map[string]*Buffer{"S": state, "I": in})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, name := range []string{"blur", "sharp", "edge"} {
+			if eq, msg := out[name].Equal(want[name], 0); !eq {
+				t.Fatalf("frame %d: %s differs from manual chain: %s", k, name, msg)
+			}
+		}
+		// Advance the manual chain: next frame's state is this frame's blur.
+		if state != inputs["S"] {
+			e.Recycle(map[string]*Buffer{"blur": state})
+		}
+		state = cloneBuf(want["blur"])
+		e.Recycle(want)
+	}
+	st := s.Stats()
+	if st.Frames != frames {
+		t.Fatalf("Stats.Frames = %d, want %d", st.Frames, frames)
+	}
+	// The feedback chain's state decays every frame, so its dirty region is
+	// legitimately global; the edge chain depends only on I, so its tiles
+	// outside the ROI must have been served from the previous frame.
+	if st.TilesSkipped == 0 {
+		t.Fatal("ROI frames skipped no tiles of the feedback-independent chain")
+	}
+}
+
+// TestStreamFeedbackValidation: feedback bindings to unknown images or
+// stages, non-live-out stages, or mismatched domains fail up front.
+func TestStreamFeedbackValidation(t *testing.T) {
+	prog, _ := compileBlend(t, Options{Fast: true, Threads: 1})
+	defer prog.Close()
+	e := prog.Executor()
+	cases := []struct {
+		name string
+		fb   map[string]string
+		want error
+	}{
+		{"unknown image", map[string]string{"nope": "blur"}, ErrUnknownStage},
+		{"unknown stage", map[string]string{"S": "nope"}, ErrUnknownStage},
+	}
+	for _, tc := range cases {
+		if _, err := e.NewStream(StreamOptions{Feedback: tc.fb}); !errors.Is(err, tc.want) {
+			t.Errorf("%s: err = %v, want %v", tc.name, err, tc.want)
+		}
+	}
+}
+
+// TestFleetStreamCloseRace: Close and Recycle racing an in-flight frame
+// stream on a private fleet. Frames begun before Close complete with
+// correct values; frames after fail with ErrClosed; nothing panics or
+// deadlocks. Runs under -race as part of `make fleet-race` and
+// `make stream-race`.
+func TestFleetStreamCloseRace(t *testing.T) {
+	f := newFleet(4)
+	prog, inputs := compileBlend(t, Options{Fast: true, Threads: 4, fleet: f})
+	e := prog.Executor()
+
+	roi := affine.Box{{Lo: 8, Hi: 23}, {Lo: 8, Hi: 23}}
+	var started sync.WaitGroup
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for g := 0; g < 3; g++ {
+		started.Add(1)
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			s, err := e.NewStream(StreamOptions{Feedback: map[string]string{"S": "blur"}})
+			if err != nil {
+				if !errors.Is(err, ErrClosed) {
+					errs <- err
+				}
+				started.Done()
+				return
+			}
+			defer s.Close()
+			in := cloneBuf(inputs["I"])
+			for k := 0; k < 8; k++ {
+				if k == 1 {
+					started.Done()
+				}
+				var frameROI affine.Box
+				if k > 0 {
+					bumpRegion(in, roi, 0.5)
+					frameROI = roi
+				}
+				out, err := s.RunFrame(map[string]*Buffer{"S": inputs["S"], "I": in}, frameROI)
+				if err != nil {
+					if !errors.Is(err, ErrClosed) {
+						errs <- fmt.Errorf("stream %d frame %d: %v", g, k, err)
+					}
+					if k == 0 {
+						started.Done()
+					}
+					return
+				}
+				if out["sharp"] == nil || out["blur"] == nil {
+					errs <- fmt.Errorf("stream %d frame %d: missing outputs", g, k)
+					return
+				}
+				// Recycle racing the stream: hand unrelated buffers back.
+				e.Recycle(map[string]*Buffer{})
+			}
+		}(g)
+	}
+	started.Wait()
+	prog.Close() // must drain in-flight frames, not race their buffers
+	if _, err := e.Run(inputs); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Run after Close: err = %v, want ErrClosed", err)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+// TestStreamRunFrames: the RunFrames convenience loop delivers per-frame
+// outputs in order and stops on callback error.
+func TestStreamRunFrames(t *testing.T) {
+	prog, inputs := compileBlend(t, Options{Fast: true, Threads: 2})
+	defer prog.Close()
+	e := prog.Executor()
+	frames := []Frame{
+		{Inputs: inputs},
+		{Inputs: inputs, ROI: affine.Box{{Lo: 0, Hi: 7}, {Lo: 0, Hi: 7}}},
+		{Inputs: inputs},
+	}
+	seen := 0
+	err := e.RunFrames(frames, StreamOptions{Feedback: map[string]string{"S": "blur"}}, func(i int, out map[string]*Buffer) error {
+		if i != seen {
+			return fmt.Errorf("frame %d delivered out of order (want %d)", i, seen)
+		}
+		seen++
+		if out["sharp"] == nil {
+			return fmt.Errorf("frame %d: no sharp output", i)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seen != len(frames) {
+		t.Fatalf("saw %d frames, want %d", seen, len(frames))
+	}
+	stop := errors.New("stop")
+	err = e.RunFrames(frames, StreamOptions{Feedback: map[string]string{"S": "blur"}}, func(i int, out map[string]*Buffer) error {
+		if i == 1 {
+			return stop
+		}
+		return nil
+	})
+	if !errors.Is(err, stop) {
+		t.Fatalf("callback error not propagated: %v", err)
+	}
+}

@@ -65,6 +65,18 @@ type BenchSummary struct {
 	// program: > 1 means two concurrent runs of the same program no
 	// longer serialize (again bounded by available cores).
 	FleetSameProgramScaling float64 `json:"fleet_sameprog_scaling,omitempty"`
+
+	// Stream summary (files written by BenchStreamJSON only).
+	//
+	// StreamROISpeedup is fullframe/dirtyrect ms-per-frame on a Table-2
+	// stencil whose per-frame input change is confined to a small ROI:
+	// > 1 means the dirty-rectangle path beats whole-frame recompute by
+	// that factor.
+	StreamROISpeedup float64 `json:"stream_roi_speedup,omitempty"`
+	// StreamTilesSkippedShare is the fraction of the dirty-rectangle
+	// run's tiles that were copied from the previous frame rather than
+	// recomputed.
+	StreamTilesSkippedShare float64 `json:"stream_tiles_skipped_share,omitempty"`
 }
 
 // BenchFile is the root JSON document.

@@ -1,0 +1,182 @@
+package harness
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"repro/internal/affine"
+	"repro/internal/apps"
+	"repro/internal/baseline"
+	"repro/internal/engine"
+	"repro/internal/schedule"
+)
+
+// Streaming / dirty-rectangle benchmark (make bench-json ->
+// BENCH_stream.json): a Table-2 stencil pipeline run as a frame sequence
+// through engine.Stream, with the per-frame input change confined to a
+// small ROI (a quarter of each dimension — ~6% of the frame). Measured
+// twice over identical frame sequences: "fullframe" recomputes every
+// frame whole (ROI withheld from the engine), "dirtyrect" hands the
+// engine the ROI so it recomputes only the tiles the change reaches and
+// copies the rest from the previous frame's retained buffers. The
+// speedup is bounded by the copied-tile memcpy floor, not by compute.
+
+// streamBenchApp is the Table-2 pipeline the streaming benchmark runs.
+const streamBenchApp = "harris"
+
+// streamBenchFrames is the measured frame count (plus one untimed
+// whole-frame warm-up per variant).
+const streamBenchFrames = 16
+
+// BenchStreamJSON measures the dirty-rectangle streaming scenario and
+// writes a BenchFile JSON to w.
+func BenchStreamJSON(w io.Writer, cfg Config) error {
+	threads := effThreads(cfg.Threads)
+	bf := &BenchFile{
+		Schema:    BenchSchema,
+		Timestamp: time.Now().UTC().Format(time.RFC3339),
+		Scale:     cfg.Scale,
+		Runs:      cfg.Runs,
+	}
+	v, err := baseline.Get("opt+vec")
+	if err != nil {
+		return err
+	}
+	app, err := apps.Get(streamBenchApp)
+	if err != nil {
+		return err
+	}
+	params := ScaledParams(app, cfg.Scale)
+	p, err := PrepareEngine(app, v, params, threads, schedule.DefaultOptions(), cfg.Seed, nil)
+	if err != nil {
+		return fmt.Errorf("%s: %w", app.Name, err)
+	}
+	defer p.Close()
+
+	roi, err := streamROI(p.Inputs)
+	if err != nil {
+		return err
+	}
+
+	name := fmt.Sprintf("stream-%s-%df", app.Name, streamBenchFrames)
+	fullMs, _, err := streamLoad(p, roi, false)
+	if err != nil {
+		return err
+	}
+	dirtyMs, stats, err := streamLoad(p, roi, true)
+	if err != nil {
+		return err
+	}
+	bf.Results = append(bf.Results,
+		BenchResult{Name: name, Kind: "stream", Variant: "fullframe", Millis: fullMs, Threads: threads},
+		BenchResult{Name: name, Kind: "stream", Variant: "dirtyrect", Millis: dirtyMs, Threads: threads})
+	if dirtyMs > 0 {
+		bf.Summary.StreamROISpeedup = fullMs / dirtyMs
+	}
+	if total := stats.TilesExecuted + stats.TilesSkipped; total > 0 {
+		bf.Summary.StreamTilesSkippedShare = float64(stats.TilesSkipped) / float64(total)
+	}
+
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(bf)
+}
+
+// streamROI derives the benchmark's dirty rectangle: the centered quarter
+// (per dimension) of the highest-rank input image's domain.
+func streamROI(inputs map[string]*engine.Buffer) (affine.Box, error) {
+	var box affine.Box
+	for _, b := range inputs {
+		if len(b.Box) > len(box) {
+			box = b.Box
+		}
+	}
+	if len(box) == 0 {
+		return nil, fmt.Errorf("harness: no input image to derive an ROI from")
+	}
+	roi := make(affine.Box, len(box))
+	for d, r := range box {
+		size := r.Hi - r.Lo + 1
+		q := size / 4
+		if q < 1 {
+			q = 1
+		}
+		lo := r.Lo + (size-q)/2
+		roi[d] = affine.Range{Lo: lo, Hi: lo + q - 1}
+	}
+	return roi, nil
+}
+
+// streamLoad runs streamBenchFrames frames whose input change is confined
+// to roi and returns the average wall time per frame in milliseconds
+// (frame 0, the unavoidable whole-frame compute, is an untimed warm-up).
+// With useROI unset the engine is not told about the rectangle and
+// recomputes every frame whole — the baseline the dirty-rectangle path is
+// measured against.
+func streamLoad(p *Prepared, roi affine.Box, useROI bool) (float64, engine.StreamStats, error) {
+	var stats engine.StreamStats
+	st, err := p.Prog.Executor().NewStream(engine.StreamOptions{})
+	if err != nil {
+		return 0, stats, err
+	}
+	defer st.Close()
+
+	// Private input clones: both variants mutate the ROI region per frame.
+	inputs := make(map[string]*engine.Buffer, len(p.Inputs))
+	names := make([]string, 0, len(p.Inputs))
+	for n, b := range p.Inputs {
+		c := engine.NewBuffer(b.Box)
+		copy(c.Data, b.Data)
+		inputs[n] = c
+		names = append(names, n)
+	}
+	sort.Strings(names)
+
+	if _, err := st.RunFrame(inputs, nil); err != nil {
+		return 0, stats, err
+	}
+	base := st.Stats()
+
+	tmp := &engine.Buffer{}
+	var total time.Duration
+	for f := 1; f <= streamBenchFrames; f++ {
+		for i, n := range names {
+			b := inputs[n]
+			if len(b.Box) != len(roi) {
+				continue
+			}
+			inter := make(affine.Box, len(roi))
+			empty := false
+			for d := range roi {
+				inter[d] = roi[d].Intersect(b.Box[d])
+				if inter[d].Empty() {
+					empty = true
+					break
+				}
+			}
+			if empty {
+				continue
+			}
+			tmp.Reset(inter)
+			engine.FillPattern(tmp, int64(f)*31+int64(i))
+			b.CopyRegion(tmp, inter)
+		}
+		var frameROI affine.Box
+		if useROI {
+			frameROI = roi
+		}
+		start := time.Now()
+		if _, err := st.RunFrame(inputs, frameROI); err != nil {
+			return 0, stats, err
+		}
+		total += time.Since(start)
+	}
+	stats = st.Stats()
+	stats.Frames -= base.Frames
+	stats.TilesExecuted -= base.TilesExecuted
+	stats.TilesSkipped -= base.TilesSkipped
+	return float64(total.Microseconds()) / float64(streamBenchFrames) / 1000.0, stats, nil
+}

@@ -2,6 +2,7 @@ package harness
 
 import (
 	"bytes"
+	"encoding/json"
 	"fmt"
 	"strings"
 	"testing"
@@ -145,5 +146,33 @@ func TestCSVOutputs(t *testing.T) {
 	if !strings.Contains(out, "app,variant,cores,speedup_over_base") ||
 		!strings.Contains(out, "harris,opt+vec,1,") {
 		t.Errorf("figure10 csv malformed:\n%s", out)
+	}
+}
+
+func TestBenchStreamJSONSmoke(t *testing.T) {
+	var buf bytes.Buffer
+	if err := BenchStreamJSON(&buf, tinyConfig()); err != nil {
+		t.Fatal(err)
+	}
+	var bf BenchFile
+	if err := json.Unmarshal(buf.Bytes(), &bf); err != nil {
+		t.Fatalf("bad JSON: %v", err)
+	}
+	if bf.Schema != BenchSchema {
+		t.Errorf("schema = %q", bf.Schema)
+	}
+	if len(bf.Results) != 2 {
+		t.Fatalf("got %d results, want fullframe + dirtyrect", len(bf.Results))
+	}
+	for _, r := range bf.Results {
+		if r.Kind != "stream" || r.Millis <= 0 {
+			t.Errorf("result %+v: want kind=stream with positive millis", r)
+		}
+	}
+	if bf.Summary.StreamROISpeedup <= 0 {
+		t.Errorf("stream speedup = %v, want > 0", bf.Summary.StreamROISpeedup)
+	}
+	if bf.Summary.StreamTilesSkippedShare <= 0 {
+		t.Errorf("skipped share = %v: the ROI run skipped no tiles", bf.Summary.StreamTilesSkippedShare)
 	}
 }

@@ -1,6 +1,14 @@
 package obs
 
-import "sync/atomic"
+import (
+	"math/bits"
+	"sync/atomic"
+)
+
+// FrameHistBuckets is the size of the frame-latency histogram: bucket i
+// counts frames whose wall time was in [2^(i-1), 2^i) microseconds (bucket
+// 0 is sub-microsecond). 40 buckets cover up to ~2^39 µs ≈ 6 days.
+const FrameHistBuckets = 40
 
 // Recorder collects executor metrics for one compiled program. It is
 // created with the program's stage and group names (indices into those
@@ -18,6 +26,13 @@ type Recorder struct {
 	// the run lock, read atomically by Snapshot).
 	runs     atomic.Int64
 	runNanos atomic.Int64
+
+	// Frame-level counters: streamed frames (Executor.RunFrames /
+	// Stream.RunFrame) record here in addition to the run counters, with a
+	// power-of-two latency histogram for tail visibility.
+	frames     atomic.Int64
+	frameNanos atomic.Int64
+	frameHist  [FrameHistBuckets]atomic.Int64
 }
 
 // NewRecorder builds a recorder for the given stage and group names with
@@ -52,6 +67,27 @@ func (r *Recorder) RecordRun(nanos int64) {
 	r.runNanos.Add(nanos)
 }
 
+// RecordFrame adds one completed streamed frame with the given wall time:
+// the frame counters and the latency histogram grow; the run counters do
+// not (the caller records the frame as a run separately if it wants the
+// utilization denominator to include streamed time).
+func (r *Recorder) RecordFrame(nanos int64) {
+	if r == nil {
+		return
+	}
+	r.frames.Add(1)
+	r.frameNanos.Add(nanos)
+	micros := nanos / 1e3
+	if micros < 0 {
+		micros = 0
+	}
+	b := bits.Len64(uint64(micros))
+	if b >= FrameHistBuckets {
+		b = FrameHistBuckets - 1
+	}
+	r.frameHist[b].Add(1)
+}
+
 // Shard is one worker's private slice of the metric space. The owning
 // worker adds with atomic writes (uncontended: the cache line is local);
 // Snapshot merges shards with atomic loads, so concurrent reads are safe
@@ -64,6 +100,7 @@ type Shard struct {
 	stageRecRow []atomic.Int64 // per stage: rows recomputed in overlap halos
 	stageTiles  []atomic.Int64 // per stage: tile-member executions
 	groupTiles  []atomic.Int64 // per group: tiles executed
+	groupSkips  []atomic.Int64 // per group: tiles skipped by dirty-rectangle runs
 	busyNanos   atomic.Int64   // time spent inside pool tasks
 }
 
@@ -76,6 +113,7 @@ func newShard(stages, groups int) *Shard {
 		stageRecRow: make([]atomic.Int64, stages),
 		stageTiles:  make([]atomic.Int64, stages),
 		groupTiles:  make([]atomic.Int64, groups),
+		groupSkips:  make([]atomic.Int64, groups),
 	}
 }
 
@@ -100,6 +138,15 @@ func (s *Shard) Tile(group int) {
 		return
 	}
 	s.groupTiles[group].Add(1)
+}
+
+// TileSkipped records one tile of group id that a dirty-rectangle run
+// copied from the previous frame instead of recomputing.
+func (s *Shard) TileSkipped(group int) {
+	if s == nil {
+		return
+	}
+	s.groupSkips[group].Add(1)
 }
 
 // Busy records nanos spent executing a pool task (worker utilization).

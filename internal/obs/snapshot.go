@@ -37,6 +37,10 @@ type GroupStats struct {
 	Members []string
 	// Tiles executed since the recorder was created (all runs).
 	Tiles int64
+	// TilesSkipped counts tiles a dirty-rectangle run copied from the
+	// previous frame's retained buffers instead of recomputing — the
+	// partial-recompute win, measured (zero outside streamed ROI runs).
+	TilesSkipped int64
 	// PlannedTiles is the tile plan's tile count for one run; filled by
 	// the engine (zero for untiled groups, which execute without tiles).
 	PlannedTiles int64
@@ -84,11 +88,18 @@ type Snapshot struct {
 	// Runs and WallNanos cover completed Run calls.
 	Runs      int64
 	WallNanos int64
-	Stages    []StageStats
-	Groups    []GroupStats
-	Workers   WorkerStats
-	Arena     ArenaStats
-	TempPools TempPoolStats
+	// Frames and FrameNanos cover streamed frames (RunFrames/Stream);
+	// FrameHist is their power-of-two latency histogram — bucket i counts
+	// frames that took [2^(i-1), 2^i) microseconds, trailing empty buckets
+	// trimmed.
+	Frames     int64
+	FrameNanos int64
+	FrameHist  []int64
+	Stages     []StageStats
+	Groups     []GroupStats
+	Workers    WorkerStats
+	Arena      ArenaStats
+	TempPools  TempPoolStats
 }
 
 // TempPoolStats gauges the per-worker row scratch memory: the closure
@@ -131,11 +142,23 @@ func (r *Recorder) Snapshot() Snapshot {
 		return Snapshot{}
 	}
 	snap := Snapshot{
-		Enabled:   true,
-		Runs:      r.runs.Load(),
-		WallNanos: r.runNanos.Load(),
-		Stages:    make([]StageStats, len(r.stages)),
-		Groups:    make([]GroupStats, len(r.groups)),
+		Enabled:    true,
+		Runs:       r.runs.Load(),
+		WallNanos:  r.runNanos.Load(),
+		Frames:     r.frames.Load(),
+		FrameNanos: r.frameNanos.Load(),
+		Stages:     make([]StageStats, len(r.stages)),
+		Groups:     make([]GroupStats, len(r.groups)),
+	}
+	if snap.Frames > 0 {
+		hist := make([]int64, 0, FrameHistBuckets)
+		for i := range r.frameHist {
+			hist = append(hist, r.frameHist[i].Load())
+		}
+		for len(hist) > 0 && hist[len(hist)-1] == 0 {
+			hist = hist[:len(hist)-1]
+		}
+		snap.FrameHist = hist
 	}
 	for i, name := range r.stages {
 		snap.Stages[i].Name = name
@@ -155,6 +178,7 @@ func (r *Recorder) Snapshot() Snapshot {
 		}
 		for i := range snap.Groups {
 			snap.Groups[i].Tiles += sh.groupTiles[i].Load()
+			snap.Groups[i].TilesSkipped += sh.groupSkips[i].Load()
 		}
 		snap.Workers.BusyNanos += sh.busyNanos.Load()
 	}

@@ -64,6 +64,14 @@ func Merge(snaps ...Snapshot) Snapshot {
 		out.Enabled = out.Enabled || s.Enabled
 		out.Runs += s.Runs
 		out.WallNanos += s.WallNanos
+		out.Frames += s.Frames
+		out.FrameNanos += s.FrameNanos
+		for i, n := range s.FrameHist {
+			if i >= len(out.FrameHist) {
+				out.FrameHist = append(out.FrameHist, make([]int64, i+1-len(out.FrameHist))...)
+			}
+			out.FrameHist[i] += n
+		}
 		out.Stages = append(out.Stages, s.Stages...)
 		out.Groups = append(out.Groups, s.Groups...)
 		out.Workers.Workers += s.Workers.Workers

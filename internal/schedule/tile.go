@@ -31,6 +31,11 @@ type TilePlan struct {
 	accessCache map[string]map[string][]argAccess
 	domCache    map[string]affine.Box
 	memberSet   map[string]bool
+	// extDoms holds the concrete domains of every out-of-group producer any
+	// member reads (earlier stages and input images), precomputed so
+	// dirty-rectangle runs can derive each tile's external read regions
+	// without locking or allocating.
+	extDoms map[string]affine.Box
 }
 
 // NewTilePlan builds the tile decomposition of a group under the given
@@ -87,6 +92,27 @@ func NewTilePlan(g *pipeline.Graph, grp *Group, params map[string]int64) (*TileP
 			return nil, err
 		}
 		tp.domCache[m] = dom
+	}
+	tp.extDoms = make(map[string]affine.Box)
+	for _, m := range grp.Members {
+		for target := range tp.accessCache[m] {
+			if inGroup[target] || tp.extDoms[target] != nil {
+				continue
+			}
+			var dom affine.Box
+			var err error
+			if st, ok := g.Stages[target]; ok {
+				dom, err = domainAt(st, params)
+			} else if im, ok := g.Images[target]; ok {
+				dom, err = im.Domain().Eval(params)
+			} else {
+				continue
+			}
+			if err != nil {
+				return nil, err
+			}
+			tp.extDoms[target] = dom
+		}
 	}
 	return tp, nil
 }
@@ -288,4 +314,60 @@ func (tp *TilePlan) Required(idx []int64, dst map[string]affine.Box) (map[string
 		}
 	}
 	return req, nil
+}
+
+// ExternalReads computes, given a tile's member required regions req (as
+// returned by Required), the region of every out-of-group producer —
+// earlier groups' stages and input images — the tile reads. Like Required,
+// boxes in dst are reused in place across calls: a target the tile does not
+// read holds an all-empty box. A non-affine external access widens to the
+// producer's whole domain, a sound over-approximation — the dirty-rectangle
+// engine then recomputes the tile whenever that producer changed anywhere.
+func (tp *TilePlan) ExternalReads(req map[string]affine.Box, dst map[string]affine.Box) (map[string]affine.Box, error) {
+	out := dst
+	if out == nil {
+		out = make(map[string]affine.Box, len(tp.extDoms))
+	}
+	for target, dom := range tp.extDoms {
+		b := out[target]
+		if len(b) != len(dom) {
+			b = make(affine.Box, len(dom))
+			out[target] = b
+		}
+		for d := range b {
+			b[d] = affine.Range{Lo: 0, Hi: -1} // empty
+		}
+	}
+	for _, cname := range tp.Group.Members {
+		crq := req[cname]
+		if crq.Empty() {
+			continue
+		}
+		for target, accs := range tp.accessCache[cname] {
+			edom, external := tp.extDoms[target]
+			if !external {
+				continue
+			}
+			erq := out[target]
+			for _, aa := range accs {
+				if !aa.OK || aa.Acc.Var >= len(crq) {
+					// Non-affine access, or one indexed by a variable outside
+					// the member's output domain (a reduction variable):
+					// widen to the producer's whole extent.
+					erq[aa.ProducerDim] = erq[aa.ProducerDim].Union(edom[aa.ProducerDim])
+					continue
+				}
+				var varRange affine.Range
+				if aa.Acc.Var >= 0 {
+					varRange = crq[aa.Acc.Var]
+				}
+				rng, err := aa.Acc.RangeOver(varRange, tp.Params)
+				if err != nil {
+					return nil, err
+				}
+				erq[aa.ProducerDim] = erq[aa.ProducerDim].Union(rng.Intersect(edom[aa.ProducerDim]))
+			}
+		}
+	}
+	return out, nil
 }

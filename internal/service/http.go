@@ -59,12 +59,56 @@ func (s *Service) handleRun(w http.ResponseWriter, r *http.Request) {
 		writeError(w, errf(400, "bad request body: %v", err))
 		return
 	}
+	if q := r.URL.Query().Get("frames"); q != "" {
+		n, perr := strconv.Atoi(q)
+		if perr != nil || n < 1 {
+			writeError(w, errSentinel(400, ErrInvalidFrames, "frames query parameter must be a positive integer, got %q", q))
+			return
+		}
+		req.Frames = n
+	}
+	if req.Frames > 1 {
+		s.handleRunStream(w, r, &req)
+		return
+	}
 	resp, err := s.Do(r.Context(), &req)
 	if err != nil {
 		writeError(w, toError(err))
 		return
 	}
 	writeJSON(w, 200, resp)
+}
+
+// handleRunStream answers a frames>1 /run request as ndjson: one
+// FrameResult line per frame, flushed as it completes. Failures before
+// the first frame come back as an ordinary JSON error with their status;
+// once frames have been emitted the status line is gone, so a mid-stream
+// failure (deadline, execution error) appends a terminal {"error": ...}
+// line instead.
+func (s *Service) handleRunStream(w http.ResponseWriter, r *http.Request, req *RunRequest) {
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, errf(500, "streaming unsupported by this connection"))
+		return
+	}
+	enc := json.NewEncoder(flushWriter{w, fl})
+	enc.SetEscapeHTML(false)
+	started := false
+	err := s.DoStream(r.Context(), req, func(fr *FrameResult) error {
+		if !started {
+			w.Header().Set("Content-Type", "application/x-ndjson")
+			w.WriteHeader(200)
+			started = true
+		}
+		return enc.Encode(fr)
+	})
+	if err != nil {
+		if !started {
+			writeError(w, toError(err))
+			return
+		}
+		enc.Encode(toError(err))
+	}
 }
 
 func (s *Service) handleHealthz(w http.ResponseWriter, r *http.Request) {

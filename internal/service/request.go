@@ -4,6 +4,7 @@ import (
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"sort"
 
@@ -11,6 +12,23 @@ import (
 	"repro/internal/engine"
 	"repro/internal/obs"
 )
+
+// Streaming request validation sentinels: wrapped into the 400 *Error so
+// callers (and tests) can classify failures with errors.Is.
+var (
+	// ErrInvalidFrames marks a rejected frame count (frames < 1 on the
+	// streaming path, or above MaxStreamFrames).
+	ErrInvalidFrames = errors.New("service: invalid frame count")
+	// ErrInvalidROI marks a rejected dirty rectangle: malformed ([lo, hi]
+	// with lo > hi), present without frames > 1, rank-matching no input
+	// image, or lying outside every input image's domain.
+	ErrInvalidROI = errors.New("service: invalid roi")
+)
+
+// MaxStreamFrames bounds one streaming request's frame count; longer
+// sequences should be split across requests (the program cache makes the
+// follow-up request cheap).
+const MaxStreamFrames = 4096
 
 // Output payload modes for RunRequest.Output.
 const (
@@ -63,6 +81,20 @@ type RunRequest struct {
 	// this is the serving layer's fault-injection hook: the poisoned
 	// request fails, the process keeps serving.
 	Perturb bool `json:"perturb,omitempty"`
+	// Frames > 1 runs the pipeline as a streamed frame sequence of that
+	// length (DoStream / POST /run?frames=N, answered as ndjson — one
+	// FrameResult line per frame). Frames after the first refresh the
+	// inputs with a deterministic per-frame pattern, inside ROI only when
+	// one is set. 0 or 1 means single-shot. Not part of the program-cache
+	// key: a stream reuses the same compiled program as single-shot runs.
+	Frames int `json:"frames,omitempty"`
+	// ROI, with Frames > 1, is the dirty rectangle ([lo, hi] inclusive per
+	// dimension): per-frame input changes are confined to it, and the
+	// engine recomputes only the tiles whose reads reach it, copying every
+	// other tile from the previous frame's retained buffers. It must
+	// rank-match at least one input image and lie inside its domain. Not
+	// part of the program-cache key.
+	ROI [][2]int64 `json:"roi,omitempty"`
 }
 
 // validate checks request-level invariants that do not need compilation.
@@ -86,6 +118,22 @@ func (r *RunRequest) validate() *Error {
 		}
 		if r.Seed != 0 && r.Seed != r.Spec.Seed {
 			return errf(400, "verify compares against the reference at the spec's own seed %d", r.Spec.Seed)
+		}
+		if r.Frames > 1 {
+			return errf(400, "verify is not supported with frames; the difftest streaming knobs cover frame sequences")
+		}
+	}
+	if r.Frames < 0 || r.Frames > MaxStreamFrames {
+		return errSentinel(400, ErrInvalidFrames, "frames must be between 1 and %d, got %d", MaxStreamFrames, r.Frames)
+	}
+	if len(r.ROI) > 0 {
+		if r.Frames <= 1 {
+			return errSentinel(400, ErrInvalidROI, "roi requires frames > 1: partial recompute is relative to a previous frame")
+		}
+		for d, iv := range r.ROI {
+			if iv[0] > iv[1] {
+				return errSentinel(400, ErrInvalidROI, "roi dim %d: lo %d > hi %d", d, iv[0], iv[1])
+			}
 		}
 	}
 	return nil
@@ -145,18 +193,54 @@ type RunResponse struct {
 	Outputs  map[string]OutputResult `json:"outputs,omitempty"`
 }
 
+// FrameResult is one frame of a streaming request (DoStream /
+// POST /run?frames=N): each ndjson line is one of these, emitted as the
+// frame completes. Frame 0 additionally carries the program identity that
+// RunResponse would — pipeline label, cache key and hit/compile cost.
+type FrameResult struct {
+	// Frame is the zero-based frame index.
+	Frame int `json:"frame"`
+	// RunMillis is this frame's execution time.
+	RunMillis float64 `json:"run_ms"`
+	// TilesExecuted and TilesSkipped account the frame's dirty-rectangle
+	// decisions: tiles recomputed versus tiles copied from the previous
+	// frame. Whole-frame recomputes (frame 0, or no ROI) report 0/0 — the
+	// partial-recompute machinery was not engaged.
+	TilesExecuted int64 `json:"tiles_executed"`
+	TilesSkipped  int64 `json:"tiles_skipped"`
+	// Pipeline, Key, Cached and CompileMillis are set on frame 0 only.
+	Pipeline      string                  `json:"pipeline,omitempty"`
+	Key           string                  `json:"key,omitempty"`
+	Cached        bool                    `json:"cached,omitempty"`
+	CompileMillis float64                 `json:"compile_ms,omitempty"`
+	Outputs       map[string]OutputResult `json:"outputs,omitempty"`
+}
+
 // Error is the service's typed failure: an HTTP status, a message (the
-// JSON body), and an optional Retry-After hint for overload statuses.
+// JSON body), an optional Retry-After hint for overload statuses, and an
+// optional wrapped sentinel (ErrInvalidFrames, ErrInvalidROI, engine
+// errors) reachable through errors.Is.
 type Error struct {
 	Status        int    `json:"status"`
 	Msg           string `json:"error"`
 	RetryAfterSec int    `json:"retry_after_sec,omitempty"`
+	// Err classifies the failure for errors.Is; it never reaches the wire.
+	Err error `json:"-"`
 }
 
 func (e *Error) Error() string { return e.Msg }
 
+// Unwrap exposes the sentinel so errors.Is(err, ErrInvalidROI) works
+// through the service boundary.
+func (e *Error) Unwrap() error { return e.Err }
+
 func errf(status int, format string, args ...any) *Error {
 	return &Error{Status: status, Msg: fmt.Sprintf(format, args...)}
+}
+
+// errSentinel builds an *Error wrapping a classification sentinel.
+func errSentinel(status int, sentinel error, format string, args ...any) *Error {
+	return &Error{Status: status, Msg: fmt.Sprintf(format, args...), Err: sentinel}
 }
 
 // Health is the body of GET /healthz.

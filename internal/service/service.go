@@ -157,6 +157,9 @@ func (s *Service) Do(ctx context.Context, req *RunRequest) (resp *RunResponse, e
 	if verr := req.validate(); verr != nil {
 		return nil, verr
 	}
+	if req.Frames > 1 {
+		return nil, errSentinel(400, ErrInvalidFrames, "frames > 1 must use the streaming path (POST /run?frames=N or DoStream)")
+	}
 	if req.Spec != nil && s.cfg.DisableSpecs {
 		return nil, errf(403, "inline specs are disabled on this server")
 	}
@@ -293,22 +296,7 @@ func (s *Service) Do(ctx context.Context, req *RunRequest) (resp *RunResponse, e
 		resp.CompileMillis = e.res.compileMillis
 	}
 	if req.Output != OutputNone {
-		resp.Outputs = make(map[string]OutputResult, len(e.res.prog.Graph.LiveOuts))
-		for _, lo := range e.res.prog.Graph.LiveOuts {
-			b := r.out[lo]
-			if b == nil {
-				continue
-			}
-			o := OutputResult{Box: make([][2]int64, len(b.Box))}
-			for d, iv := range b.Box {
-				o.Box[d] = [2]int64{iv.Lo, iv.Hi}
-			}
-			o.Checksum = fmt.Sprintf("%016x", difftest.Checksum(b))
-			if req.Output == OutputData {
-				o.Data = append([]float32(nil), b.Data...)
-			}
-			resp.Outputs[lo] = o
-		}
+		resp.Outputs = outputResults(e.res.prog, r.out, req.Output)
 	}
 	recycle()
 	return resp, nil

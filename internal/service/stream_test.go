@@ -1,0 +1,303 @@
+package service
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/difftest"
+)
+
+// testSpec2D is a two-dimensional tiled pipeline for the dirty-rectangle
+// streaming tests: two stencil stages over a 64x64 image.
+func testSpec2D() *difftest.PipelineSpec {
+	return &difftest.PipelineSpec{
+		Seed: 11, Rank: 2, N: 64,
+		Stages: []difftest.StageSpec{
+			{Kind: difftest.KindStencil5, P: -1},
+			{Kind: difftest.KindStencil3, P: 0},
+		},
+	}
+}
+
+func collectFrames(t *testing.T, svc *Service, req *RunRequest) ([]*FrameResult, error) {
+	t.Helper()
+	var frames []*FrameResult
+	err := svc.DoStream(context.Background(), req, func(fr *FrameResult) error {
+		frames = append(frames, fr)
+		return nil
+	})
+	return frames, err
+}
+
+// TestStreamValidation is the table-driven request-validation gauntlet:
+// every malformed streaming request answers 400 with the matching
+// sentinel reachable through errors.Is — never a 500 — and the service
+// keeps serving afterwards.
+func TestStreamValidation(t *testing.T) {
+	svc := New(Config{})
+	defer svc.Close(context.Background())
+
+	cases := []struct {
+		name     string
+		req      *RunRequest
+		sentinel error
+	}{
+		{"frames zero", &RunRequest{Spec: testSpec2D(), Frames: 0}, ErrInvalidFrames},
+		{"frames negative", &RunRequest{Spec: testSpec2D(), Frames: -3}, ErrInvalidFrames},
+		{"frames over cap", &RunRequest{Spec: testSpec2D(), Frames: MaxStreamFrames + 1}, ErrInvalidFrames},
+		{"roi lo above hi", &RunRequest{Spec: testSpec2D(), Frames: 3, ROI: [][2]int64{{20, 10}, {0, 8}}}, ErrInvalidROI},
+		{"roi without frames", &RunRequest{Spec: testSpec2D(), ROI: [][2]int64{{0, 8}, {0, 8}}}, ErrInvalidROI},
+		{"roi rank mismatch", &RunRequest{Spec: testSpec2D(), Frames: 3, ROI: [][2]int64{{0, 8}}}, ErrInvalidROI},
+		{"roi out of bounds", &RunRequest{Spec: testSpec2D(), Frames: 3, ROI: [][2]int64{{0, 8}, {500, 600}}}, ErrInvalidROI},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := collectFrames(t, svc, tc.req)
+			if err == nil {
+				t.Fatal("malformed request accepted")
+			}
+			var se *Error
+			if !errors.As(err, &se) {
+				t.Fatalf("err = %T %v, want *Error", err, err)
+			}
+			if se.Status != 400 {
+				t.Fatalf("status = %d (%s), want 400 — a malformed request must never be a server error", se.Status, se.Msg)
+			}
+			if !errors.Is(err, tc.sentinel) {
+				t.Fatalf("errors.Is(%v, %v) = false", err, tc.sentinel)
+			}
+		})
+	}
+
+	// Do refuses multi-frame requests (they need the streaming path) with
+	// the same classifiable sentinel.
+	_, err := svc.Do(context.Background(), &RunRequest{Spec: testSpec2D(), Frames: 3})
+	if !errors.Is(err, ErrInvalidFrames) {
+		t.Fatalf("Do with frames=3: err = %v, want ErrInvalidFrames", err)
+	}
+
+	// Verify does not compose with frames.
+	err = svc.DoStream(context.Background(), &RunRequest{Spec: testSpec2D(), Frames: 3, Verify: true}, func(*FrameResult) error { return nil })
+	var se *Error
+	if !errors.As(err, &se) || se.Status != 400 {
+		t.Fatalf("verify+frames: err = %v, want 400", err)
+	}
+
+	// The gauntlet left the process healthy: a good stream still runs.
+	frames, err := collectFrames(t, svc, &RunRequest{Spec: testSpec2D(), Frames: 2, Output: OutputNone})
+	if err != nil || len(frames) != 2 {
+		t.Fatalf("good stream after gauntlet: %d frames, err %v", len(frames), err)
+	}
+}
+
+// TestStreamFrames: a direct DoStream sequence delivers in-order frames,
+// frame 0 carries the program identity, dirty-rectangle frames skip
+// tiles, and frame 0 of a no-ROI stream matches the single-shot result
+// for the same request (same program, same seed, same inputs).
+func TestStreamFrames(t *testing.T) {
+	svc := New(Config{})
+	defer svc.Close(context.Background())
+
+	single, err := svc.Do(context.Background(), &RunRequest{Spec: testSpec2D(), Tiles: []int64{16, 16}})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	req := &RunRequest{
+		Spec:   testSpec2D(),
+		Tiles:  []int64{16, 16},
+		Frames: 4,
+		ROI:    [][2]int64{{24, 39}, {24, 39}},
+	}
+	frames, err := collectFrames(t, svc, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(frames) != 4 {
+		t.Fatalf("got %d frames, want 4", len(frames))
+	}
+	for i, fr := range frames {
+		if fr.Frame != i {
+			t.Fatalf("frame %d delivered at position %d", fr.Frame, i)
+		}
+		if len(fr.Outputs) == 0 {
+			t.Fatalf("frame %d has no outputs", i)
+		}
+	}
+	if frames[0].Pipeline == "" || frames[0].Key == "" {
+		t.Errorf("frame 0 missing program identity: %+v", frames[0])
+	}
+	if !frames[0].Cached {
+		t.Error("stream after single-shot run should hit the program cache (frames must not enter the cache key)")
+	}
+	if frames[1].Pipeline != "" || frames[1].Key != "" {
+		t.Errorf("frame 1 repeats program identity: %+v", frames[1])
+	}
+
+	// Frame 0 is a whole-frame recompute of the same inputs the
+	// single-shot run used: identical checksums.
+	for name, o := range single.Outputs {
+		if fo, ok := frames[0].Outputs[name]; !ok || fo.Checksum != o.Checksum {
+			t.Errorf("frame 0 output %q checksum %s, single-shot %s", name, fo.Checksum, o.Checksum)
+		}
+	}
+
+	// ROI frames engage partial recompute: tiles skipped, and the outputs
+	// actually change frame over frame (the ROI region was refreshed).
+	var skipped, executed int64
+	for _, fr := range frames[1:] {
+		skipped += fr.TilesSkipped
+		executed += fr.TilesExecuted
+		if fr.Pipeline != "" {
+			t.Errorf("frame %d repeats program identity", fr.Frame)
+		}
+	}
+	if skipped == 0 || executed == 0 {
+		t.Errorf("ROI frames skipped=%d executed=%d, want both > 0", skipped, executed)
+	}
+	for name, o := range frames[1].Outputs {
+		if frames[2].Outputs[name].Checksum == o.Checksum {
+			t.Errorf("output %q unchanged between ROI frames — inputs did not evolve", name)
+		}
+	}
+
+	// Determinism: the same request replays to the same per-frame sums.
+	again, err := collectFrames(t, svc, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range frames {
+		for name, o := range frames[i].Outputs {
+			if again[i].Outputs[name].Checksum != o.Checksum {
+				t.Fatalf("frame %d output %q not deterministic across replays", i, name)
+			}
+		}
+	}
+}
+
+// TestStreamHTTP drives the ndjson surface end-to-end: ?frames=N answers
+// one FrameResult line per frame; malformed frames parameters answer 400
+// before any line is written.
+func TestStreamHTTP(t *testing.T) {
+	svc := New(Config{})
+	defer svc.Close(context.Background())
+	srv := httptest.NewServer(svc.Handler())
+	defer srv.Close()
+
+	body, _ := json.Marshal(&RunRequest{Spec: testSpec2D(), Tiles: []int64{16, 16}, ROI: [][2]int64{{8, 23}, {8, 23}}, Frames: 2})
+	resp, err := http.Post(srv.URL+"/run?frames=3", "application/json", strings.NewReader(string(body)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("status = %d, want 200", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("Content-Type = %q, want ndjson", ct)
+	}
+	var lines []FrameResult
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		var fr FrameResult
+		if err := json.Unmarshal(sc.Bytes(), &fr); err != nil {
+			t.Fatalf("bad ndjson line %q: %v", sc.Text(), err)
+		}
+		lines = append(lines, fr)
+	}
+	// The query parameter overrides the body's frame count.
+	if len(lines) != 3 {
+		t.Fatalf("got %d ndjson lines, want 3 (query overrides body)", len(lines))
+	}
+	for i, fr := range lines {
+		if fr.Frame != i {
+			t.Fatalf("line %d is frame %d", i, fr.Frame)
+		}
+	}
+	if lines[1].TilesSkipped == 0 {
+		t.Error("ROI frame over HTTP skipped no tiles")
+	}
+
+	for _, q := range []string{"frames=0", "frames=-1", "frames=many"} {
+		r2, err := http.Post(srv.URL+"/run?"+q, "application/json", strings.NewReader(string(body)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		r2.Body.Close()
+		if r2.StatusCode != 400 {
+			t.Errorf("?%s status = %d, want 400", q, r2.StatusCode)
+		}
+	}
+}
+
+// TestStreamDeadlineMidflight: a stream that outlives its request
+// deadline answers 503 after the frames already delivered; the abandoned
+// frame finishes in the background, its admission slot and cache
+// reference are released, and the next request succeeds.
+func TestStreamDeadlineMidflight(t *testing.T) {
+	svc := New(Config{MaxInFlight: 1, RequestTimeout: 250 * time.Millisecond})
+	defer svc.Close(context.Background())
+
+	// Warm the program with no hook installed.
+	if _, err := svc.Do(context.Background(), &RunRequest{Spec: testSpec2D()}); err != nil {
+		t.Fatal(err)
+	}
+	svc.beforeRun = func(*RunRequest) { time.Sleep(80 * time.Millisecond) }
+
+	var delivered int
+	err := svc.DoStream(context.Background(), &RunRequest{Spec: testSpec2D(), Frames: 50, Output: OutputNone}, func(fr *FrameResult) error {
+		delivered++
+		return nil
+	})
+	se, ok := err.(*Error)
+	if !ok || se.Status != 503 {
+		t.Fatalf("mid-stream deadline: err = %v, want *Error 503", err)
+	}
+	if delivered == 0 || delivered >= 50 {
+		t.Fatalf("delivered %d frames before expiry, want some but not all", delivered)
+	}
+	if svc.slows.Load() != 1 {
+		t.Errorf("timeouts = %d, want 1", svc.slows.Load())
+	}
+
+	// The abandoned goroutine notices the caller is gone before its next
+	// frame and winds down (the hook stays installed: clearing it here
+	// would race the in-flight read).
+	waitFor(t, "abandoned stream wound down", func() bool { return svc.inflight.Load() == 0 })
+	if _, err := svc.Do(context.Background(), &RunRequest{Spec: testSpec2D()}); err != nil {
+		t.Fatalf("after abandoned stream: %v", err)
+	}
+}
+
+// TestStreamEmitAbort: an emit error (the client went away) stops the
+// sequence without wedging the slot.
+func TestStreamEmitAbort(t *testing.T) {
+	svc := New(Config{MaxInFlight: 1})
+	defer svc.Close(context.Background())
+
+	boom := fmt.Errorf("client hung up")
+	var n int
+	err := svc.DoStream(context.Background(), &RunRequest{Spec: testSpec2D(), Frames: 10, Output: OutputNone}, func(*FrameResult) error {
+		n++
+		if n == 2 {
+			return boom
+		}
+		return nil
+	})
+	if err == nil || !strings.Contains(err.Error(), "client hung up") {
+		t.Fatalf("err = %v, want emit failure", err)
+	}
+	waitFor(t, "aborted stream wound down", func() bool { return svc.inflight.Load() == 0 })
+	if _, err := svc.Do(context.Background(), &RunRequest{Spec: testSpec2D()}); err != nil {
+		t.Fatalf("after aborted stream: %v", err)
+	}
+}

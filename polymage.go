@@ -192,6 +192,28 @@ type Program = engine.Program
 // worker pool plus a cross-run buffer arena. See Program.Executor.
 type Executor = engine.Executor
 
+// Streaming execution over frame sequences (Executor.NewStream and
+// Executor.RunFrames): buffers, scratchpads and worker state are reused
+// frame-to-frame; StreamOptions.Feedback binds an input image to the
+// previous frame's output (sliding-window temporal stencils such as heat
+// relaxation or exponential motion blur); and a Frame carrying an ROI —
+// the rectangle outside which the caller promises nothing changed —
+// recomputes only the tiles whose reads reach the change, copying every
+// other tile from the previous frame's retained buffers.
+type (
+	// Stream is an open frame sequence on an Executor; see
+	// Executor.NewStream.
+	Stream = engine.Stream
+	// StreamOptions configures a Stream (feedback bindings).
+	StreamOptions = engine.StreamOptions
+	// StreamStats counts a stream's frames and its dirty-rectangle tile
+	// decisions (recomputed vs copied).
+	StreamStats = engine.StreamStats
+	// Frame is one step of Executor.RunFrames: its inputs and an optional
+	// changed-region ROI.
+	Frame = engine.Frame
+)
+
 // Compile runs the PolyMage compiler phases (Figure 4 of the paper) on a
 // specification: graph construction, bounds checking, inlining, grouping
 // and overlapped-tiling schedule construction.
@@ -252,6 +274,9 @@ var (
 	// ErrUnknownStage reports a stage or image name the pipeline does not
 	// declare.
 	ErrUnknownStage = engine.ErrUnknownStage
+	// ErrROI reports a dirty-rectangle ROI that cannot describe any input
+	// image's change (rank mismatch with every non-feedback input).
+	ErrROI = engine.ErrROI
 	// ErrUnboundParam reports a parameter with no value in a binding.
 	ErrUnboundParam = affine.ErrUnboundParam
 )
