@@ -7,7 +7,7 @@ COVER_FLOOR_SCHEDULE ?= 75.0
 COVER_FLOOR_SERVICE  ?= 80.0
 COVER_FLOOR_DIFFTEST ?= 80.0
 
-.PHONY: all build test vet api race rowvm-race fleet-race stream-race fuzz cover bench bench-kernels bench-json serve serve-smoke serve-http stats clean
+.PHONY: all build test vet api race rowvm-race fleet-race stream-race gen gen-race gen-gate fuzz cover bench bench-kernels bench-json serve serve-smoke serve-http stats clean
 
 all: build test
 
@@ -21,7 +21,7 @@ all: build test
 build:
 	$(GO) build ./...
 
-test: vet rowvm-race fleet-race stream-race serve-smoke
+test: vet gen rowvm-race fleet-race stream-race gen-race serve-smoke
 	$(GO) test ./...
 
 # Race-checked run of the row bytecode VM suite (differential vs scalar,
@@ -48,6 +48,30 @@ stream-race:
 
 vet:
 	$(GO) vet ./...
+
+# Verify the checked-in ahead-of-time kernel packages (internal/apps/gen,
+# internal/difftest/gencorpus) are byte-identical to what the emitter
+# produces today — fails on any drift, so generated kernels can never fall
+# out of sync with internal/codegen. To regenerate after a deliberate
+# emitter or schedule change:
+#   go run ./cmd/polymage-gen
+gen:
+	$(GO) run ./cmd/polymage-gen -check
+
+# Race-checked run of the generated-kernel suite: schedule-hash stability,
+# registry dispatch/fallback matrix, golden emitter structure, and the
+# apps/gen parity tests (generated kernels vs interpreted tiers on every
+# Table-2 app).
+gen-race:
+	$(GO) test -race -run TestGen ./internal/engine/ ./internal/codegen/ ./internal/apps/gen/ -count=1
+
+# Re-measure the generated-kernel benchmark and gate it against the
+# committed BENCH_gen.json: per-row regressions beyond 10%, plus the
+# gen-vs-interpreted geomean speedup floor (>= 1.2x per ISSUE, target 1.5x
+# per ROADMAP).
+gen-gate:
+	$(GO) run ./cmd/polymage-bench -gen-json /tmp/BENCH_gen_new.json -runs 5
+	$(GO) run ./cmd/polymage-benchdiff -min-gen-speedup 1.2 BENCH_gen.json /tmp/BENCH_gen_new.json
 
 # In-process end-to-end gate for the HTTP serving layer: cold/warm/
 # overload/oversized requests plus /healthz, /metrics and the snapshot
@@ -111,6 +135,8 @@ bench-json:
 	@echo "wrote BENCH_fleet.json"
 	$(GO) run ./cmd/polymage-bench -stream-json BENCH_stream.json -runs 5
 	@echo "wrote BENCH_stream.json"
+	$(GO) run ./cmd/polymage-bench -gen-json BENCH_gen.json -runs 5
+	@echo "wrote BENCH_gen.json"
 
 serve:
 	$(GO) run ./cmd/polymage-bench -serve harris -requests 100

@@ -146,7 +146,7 @@ func localityChain(depth int, rows, cols int64) (*polymage.Builder, []string, ma
 		f := b.Func(fmt.Sprintf("s%d", d), polymage.Float, vars, dom)
 		cond := polymage.InBox(vars, []any{m, m},
 			[]any{polymage.Add(R, -m-1), polymage.Add(C, -m-1)})
-		f.Define(polymage.Case{Cond: cond, E: polymage.MulE(1.0/3, polymage.Add(
+		f.Define(polymage.Case{Cond: cond, E: polymage.Mul(1.0/3, polymage.Add(
 			polymage.Add(prev.At(x, polymage.Sub(y, 1)), prev.At(x, y)),
 			prev.At(x, polymage.Add(y, 1))))})
 		prev = f

@@ -20,6 +20,8 @@ import (
 	"strconv"
 	"strings"
 
+	_ "repro/internal/apps/gen" // ahead-of-time kernels for the Table-2 apps
+
 	"repro/internal/autotune"
 	"repro/internal/harness"
 )
@@ -42,10 +44,11 @@ func main() {
 	benchJSON := flag.String("bench-json", "", "write machine-readable benchmarks (apps + row-evaluator micros, VM vs closure) to the given file ('-' = stdout)")
 	fleetJSON := flag.String("fleet-json", "", "write the multi-program saturation benchmark (shared fleet vs serialized per-program baseline) to the given file ('-' = stdout)")
 	streamJSON := flag.String("stream-json", "", "write the streaming dirty-rectangle benchmark (whole-frame vs ROI partial recompute) to the given file ('-' = stdout)")
+	genJSON := flag.String("gen-json", "", "write the ahead-of-time kernel benchmark (generated kernels vs interpreted tiers, 1 thread) to the given file ('-' = stdout)")
 	seed := flag.Int64("seed", harness.DefaultSeed, "seed for synthetic benchmark inputs")
 	flag.Parse()
 
-	if *benchJSON != "" || *fleetJSON != "" || *streamJSON != "" {
+	if *benchJSON != "" || *fleetJSON != "" || *streamJSON != "" || *genJSON != "" {
 		cfg := harness.Config{Scale: *scale, Runs: *runs, Threads: *threads, Seed: *seed}
 		run := func(path string, f func(io.Writer, harness.Config) error) {
 			out := io.Writer(os.Stdout)
@@ -69,6 +72,9 @@ func main() {
 		}
 		if *streamJSON != "" {
 			run(*streamJSON, harness.BenchStreamJSON)
+		}
+		if *genJSON != "" {
+			run(*genJSON, harness.BenchGenJSON)
 		}
 		return
 	}

@@ -26,6 +26,7 @@ import (
 func main() {
 	threshold := flag.Float64("threshold", 0.10, "relative slowdown that counts as a regression (0.10 = 10%)")
 	maxRegress := flag.Float64("max-regress", -1, "fail when the geomean slowdown over all matched configurations exceeds this fraction (negative = off)")
+	minGenSpeedup := flag.Float64("min-gen-speedup", 0, "fail when the new file's generated-kernel geomean speedup (gen_speedup) is below this factor (0 = off; BENCH_gen.json files only)")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: polymage-benchdiff [-threshold 0.10] [-max-regress 0.05] old.json new.json\n")
 		flag.PrintDefaults()
@@ -54,6 +55,16 @@ func main() {
 	}
 	if *maxRegress >= 0 && gm > 1+*maxRegress {
 		fmt.Printf("FAIL: geomean slowdown %.1f%% beyond %.0f%%\n", (gm-1)*100, *maxRegress*100)
+		fail = true
+	}
+	if s := newBF.Summary.GenSpeedup; s > 0 {
+		fmt.Printf("generated-kernel geomean speedup: %.2fx (worst app ratio %.3f)\n", s, newBF.Summary.GenWorstRatio)
+		if *minGenSpeedup > 0 && s < *minGenSpeedup {
+			fmt.Printf("FAIL: gen speedup %.2fx below floor %.2fx\n", s, *minGenSpeedup)
+			fail = true
+		}
+	} else if *minGenSpeedup > 0 {
+		fmt.Printf("FAIL: -min-gen-speedup set but the new file carries no gen summary\n")
 		fail = true
 	}
 	if fail {

@@ -1,0 +1,144 @@
+// Command polymage-gen is the ahead-of-time kernel generator: it compiles
+// pipeline bindings, emits Go source for every eligible stage piece
+// (internal/codegen.EmitGo) and writes the generated packages that register
+// those kernels with the execution engine under the binding's schedule
+// hash.
+//
+// Two generation targets are maintained in-tree:
+//
+//	internal/apps/gen       one file per Table-2 app at the benchmark
+//	                        binding (opt+vec, scale 4, default schedule)
+//	internal/difftest/gencorpus
+//	                        one file per fuzz-corpus seed at the
+//	                        difftest gen-kernels knob's options
+//
+// Run `make gen` to regenerate both and fail on drift; -check verifies
+// without writing (the tier-1 wiring that keeps checked-in kernels and
+// emitter in lockstep).
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/apps"
+	"repro/internal/baseline"
+	"repro/internal/codegen"
+	"repro/internal/difftest"
+	"repro/internal/engine"
+	"repro/internal/harness"
+	"repro/internal/schedule"
+)
+
+func main() {
+	appList := flag.String("apps", "all", "comma-separated app names to generate kernels for (empty = skip apps)")
+	corpus := flag.Int("corpus", 40, "number of difftest corpus seeds to generate kernels for (0 = skip)")
+	dir := flag.String("dir", ".", "repository root the generated packages are written under")
+	scale := flag.Int64("scale", 4, "parameter scale for app bindings (matches the benchmark harness default)")
+	check := flag.Bool("check", false, "verify checked-in files match the emitter instead of writing")
+	verbose := flag.Bool("v", false, "print per-kernel coverage")
+	flag.Parse()
+
+	drift := 0
+	emit := func(path string, src []byte) {
+		if *check {
+			old, err := os.ReadFile(path)
+			switch {
+			case err != nil:
+				fmt.Fprintf(os.Stderr, "polymage-gen: %s: missing or unreadable (%v)\n", path, err)
+				drift++
+			case !bytes.Equal(old, src):
+				fmt.Fprintf(os.Stderr, "polymage-gen: %s: drifted from emitter output (rerun make gen)\n", path)
+				drift++
+			}
+			return
+		}
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(path, src, 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s (%d bytes)\n", path, len(src))
+	}
+
+	if *appList != "" {
+		names := apps.Names()
+		if *appList != "all" {
+			names = strings.Split(*appList, ",")
+		}
+		v, err := baseline.Get("opt+vec")
+		if err != nil {
+			fatal(err)
+		}
+		for _, name := range names {
+			app, err := apps.Get(strings.TrimSpace(name))
+			if err != nil {
+				fatal(err)
+			}
+			params := harness.ScaledParams(app, *scale)
+			prep, err := harness.Prepare(app, v, params, 1, schedule.DefaultOptions(), harness.DefaultSeed)
+			if err != nil {
+				fatal(fmt.Errorf("prepare %s: %w", app.Name, err))
+			}
+			src, err := codegen.EmitGo(prep.Prog, codegen.GoOptions{Package: "gen", Name: app.Name})
+			if err != nil {
+				prep.Close()
+				fatal(fmt.Errorf("emit %s: %w", app.Name, err))
+			}
+			report(app.Name, prep.Prog, *verbose)
+			prep.Close()
+			emit(filepath.Join(*dir, "internal", "apps", "gen", app.Name+"_gen.go"), src)
+		}
+	}
+
+	for seed := 1; seed <= *corpus; seed++ {
+		prog, err := difftest.BuildGenProgram(int64(seed))
+		if err != nil {
+			fatal(fmt.Errorf("corpus seed %d: %w", seed, err))
+		}
+		name := fmt.Sprintf("seed%03d", seed)
+		src, err := codegen.EmitGo(prog, codegen.GoOptions{Package: "gencorpus", Name: name})
+		if err != nil {
+			prog.Close()
+			fatal(fmt.Errorf("emit corpus seed %d: %w", seed, err))
+		}
+		report(name, prog, *verbose)
+		prog.Close()
+		emit(filepath.Join(*dir, "internal", "difftest", "gencorpus", name+"_gen.go"), src)
+	}
+
+	if drift > 0 {
+		fmt.Fprintf(os.Stderr, "polymage-gen: %d file(s) out of date\n", drift)
+		os.Exit(1)
+	}
+}
+
+// report prints the emission coverage of one binding: how many pieces got
+// kernels and which interpreted tier each would otherwise run on.
+func report(name string, prog *engine.Program, verbose bool) {
+	units := prog.GenUnits()
+	tiers := map[string]int{}
+	f32 := 0
+	for _, u := range units {
+		tiers[u.Tier]++
+		if u.F32 {
+			f32++
+		}
+		if verbose {
+			fmt.Printf("  %s/%s piece %d: rank %d f32=%v tier=%s reads=%v\n",
+				name, u.Stage, u.Piece, u.Rank, u.F32, u.Tier, u.Reads)
+		}
+	}
+	fmt.Printf("%s: %d kernels (%d float32) tiers=%v hash=%.12s…\n",
+		name, len(units), f32, tiers, prog.ScheduleHash())
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "polymage-gen:", err)
+	os.Exit(1)
+}

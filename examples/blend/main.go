@@ -45,9 +45,9 @@ func main() {
 		var terms []polymage.Expr
 		for i := -2; i <= 2; i++ {
 			for j := -2; j <= 2; j++ {
-				terms = append(terms, polymage.MulE(w5[i+2]*w5[j+2]/256,
-					src.At(polymage.Add(polymage.MulE(2, x), i-apron),
-						polymage.Add(polymage.MulE(2, y), j-apron))))
+				terms = append(terms, polymage.Mul(w5[i+2]*w5[j+2]/256,
+					src.At(polymage.Add(polymage.Mul(2, x), i-apron),
+						polymage.Add(polymage.Mul(2, y), j-apron))))
 			}
 		}
 		f.Define(polymage.Case{Cond: interiorCoarse, E: sum(terms)})
@@ -57,20 +57,20 @@ func main() {
 		f := b.Func(name, polymage.Float, vars, fineDom)
 		cx := polymage.IDiv(polymage.Add(x, apron), 2)
 		cy := polymage.IDiv(polymage.Add(y, apron), 2)
-		px := polymage.Sub(polymage.Add(x, apron), polymage.MulE(2, cx))
-		py := polymage.Sub(polymage.Add(y, apron), polymage.MulE(2, cy))
+		px := polymage.Sub(polymage.Add(x, apron), polymage.Mul(2, cx))
+		py := polymage.Sub(polymage.Add(y, apron), polymage.Mul(2, cy))
 		var terms []polymage.Expr
 		for dx := 0; dx <= 1; dx++ {
 			for dy := 0; dy <= 1; dy++ {
-				wx := polymage.Sub(1, polymage.MulE(0.5, px))
+				wx := polymage.Sub(1, polymage.Mul(0.5, px))
 				if dx == 1 {
-					wx = polymage.MulE(0.5, px)
+					wx = polymage.Mul(0.5, px)
 				}
-				wy := polymage.Sub(1, polymage.MulE(0.5, py))
+				wy := polymage.Sub(1, polymage.Mul(0.5, py))
 				if dy == 1 {
-					wy = polymage.MulE(0.5, py)
+					wy = polymage.Mul(0.5, py)
 				}
-				terms = append(terms, polymage.MulE(polymage.MulE(wx, wy),
+				terms = append(terms, polymage.Mul(polymage.Mul(wx, wy),
 					src.At(polymage.Add(cx, dx), polymage.Add(cy, dy))))
 			}
 		}
@@ -92,13 +92,13 @@ func main() {
 
 	blendCoarse := b.Func("blendCoarse", polymage.Float, vars, coarseDom)
 	blendCoarse.Define(polymage.Case{Cond: interiorCoarse, E: polymage.Add(
-		polymage.MulE(gM.At(x, y), gA.At(x, y)),
-		polymage.MulE(polymage.Sub(1, gM.At(x, y)), gB.At(x, y)))})
+		polymage.Mul(gM.At(x, y), gA.At(x, y)),
+		polymage.Mul(polymage.Sub(1, gM.At(x, y)), gB.At(x, y)))})
 
 	blendFine := b.Func("blendFine", polymage.Float, vars, fineDom)
 	blendFine.Define(polymage.Case{Cond: interiorFine, E: polymage.Add(
-		polymage.MulE(M.At(x, y), lapA.At(x, y)),
-		polymage.MulE(polymage.Sub(1, M.At(x, y)), lapB.At(x, y)))})
+		polymage.Mul(M.At(x, y), lapA.At(x, y)),
+		polymage.Mul(polymage.Sub(1, M.At(x, y)), lapB.At(x, y)))})
 
 	upBlend := up("upBlend", blendCoarse)
 	out := b.Func("blended", polymage.Float, vars, fineDom)
@@ -120,7 +120,7 @@ func main() {
 	}
 	inputs := map[string]*polymage.Buffer{}
 	for name, im := range map[string]*polymage.Image{"A": A, "B": B, "M": M} {
-		buf, err := polymage.NewInputBuffer(im, params)
+		buf, err := im.NewBuffer(params)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -158,9 +158,9 @@ func sum(terms []polymage.Expr) polymage.Expr {
 }
 
 func fineRowsExpr(R *polymage.Parameter) polymage.Expr {
-	return polymage.MulE(2, R)
+	return polymage.Mul(2, R)
 }
 
 func fineColsExpr(C *polymage.Parameter) polymage.Expr {
-	return polymage.MulE(2, C)
+	return polymage.Mul(2, C)
 }

@@ -40,7 +40,7 @@ func main() {
 	blur2 := b.Func("blur2", polymage.Float, vars, interior(2))
 	blur2.Define(polymage.Case{E: polymage.Stencil(blur1, 1.0/9, box3, [2]any{x, y})})
 	sharp := b.Func("sharp", polymage.Float, vars, interior(2))
-	sharp.Define(polymage.Case{E: polymage.Sub(polymage.MulE(2, I.At(x, y)), blur2.At(x, y))})
+	sharp.Define(polymage.Case{E: polymage.Sub(polymage.Mul(2, I.At(x, y)), blur2.At(x, y))})
 
 	params := map[string]int64{"N": size}
 	pl, err := polymage.Compile(b, []string{"sharp"}, polymage.Options{Estimates: params})

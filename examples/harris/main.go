@@ -33,11 +33,11 @@ func buildHarris() (*polymage.Builder, *polymage.Image) {
 		[][]float64{{-1, 0, 1}, {-2, 0, 2}, {-1, 0, 1}}, [2]any{x, y})})
 
 	Ixx := b.Func("Ixx", polymage.Float, vars, dom)
-	Ixx.Define(polymage.Case{Cond: c, E: polymage.MulE(Ix.At(x, y), Ix.At(x, y))})
+	Ixx.Define(polymage.Case{Cond: c, E: polymage.Mul(Ix.At(x, y), Ix.At(x, y))})
 	Iyy := b.Func("Iyy", polymage.Float, vars, dom)
-	Iyy.Define(polymage.Case{Cond: c, E: polymage.MulE(Iy.At(x, y), Iy.At(x, y))})
+	Iyy.Define(polymage.Case{Cond: c, E: polymage.Mul(Iy.At(x, y), Iy.At(x, y))})
 	Ixy := b.Func("Ixy", polymage.Float, vars, dom)
-	Ixy.Define(polymage.Case{Cond: c, E: polymage.MulE(Ix.At(x, y), Iy.At(x, y))})
+	Ixy.Define(polymage.Case{Cond: c, E: polymage.Mul(Ix.At(x, y), Iy.At(x, y))})
 
 	box := [][]float64{{1, 1, 1}, {1, 1, 1}, {1, 1, 1}}
 	Sxx := b.Func("Sxx", polymage.Float, vars, dom)
@@ -49,13 +49,13 @@ func buildHarris() (*polymage.Builder, *polymage.Image) {
 
 	det := b.Func("det", polymage.Float, vars, dom)
 	det.Define(polymage.Case{Cond: cb, E: polymage.Sub(
-		polymage.MulE(Sxx.At(x, y), Syy.At(x, y)),
-		polymage.MulE(Sxy.At(x, y), Sxy.At(x, y)))})
+		polymage.Mul(Sxx.At(x, y), Syy.At(x, y)),
+		polymage.Mul(Sxy.At(x, y), Sxy.At(x, y)))})
 	trace := b.Func("trace", polymage.Float, vars, dom)
 	trace.Define(polymage.Case{Cond: cb, E: polymage.Add(Sxx.At(x, y), Syy.At(x, y))})
 	harris := b.Func("harris", polymage.Float, vars, dom)
 	harris.Define(polymage.Case{Cond: cb, E: polymage.Sub(det.At(x, y),
-		polymage.MulE(0.04, polymage.MulE(trace.At(x, y), trace.At(x, y))))})
+		polymage.Mul(0.04, polymage.Mul(trace.At(x, y), trace.At(x, y))))})
 	return b, I
 }
 
@@ -90,7 +90,7 @@ func main() {
 	params := map[string]int64{"R": 800, "C": 800}
 	b, I := buildHarris()
 	_ = b
-	input, err := polymage.NewInputBuffer(I, params)
+	input, err := I.NewBuffer(params)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -34,11 +34,11 @@ func main() {
 	}
 	laplace := polymage.Sub(
 		polymage.Add(polymage.Add(prev(-1, 0), prev(1, 0)), polymage.Add(prev(0, -1), prev(0, 1))),
-		polymage.MulE(4, prev(0, 0)))
+		polymage.Mul(4, prev(0, 0)))
 	heat.Define(
 		polymage.Case{Cond: polymage.Cond(t, "==", 0), E: init.At(x, y)},
 		polymage.Case{Cond: polymage.And(polymage.Cond(t, ">", 0), inner),
-			E: polymage.Add(prev(0, 0), polymage.MulE(alpha, laplace))},
+			E: polymage.Add(prev(0, 0), polymage.Mul(alpha, laplace))},
 		polymage.Case{Cond: polymage.And(polymage.Cond(t, ">", 0), polymage.Not(inner)),
 			E: prev(0, 0)}, // insulated boundary
 	)
@@ -64,7 +64,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	in, err := polymage.NewInputBuffer(init, params)
+	in, err := init.NewBuffer(params)
 	if err != nil {
 		log.Fatal(err)
 	}

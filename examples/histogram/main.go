@@ -28,7 +28,7 @@ func main() {
 	hist := b.Accum("hist", polymage.Int,
 		[]*polymage.Variable{x, y}, imgDom,
 		[]*polymage.Variable{v}, binDom)
-	hist.Define([]any{polymage.Cast(polymage.Int, polymage.MulE(I.At(x, y), bins-0.001))}, 1, polymage.Sum)
+	hist.Define([]any{polymage.Cast(polymage.Int, polymage.Mul(I.At(x, y), bins-0.001))}, 1, polymage.ReduceSum)
 
 	// Cumulative distribution: a self-referencing scan over the bins.
 	cdf := b.Func("cdf", polymage.Float, []*polymage.Variable{v}, binDom)
@@ -41,8 +41,8 @@ func main() {
 	// Equalized image: remap every pixel through the normalized CDF
 	// (data-dependent gather).
 	eq := b.Func("equalized", polymage.Float, []*polymage.Variable{x, y}, imgDom)
-	bin := polymage.Cast(polymage.Int, polymage.MulE(I.At(x, y), bins-0.001))
-	eq.Define(polymage.Case{E: polymage.Div(cdf.At(bin), polymage.MulE(R, C))})
+	bin := polymage.Cast(polymage.Int, polymage.Mul(I.At(x, y), bins-0.001))
+	eq.Define(polymage.Case{E: polymage.Div(cdf.At(bin), polymage.Mul(R, C))})
 
 	params := map[string]int64{"R": 512, "C": 512}
 	pl, err := polymage.Compile(b, []string{"equalized"}, polymage.Options{Estimates: params})
@@ -57,7 +57,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	input, err := polymage.NewInputBuffer(I, params)
+	input, err := I.NewBuffer(params)
 	if err != nil {
 		log.Fatal(err)
 	}

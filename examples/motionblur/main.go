@@ -36,8 +36,8 @@ func main() {
 	// StreamOptions.Feedback requires.
 	trail := b.Func("trail", polymage.Float, []*polymage.Variable{x, y}, dom)
 	trail.Define(polymage.Case{E: polymage.Add(
-		polymage.MulE(0.25, frame.At(x, y)),
-		polymage.MulE(0.75, prev.At(x, y)))})
+		polymage.Mul(0.25, frame.At(x, y)),
+		polymage.Mul(0.75, prev.At(x, y)))})
 
 	params := map[string]int64{"N": size}
 	pl, err := polymage.Compile(b, []string{"trail"}, polymage.Options{Estimates: params})

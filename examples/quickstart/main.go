@@ -21,11 +21,11 @@ func main() {
 	}
 
 	blur := b.Func("blur", polymage.Float, []*polymage.Variable{x}, interior)
-	blur.Define(polymage.Case{E: polymage.MulE(1.0/3,
+	blur.Define(polymage.Case{E: polymage.Mul(1.0/3,
 		polymage.Add(polymage.Add(in.At(polymage.Sub(x, 1)), in.At(x)), in.At(polymage.Add(x, 1))))})
 
 	sharp := b.Func("sharp", polymage.Float, []*polymage.Variable{x}, interior)
-	sharp.Define(polymage.Case{E: polymage.Sub(polymage.MulE(2, in.At(x)), blur.At(x))})
+	sharp.Define(polymage.Case{E: polymage.Sub(polymage.Mul(2, in.At(x)), blur.At(x))})
 
 	// 2. Compile: bounds check, inlining, grouping, overlapped tiling.
 	pl, err := polymage.Compile(b, []string{"sharp"}, polymage.Options{
@@ -45,7 +45,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	input, err := polymage.NewInputBuffer(in, params)
+	input, err := in.NewBuffer(params)
 	if err != nil {
 		log.Fatal(err)
 	}

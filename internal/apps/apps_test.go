@@ -36,7 +36,7 @@ func TestAppsEndToEnd(t *testing.T) {
 			}
 			for _, threads := range []int{1, 4} {
 				for _, fast := range []bool{false, true} {
-					prog, err := pl.Bind(params, engine.Options{Threads: threads, Fast: fast, Debug: true})
+					prog, err := pl.Bind(params, engine.ExecOptions{Threads: threads, Fast: fast, Debug: true})
 					if err != nil {
 						t.Fatal(err)
 					}

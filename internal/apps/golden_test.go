@@ -42,7 +42,7 @@ func TestGoldenOracles(t *testing.T) {
 				for _, threads := range []int{1, 4} {
 					for _, reuse := range []bool{false, true} {
 						name := fmt.Sprintf("fast=%v/threads=%d/reuse=%v", fast, threads, reuse)
-						prog, err := pl.Bind(params, engine.Options{
+						prog, err := pl.Bind(params, engine.ExecOptions{
 							Fast: fast, Threads: threads, ReuseBuffers: reuse, Debug: true,
 						})
 						if err != nil {

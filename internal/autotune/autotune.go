@@ -99,7 +99,7 @@ type Result struct {
 }
 
 // evalConfig compiles the app with the options and times it.
-func evalConfig(app *apps.App, params map[string]int64, opts schedule.Options, eopts engine.Options, inputs map[string]*engine.Buffer, outs []string, pl *core.Pipeline, runs int) (float64, error) {
+func evalConfig(app *apps.App, params map[string]int64, opts schedule.Options, eopts engine.ExecOptions, inputs map[string]*engine.Buffer, outs []string, pl *core.Pipeline, runs int) (float64, error) {
 	prog, err := pl.Bind(params, eopts)
 	if err != nil {
 		return 0, err
@@ -171,12 +171,12 @@ func Scatter(app *apps.App, params map[string]int64, space Space, threads int, s
 			return nil, err
 		}
 		r := Result{Options: opts}
-		r.Ms, err = evalConfig(app, params, opts, engine.Options{Threads: threads, Fast: true}, inputs, outs, pl, 2)
+		r.Ms, err = evalConfig(app, params, opts, engine.ExecOptions{Threads: threads, Fast: true}, inputs, outs, pl, 2)
 		if err != nil {
 			return nil, err
 		}
 		if withSingle {
-			r.Ms1, err = evalConfig(app, params, opts, engine.Options{Threads: 1, Fast: true}, inputs, outs, pl, 2)
+			r.Ms1, err = evalConfig(app, params, opts, engine.ExecOptions{Threads: 1, Fast: true}, inputs, outs, pl, 2)
 			if err != nil {
 				return nil, err
 			}
@@ -208,7 +208,7 @@ func RandomSearch(app *apps.App, params map[string]int64, trials int, threads in
 		if err != nil {
 			continue // invalid configuration: the search just moves on
 		}
-		ms, err := evalConfig(app, params, opts, engine.Options{Threads: threads, Fast: true}, inputs, outs, pl, 2)
+		ms, err := evalConfig(app, params, opts, engine.ExecOptions{Threads: threads, Fast: true}, inputs, outs, pl, 2)
 		if err != nil {
 			continue
 		}

@@ -121,6 +121,6 @@ func All() []Variant { return variants }
 
 // EngineOptions builds the execution options for a variant at a thread
 // count.
-func (v Variant) EngineOptions(threads int) engine.Options {
-	return engine.Options{Threads: threads, Fast: v.Fast}
+func (v Variant) EngineOptions(threads int) engine.ExecOptions {
+	return engine.ExecOptions{Threads: threads, Fast: v.Fast}
 }

@@ -102,7 +102,7 @@ func Compile(b *dsl.Builder, liveOuts []string, opts Options) (pl *Pipeline, err
 // (decided at the estimates) is reused — like the paper's generated code,
 // the implementation is valid for all parameter values even though it is
 // optimized around the estimates.
-func (p *Pipeline) Bind(params map[string]int64, eopts engine.Options) (prog *engine.Program, err error) {
+func (p *Pipeline) Bind(params map[string]int64, eopts engine.ExecOptions) (prog *engine.Program, err error) {
 	// Same panic barrier as Compile: lowering a hostile spec/binding must
 	// yield (nil, error), never crash a serving process.
 	defer func() {

@@ -94,7 +94,7 @@ func TestBindAndRunAtDifferentSizes(t *testing.T) {
 	}
 	for _, w := range []int64{64, 1000, 4096} {
 		params := map[string]int64{"W": w}
-		prog, err := pl.Bind(params, engine.Options{Fast: true, Debug: true})
+		prog, err := pl.Bind(params, engine.ExecOptions{Fast: true, Debug: true})
 		if err != nil {
 			t.Fatalf("W=%d: %v", w, err)
 		}

@@ -1,0 +1,54 @@
+package difftest
+
+import (
+	"testing"
+
+	_ "repro/internal/difftest/gencorpus" // ahead-of-time kernels for corpus seeds 1..40
+)
+
+// gencorpusSeeds matches cmd/polymage-gen's default -corpus count: seeds
+// 1..40 have checked-in generated kernels.
+const gencorpusSeeds = 40
+
+// TestGenKnobCorpus differential-tests the ahead-of-time kernels: every
+// corpus seed with a checked-in gencorpus package runs under the
+// gen-kernels knob (hash hit — compiled kernels execute) against the
+// reference interpreter, and under the same knob with the kernels pinned
+// off. Any divergence between a generated kernel and the tier it replaces
+// surfaces as a knob mismatch.
+func TestGenKnobCorpus(t *testing.T) {
+	offKnob := GenKnob()
+	offKnob.Name = "gen-kernels-off"
+	offKnob.GenKernels = false
+	hits := 0
+	for seed := int64(1); seed <= gencorpusSeeds; seed++ {
+		sp := Generate(seed)
+		m, err := Diff(sp, RunOptions{Knobs: []Knob{GenKnob(), offKnob}})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if m != nil {
+			reportShrunk(t, m, RunOptions{Knobs: []Knob{GenKnob(), offKnob}})
+		}
+		prog, err := BuildGenProgram(seed)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		n := 0
+		for _, sm := range prog.Stats().Stages {
+			n += sm.Gen
+		}
+		prog.Close()
+		if n > 0 {
+			hits++
+		}
+	}
+	// Coverage guard: the sweep is only meaningful if the checked-in
+	// packages actually bind. Nearly every seed has at least one eligible
+	// piece; demand a strong majority so hash drift cannot silently turn
+	// this test into a no-op.
+	if hits < gencorpusSeeds*3/4 {
+		t.Fatalf("only %d/%d corpus seeds bound generated kernels — schedule hash drift?", hits, gencorpusSeeds)
+	}
+	t.Logf("%d/%d corpus seeds ran generated kernels", hits, gencorpusSeeds)
+}

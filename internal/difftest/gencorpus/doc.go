@@ -1,0 +1,13 @@
+// Package gencorpus holds checked-in ahead-of-time kernels for difftest
+// corpus seeds 1..40, emitted by cmd/polymage-gen through the same
+// generator/compile path the gen-kernels knob uses at test time, so each
+// seed's knob run is a schedule-hash hit. TestGenKnobCorpus blank-imports
+// this package and differential-tests the compiled kernels against the
+// reference interpreter and against the same knob with kernels pinned
+// off. `make gen` fails the build if these files drift from the emitter.
+//
+// Every file in this package other than this one is generated —
+// regenerate instead of editing:
+//
+//go:generate go run repro/cmd/polymage-gen -apps "" -corpus 40 -dir ../../..
+package gencorpus

@@ -1,0 +1,38 @@
+package difftest
+
+import (
+	"repro/internal/core"
+	"repro/internal/engine"
+)
+
+// GenKnob is the sweep point that exercises ahead-of-time generated Go
+// kernels: the only knob that leaves ExecOptions.NoGenKernels unset. Its
+// compile/execution options are shared with BuildGenProgram so the
+// checked-in gencorpus package (emitted by polymage-gen -corpus) hash-hits
+// under exactly this knob.
+func GenKnob() Knob {
+	return Knob{Name: "gen-kernels", Tiles: []int64{16, 16}, Fast: true, Threads: 2, GenKernels: true}
+}
+
+// BuildGenProgram compiles the generated pipeline of a corpus seed with
+// GenKnob's exact options — the program polymage-gen emits a generated
+// kernel file from, and the binding whose schedule hash the gen-kernels
+// sweep knob reproduces at diff time.
+func BuildGenProgram(seed int64) (*engine.Program, error) {
+	sp := Generate(seed)
+	b, err := sp.Build(false)
+	if err != nil {
+		return nil, err
+	}
+	k := GenKnob()
+	pl, err := core.Compile(b.Graph.Builder, b.LiveOuts, core.Options{
+		Estimates:     b.Params,
+		Schedule:      k.schedOptions(),
+		Inline:        k.inlineOptions(),
+		AllowUnproven: true,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return pl.Bind(b.Params, k.engineOptions())
+}

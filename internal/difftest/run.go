@@ -55,6 +55,14 @@ type Knob struct {
 	// the first exercise the dirty-tile decision and the clean-tile copies
 	// from the previous frame's retained buffers. Requires Frames > 1.
 	ROI bool
+	// GenKernels leaves dispatch to ahead-of-time generated Go kernels
+	// enabled (every other knob pins ExecOptions.NoGenKernels so its label
+	// describes what actually ran). The sweep's gen knob compiles with the
+	// exact options the checked-in gencorpus package was emitted under, so
+	// corpus seeds with generated kernels hash-hit and diff the compiled
+	// loop nests against the reference; seeds without coverage fall back to
+	// the row VM and still must agree.
+	GenKernels bool
 }
 
 func (k Knob) String() string {
@@ -62,6 +70,9 @@ func (k Knob) String() string {
 		k.Name, k.Tiles, !k.DisableFusion, !k.DisableInline, k.Fast, k.Threads, k.ReuseBuffers, k.Tiling, !k.NoRowVM, k.Concurrent)
 	if k.Frames > 1 {
 		s += fmt.Sprintf(" frames=%d roi=%v", k.Frames, k.ROI)
+	}
+	if k.GenKernels {
+		s += " gen=true"
 	}
 	return s + "}"
 }
@@ -86,9 +97,10 @@ func (k Knob) inlineOptions() inline.Options {
 	return inline.DefaultOptions()
 }
 
-func (k Knob) engineOptions() engine.Options {
-	return engine.Options{Fast: k.Fast, Threads: k.Threads, Debug: true,
-		ReuseBuffers: k.ReuseBuffers, Tiling: k.Tiling, NoRowVM: k.NoRowVM}
+func (k Knob) engineOptions() engine.ExecOptions {
+	return engine.ExecOptions{Fast: k.Fast, Threads: k.Threads, Debug: true,
+		ReuseBuffers: k.ReuseBuffers, Tiling: k.Tiling, NoRowVM: k.NoRowVM,
+		NoGenKernels: !k.GenKernels}
 }
 
 // DefaultKnobs is the standard sweep: 13 combinations covering every axis
@@ -117,6 +129,7 @@ func DefaultKnobs() []Knob {
 		{Name: "fleet-concurrent", Tiles: []int64{16, 16}, Fast: true, Threads: 4, ReuseBuffers: true, Concurrent: 4},
 		{Name: "frames-stream", Tiles: []int64{16, 16}, Fast: true, Threads: 4, Frames: 3},
 		{Name: "roi-dirty", Tiles: []int64{8, 8}, Fast: true, Threads: 2, Frames: 3, ROI: true},
+		GenKnob(),
 	}
 }
 

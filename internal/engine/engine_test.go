@@ -16,7 +16,7 @@ import (
 // compileAndRun builds a grouping with the given schedule options, compiles
 // and runs it, returning the named outputs.
 func compileAndRun(t *testing.T, g *pipeline.Graph, params map[string]int64,
-	sopts schedule.Options, eopts Options, inputs map[string]*Buffer) map[string]*Buffer {
+	sopts schedule.Options, eopts ExecOptions, inputs map[string]*Buffer) map[string]*Buffer {
 	t.Helper()
 	gr, err := schedule.BuildGroups(g, params, sopts)
 	if err != nil {
@@ -49,7 +49,7 @@ func allVariants(t *testing.T, g *pipeline.Graph, params map[string]int64,
 				so.DisableFusion = !fusion
 				name := fmt.Sprintf("fusion=%v/fast=%v/threads=%d", fusion, fast, threads)
 				out := compileAndRun(t, g, params, so,
-					Options{Fast: fast, Threads: threads, Debug: true}, inputs)
+					ExecOptions{Fast: fast, Threads: threads, Debug: true}, inputs)
 				for _, lo := range g.LiveOuts {
 					got, ok := out[lo]
 					if !ok {
@@ -131,7 +131,7 @@ func TestHarrisEndToEnd(t *testing.T) {
 		for _, threads := range []int{1, 3} {
 			out := compileAndRun(t, g, params,
 				schedule.Options{TileSizes: []int64{16, 32}, MinTileExtent: 8},
-				Options{Fast: fast, Threads: threads, Debug: true}, inputs)
+				ExecOptions{Fast: fast, Threads: threads, Debug: true}, inputs)
 			if eq, msg := out["harris"].Equal(ref["harris"], 1e-5); !eq {
 				t.Errorf("fast=%v threads=%d: %s", fast, threads, msg)
 			}
@@ -352,11 +352,11 @@ func TestBufferPooling(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	plain, err := Compile(gr, params, Options{Fast: true})
+	plain, err := Compile(gr, params, ExecOptions{Fast: true})
 	if err != nil {
 		t.Fatal(err)
 	}
-	pooled, err := Compile(gr, params, Options{Fast: true, ReuseBuffers: true})
+	pooled, err := Compile(gr, params, ExecOptions{Fast: true, ReuseBuffers: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -422,7 +422,7 @@ func TestAccumulatorOps(t *testing.T) {
 		}
 		for _, threads := range []int{1, 4} {
 			out := compileAndRun(t, g, params, schedule.Options{},
-				Options{Threads: threads, Debug: true}, inputs)
+				ExecOptions{Threads: threads, Debug: true}, inputs)
 			tol := 1e-5
 			if op == dsl.MulOp {
 				tol = 1e-2 // products of 64 values: parallel split reorders roundoff
@@ -466,7 +466,7 @@ func TestDebugPanicBecomesError(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	prog, err := Compile(gr, params, Options{Debug: true, Threads: 2})
+	prog, err := Compile(gr, params, ExecOptions{Debug: true, Threads: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -500,7 +500,7 @@ func TestAlternativeTilingStrategies(t *testing.T) {
 			sopts := schedule.Options{TileSizes: []int64{16, 32}, MinTileExtent: 8}
 			for _, fast := range []bool{false, true} {
 				out := compileAndRun(t, g, params, sopts,
-					Options{Fast: fast, Debug: true, Tiling: strat.tiling}, inputs)
+					ExecOptions{Fast: fast, Debug: true, Tiling: strat.tiling}, inputs)
 				if eq, msg := out["harris"].Equal(ref["harris"], 1e-5); !eq {
 					t.Errorf("fast=%v: %s", fast, msg)
 				}
@@ -524,7 +524,7 @@ func TestSplitTilingPhases(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	prog, err := Compile(gr, params, Options{Fast: true, Tiling: SplitTiling})
+	prog, err := Compile(gr, params, ExecOptions{Fast: true, Tiling: SplitTiling})
 	if err != nil {
 		t.Fatal(err)
 	}

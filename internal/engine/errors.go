@@ -19,4 +19,9 @@ var (
 	// ErrROI: a dirty-rectangle region passed to a frame stream matches no
 	// input image (wrong rank for every non-feedback input).
 	ErrROI = errors.New("invalid ROI")
+	// ErrFrames: an invalid frame sequence was passed to a frame stream
+	// (an empty sequence, or a frame count a serving layer rejects).
+	// internal/service wraps this in its request-validation errors so one
+	// errors.Is family classifies frame-count failures end to end.
+	ErrFrames = errors.New("invalid frame count")
 )

@@ -14,7 +14,7 @@ import (
 
 // Run executes the compiled pipeline on the given input images and returns
 // the buffers of every full-materialized stage (group live-outs); the
-// pipeline's declared outputs are among them. With Options.ReuseBuffers,
+// pipeline's declared outputs are among them. With ExecOptions.ReuseBuffers,
 // intermediate buffers are pooled and only the declared outputs are
 // returned.
 //
@@ -274,6 +274,10 @@ func (p *Program) computeRegion(w *worker, ls *loweredStage, region affine.Box, 
 		r := intersectInto(w.iBox, region, piece.box)
 		w.iBox = r
 		if r.Empty() {
+			continue
+		}
+		if piece.gen != nil {
+			p.genLoop(w, piece, r, out)
 			continue
 		}
 		if piece.sten != nil {

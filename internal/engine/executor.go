@@ -55,7 +55,7 @@ type Executor struct {
 	// walks per-worker state.
 	pools poolGauges
 
-	// rec is the metrics recorder; nil unless Options.Metrics was set when
+	// rec is the metrics recorder; nil unless ExecOptions.Metrics was set when
 	// the executor was created. Workers carry their shard, so the disabled
 	// hot path is a single nil check.
 	rec *obs.Recorder
@@ -125,6 +125,12 @@ type worker struct {
 	iBox    affine.Box
 	statBox affine.Box
 	ownBox  affine.Box
+
+	// genBufs/genCtx are the reusable call frame for generated kernels
+	// (Program.genLoop): the read-buffer slice and context are rebound per
+	// piece, so dispatching to a compiled kernel allocates nothing.
+	genBufs []*Buffer
+	genCtx  GenCtx
 }
 
 // task is one unit of fleet work: fn pulls work items from a shared atomic
@@ -361,7 +367,7 @@ func (e *Executor) ArenaStats() (hits, misses int64) { return e.arena.stats() }
 // per-stage kernel time/points/recomputation, per-group tiles against the
 // tile plan, worker utilization and the buffer arena. Arena counters are
 // always present; the rest requires the program to have been compiled
-// with Options.Metrics (Snapshot.Enabled reports which). Workers reports
+// with ExecOptions.Metrics (Snapshot.Enabled reports which). Workers reports
 // the program's effective parallelism (its Threads option clamped to the
 // fleet) and Fleet the process-wide fleet size. Safe to call concurrently
 // with Run — totals grow monotonically between calls.

@@ -10,7 +10,7 @@ import (
 	"repro/internal/schedule"
 )
 
-func compileHarris(t testing.TB, opts Options) (*Program, map[string]*Buffer, map[string]*Buffer) {
+func compileHarris(t testing.TB, opts ExecOptions) (*Program, map[string]*Buffer, map[string]*Buffer) {
 	t.Helper()
 	g, params, inputs := harrisPipeline(t)
 	ref, err := Reference(g, params, inputs)
@@ -38,7 +38,7 @@ func compileHarris(t testing.TB, opts Options) (*Program, map[string]*Buffer, ma
 func TestConcurrentRun(t *testing.T) {
 	for _, reuse := range []bool{false, true} {
 		t.Run(fmt.Sprintf("reuse=%v", reuse), func(t *testing.T) {
-			prog, inputs, ref := compileHarris(t, Options{Fast: true, Threads: 4, ReuseBuffers: reuse})
+			prog, inputs, ref := compileHarris(t, ExecOptions{Fast: true, Threads: 4, ReuseBuffers: reuse})
 			defer prog.Close()
 			const goroutines = 6
 			const runsEach = 4
@@ -80,7 +80,7 @@ func TestConcurrentRun(t *testing.T) {
 func TestExecutorSteadyState(t *testing.T) {
 	for _, reuse := range []bool{false, true} {
 		t.Run(fmt.Sprintf("reuse=%v", reuse), func(t *testing.T) {
-			prog, inputs, ref := compileHarris(t, Options{Fast: true, Threads: 2, ReuseBuffers: reuse})
+			prog, inputs, ref := compileHarris(t, ExecOptions{Fast: true, Threads: 2, ReuseBuffers: reuse})
 			defer prog.Close()
 			e := prog.Executor()
 			out, err := e.Run(inputs)
@@ -110,7 +110,7 @@ func TestExecutorSteadyState(t *testing.T) {
 // TestExecutorOutputsNotAliased: without Recycle, buffers returned to the
 // caller must never be reused by later runs.
 func TestExecutorOutputsNotAliased(t *testing.T) {
-	prog, inputs, _ := compileHarris(t, Options{Fast: true, Threads: 1, ReuseBuffers: true})
+	prog, inputs, _ := compileHarris(t, ExecOptions{Fast: true, Threads: 1, ReuseBuffers: true})
 	defer prog.Close()
 	out1, err := prog.Run(inputs)
 	if err != nil {
@@ -132,7 +132,7 @@ func TestExecutorOutputsNotAliased(t *testing.T) {
 }
 
 func TestExecutorClose(t *testing.T) {
-	prog, inputs, _ := compileHarris(t, Options{Fast: true, Threads: 2})
+	prog, inputs, _ := compileHarris(t, ExecOptions{Fast: true, Threads: 2})
 	if _, err := prog.Run(inputs); err != nil {
 		t.Fatal(err)
 	}

@@ -21,7 +21,7 @@ import (
 // result. This is the Close-during-Run lifecycle contract.
 func TestFleetCloseDuringRun(t *testing.T) {
 	f := newFleet(4)
-	prog, inputs, ref := compileHarris(t, Options{Fast: true, Threads: 4, fleet: f})
+	prog, inputs, ref := compileHarris(t, ExecOptions{Fast: true, Threads: 4, fleet: f})
 	e := prog.Executor()
 
 	var started sync.WaitGroup
@@ -68,7 +68,7 @@ func TestFleetCloseDuringRun(t *testing.T) {
 // panic, and no arena traffic after the executor refuses new work.
 func TestFleetRecycleAfterCloseDuringRun(t *testing.T) {
 	f := newFleet(4)
-	prog, inputs, _ := compileHarris(t, Options{Fast: true, Threads: 4, ReuseBuffers: true, fleet: f})
+	prog, inputs, _ := compileHarris(t, ExecOptions{Fast: true, Threads: 4, ReuseBuffers: true, fleet: f})
 	e := prog.Executor()
 
 	outs := make(chan map[string]*Buffer, 64)
@@ -120,7 +120,7 @@ func TestFleetRecycleAfterCloseDuringRun(t *testing.T) {
 func TestFleetConcurrentSameProgram(t *testing.T) {
 	f := newFleet(4)
 	for _, reuse := range []bool{false, true} {
-		prog, inputs, ref := compileHarris(t, Options{Fast: true, Threads: 4, ReuseBuffers: reuse, fleet: f})
+		prog, inputs, ref := compileHarris(t, ExecOptions{Fast: true, Threads: 4, ReuseBuffers: reuse, fleet: f})
 		var wg sync.WaitGroup
 		errs := make(chan error, 64)
 		var inFlight, peak atomic.Int64
@@ -172,7 +172,7 @@ func TestFleetMultiProgram(t *testing.T) {
 	ins := make([]map[string]*Buffer, programs)
 	refs := make([]map[string]*Buffer, programs)
 	for i := range progs {
-		progs[i], ins[i], refs[i] = compileHarris(t, Options{Fast: true, Threads: 4, ReuseBuffers: true, fleet: f})
+		progs[i], ins[i], refs[i] = compileHarris(t, ExecOptions{Fast: true, Threads: 4, ReuseBuffers: true, fleet: f})
 		defer progs[i].Close()
 	}
 	var wg sync.WaitGroup
@@ -209,7 +209,7 @@ func TestFleetMultiProgram(t *testing.T) {
 // from under the caller.
 func TestFleetRunBatch(t *testing.T) {
 	f := newFleet(4)
-	prog, inputs, ref := compileHarris(t, Options{Fast: true, Threads: 4, ReuseBuffers: true, fleet: f})
+	prog, inputs, ref := compileHarris(t, ExecOptions{Fast: true, Threads: 4, ReuseBuffers: true, fleet: f})
 	defer prog.Close()
 	e := prog.Executor()
 
@@ -245,7 +245,7 @@ func TestFleetRunBatch(t *testing.T) {
 // program's effective (clamped) parallelism.
 func TestFleetSnapshotSizes(t *testing.T) {
 	f := newFleet(4)
-	prog, inputs, _ := compileHarris(t, Options{Fast: true, Threads: 64, Metrics: true, fleet: f})
+	prog, inputs, _ := compileHarris(t, ExecOptions{Fast: true, Threads: 64, Metrics: true, fleet: f})
 	defer prog.Close()
 	e := prog.Executor()
 	out, err := e.Run(inputs)
@@ -267,7 +267,7 @@ func TestFleetSnapshotSizes(t *testing.T) {
 // fleet), and correctness must not depend on which worker drains them.
 func TestFleetStubsDrainAcrossSteals(t *testing.T) {
 	f := newFleet(2)
-	prog, inputs, ref := compileHarris(t, Options{Fast: true, Threads: 2, fleet: f})
+	prog, inputs, ref := compileHarris(t, ExecOptions{Fast: true, Threads: 2, fleet: f})
 	defer prog.Close()
 	for i := 0; i < 8; i++ {
 		out, err := prog.Run(inputs)

@@ -45,7 +45,7 @@ func stencilBench(b *testing.B, weights [][]float64, factor float64) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	prog, err := Compile(gr, params, Options{Fast: true, Threads: 1})
+	prog, err := Compile(gr, params, ExecOptions{Fast: true, Threads: 1})
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -115,7 +115,7 @@ func BenchmarkCombination(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	prog, err := Compile(gr, params, Options{Fast: true, Threads: 1, ReuseBuffers: true})
+	prog, err := Compile(gr, params, ExecOptions{Fast: true, Threads: 1, ReuseBuffers: true})
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -158,7 +158,7 @@ func BenchmarkAccumulator(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	prog, err := Compile(gr, params, Options{Fast: true, Threads: 2})
+	prog, err := Compile(gr, params, ExecOptions{Fast: true, Threads: 2})
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -212,7 +212,7 @@ func rowEvalBench(b *testing.B, mk func(I *dsl.Image, x, y *dsl.Variable) expr.E
 			if err != nil {
 				b.Fatal(err)
 			}
-			prog, err := Compile(gr, params, Options{Fast: true, Threads: 1, NoRowVM: cfg.noVM})
+			prog, err := Compile(gr, params, ExecOptions{Fast: true, Threads: 1, NoRowVM: cfg.noVM})
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -325,7 +325,7 @@ func BenchmarkRepeatedRun(b *testing.B) {
 		reuse bool
 	}{{"pooled", true}, {"unpooled", false}} {
 		b.Run(cfg.name, func(b *testing.B) {
-			prog, inputs, _ := compileHarris(b, Options{Fast: true, Threads: 2, ReuseBuffers: cfg.reuse})
+			prog, inputs, _ := compileHarris(b, ExecOptions{Fast: true, Threads: 2, ReuseBuffers: cfg.reuse})
 			defer prog.Close()
 			e := prog.Executor()
 			// Warm the arena so b.N runs measure the steady state.

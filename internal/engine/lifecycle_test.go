@@ -14,7 +14,7 @@ import (
 // TestRunNilInputBuffer: a nil *Buffer in the input map must be rejected
 // like a missing key, not dereferenced.
 func TestRunNilInputBuffer(t *testing.T) {
-	prog, _, _ := compileHarris(t, Options{Threads: 1})
+	prog, _, _ := compileHarris(t, ExecOptions{Threads: 1})
 	defer prog.Close()
 	_, err := prog.Run(map[string]*Buffer{"I": nil})
 	if !errors.Is(err, ErrNilInput) {
@@ -30,7 +30,7 @@ func TestRunNilInputBuffer(t *testing.T) {
 // unknown names must all be ignored without a panic, and must not poison
 // the arena for later runs.
 func TestRecycleEdgeCases(t *testing.T) {
-	prog, inputs, ref := compileHarris(t, Options{Fast: true, Threads: 2})
+	prog, inputs, ref := compileHarris(t, ExecOptions{Fast: true, Threads: 2})
 	defer prog.Close()
 	e := prog.Executor()
 
@@ -53,7 +53,7 @@ func TestRecycleEdgeCases(t *testing.T) {
 // TestRecycleAfterClose: handing buffers back to a closed executor is a
 // no-op (nothing to serve them to), not a panic.
 func TestRecycleAfterClose(t *testing.T) {
-	prog, inputs, _ := compileHarris(t, Options{Fast: true, Threads: 2})
+	prog, inputs, _ := compileHarris(t, ExecOptions{Fast: true, Threads: 2})
 	out, err := prog.Run(inputs)
 	if err != nil {
 		t.Fatal(err)
@@ -75,7 +75,7 @@ func TestRecycleAfterClose(t *testing.T) {
 // other (run with -race): every Run must either succeed with correct
 // values or fail with the closed-executor error.
 func TestConcurrentRunRecycleClose(t *testing.T) {
-	prog, inputs, ref := compileHarris(t, Options{Fast: true, Threads: 2, ReuseBuffers: true})
+	prog, inputs, ref := compileHarris(t, ExecOptions{Fast: true, Threads: 2, ReuseBuffers: true})
 	e := prog.Executor()
 	var wg sync.WaitGroup
 	errs := make(chan error, 64)

@@ -9,7 +9,7 @@ import (
 // kernel time summed over stages cannot exceed the measured run wall time,
 // and tile counters must agree exactly with the tile plan.
 func TestMetricsSnapshotConsistency(t *testing.T) {
-	prog, inputs, ref := compileHarris(t, Options{Fast: true, Threads: 1, Metrics: true})
+	prog, inputs, ref := compileHarris(t, ExecOptions{Fast: true, Threads: 1, Metrics: true})
 	defer prog.Close()
 	e := prog.Executor()
 	const runs = 3
@@ -82,7 +82,7 @@ func TestMetricsSnapshotConsistency(t *testing.T) {
 // metrics hooks must be a nil check, not hidden bookkeeping.
 func TestMetricsDisabled(t *testing.T) {
 	steady := func(metrics bool) float64 {
-		prog, inputs, _ := compileHarris(t, Options{Fast: true, Threads: 1, Metrics: metrics})
+		prog, inputs, _ := compileHarris(t, ExecOptions{Fast: true, Threads: 1, Metrics: metrics})
 		defer prog.Close()
 		e := prog.Executor()
 		for i := 0; i < 2; i++ { // warm the arena and the pool
@@ -101,10 +101,10 @@ func TestMetricsDisabled(t *testing.T) {
 		})
 	}
 
-	prog, inputs, _ := compileHarris(t, Options{Fast: true, Threads: 1})
+	prog, inputs, _ := compileHarris(t, ExecOptions{Fast: true, Threads: 1})
 	snap := prog.Executor().Snapshot()
 	if snap.Enabled {
-		t.Fatal("Snapshot.Enabled = true without Options.Metrics")
+		t.Fatal("Snapshot.Enabled = true without ExecOptions.Metrics")
 	}
 	if len(snap.Stages) != 0 || snap.Runs != 0 {
 		t.Fatalf("disabled snapshot carries data: %+v", snap)

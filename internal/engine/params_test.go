@@ -55,7 +55,7 @@ func TestBindUnboundParam(t *testing.T) {
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
-			if _, err := Compile(gr, tc.params, Options{}); !errors.Is(err, affine.ErrUnboundParam) {
+			if _, err := Compile(gr, tc.params, ExecOptions{}); !errors.Is(err, affine.ErrUnboundParam) {
 				t.Fatalf("Compile(%v) error = %v, want errors.Is ErrUnboundParam", tc.params, err)
 			}
 			if _, err := Reference(g, tc.params, nil); !errors.Is(err, affine.ErrUnboundParam) {
@@ -64,7 +64,7 @@ func TestBindUnboundParam(t *testing.T) {
 		})
 	}
 	// The full binding still compiles and runs.
-	prog, err := Compile(gr, full, Options{})
+	prog, err := Compile(gr, full, ExecOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}

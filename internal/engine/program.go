@@ -14,8 +14,8 @@ import (
 	"repro/internal/schedule"
 )
 
-// Options configures execution.
-type Options struct {
+// ExecOptions configures execution.
+type ExecOptions struct {
 	// Threads is the number of worker goroutines (the paper's OpenMP
 	// thread count). 0 means GOMAXPROCS.
 	Threads int
@@ -55,6 +55,14 @@ type Options struct {
 	// register-allocated fused programs cut per-row dispatch and memory
 	// traffic (see rowvm.go).
 	NoRowVM bool
+	// NoGenKernels disables dispatch to ahead-of-time generated Go kernels
+	// (cmd/polymage-gen): stage pieces run on the row VM / specialized
+	// kernels even when the process links a generated-kernel package whose
+	// schedule hash matches this program. Generated kernels are a pure
+	// accelerator tier — with this knob, on any hash miss, or for pieces a
+	// kernel package does not cover (irregular accesses, predicated
+	// pieces), execution falls back to the tier below unchanged.
+	NoGenKernels bool
 
 	// fleet overrides the process-wide scheduler this program's executor
 	// attaches to. Test hook only: lets scheduler tests build a private
@@ -63,7 +71,7 @@ type Options struct {
 	fleet *fleet
 }
 
-func (o Options) threads() int {
+func (o ExecOptions) threads() int {
 	if o.Threads > 0 {
 		return o.Threads
 	}
@@ -82,6 +90,13 @@ type loweredPiece struct {
 	vm   *rowVM
 	sten *stencilKernel
 	comb *combKernel
+	// gen is the ahead-of-time generated Go kernel bound to this piece
+	// (nil unless a registered kernel package matches the program's
+	// schedule hash); it takes precedence over every interpreted tier.
+	gen *genBound
+	// src retains the case's expression for schedule hashing and the
+	// generated-kernel emitter (Program.GenUnits).
+	src expr.Expr
 }
 
 // loweredStage is a stage compiled against a parameter binding.
@@ -92,7 +107,7 @@ type loweredStage struct {
 	dom     affine.Box
 	pieces  []loweredPiece
 	selfRef bool
-	// prof carries the stage's pprof label set when Options.Profile is on
+	// prof carries the stage's pprof label set when ExecOptions.Profile is on
 	// (nil otherwise — the disabled path is a nil check).
 	prof *pprof.LabelSet
 
@@ -132,7 +147,7 @@ type Program struct {
 	Graph    *pipeline.Graph
 	Grouping *schedule.Grouping
 	Params   map[string]int64
-	Opts     Options
+	Opts     ExecOptions
 
 	slots     map[string]int
 	slotCount int
@@ -165,8 +180,13 @@ type Program struct {
 	execOnce sync.Once
 	exec     *Executor
 
+	// hashOnce/schedHash memoize ScheduleHash (the generated-kernel cache
+	// key of this graph + binding + schedule).
+	hashOnce  sync.Once
+	schedHash string
+
 	// SplitStats counts points computed in each split-tiling phase (filled
-	// by runs with Options.Tiling == SplitTiling; diagnostics only).
+	// by runs with ExecOptions.Tiling == SplitTiling; diagnostics only).
 	SplitStats struct{ Phase1, Phase2 int64 }
 }
 
@@ -196,7 +216,7 @@ func registerCSE(cp *compiler, e expr.Expr, counts map[string]int) {
 // Compile lowers a grouped pipeline for the given parameter binding. The
 // binding must cover every parameter the pipeline references; missing ones
 // are reported up front as an error wrapping affine.ErrUnboundParam.
-func Compile(gr *schedule.Grouping, params map[string]int64, opts Options) (*Program, error) {
+func Compile(gr *schedule.Grouping, params map[string]int64, opts ExecOptions) (*Program, error) {
 	g := gr.Graph
 	if err := checkParams(g, params); err != nil {
 		return nil, err
@@ -318,6 +338,12 @@ func Compile(gr *schedule.Grouping, params map[string]int64, opts Options) (*Pro
 			}
 		}
 		p.groups[last].releases = append(p.groups[last].releases, p.stages[name])
+	}
+	// Generated-kernel lookup: when the process links an ahead-of-time
+	// kernel package whose schedule hash matches this binding, bind its
+	// kernels to the pieces they cover (see genkernel.go).
+	if opts.Fast && !opts.NoGenKernels {
+		p.attachGenKernels()
 	}
 	return p, nil
 }
@@ -443,6 +469,7 @@ func (p *Program) lowerStage(st *pipeline.Stage, cp *compiler) (*loweredStage, e
 				}
 			}
 		}
+		piece.src = c.E
 		piece.eval, err = cp.compile(c.E)
 		if err != nil {
 			return nil, err
@@ -519,6 +546,8 @@ func (p *Program) Stats() obs.ProgramStats {
 		for pi := range ls.pieces {
 			piece := &ls.pieces[pi]
 			switch {
+			case piece.gen != nil:
+				sm.Gen++
 			case piece.sten != nil:
 				sm.Stencil++
 			case piece.comb != nil:

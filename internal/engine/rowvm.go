@@ -20,7 +20,7 @@ import (
 // is one instruction instead of a load row, a scale row and an add row.
 // Subtrees with no row form (data-dependent gathers) compile to a fallback
 // instruction that evaluates the scalar closure per element, so the VM is
-// total; Options.NoRowVM keeps the whole closure evaluator reachable.
+// total; ExecOptions.NoRowVM keeps the whole closure evaluator reachable.
 
 // rop is a row-VM opcode. Opcodes prefixed b produce bool rows (masks) in
 // the separate bool register file.

@@ -394,7 +394,7 @@ func TestRowVMEndToEnd(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		prog, err := Compile(gr, params, Options{Fast: true, Threads: 1, NoRowVM: noVM})
+		prog, err := Compile(gr, params, ExecOptions{Fast: true, Threads: 1, NoRowVM: noVM})
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -312,6 +312,9 @@ type Frame struct {
 // are valid only until the next frame runs — copy what must outlive the
 // call. A non-nil error from each aborts the sequence.
 func (e *Executor) RunFrames(frames []Frame, opts StreamOptions, each func(frame int, outputs map[string]*Buffer) error) error {
+	if len(frames) == 0 {
+		return fmt.Errorf("engine: empty frame sequence: %w", ErrFrames)
+	}
 	s, err := e.NewStream(opts)
 	if err != nil {
 		return err

@@ -34,7 +34,7 @@ func bumpRegion(b *Buffer, region affine.Box, delta float32) {
 // whole-frame run on the same inputs while recomputing only the tiles
 // whose required region reads the changed rectangle.
 func TestStreamDirtyRectHarris(t *testing.T) {
-	prog, inputs, ref := compileHarris(t, Options{Fast: true, Threads: 4, Metrics: true})
+	prog, inputs, ref := compileHarris(t, ExecOptions{Fast: true, Threads: 4, Metrics: true})
 	defer prog.Close()
 	e := prog.Executor()
 	s, err := e.NewStream(StreamOptions{})
@@ -124,7 +124,7 @@ func TestStreamDirtyRectHarris(t *testing.T) {
 // TestStreamROIErrors: an ROI whose rank matches no input image fails with
 // ErrROI; frames on a closed stream fail with ErrClosed.
 func TestStreamROIErrors(t *testing.T) {
-	prog, inputs, _ := compileHarris(t, Options{Fast: true, Threads: 2})
+	prog, inputs, _ := compileHarris(t, ExecOptions{Fast: true, Threads: 2})
 	defer prog.Close()
 	s, err := prog.Executor().NewStream(StreamOptions{})
 	if err != nil {
@@ -187,7 +187,7 @@ func blendPipeline(t testing.TB) (*pipeline.Graph, map[string]int64, map[string]
 	return g, params, map[string]*Buffer{"S": seed, "I": in}
 }
 
-func compileBlend(t testing.TB, opts Options) (*Program, map[string]*Buffer) {
+func compileBlend(t testing.TB, opts ExecOptions) (*Program, map[string]*Buffer) {
 	t.Helper()
 	g, params, inputs := blendPipeline(t)
 	gr, err := schedule.BuildGroups(g, params, schedule.Options{TileSizes: []int64{32, 32}, MinTileExtent: 8})
@@ -206,7 +206,7 @@ func compileBlend(t testing.TB, opts Options) (*Program, map[string]*Buffer) {
 // as the next frame's input — including on dirty-rectangle frames, where
 // the feedback image's dirty region is last frame's change.
 func TestStreamFeedback(t *testing.T) {
-	prog, inputs := compileBlend(t, Options{Fast: true, Threads: 4, Metrics: true})
+	prog, inputs := compileBlend(t, ExecOptions{Fast: true, Threads: 4, Metrics: true})
 	defer prog.Close()
 	e := prog.Executor()
 	s, err := e.NewStream(StreamOptions{Feedback: map[string]string{"S": "blur"}})
@@ -260,7 +260,7 @@ func TestStreamFeedback(t *testing.T) {
 // TestStreamFeedbackValidation: feedback bindings to unknown images or
 // stages, non-live-out stages, or mismatched domains fail up front.
 func TestStreamFeedbackValidation(t *testing.T) {
-	prog, _ := compileBlend(t, Options{Fast: true, Threads: 1})
+	prog, _ := compileBlend(t, ExecOptions{Fast: true, Threads: 1})
 	defer prog.Close()
 	e := prog.Executor()
 	cases := []struct {
@@ -285,7 +285,7 @@ func TestStreamFeedbackValidation(t *testing.T) {
 // `make stream-race`.
 func TestFleetStreamCloseRace(t *testing.T) {
 	f := newFleet(4)
-	prog, inputs := compileBlend(t, Options{Fast: true, Threads: 4, fleet: f})
+	prog, inputs := compileBlend(t, ExecOptions{Fast: true, Threads: 4, fleet: f})
 	e := prog.Executor()
 
 	roi := affine.Box{{Lo: 8, Hi: 23}, {Lo: 8, Hi: 23}}
@@ -350,7 +350,7 @@ func TestFleetStreamCloseRace(t *testing.T) {
 // TestStreamRunFrames: the RunFrames convenience loop delivers per-frame
 // outputs in order and stops on callback error.
 func TestStreamRunFrames(t *testing.T) {
-	prog, inputs := compileBlend(t, Options{Fast: true, Threads: 2})
+	prog, inputs := compileBlend(t, ExecOptions{Fast: true, Threads: 2})
 	defer prog.Close()
 	e := prog.Executor()
 	frames := []Frame{

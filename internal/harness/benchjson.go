@@ -77,6 +77,23 @@ type BenchSummary struct {
 	// run's tiles that were copied from the previous frame rather than
 	// recomputed.
 	StreamTilesSkippedShare float64 `json:"stream_tiles_skipped_share,omitempty"`
+
+	// Gen summary (files written by BenchGenJSON only).
+	//
+	// AppGeomeanGenMillis / AppGeomeanGenOffMillis are the Table-2 app
+	// geomeans at 1 thread with ahead-of-time kernels attached ("gen")
+	// and pinned off ("vm" — the interpreted tiers).
+	AppGeomeanGenMillis    float64 `json:"app_geomean_gen_ms,omitempty"`
+	AppGeomeanGenOffMillis float64 `json:"app_geomean_genoff_ms,omitempty"`
+	// GenSpeedup is vm/gen: > 1 means the generated kernels are faster
+	// overall.
+	GenSpeedup float64 `json:"gen_speedup,omitempty"`
+	// GenWorstRatio is max over apps of gen/vm: > 1 means some app
+	// regressed under generated kernels, by that factor.
+	GenWorstRatio float64 `json:"gen_worst_ratio,omitempty"`
+	// GenPieces maps app name to the number of pieces that ran on
+	// generated kernels (0 means the schedule hash missed).
+	GenPieces map[string]int `json:"gen_pieces,omitempty"`
 }
 
 // BenchFile is the root JSON document.
@@ -113,8 +130,10 @@ func BenchJSON(w io.Writer, cfg Config) error {
 		params := ScaledParams(app, cfg.Scale)
 		var ms [2]float64
 		for i, noVM := range []bool{false, true} {
+			// Pin generated kernels off so this stays a pure VM-vs-closure
+			// measurement even when an apps/gen package is linked in.
 			p, err := PrepareEngine(app, v, params, threads, schedule.DefaultOptions(), cfg.Seed,
-				func(o *engine.Options) { o.NoRowVM = noVM })
+				func(o *engine.ExecOptions) { o.NoRowVM = noVM; o.NoGenKernels = true })
 			if err != nil {
 				return fmt.Errorf("%s: %w", app.Name, err)
 			}
@@ -156,6 +175,81 @@ func BenchJSON(w io.Writer, cfg Config) error {
 			bf.Summary.MicroSpeedup[m.name] = ms[1] / ms[0]
 		}
 	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(bf)
+}
+
+// BenchGenJSON measures every Table-2 app (opt+vec variant) at one thread
+// with ahead-of-time generated kernels attached ("gen") and pinned off
+// ("vm" — the interpreted stencil/combination/row tiers) and writes the
+// BenchFile JSON to w. The caller must link the generated-kernel package
+// (blank-import repro/internal/apps/gen) or every binding is a hash miss
+// and both variants time the interpreter.
+func BenchGenJSON(w io.Writer, cfg Config) error {
+	bf := &BenchFile{
+		Schema:    BenchSchema,
+		Timestamp: time.Now().UTC().Format(time.RFC3339),
+		Scale:     cfg.Scale,
+		Runs:      cfg.Runs,
+	}
+	v, err := baseline.Get("opt+vec")
+	if err != nil {
+		return err
+	}
+	var genMs, offMs []float64
+	worst := 0.0
+	bf.Summary.GenPieces = make(map[string]int)
+	for _, app := range apps.All() {
+		params := ScaledParams(app, cfg.Scale)
+		var ms [2]float64
+		for i, noGen := range []bool{false, true} {
+			p, err := PrepareEngine(app, v, params, 1, schedule.DefaultOptions(), cfg.Seed,
+				func(o *engine.ExecOptions) { o.NoGenKernels = noGen })
+			if err != nil {
+				return fmt.Errorf("%s: %w", app.Name, err)
+			}
+			if !noGen {
+				n := 0
+				for _, sm := range p.Prog.Stats().Stages {
+					n += sm.Gen
+				}
+				bf.Summary.GenPieces[app.Name] = n
+			}
+			// Best of three measurement batches: single-thread wall clocks
+			// wobble ±15% with scheduler/GC noise, and a comparison file
+			// built from one batch per variant records that noise as a
+			// speedup or regression. The minimum of several batch means is
+			// the standard noise-robust statistic here.
+			best := 0.0
+			for batch := 0; batch < 3; batch++ {
+				t, merr := p.Measure(cfg.Runs)
+				if merr != nil {
+					p.Close()
+					return fmt.Errorf("%s: %w", app.Name, merr)
+				}
+				if batch == 0 || t < best {
+					best = t
+				}
+			}
+			ms[i] = best
+			p.Close()
+		}
+		bf.Results = append(bf.Results,
+			BenchResult{Name: app.Name, Kind: "app", Variant: "gen", Millis: ms[0], Threads: 1},
+			BenchResult{Name: app.Name, Kind: "app", Variant: "vm", Millis: ms[1], Threads: 1})
+		genMs = append(genMs, ms[0])
+		offMs = append(offMs, ms[1])
+		if r := ms[0] / ms[1]; r > worst {
+			worst = r
+		}
+	}
+	bf.Summary.AppGeomeanGenMillis = geomean(genMs)
+	bf.Summary.AppGeomeanGenOffMillis = geomean(offMs)
+	if bf.Summary.AppGeomeanGenMillis > 0 {
+		bf.Summary.GenSpeedup = bf.Summary.AppGeomeanGenOffMillis / bf.Summary.AppGeomeanGenMillis
+	}
+	bf.Summary.GenWorstRatio = worst
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(bf)
@@ -250,7 +344,7 @@ func measureMicro(m microBench, noVM bool, runs int) (float64, error) {
 	if err != nil {
 		return 0, err
 	}
-	prog, err := engine.Compile(gr, params, engine.Options{Fast: true, Threads: 1, NoRowVM: noVM})
+	prog, err := engine.Compile(gr, params, engine.ExecOptions{Fast: true, Threads: 1, NoRowVM: noVM})
 	if err != nil {
 		return 0, err
 	}

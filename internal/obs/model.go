@@ -57,6 +57,7 @@ type ProgramStats struct {
 type StageModel struct {
 	Name string
 	// Evaluator selection, counted per case piece.
+	Gen        int // ahead-of-time generated Go kernel (polymage-gen)
 	Stencil    int // specialized stencil kernel
 	Comb       int // pointwise combination kernel
 	RowVM      int // row bytecode VM

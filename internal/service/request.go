@@ -4,7 +4,6 @@ import (
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
-	"errors"
 	"fmt"
 	"sort"
 
@@ -14,15 +13,19 @@ import (
 )
 
 // Streaming request validation sentinels: wrapped into the 400 *Error so
-// callers (and tests) can classify failures with errors.Is.
+// callers (and tests) can classify failures with errors.Is. Each wraps the
+// matching engine sentinel, so errors.Is against either the service name
+// or the root polymage re-export (polymage.ErrFrames, polymage.ErrROI)
+// classifies the failure — one family end to end.
 var (
 	// ErrInvalidFrames marks a rejected frame count (frames < 1 on the
-	// streaming path, or above MaxStreamFrames).
-	ErrInvalidFrames = errors.New("service: invalid frame count")
+	// streaming path, or above MaxStreamFrames). Wraps engine.ErrFrames.
+	ErrInvalidFrames = fmt.Errorf("service: invalid frame count: %w", engine.ErrFrames)
 	// ErrInvalidROI marks a rejected dirty rectangle: malformed ([lo, hi]
 	// with lo > hi), present without frames > 1, rank-matching no input
-	// image, or lying outside every input image's domain.
-	ErrInvalidROI = errors.New("service: invalid roi")
+	// image, or lying outside every input image's domain. Wraps
+	// engine.ErrROI.
+	ErrInvalidROI = fmt.Errorf("service: invalid roi: %w", engine.ErrROI)
 )
 
 // MaxStreamFrames bounds one streaming request's frame count; longer
@@ -144,7 +147,7 @@ func (r *RunRequest) validate() *Error {
 // the parameter binding and every schedule/execution option that changes
 // the compiled artifact. Requests that differ only in inputs, seed or
 // output mode share a program.
-func (r *RunRequest) cacheKey(eo engine.Options, tiles []int64) string {
+func (r *RunRequest) cacheKey(eo engine.ExecOptions, tiles []int64) string {
 	h := sha256.New()
 	if r.App != "" {
 		fmt.Fprintf(h, "app=%s;", r.App)

@@ -192,7 +192,7 @@ func (s *Service) Do(ctx context.Context, req *RunRequest) (resp *RunResponse, e
 		}
 	}()
 
-	eo := engine.Options{
+	eo := engine.ExecOptions{
 		Threads:      req.Threads,
 		Fast:         req.Fast == nil || *req.Fast,
 		ReuseBuffers: true,
@@ -333,7 +333,7 @@ func (s *Service) admit(ctx context.Context) (func(), *Error) {
 
 // build compiles the request's pipeline (app or spec) behind the
 // compile-barrier: any panic becomes a 500-classed error.
-func (s *Service) build(req *RunRequest, eo engine.Options) (c compiled, err error) {
+func (s *Service) build(req *RunRequest, eo engine.ExecOptions) (c compiled, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			s.panics.Add(1)

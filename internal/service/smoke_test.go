@@ -235,7 +235,7 @@ func compileDirect(b *dsl.Builder, liveOuts []string, params map[string]int64) (
 	if err != nil {
 		return nil, err
 	}
-	return pl.Bind(params, engine.Options{Fast: true, ReuseBuffers: true, Metrics: true})
+	return pl.Bind(params, engine.ExecOptions{Fast: true, ReuseBuffers: true, Metrics: true})
 }
 
 // BenchmarkDirectExecutor is the baseline: the same pipeline on a bare

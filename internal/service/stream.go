@@ -71,7 +71,7 @@ func (s *Service) DoStream(ctx context.Context, req *RunRequest, emit func(*Fram
 		}
 	}()
 
-	eo := engine.Options{
+	eo := engine.ExecOptions{
 		Threads:      req.Threads,
 		Fast:         req.Fast == nil || *req.Fast,
 		ReuseBuffers: true,

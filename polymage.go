@@ -93,11 +93,6 @@ const (
 	ReduceProd = dsl.MulOp
 )
 
-// Sum is the reduction operator ReduceSum.
-//
-// Deprecated: use ReduceSum.
-const Sum = ReduceSum
-
 // NewBuilder returns an empty pipeline specification.
 func NewBuilder() *Builder { return dsl.NewBuilder() }
 
@@ -144,16 +139,6 @@ var (
 	SeparableY = dsl.SeparableY
 )
 
-// MulE, MinE and MaxE are the old names of the Mul, Min and Max expression
-// helpers, from when the bare names were taken by reduction operators.
-//
-// Deprecated: use Mul, Min and Max.
-var (
-	MulE = dsl.Mul
-	MinE = dsl.Min
-	MaxE = dsl.Max
-)
-
 // Options configures compilation; see core.Options.
 type Options = core.Options
 
@@ -164,7 +149,7 @@ type ScheduleOptions = schedule.Options
 type InlineOptions = inline.Options
 
 // ExecOptions configures execution (threads, fast kernels).
-type ExecOptions = engine.Options
+type ExecOptions = engine.ExecOptions
 
 // Tiling strategies for fused groups (the Figure 5 comparison).
 const (
@@ -218,6 +203,18 @@ type (
 // specification: graph construction, bounds checking, inlining, grouping
 // and overlapped-tiling schedule construction.
 //
+// Two option structs split the surface by phase. Options (with its nested
+// ScheduleOptions and InlineOptions) is consumed here, at Compile time: it
+// shapes the schedule — grouping, tile sizes, inlining — and therefore the
+// compiled Pipeline itself. ExecOptions is consumed later, at
+// Pipeline.Bind: it configures how a bound Program executes — thread
+// count, the fast fused-kernel path (Fast), evaluator tier toggles
+// (NoRowVM, NoGenKernels), metrics — without changing what is computed.
+// Anything that alters results or the schedule belongs in Options;
+// anything that only alters execution strategy belongs in ExecOptions.
+// The schedule hash that keys ahead-of-time generated kernels (see
+// cmd/polymage-gen) covers the former and ignores the latter.
+//
 // Compile and Pipeline.Bind never panic on a malformed specification:
 // internal panics from the DSL layer or the compiler phases are recovered
 // and returned as errors carrying the panic message and the offending
@@ -235,27 +232,6 @@ func Compile(b *Builder, outputs []string, opts Options) (*Pipeline, error) {
 // constructor; for parametric shapes use Image.NewBuffer (one input image)
 // or Pipeline.NewInputs (every input at once).
 func NewBuffer(box Box) *Buffer { return engine.NewBuffer(box) }
-
-// NewBufferForDomain allocates a buffer for a parametric domain bound at
-// params.
-//
-// Deprecated: use Image.NewBuffer or Pipeline.NewInputs; for concrete
-// shapes, NewBuffer.
-func NewBufferForDomain(dom []Interval, params map[string]int64) (*Buffer, error) {
-	ad := make(affine.Domain, len(dom))
-	for i, iv := range dom {
-		ad[i] = affine.Interval{Lo: iv.Lo, Hi: iv.Hi}
-	}
-	return engine.NewBufferForDomain(ad, params)
-}
-
-// NewInputBuffer allocates a buffer matching a declared input image under
-// the given parameter binding.
-//
-// Deprecated: use im.NewBuffer(params).
-func NewInputBuffer(im *Image, params map[string]int64) (*Buffer, error) {
-	return im.NewBuffer(params)
-}
 
 // FillPattern writes a deterministic pseudo-random pattern (synthetic
 // input images for tests and benchmarks).
@@ -275,8 +251,15 @@ var (
 	// declare.
 	ErrUnknownStage = engine.ErrUnknownStage
 	// ErrROI reports a dirty-rectangle ROI that cannot describe any input
-	// image's change (rank mismatch with every non-feedback input).
+	// image's change (rank mismatch with every non-feedback input). The
+	// serving layer's request-validation errors wrap it, so errors.Is
+	// against ErrROI classifies ROI failures from the engine and the HTTP
+	// service alike.
 	ErrROI = engine.ErrROI
+	// ErrFrames reports an invalid frame sequence (empty, or a frame
+	// count a serving layer rejects). Like ErrROI it roots one errors.Is
+	// family spanning the engine and the serving layer.
+	ErrFrames = engine.ErrFrames
 	// ErrUnboundParam reports a parameter with no value in a binding.
 	ErrUnboundParam = affine.ErrUnboundParam
 )

@@ -17,10 +17,10 @@ func TestPublicAPIQuickstart(t *testing.T) {
 	dom := []polymage.Interval{polymage.Span(polymage.ConstExpr(1), W.Affine().AddConst(-2))}
 
 	blur := b.Func("blur", polymage.Float, []*polymage.Variable{x}, dom)
-	blur.Define(polymage.Case{E: polymage.MulE(1.0/3,
+	blur.Define(polymage.Case{E: polymage.Mul(1.0/3,
 		polymage.Add(polymage.Add(in.At(polymage.Sub(x, 1)), in.At(x)), in.At(polymage.Add(x, 1))))})
 	sharp := b.Func("sharp", polymage.Float, []*polymage.Variable{x}, dom)
-	sharp.Define(polymage.Case{E: polymage.Sub(polymage.MulE(2, in.At(x)), blur.At(x))})
+	sharp.Define(polymage.Case{E: polymage.Sub(polymage.Mul(2, in.At(x)), blur.At(x))})
 
 	pl, err := polymage.Compile(b, []string{"sharp"}, polymage.Options{
 		Estimates: map[string]int64{"W": 1024},
@@ -39,7 +39,7 @@ func TestPublicAPIQuickstart(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		input, err := polymage.NewInputBuffer(in, params)
+		input, err := in.NewBuffer(params)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -96,7 +96,7 @@ func TestPublicAPIReduction(t *testing.T) {
 		[]polymage.Interval{polymage.Span(polymage.ConstExpr(0), N.Affine().AddConst(-1))},
 		[]*polymage.Variable{v},
 		[]polymage.Interval{polymage.ConstSpan(0, 9)})
-	hist.Define([]any{polymage.Cast(polymage.Int, polymage.MulE(in.At(x), 9.999))}, 1, polymage.Sum)
+	hist.Define([]any{polymage.Cast(polymage.Int, polymage.Mul(in.At(x), 9.999))}, 1, polymage.ReduceSum)
 	pl, err := polymage.Compile(b, []string{"hist"}, polymage.Options{
 		Estimates: map[string]int64{"N": 1000},
 	})
@@ -108,7 +108,7 @@ func TestPublicAPIReduction(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	input, err := polymage.NewInputBuffer(in, params)
+	input, err := in.NewBuffer(params)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -48,10 +48,10 @@ func buildHeatStep(t *testing.T, params map[string]int64) *polymage.Program {
 	}
 	lap := polymage.Sub(
 		polymage.Add(polymage.Add(at(-1, 0), at(1, 0)), polymage.Add(at(0, -1), at(0, 1))),
-		polymage.MulE(4, at(0, 0)))
+		polymage.Mul(4, at(0, 0)))
 	step := b.Func("step", polymage.Float, vars, dom)
 	step.Define(
-		polymage.Case{Cond: inner, E: polymage.Add(at(0, 0), polymage.MulE(0.2, lap))},
+		polymage.Case{Cond: inner, E: polymage.Add(at(0, 0), polymage.Mul(0.2, lap))},
 		polymage.Case{E: at(0, 0)},
 	)
 	pl, err := polymage.Compile(b, []string{"step"}, polymage.Options{Estimates: params})
@@ -155,12 +155,12 @@ func buildBlend(t *testing.T, params map[string]int64) *polymage.Program {
 		polymage.Span(polymage.ConstExpr(1), N.Affine().AddConst(-2)),
 	}
 	blend := b.Func("blend", polymage.Float, vars, full)
-	blend.Define(polymage.Case{E: polymage.Add(polymage.MulE(0.6, A.At(x, y)), polymage.MulE(0.4, B.At(x, y)))})
+	blend.Define(polymage.Case{E: polymage.Add(polymage.Mul(0.6, A.At(x, y)), polymage.Mul(0.4, B.At(x, y)))})
 	sharp := b.Func("sharp", polymage.Float, vars, interior)
 	box := polymage.Stencil(blend, 1.0/9, [][]float64{
 		{1, 1, 1}, {1, 1, 1}, {1, 1, 1},
 	}, [2]any{x, y})
-	sharp.Define(polymage.Case{E: polymage.Sub(polymage.MulE(2, blend.At(x, y)), box)})
+	sharp.Define(polymage.Case{E: polymage.Sub(polymage.Mul(2, blend.At(x, y)), box)})
 	pl, err := polymage.Compile(b, []string{"sharp", "blend"}, polymage.Options{
 		Estimates: params,
 		Schedule:  polymage.ScheduleOptions{TileSizes: []int64{16, 16}, MinSize: 1, MinTileExtent: 8},
