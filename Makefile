@@ -7,7 +7,7 @@ COVER_FLOOR_SCHEDULE ?= 75.0
 COVER_FLOOR_SERVICE  ?= 80.0
 COVER_FLOOR_DIFFTEST ?= 80.0
 
-.PHONY: all build test vet api race rowvm-race fleet-race stream-race gen gen-race gen-gate fuzz cover bench bench-kernels bench-json serve serve-smoke serve-http stats clean
+.PHONY: all build test vet api race rowvm-race fleet-race stream-race gen gen-race gen-gate narrow-race narrow-gate fuzz cover bench bench-kernels bench-json serve serve-smoke serve-http stats clean
 
 all: build test
 
@@ -21,7 +21,7 @@ all: build test
 build:
 	$(GO) build ./...
 
-test: vet gen rowvm-race fleet-race stream-race gen-race serve-smoke
+test: vet gen rowvm-race fleet-race stream-race gen-race narrow-race serve-smoke
 	$(GO) test ./...
 
 # Race-checked run of the row bytecode VM suite (differential vs scalar,
@@ -72,6 +72,21 @@ gen-race:
 gen-gate:
 	$(GO) run ./cmd/polymage-bench -gen-json /tmp/BENCH_gen_new.json -runs 5
 	$(GO) run ./cmd/polymage-benchdiff -min-gen-speedup 1.2 BENCH_gen.json /tmp/BENCH_gen_new.json
+
+# Race-checked run of the narrow-type suite: uint8/uint16 end-to-end
+# execution and input validation, interval/cast soundness, the integer
+# row-VM opcodes, the narrow golden-oracle apps, and a short slice of the
+# integer differential corpus under the narrow knob sweep (the full corpus
+# runs race-free in `go test ./...`).
+narrow-race:
+	$(GO) test -race -short -run 'TestNarrow|TestInteger|TestIvCast|TestVMInt|TestElemFor' ./internal/engine/ ./internal/apps/ ./internal/difftest/ -count=1
+
+# Re-measure the narrow-type benchmark and gate it against the committed
+# BENCH_narrow.json: the best narrow-vs-wide app speedup must stay >= 1.3x
+# and no float app may regress under the inference pass.
+narrow-gate:
+	$(GO) run ./cmd/polymage-bench -narrow-json /tmp/BENCH_narrow_new.json -runs 5
+	$(GO) run ./cmd/polymage-benchdiff -min-narrow-speedup 1.3 BENCH_narrow.json /tmp/BENCH_narrow_new.json
 
 # In-process end-to-end gate for the HTTP serving layer: cold/warm/
 # overload/oversized requests plus /healthz, /metrics and the snapshot
@@ -137,6 +152,8 @@ bench-json:
 	@echo "wrote BENCH_stream.json"
 	$(GO) run ./cmd/polymage-bench -gen-json BENCH_gen.json -runs 5
 	@echo "wrote BENCH_gen.json"
+	$(GO) run ./cmd/polymage-bench -narrow-json BENCH_narrow.json -runs 5
+	@echo "wrote BENCH_narrow.json"
 
 serve:
 	$(GO) run ./cmd/polymage-bench -serve harris -requests 100

@@ -27,6 +27,7 @@ func main() {
 	threshold := flag.Float64("threshold", 0.10, "relative slowdown that counts as a regression (0.10 = 10%)")
 	maxRegress := flag.Float64("max-regress", -1, "fail when the geomean slowdown over all matched configurations exceeds this fraction (negative = off)")
 	minGenSpeedup := flag.Float64("min-gen-speedup", 0, "fail when the new file's generated-kernel geomean speedup (gen_speedup) is below this factor (0 = off; BENCH_gen.json files only)")
+	minNarrowSpeedup := flag.Float64("min-narrow-speedup", 0, "fail when the new file's best narrow-app speedup (narrow_best_speedup) is below this factor, or a float app regressed under the inference pass beyond -threshold (0 = off; BENCH_narrow.json files only)")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: polymage-benchdiff [-threshold 0.10] [-max-regress 0.05] old.json new.json\n")
 		flag.PrintDefaults()
@@ -65,6 +66,24 @@ func main() {
 		}
 	} else if *minGenSpeedup > 0 {
 		fmt.Printf("FAIL: -min-gen-speedup set but the new file carries no gen summary\n")
+		fail = true
+	}
+	if s := newBF.Summary.NarrowBestSpeedup; s > 0 {
+		fmt.Printf("narrow best speedup: %.2fx (geomean %.2fx, worst narrow ratio %.3f, float worst ratio %.3f)\n",
+			s, newBF.Summary.NarrowSpeedup, newBF.Summary.NarrowWorstRatio, newBF.Summary.FloatWorstRatio)
+		if *minNarrowSpeedup > 0 {
+			if s < *minNarrowSpeedup {
+				fmt.Printf("FAIL: narrow best speedup %.2fx below floor %.2fx\n", s, *minNarrowSpeedup)
+				fail = true
+			}
+			if fr := newBF.Summary.FloatWorstRatio; fr > 1+*threshold {
+				fmt.Printf("FAIL: float app regressed %.1f%% under the inference pass (beyond %.0f%%)\n",
+					(fr-1)*100, *threshold*100)
+				fail = true
+			}
+		}
+	} else if *minNarrowSpeedup > 0 {
+		fmt.Printf("FAIL: -min-narrow-speedup set but the new file carries no narrow summary\n")
 		fail = true
 	}
 	if fail {

@@ -50,6 +50,54 @@ func (a Access) IsConstOffset() (int64, bool) {
 	return 0, false
 }
 
+// rangeSat is the saturation bound of the guarded index arithmetic below —
+// the same magnitude InverseRange already uses as its "unbounded in x"
+// sentinel, so a saturated bound is indistinguishable from (and as sound
+// as) an explicitly unbounded one: ±2^62 is far outside any addressable
+// buffer extent, and downstream consumers (Intersect with real domains,
+// Empty checks) treat it as a huge-but-ordinary range.
+const rangeSat = int64(1) << 62
+
+// satMul64 multiplies with saturation to ±rangeSat. Coefficient/parameter
+// products beyond 2^62 cannot describe a real access; before this guard
+// they wrapped silently and could invert a range.
+func satMul64(a, b int64) int64 {
+	if a == 0 || b == 0 {
+		return 0
+	}
+	p := a * b
+	if p/b != a || p > rangeSat || p < -rangeSat {
+		if (a > 0) == (b > 0) {
+			return rangeSat
+		}
+		return -rangeSat
+	}
+	return p
+}
+
+// satAdd64 adds with saturation to ±rangeSat. The overflow checks are on
+// the saturation bound, not int64: 2^62 + 2^62 would wrap int64, so the
+// clamp happens before the add can overflow.
+func satAdd64(a, b int64) int64 {
+	if a > 0 && b > rangeSat-a {
+		return rangeSat
+	}
+	if a < 0 && b < -rangeSat-a {
+		return -rangeSat
+	}
+	return satClamp64(a + b)
+}
+
+func satClamp64(v int64) int64 {
+	if v > rangeSat {
+		return rangeSat
+	}
+	if v < -rangeSat {
+		return -rangeSat
+	}
+	return v
+}
+
 // FloorDiv returns floor(a/b) for b > 0.
 func FloorDiv(a, b int64) int64 {
 	q := a / b
@@ -86,8 +134,12 @@ func (a Access) RangeOver(varRange Range, params map[string]int64) (Range, error
 	if varRange.Empty() {
 		return Range{Lo: 0, Hi: -1}, nil
 	}
-	v1 := FloorDiv(a.Coeff*varRange.Lo+off, a.Div)
-	v2 := FloorDiv(a.Coeff*varRange.Hi+off, a.Div)
+	// Guarded arithmetic: a pathological Coeff·bound or parameter product
+	// beyond ±2^62 saturates instead of wrapping (a wrapped product can
+	// silently invert the range and make a too-small region look in
+	// bounds).
+	v1 := FloorDiv(satAdd64(satMul64(a.Coeff, varRange.Lo), satClamp64(off)), a.Div)
+	v2 := FloorDiv(satAdd64(satMul64(a.Coeff, varRange.Hi), satClamp64(off)), a.Div)
 	if v1 <= v2 {
 		return Range{Lo: v1, Hi: v2}, nil
 	}
@@ -120,8 +172,10 @@ func (a Access) InverseRange(target Range, params map[string]int64) (Range, bool
 	}
 	// L <= floor((c·x + b)/d) <= H
 	//   <=>  L·d <= c·x + b <= H·d + d - 1
-	lo := target.Lo*a.Div - off
-	hi := target.Hi*a.Div + a.Div - 1 - off
+	// Saturating arithmetic: target bounds of ±2^62 (the unbounded
+	// sentinel above) times Div would wrap int64 and flip the inequality.
+	lo := satAdd64(satMul64(target.Lo, a.Div), -satClamp64(off))
+	hi := satAdd64(satAdd64(satMul64(target.Hi, a.Div), a.Div-1), -satClamp64(off))
 	switch {
 	case a.Coeff > 0:
 		return Range{Lo: CeilDiv(lo, a.Coeff), Hi: FloorDiv(hi, a.Coeff)}, true, nil

@@ -1,34 +1,89 @@
-// Package buffer provides the N-dimensional float32 array exchanged with
-// compiled pipelines. It sits below both the DSL front-end and the
-// execution engine (which re-exports Buffer for compatibility), so any
-// layer can allocate buffers without importing the runtime.
+// Package buffer provides the N-dimensional array exchanged with compiled
+// pipelines. It sits below both the DSL front-end and the execution engine
+// (which re-exports Buffer for compatibility), so any layer can allocate
+// buffers without importing the runtime. Buffers are float32 by default;
+// narrow-type pipelines (Options.NarrowTypes) store stages as uint8/uint16/
+// int32 to cut memory traffic on memory-bound stencils.
 package buffer
 
 import (
 	"fmt"
 
 	"repro/internal/affine"
+	"repro/internal/numeric"
 )
 
-// Buffer is an N-dimensional float32 array covering a box region. Indexing
-// is relative to the box's lower corner, so a scratchpad allocated for a
+// Elem enumerates buffer element types. The zero value is F32, so every
+// pre-existing construction path (struct literals included) keeps the
+// historical float32 layout.
+type Elem uint8
+
+const (
+	ElemF32 Elem = iota // float32 (the default)
+	ElemU8              // uint8
+	ElemU16             // uint16
+	ElemI32             // int32
+)
+
+// Size returns the element width in bytes.
+func (e Elem) Size() int64 {
+	switch e {
+	case ElemU8:
+		return 1
+	case ElemU16:
+		return 2
+	}
+	return 4
+}
+
+func (e Elem) String() string {
+	switch e {
+	case ElemU8:
+		return "uint8"
+	case ElemU16:
+		return "uint16"
+	case ElemI32:
+		return "int32"
+	}
+	return "float32"
+}
+
+// Buffer is an N-dimensional array covering a box region. Indexing is
+// relative to the box's lower corner, so a scratchpad allocated for a
 // tile's region is addressed with the same global coordinates as a full
 // buffer (the "relative indexing" of Section 3.6).
+//
+// Exactly one of the typed backing slices is active, selected by Elem:
+// Data for ElemF32 (the default — all pre-narrow-types code reads and
+// writes it directly), U8/U16/I32 for the narrow layouts. Inactive slices
+// may retain capacity from a previous ResetElem so arena-recycled storage
+// survives element-type changes.
 type Buffer struct {
 	Box    affine.Box
 	Stride []int64 // element stride per dimension; innermost is 1
+	Elem   Elem
 	Data   []float32
+	U8     []uint8
+	U16    []uint16
+	I32    []int32
 }
 
-// New allocates a buffer covering box.
+// New allocates a float32 buffer covering box.
 func New(box affine.Box) *Buffer {
 	b := &Buffer{}
 	b.Reset(box)
 	return b
 }
 
+// NewElem allocates a buffer of the given element type covering box.
+func NewElem(box affine.Box, elem Elem) *Buffer {
+	b := &Buffer{}
+	b.ResetElem(box, elem)
+	return b
+}
+
 // NewForDomain evaluates a parametric domain at params and allocates a
-// buffer covering it.
+// float32 buffer covering it.
 func NewForDomain(dom affine.Domain, params map[string]int64) (*Buffer, error) {
 	box, err := dom.Eval(params)
 	if err != nil {
@@ -37,12 +92,17 @@ func NewForDomain(dom affine.Domain, params map[string]int64) (*Buffer, error) {
 	return New(box), nil
 }
 
-// Reset re-shapes the buffer to cover box, reusing the backing array when
-// large enough (scratchpads are Reset per tile and reuse their storage).
-// The covered region reads as zero afterwards: domain points not written by
-// any case evaluate to 0, exactly as in freshly allocated full buffers and
-// the reference interpreter (pipelines use this for zero-padded aprons).
-func (b *Buffer) Reset(box affine.Box) {
+// Reset re-shapes the buffer to cover box, keeping its element type and
+// reusing the backing array when large enough (scratchpads are Reset per
+// tile and reuse their storage). The covered region reads as zero
+// afterwards: domain points not written by any case evaluate to 0, exactly
+// as in freshly allocated full buffers and the reference interpreter
+// (pipelines use this for zero-padded aprons).
+func (b *Buffer) Reset(box affine.Box) { b.ResetElem(box, b.Elem) }
+
+// ResetElem re-shapes the buffer to cover box with the given element type,
+// reusing the matching typed backing array when large enough.
+func (b *Buffer) ResetElem(box affine.Box, elem Elem) {
 	n := int64(1)
 	if cap(b.Box) >= len(box) {
 		b.Box = b.Box[:len(box)]
@@ -63,20 +123,96 @@ func (b *Buffer) Reset(box affine.Box) {
 		}
 		n *= sz
 	}
-	if int64(cap(b.Data)) >= n {
-		b.Data = b.Data[:n]
-		for i := range b.Data {
-			b.Data[i] = 0
+	b.Elem = elem
+	switch elem {
+	case ElemU8:
+		if int64(cap(b.U8)) >= n {
+			b.U8 = b.U8[:n]
+			clear(b.U8)
+		} else {
+			b.U8 = make([]uint8, n)
 		}
-	} else {
-		b.Data = make([]float32, n)
+	case ElemU16:
+		if int64(cap(b.U16)) >= n {
+			b.U16 = b.U16[:n]
+			clear(b.U16)
+		} else {
+			b.U16 = make([]uint16, n)
+		}
+	case ElemI32:
+		if int64(cap(b.I32)) >= n {
+			b.I32 = b.I32[:n]
+			clear(b.I32)
+		} else {
+			b.I32 = make([]int32, n)
+		}
+	default:
+		if int64(cap(b.Data)) >= n {
+			b.Data = b.Data[:n]
+			for i := range b.Data {
+				b.Data[i] = 0
+			}
+		} else {
+			b.Data = make([]float32, n)
+		}
 	}
 }
 
-// Fill fills the buffer with v.
+// active returns the length of the active typed slice.
+func (b *Buffer) active() int {
+	switch b.Elem {
+	case ElemU8:
+		return len(b.U8)
+	case ElemU16:
+		return len(b.U16)
+	case ElemI32:
+		return len(b.I32)
+	}
+	return len(b.Data)
+}
+
+// Cap returns the element capacity of the active backing array (the arena
+// buckets recycled buffers by it).
+func (b *Buffer) Cap() int64 {
+	switch b.Elem {
+	case ElemU8:
+		return int64(cap(b.U8))
+	case ElemU16:
+		return int64(cap(b.U16))
+	case ElemI32:
+		return int64(cap(b.I32))
+	}
+	return int64(cap(b.Data))
+}
+
+// Bytes returns the total backing storage in bytes across all typed
+// arrays, active or not (observability).
+func (b *Buffer) Bytes() int64 {
+	return int64(cap(b.Data))*4 + int64(cap(b.U8)) + int64(cap(b.U16))*2 + int64(cap(b.I32))*4
+}
+
+// Fill fills the buffer with v (saturating for integer element types).
 func (b *Buffer) Fill(v float32) {
-	for i := range b.Data {
-		b.Data[i] = v
+	switch b.Elem {
+	case ElemU8:
+		x := numeric.SatU8(float64(v))
+		for i := range b.U8 {
+			b.U8[i] = x
+		}
+	case ElemU16:
+		x := numeric.SatU16(float64(v))
+		for i := range b.U16 {
+			b.U16[i] = x
+		}
+	case ElemI32:
+		x := numeric.SatI32(float64(v))
+		for i := range b.I32 {
+			b.I32[i] = x
+		}
+	default:
+		for i := range b.Data {
+			b.Data[i] = v
+		}
 	}
 }
 
@@ -89,20 +225,51 @@ func (b *Buffer) Offset(pt []int64) int64 {
 	return off
 }
 
-// At reads the value at pt.
-func (b *Buffer) At(pt ...int64) float32 { return b.Data[b.Offset(pt)] }
+// LoadF64 reads the element at flat offset off, widened to float64.
+// Widening from any integer element type is exact.
+func (b *Buffer) LoadF64(off int64) float64 {
+	switch b.Elem {
+	case ElemU8:
+		return float64(b.U8[off])
+	case ElemU16:
+		return float64(b.U16[off])
+	case ElemI32:
+		return float64(b.I32[off])
+	}
+	return float64(b.Data[off])
+}
 
-// Set writes the value at pt.
-func (b *Buffer) Set(v float32, pt ...int64) { b.Data[b.Offset(pt)] = v }
+// StoreF64 writes v at flat offset off, narrowing with the tier-shared
+// saturating semantics for integer element types (float32 narrows by
+// rounding, as before).
+func (b *Buffer) StoreF64(off int64, v float64) {
+	switch b.Elem {
+	case ElemU8:
+		b.U8[off] = numeric.SatU8(v)
+	case ElemU16:
+		b.U16[off] = numeric.SatU16(v)
+	case ElemI32:
+		b.I32[off] = numeric.SatI32(v)
+	default:
+		b.Data[off] = float32(v)
+	}
+}
+
+// At reads the value at pt (integer elements widen exactly).
+func (b *Buffer) At(pt ...int64) float32 { return float32(b.LoadF64(b.Offset(pt))) }
+
+// Set writes the value at pt (saturating for integer element types).
+func (b *Buffer) Set(v float32, pt ...int64) { b.StoreF64(b.Offset(pt), float64(v)) }
 
 // Rank returns the number of dimensions.
 func (b *Buffer) Rank() int { return len(b.Box) }
 
 // Len returns the number of elements covered.
-func (b *Buffer) Len() int { return len(b.Data) }
+func (b *Buffer) Len() int { return b.active() }
 
 // CopyRegion copies the values in region from src into b; region must be
-// contained in both boxes.
+// contained in both boxes. Same-element copies are raw row copies;
+// mismatched element types convert per element (widen, then saturate).
 func (b *Buffer) CopyRegion(src *Buffer, region affine.Box) {
 	if region.Empty() {
 		return
@@ -117,10 +284,26 @@ func (b *Buffer) CopyRegion(src *Buffer, region affine.Box) {
 		pt[d] = region[d].Lo
 	}
 	rowLen := region[nd-1].Size()
+	same := b.Elem == src.Elem
 	for {
 		so := src.Offset(pt)
 		do := b.Offset(pt)
-		copy(b.Data[do:do+rowLen], src.Data[so:so+rowLen])
+		if same {
+			switch b.Elem {
+			case ElemU8:
+				copy(b.U8[do:do+rowLen], src.U8[so:so+rowLen])
+			case ElemU16:
+				copy(b.U16[do:do+rowLen], src.U16[so:so+rowLen])
+			case ElemI32:
+				copy(b.I32[do:do+rowLen], src.I32[so:so+rowLen])
+			default:
+				copy(b.Data[do:do+rowLen], src.Data[so:so+rowLen])
+			}
+		} else {
+			for i := int64(0); i < rowLen; i++ {
+				b.StoreF64(do+i, src.LoadF64(so+i))
+			}
+		}
 		// Advance the outer dims odometer.
 		d := nd - 2
 		for ; d >= 0; d-- {
@@ -137,7 +320,8 @@ func (b *Buffer) CopyRegion(src *Buffer, region affine.Box) {
 }
 
 // Equal reports whether two buffers cover the same box with values within
-// tol of each other; used by tests.
+// tol of each other; used by tests. Element types may differ (values are
+// compared widened).
 func (b *Buffer) Equal(o *Buffer, tol float64) (bool, string) {
 	if len(b.Box) != len(o.Box) {
 		return false, "rank mismatch"
@@ -147,23 +331,49 @@ func (b *Buffer) Equal(o *Buffer, tol float64) (bool, string) {
 			return false, fmt.Sprintf("box mismatch dim %d: %v vs %v", d, b.Box[d], o.Box[d])
 		}
 	}
-	for i := range b.Data {
-		d := float64(b.Data[i]) - float64(o.Data[i])
+	n := b.active()
+	for i := 0; i < n; i++ {
+		d := b.LoadF64(int64(i)) - o.LoadF64(int64(i))
 		if d < -tol || d > tol {
-			return false, fmt.Sprintf("data[%d] = %v vs %v", i, b.Data[i], o.Data[i])
+			return false, fmt.Sprintf("data[%d] = %v vs %v", i, b.LoadF64(int64(i)), o.LoadF64(int64(i)))
 		}
 	}
 	return true, ""
 }
 
+// Convert returns a new buffer over the same box with the given element
+// type, values widened/narrowed (saturating) per element. Converting to
+// the buffer's own element type still copies.
+func Convert(src *Buffer, elem Elem) *Buffer {
+	dst := NewElem(src.Box, elem)
+	n := src.active()
+	for i := 0; i < n; i++ {
+		dst.StoreF64(int64(i), src.LoadF64(int64(i)))
+	}
+	return dst
+}
+
 // FillPattern writes a deterministic pseudo-random pattern into a buffer
-// (used by tests and synthetic workloads).
+// (used by tests and synthetic workloads): floats in [0, 1) for float32
+// buffers, integers in [0, 256) for the narrow element types — the native
+// value range of 8-bit imaging traffic, exactly representable in every
+// wider type.
 func FillPattern(b *Buffer, seed int64) {
 	s := uint64(seed)*2654435761 + 1
-	for i := range b.Data {
+	n := b.active()
+	for i := 0; i < n; i++ {
 		s ^= s << 13
 		s ^= s >> 7
 		s ^= s << 17
-		b.Data[i] = float32(s%10000) / 10000
+		switch b.Elem {
+		case ElemU8:
+			b.U8[i] = uint8(s % 256)
+		case ElemU16:
+			b.U16[i] = uint16(s % 256)
+		case ElemI32:
+			b.I32[i] = int32(s % 256)
+		default:
+			b.Data[i] = float32(s%10000) / 10000
+		}
 	}
 }

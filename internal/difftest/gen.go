@@ -24,6 +24,18 @@ func Generate(seed int64) PipelineSpec {
 	return sp
 }
 
+// GenerateInteger derives the integer-mode variant of seed's spec: the
+// same DAG shape as Generate(seed), rebuilt with all-integral arithmetic
+// over a uint8 input image (the narrow-type difftest corpus). It is a
+// separate entry point rather than a generator axis so the float corpus —
+// and with it the schedule hashes of the checked-in gencorpus seeds —
+// stays byte-identical.
+func GenerateInteger(seed int64) PipelineSpec {
+	sp := Generate(seed)
+	sp.Integer = true
+	return sp
+}
+
 // kindWeights biases generation toward the interesting shapes; Copy is
 // reachable anyway through degradation.
 var kindWeights = []struct {

@@ -55,6 +55,13 @@ type Knob struct {
 	// the first exercise the dirty-tile decision and the clean-tile copies
 	// from the previous frame's retained buffers. Requires Frames > 1.
 	ROI bool
+	// NarrowTypes enables the bitwidth-inference pass, so stages with
+	// provably bounded integral intervals store as uint8/uint16/int32 and
+	// run on the integer row VM / integer stencil kernels. On float
+	// pipelines the pass must be a no-op (the knob differentially checks
+	// that); on Integer specs it is the narrow side of the exactness
+	// oracle, diffed bit-for-bit against the float64 reference.
+	NarrowTypes bool
 	// GenKernels leaves dispatch to ahead-of-time generated Go kernels
 	// enabled (every other knob pins ExecOptions.NoGenKernels so its label
 	// describes what actually ran). The sweep's gen knob compiles with the
@@ -70,6 +77,9 @@ func (k Knob) String() string {
 		k.Name, k.Tiles, !k.DisableFusion, !k.DisableInline, k.Fast, k.Threads, k.ReuseBuffers, k.Tiling, !k.NoRowVM, k.Concurrent)
 	if k.Frames > 1 {
 		s += fmt.Sprintf(" frames=%d roi=%v", k.Frames, k.ROI)
+	}
+	if k.NarrowTypes {
+		s += " narrow=true"
 	}
 	if k.GenKernels {
 		s += " gen=true"
@@ -100,7 +110,7 @@ func (k Knob) inlineOptions() inline.Options {
 func (k Knob) engineOptions() engine.ExecOptions {
 	return engine.ExecOptions{Fast: k.Fast, Threads: k.Threads, Debug: true,
 		ReuseBuffers: k.ReuseBuffers, Tiling: k.Tiling, NoRowVM: k.NoRowVM,
-		NoGenKernels: !k.GenKernels}
+		NarrowTypes: k.NarrowTypes, NoGenKernels: !k.GenKernels}
 }
 
 // DefaultKnobs is the standard sweep: 13 combinations covering every axis
@@ -129,7 +139,24 @@ func DefaultKnobs() []Knob {
 		{Name: "fleet-concurrent", Tiles: []int64{16, 16}, Fast: true, Threads: 4, ReuseBuffers: true, Concurrent: 4},
 		{Name: "frames-stream", Tiles: []int64{16, 16}, Fast: true, Threads: 4, Frames: 3},
 		{Name: "roi-dirty", Tiles: []int64{8, 8}, Fast: true, Threads: 2, Frames: 3, ROI: true},
+		{Name: "narrow-fast-par", Tiles: []int64{16, 16}, Fast: true, Threads: 4, NarrowTypes: true},
 		GenKnob(),
+	}
+}
+
+// NarrowKnobs is the sweep for the integer corpus: the narrow layout
+// across the scalar/row-VM/no-VM/parallel/pooled/unfused axes plus one
+// float32-layout point, all of which must agree bit-for-bit with the
+// float64 reference on an Integer spec (Diff pins the zero-tolerance
+// oracle for those).
+func NarrowKnobs() []Knob {
+	return []Knob{
+		{Name: "narrow-scalar-seq", Tiles: []int64{8, 16}, Threads: 1, NarrowTypes: true},
+		{Name: "narrow-fast-seq", Tiles: []int64{8, 16}, Fast: true, Threads: 1, NarrowTypes: true},
+		{Name: "narrow-fast-par-pool", Tiles: []int64{16}, Fast: true, Threads: 4, ReuseBuffers: true, NarrowTypes: true},
+		{Name: "narrow-novm", Tiles: []int64{16, 16}, Fast: true, Threads: 2, NoRowVM: true, NarrowTypes: true},
+		{Name: "narrow-nofuse", Tiles: []int64{8, 8}, DisableFusion: true, Fast: true, Threads: 2, NarrowTypes: true},
+		{Name: "wide-fast-par", Tiles: []int64{16, 16}, Fast: true, Threads: 4},
 	}
 }
 
@@ -192,6 +219,12 @@ func (m *Mismatch) Error() string {
 // rather than in the optimizer.
 func Diff(sp PipelineSpec, opts RunOptions) (*Mismatch, error) {
 	opts = opts.withDefaults()
+	if sp.Integer {
+		// Integer specs are provably exact in every tier (all intervals
+		// within ±2^24): the ULP budget would mask real divergence, so the
+		// oracle demands bit equality.
+		opts.Atol, opts.MaxULP = 0, 0
+	}
 	refB, err := sp.Build(false)
 	if err != nil {
 		return nil, err
@@ -244,16 +277,17 @@ func diffOne(sp PipelineSpec, k Knob, opts RunOptions, refB *built, ref map[stri
 		return fail("", fmt.Sprintf("bind: %v", err))
 	}
 	defer prog.Close()
+	ins := inputsFor(k, refB)
 	if k.Frames > 1 {
 		return diffFrames(sp, k, opts, prog, refB, fail)
 	}
 	if k.Concurrent > 1 {
-		return diffConcurrent(k, opts, prog, refB, ref, fail)
+		return diffConcurrent(k, opts, prog, refB, ref, ins, fail)
 	}
 	// Run twice through the persistent executor, recycling in between:
 	// the second run must see no stale scratchpad/arena state.
 	for pass := 0; pass < 2; pass++ {
-		out, err := prog.Run(refB.Inputs)
+		out, err := prog.Run(ins)
 		if err != nil {
 			return fail("", fmt.Sprintf("run %d: %v", pass, err))
 		}
@@ -271,12 +305,37 @@ func diffOne(sp PipelineSpec, k Knob, opts RunOptions, refB *built, ref map[stri
 	return nil
 }
 
+// inputsFor adapts the spec's native inputs to the knob's layout: loads
+// specialize on the element type at bind time, so a program compiled
+// without NarrowTypes expects float32 inputs. Narrow (integer-elem) inputs
+// are widened — exactly, every value is an 8-bit integer — for non-narrow
+// knobs; everything else passes through untouched.
+func inputsFor(k Knob, refB *built) map[string]*engine.Buffer {
+	need := false
+	for _, b := range refB.Inputs {
+		if b.Elem != engine.ElemF32 {
+			need = true
+		}
+	}
+	if !need || k.NarrowTypes {
+		return refB.Inputs
+	}
+	out := make(map[string]*engine.Buffer, len(refB.Inputs))
+	for name, b := range refB.Inputs {
+		if b.Elem != engine.ElemF32 {
+			out[name] = engine.ConvertBuffer(b, engine.ElemF32)
+		} else {
+			out[name] = b
+		}
+	}
+	return out
+}
+
 // cloneBuffer deep-copies a buffer (the frame sweep mutates inputs between
 // frames and must not touch the spec's shared originals).
 func cloneBuffer(src *engine.Buffer) *engine.Buffer {
-	out := &engine.Buffer{}
-	out.Reset(src.Box)
-	copy(out.Data, src.Data)
+	out := engine.NewBufferElem(src.Box, src.Elem)
+	out.CopyRegion(src, src.Box)
 	return out
 }
 
@@ -322,6 +381,28 @@ func diffFrames(sp PipelineSpec, k Knob, opts RunOptions, prog *engine.Program, 
 	for _, name := range names {
 		cur[name] = cloneBuffer(refB.Inputs[name])
 	}
+	// The stream needs inputs in the knob's layout. Mutation happens on the
+	// native-elem clones (FillPattern writes integers into narrow buffers,
+	// keeping Integer specs exact); when the layouts differ, a persistent
+	// converted set mirrors the clones each frame — same buffer identities
+	// frame to frame, values equal by exact widening.
+	runIns := cur
+	conv := map[string]*engine.Buffer{}
+	for _, name := range names {
+		if cur[name].Elem != engine.ElemF32 && !k.NarrowTypes {
+			conv[name] = engine.ConvertBuffer(cur[name], engine.ElemF32)
+		}
+	}
+	if len(conv) > 0 {
+		runIns = make(map[string]*engine.Buffer, len(cur))
+		for _, name := range names {
+			if c, ok := conv[name]; ok {
+				runIns[name] = c
+			} else {
+				runIns[name] = cur[name]
+			}
+		}
+	}
 	var roi affine.Box
 	if k.ROI {
 		roi = centerRect(cur[names[0]].Box)
@@ -339,8 +420,7 @@ func diffFrames(sp PipelineSpec, k Knob, opts RunOptions, prog *engine.Program, 
 					if len(b.Box) != len(roi) {
 						continue
 					}
-					tmp := &engine.Buffer{}
-					tmp.Reset(b.Box)
+					tmp := engine.NewBufferElem(b.Box, b.Elem)
 					engine.FillPattern(tmp, seed+int64(i))
 					b.CopyRegion(tmp, roi)
 				}
@@ -350,12 +430,15 @@ func diffFrames(sp PipelineSpec, k Knob, opts RunOptions, prog *engine.Program, 
 					engine.FillPattern(cur[name], seed+int64(i))
 				}
 			}
+			for name, c := range conv {
+				c.CopyRegion(cur[name], c.Box)
+			}
 		}
 		ref, err := engine.Reference(refB.Graph, refB.Params, cur)
 		if err != nil {
 			return fail("", fmt.Sprintf("frame %d reference: %v", f, err))
 		}
-		out, err := s.RunFrame(cur, frameROI)
+		out, err := s.RunFrame(runIns, frameROI)
 		if err != nil {
 			return fail("", fmt.Sprintf("frame %d: %v", f, err))
 		}
@@ -387,7 +470,7 @@ func sortNames(s []string) {
 // against the sequential reference. All runs share the fleet scheduler, so
 // a slot table, liveness map or scratchpad shared across runs shows up as
 // a value mismatch here even when each run is individually correct.
-func diffConcurrent(k Knob, opts RunOptions, prog *engine.Program, refB *built, ref map[string]*engine.Buffer, fail func(output, detail string) *Mismatch) *Mismatch {
+func diffConcurrent(k Knob, opts RunOptions, prog *engine.Program, refB *built, ref map[string]*engine.Buffer, ins map[string]*engine.Buffer, fail func(output, detail string) *Mismatch) *Mismatch {
 	var mu sync.Mutex
 	var first *Mismatch
 	report := func(m *Mismatch) {
@@ -403,7 +486,7 @@ func diffConcurrent(k Knob, opts RunOptions, prog *engine.Program, refB *built, 
 		go func(g int) {
 			defer wg.Done()
 			for pass := 0; pass < 2; pass++ {
-				out, err := prog.Run(refB.Inputs)
+				out, err := prog.Run(ins)
 				if err != nil {
 					report(fail("", fmt.Sprintf("goroutine %d run %d: %v", g, pass, err)))
 					return
@@ -443,6 +526,26 @@ func Compare(got, want *engine.Buffer, atol float64, maxULP uint32) string {
 		if got.Box[d] != want.Box[d] {
 			return fmt.Sprintf("box dim %d is %v, want %v", d, got.Box[d], want.Box[d])
 		}
+	}
+	if got.Elem != engine.ElemF32 || want.Elem != engine.ElemF32 {
+		// Narrow buffers (and narrow-vs-float pairs) compare widened:
+		// integer widening is exact, so with a zero budget this is bit
+		// equality of the stored integers.
+		for i := int64(0); i < int64(got.Len()); i++ {
+			g, w := got.LoadF64(i), want.LoadF64(i)
+			if g == w {
+				continue
+			}
+			if d := g - w; d >= -atol && d <= atol {
+				continue
+			}
+			if u := ulpDiff(float32(g), float32(w)); u <= maxULP {
+				continue
+			}
+			return fmt.Sprintf("data[%d] = %v (%s), want %v (%s) (checksum got=%x want=%x)",
+				i, g, got.Elem, w, want.Elem, Checksum(got), Checksum(want))
+		}
+		return ""
 	}
 	for i := range got.Data {
 		g, w := got.Data[i], want.Data[i]
@@ -506,8 +609,29 @@ func Checksum(b *engine.Buffer) uint64 {
 		mix(uint64(r.Lo))
 		mix(uint64(r.Hi))
 	}
-	for _, v := range b.Data {
-		mix(uint64(math.Float32bits(v)))
+	// Float32 buffers keep the historical hash; narrow layouts tag the
+	// element type and mix the raw stored integers, so a uint8 buffer and a
+	// float32 buffer holding the same values fingerprint differently.
+	switch b.Elem {
+	case engine.ElemU8:
+		mix(uint64(b.Elem))
+		for _, v := range b.U8 {
+			mix(uint64(v))
+		}
+	case engine.ElemU16:
+		mix(uint64(b.Elem))
+		for _, v := range b.U16 {
+			mix(uint64(v))
+		}
+	case engine.ElemI32:
+		mix(uint64(b.Elem))
+		for _, v := range b.I32 {
+			mix(uint64(uint32(v)))
+		}
+	default:
+		for _, v := range b.Data {
+			mix(uint64(math.Float32bits(v)))
+		}
 	}
 	return h
 }

@@ -68,6 +68,16 @@ func Shrink(sp PipelineSpec, fails func(PipelineSpec) bool) PipelineSpec {
 				changed = true
 			}
 		}
+		// A finding that reproduces without integer mode is not narrow-
+		// specific; prefer the plain float repro.
+		if sp.Integer {
+			cand := clone(sp)
+			cand.Integer = false
+			if fails(cand) {
+				sp = cand
+				changed = true
+			}
+		}
 	}
 	return sp
 }
@@ -127,6 +137,9 @@ func SpecLiteral(sp PipelineSpec) string {
 	fmt.Fprintf(&b, "difftest.PipelineSpec{Seed: %d, Rank: %d, N: %d", sp.Seed, sp.rank(), sp.extent())
 	if sp.Parametric {
 		b.WriteString(", Parametric: true")
+	}
+	if sp.Integer {
+		b.WriteString(", Integer: true")
 	}
 	b.WriteString(", Stages: []difftest.StageSpec{")
 	for i, st := range sp.Stages {
@@ -188,6 +201,9 @@ func KnobLiteral(k Knob) string {
 	}
 	if k.NoRowVM {
 		b.WriteString(", NoRowVM: true")
+	}
+	if k.NarrowTypes {
+		b.WriteString(", NarrowTypes: true")
 	}
 	if k.Concurrent > 1 {
 		fmt.Fprintf(&b, ", Concurrent: %d", k.Concurrent)

@@ -97,6 +97,13 @@ type PipelineSpec struct {
 	// run time instead of a compile-time constant (resampling kinds are
 	// degraded to copies in this mode: margins must stay affine).
 	Parametric bool
+	// Integer switches the spec to all-integral arithmetic over a uint8
+	// input image: every kind maps to an integer variant normalized back
+	// into [0, 255] (integral stencil weights with a floor division by the
+	// total mass), so bitwidth inference narrows every stage and the
+	// whole DAG is exact in all evaluation tiers — the runner diffs these
+	// specs with a zero-tolerance oracle instead of the ULP budget.
+	Integer bool
 	// Stages lists the DAG body; live-outs are the sinks (stages no other
 	// stage consumes), so multi-output DAGs arise naturally.
 	Stages []StageSpec
@@ -163,7 +170,11 @@ func (sp PipelineSpec) Build(perturb bool) (*built, error) {
 			imDims = append(imDims, affine.Const(N))
 		}
 	}
-	b.Image("I", expr.Float, imDims...)
+	imType := expr.Float
+	if sp.Integer {
+		imType = expr.UChar
+	}
+	b.Image("I", imType, imDims...)
 	vars := make([]*dsl.Variable, rank)
 	for d, name := range []string{"x", "y"}[:rank] {
 		vars[d] = b.Var(name)
@@ -285,47 +296,89 @@ func (sp PipelineSpec) Build(perturb bool) (*built, error) {
 			}
 		}
 
-		// Definition expression for the (possibly degraded) kind.
+		// Definition expression for the (possibly degraded) kind. Integer
+		// mode keeps every stage's interval inside [0, 255]: values grow
+		// through integral weights, then a floor division by the total mass
+		// renormalizes — so arbitrary DAG depth stays within the ±2^24
+		// exactness cap and bitwidth inference narrows the whole graph.
 		var def expr.Expr
 		switch kind {
 		case KindCopy:
 			def = at(p, varArgs()...)
 		case KindPointAdd:
-			def = dsl.Add(
-				dsl.Mul(0.5, at(p, varArgs()...)),
-				dsl.Mul(0.5, at(q, varArgs()...)))
-		case KindPointMad:
-			def = dsl.Add(dsl.Mul(0.75, at(p, varArgs()...)), 0.1)
-		case KindStencil3, KindStencil5, KindStencil9:
-			w := stencilWeights(2*taps + 1)
-			var terms []expr.Expr
-			for k := -taps; k <= taps; k++ {
-				args := varArgs()
-				args[axis] = dsl.Add(vars[axis], k)
-				terms = append(terms, dsl.Mul(w[k+taps], at(p, args...)))
+			if sp.Integer {
+				def = dsl.IDiv(dsl.Add(at(p, varArgs()...), at(q, varArgs()...)), 2)
+			} else {
+				def = dsl.Add(
+					dsl.Mul(0.5, at(p, varArgs()...)),
+					dsl.Mul(0.5, at(q, varArgs()...)))
 			}
-			def = expr.Sum(terms...)
+		case KindPointMad:
+			if sp.Integer {
+				// The operand spans [-64, 318], so the saturating UChar cast
+				// actually clamps at runtime on both ends — every tier must
+				// apply the shared numeric semantics to agree exactly.
+				def = dsl.Cast(expr.UChar,
+					dsl.Sub(dsl.IDiv(dsl.Mul(3, at(p, varArgs()...)), 2), 64))
+			} else {
+				def = dsl.Add(dsl.Mul(0.75, at(p, varArgs()...)), 0.1)
+			}
+		case KindStencil3, KindStencil5, KindStencil9:
+			if sp.Integer {
+				w, total := intStencilWeights(2*taps + 1)
+				var terms []expr.Expr
+				for k := -taps; k <= taps; k++ {
+					args := varArgs()
+					args[axis] = dsl.Add(vars[axis], k)
+					terms = append(terms, dsl.Mul(w[k+taps], at(p, args...)))
+				}
+				def = dsl.IDiv(expr.Sum(terms...), total)
+			} else {
+				w := stencilWeights(2*taps + 1)
+				var terms []expr.Expr
+				for k := -taps; k <= taps; k++ {
+					args := varArgs()
+					args[axis] = dsl.Add(vars[axis], k)
+					terms = append(terms, dsl.Mul(w[k+taps], at(p, args...)))
+				}
+				def = expr.Sum(terms...)
+			}
 		case KindStencil2D:
 			var terms []expr.Expr
 			for di := -1; di <= 1; di++ {
 				for dj := -1; dj <= 1; dj++ {
-					terms = append(terms, dsl.Mul(1.0/9,
-						at(p, dsl.Add(vars[0], di), dsl.Add(vars[1], dj))))
+					a := at(p, dsl.Add(vars[0], di), dsl.Add(vars[1], dj))
+					if sp.Integer {
+						terms = append(terms, a)
+					} else {
+						terms = append(terms, dsl.Mul(1.0/9, a))
+					}
 				}
 			}
 			def = expr.Sum(terms...)
+			if sp.Integer {
+				def = dsl.IDiv(def, 9)
+			}
 		case KindDown:
 			a0, a1 := varArgs(), varArgs()
 			a0[axis] = dsl.Mul(2, vars[axis])
 			a1[axis] = dsl.Add(dsl.Mul(2, vars[axis]), 1)
-			def = dsl.Mul(0.5, dsl.Add(at(p, a0...), at(p, a1...)))
+			if sp.Integer {
+				def = dsl.IDiv(dsl.Add(at(p, a0...), at(p, a1...)), 2)
+			} else {
+				def = dsl.Mul(0.5, dsl.Add(at(p, a0...), at(p, a1...)))
+			}
 		case KindUp:
 			args := varArgs()
 			args[axis] = dsl.IDiv(vars[axis], 2)
 			def = at(p, args...)
 		}
 		if perturb && st.Perturb {
-			def = dsl.Mul(1.001, def)
+			if sp.Integer {
+				def = dsl.Add(def, 1)
+			} else {
+				def = dsl.Mul(1.001, def)
+			}
 		}
 
 		dom := make([]dsl.Interval, rank)
@@ -345,9 +398,13 @@ func (sp PipelineSpec) Build(perturb bool) (*built, error) {
 				}
 			}
 			inner := dsl.InBox(vars, lo, hi)
+			boundary := dsl.Mul(0.5, def)
+			if sp.Integer {
+				boundary = dsl.IDiv(def, 2)
+			}
 			fn.Define(
 				dsl.Case{Cond: inner, E: def},
-				dsl.Case{Cond: dsl.Not(inner), E: dsl.Mul(0.5, def)},
+				dsl.Case{Cond: dsl.Not(inner), E: boundary},
 			)
 		} else {
 			fn.Define(dsl.Case{E: def})
@@ -381,7 +438,11 @@ func (sp PipelineSpec) Build(perturb bool) (*built, error) {
 	for d := 0; d < rank; d++ {
 		box[d] = affine.Range{Lo: 0, Hi: N - 1}
 	}
-	in := engine.NewBuffer(box)
+	inElem := engine.ElemF32
+	if sp.Integer {
+		inElem = engine.ElemU8
+	}
+	in := engine.NewBufferElem(box, inElem)
 	engine.FillPattern(in, sp.Seed)
 	return &built{
 		Graph:    g,
@@ -412,6 +473,24 @@ func clampIdx(idx, i int) int {
 	return idx
 }
 
+// intStencilWeights returns the integral symmetric tap vector of odd
+// length n and its total mass (the floor-division normalizer). The 3-tap
+// mass 4 is a power of two (the integer VM's shift path), the 5- and
+// 9-tap masses 9 and 25 are not (the general floor-division path).
+func intStencilWeights(n int) ([]int64, int64) {
+	w := make([]int64, n)
+	var total int64
+	for i := range w {
+		d := i - n/2
+		if d < 0 {
+			d = -d
+		}
+		w[i] = int64(n/2 + 1 - d)
+		total += w[i]
+	}
+	return w, total
+}
+
 // stencilWeights returns a normalized symmetric tap vector of odd length n.
 func stencilWeights(n int) []float64 {
 	w := make([]float64, n)
@@ -435,6 +514,9 @@ func (sp PipelineSpec) ShortString() string {
 	s := fmt.Sprintf("rank=%d N=%d seed=%d", sp.rank(), sp.extent(), sp.Seed)
 	if sp.Parametric {
 		s += " parametric"
+	}
+	if sp.Integer {
+		s += " integer"
 	}
 	return fmt.Sprintf("{%s stages=%d}", s, len(sp.Stages))
 }

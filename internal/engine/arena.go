@@ -37,8 +37,11 @@ func arenaClass(n int64) int {
 	return c
 }
 
-// get returns a recycled buffer reshaped to cover box, or a fresh one.
-func (a *arena) get(box affine.Box) *Buffer {
+// get returns a recycled buffer reshaped to cover box with the given
+// element type, or a fresh one. A recycled buffer whose previous element
+// type differs reuses its box/stride storage and (via ResetElem) any
+// matching typed array it retained from an earlier life.
+func (a *arena) get(box affine.Box, elem Elem) *Buffer {
 	need := int64(1)
 	for _, r := range box {
 		sz := r.Size()
@@ -56,22 +59,24 @@ func (a *arena) get(box affine.Box) *Buffer {
 	}
 	a.mu.Unlock()
 	if b != nil {
-		b.Reset(box)
+		b.ResetElem(box, elem)
 		return b
 	}
-	return NewBuffer(box)
+	return NewBufferElem(box, elem)
 }
 
 // take pops a buffer with capacity ≥ need: best fit within need's own class
 // (entries there may still be too small), then LIFO from the first larger
 // non-empty class (any entry fits; the most recently recycled is the
-// cache-warmest).
+// cache-warmest). Capacity is the element count of the buffer's active
+// array — an element-type switch after take simply reallocates in
+// ResetElem, which the size-class match makes rare in steady state.
 func (a *arena) take(need int64) *Buffer {
 	c := arenaClass(need)
 	bucket := a.classes[c]
 	best := -1
 	for i, b := range bucket {
-		if int64(cap(b.Data)) >= need && (best < 0 || cap(b.Data) < cap(bucket[best].Data)) {
+		if b.Cap() >= need && (best < 0 || b.Cap() < bucket[best].Cap()) {
 			best = i
 		}
 	}
@@ -97,10 +102,10 @@ func (a *arena) take(need int64) *Buffer {
 
 // put recycles a buffer's storage; the caller must not use b afterwards.
 func (a *arena) put(b *Buffer) {
-	if b == nil || cap(b.Data) == 0 {
+	if b == nil || b.Cap() == 0 {
 		return
 	}
-	c := arenaClass(int64(cap(b.Data)))
+	c := arenaClass(b.Cap())
 	a.mu.Lock()
 	a.classes[c] = append(a.classes[c], b)
 	a.mu.Unlock()
@@ -120,7 +125,7 @@ func (a *arena) gauge() (hits, misses, pooled, pooledBytes int64) {
 	for _, bucket := range a.classes {
 		pooled += int64(len(bucket))
 		for _, b := range bucket {
-			pooledBytes += int64(cap(b.Data)) * 4
+			pooledBytes += b.Bytes()
 		}
 	}
 	return a.hits, a.misses, pooled, pooledBytes

@@ -32,6 +32,7 @@ type kernelScratch struct {
 	rows   [][]float32
 	vals   []float64
 	acc    []float64
+	iacc   []int64
 }
 
 // growI64 returns s resized to n elements, reallocating only on growth.
@@ -52,6 +53,10 @@ type compiler struct {
 	slots  map[string]int
 	params map[string]int64
 	debug  bool
+	// elems is the storage element type per slot (nil or all-ElemF32 unless
+	// the program narrowed some slots); access compilation specializes the
+	// load path on it.
+	elems []Elem
 
 	// Row-level common-subexpression elimination: repeated subtrees are
 	// assigned memo slots and evaluated once per row (the paper's
@@ -59,6 +64,28 @@ type compiler struct {
 	// stages, whose parity weights appear once per tap).
 	memoIDs  map[string]int // subtree key -> memo slot
 	memoNext int
+}
+
+// elemOf returns the storage element type of a slot.
+func (cp *compiler) elemOf(slot int) Elem {
+	if cp.elems == nil || slot < 0 || slot >= len(cp.elems) {
+		return ElemF32
+	}
+	return cp.elems[slot]
+}
+
+// readsNarrow reports whether any access in e targets a narrow-typed slot.
+func (cp *compiler) readsNarrow(e expr.Expr) bool {
+	found := false
+	expr.Walk(e, func(x expr.Expr) bool {
+		if a, ok := x.(expr.Access); ok {
+			if slot, ok := cp.slots[a.Target]; ok && cp.elemOf(slot) != ElemF32 {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
 }
 
 func (cp *compiler) compile(e expr.Expr) (evalFn, error) {
@@ -222,7 +249,19 @@ func (cp *compiler) compileAccess(a expr.Access) (evalFn, error) {
 				}
 				off += (x - b.Box[d].Lo) * b.Stride[d]
 			}
-			return float64(b.Data[off])
+			return b.LoadF64(off)
+		}, nil
+	}
+	if cp.elemOf(slot) != ElemF32 {
+		// Narrow slot: widen through the element-typed load (exact for
+		// every integer element type).
+		return func(c *Ctx) float64 {
+			b := c.bufs[slot]
+			var off int64
+			for d, f := range idx {
+				off += (f(c) - b.Box[d].Lo) * b.Stride[d]
+			}
+			return b.LoadF64(off)
 		}, nil
 	}
 	switch len(idx) {

@@ -168,7 +168,7 @@ func (e *Executor) runTiled(rc *runCtx, ge *groupExec, outputs map[string]*Buffe
 						sc = &Buffer{}
 						w.scratch[ls.name] = sc
 					}
-					sc.Reset(box)
+					sc.ResetElem(box, ls.elem)
 					out = sc
 				}
 				w.ctx.bufs[ls.slot] = out
@@ -288,6 +288,10 @@ func (p *Program) computeRegion(w *worker, ls *loweredStage, region affine.Box, 
 			piece.comb.run(&w.ctx.Ctx, r, out)
 			continue
 		}
+		if piece.isten != nil {
+			piece.isten.run(&w.ctx.Ctx, r, out)
+			continue
+		}
 		if piece.vm != nil {
 			p.vmLoop(w, piece, r, out)
 			continue
@@ -325,15 +329,20 @@ func (p *Program) rowLoop(w *worker, piece *loweredPiece, r affine.Box, out *Buf
 		pt[d] = r[d].Lo
 	}
 	rowLen := int64(c.n)
+	narrow := out.Elem != ElemF32
 	for {
 		c.pool.reset()
 		c.stamp++ // new row: invalidate CSE memos
 		vals := piece.row(c)
 		pt[last] = r[last].Lo
 		off := out.Offset(pt)
-		dst := out.Data[off : off+rowLen]
-		for i := range dst {
-			dst[i] = float32(vals[i])
+		if narrow {
+			storeRowF64(out, off, vals)
+		} else {
+			dst := out.Data[off : off+rowLen]
+			for i := range dst {
+				dst[i] = float32(vals[i])
+			}
 		}
 		d := last - 1
 		for ; d >= 0; d-- {
@@ -368,14 +377,22 @@ func (p *Program) vmLoop(w *worker, piece *loweredPiece, r affine.Box, out *Buff
 	rowLen := int64(c.n)
 	vm := piece.vm
 	f32 := vm.f32 && p.Opts.Fast
+	narrow := out.Elem != ElemF32
 	for {
 		pt[last] = r[last].Lo
 		off := out.Offset(pt)
-		dst := out.Data[off : off+rowLen]
-		if f32 {
-			vm.run32(c, dst)
-		} else {
-			vm.run(c, dst)
+		switch {
+		case narrow && vm.intOK:
+			storeRowI64(out, off, vm.evalInt(c))
+		case narrow:
+			storeRowF64(out, off, vm.eval64(c))
+		default:
+			dst := out.Data[off : off+rowLen]
+			if f32 {
+				vm.run32(c, dst)
+			} else {
+				vm.run(c, dst)
+			}
 		}
 		d := last - 1
 		for ; d >= 0; d-- {
@@ -399,13 +416,18 @@ func (p *Program) scalarLoop(w *worker, piece *loweredPiece, r affine.Box, out *
 	for d := 0; d < nd; d++ {
 		pt[d] = r[d].Lo
 	}
+	narrow := out.Elem != ElemF32
 	for {
 		for j := r[last].Lo; j <= r[last].Hi; j++ {
 			pt[last] = j
 			if piece.pred != nil && !piece.pred(c) {
 				continue
 			}
-			out.Data[out.Offset(pt)] = float32(piece.eval(c))
+			if narrow {
+				out.StoreF64(out.Offset(pt), piece.eval(c))
+			} else {
+				out.Data[out.Offset(pt)] = float32(piece.eval(c))
+			}
 		}
 		d := last - 1
 		for ; d >= 0; d-- {
@@ -514,7 +536,7 @@ func (e *Executor) runAccumulator(rc *runCtx, ls *loweredStage, out *Buffer) err
 			if t >= int64(threads) || fe.isSet() {
 				return
 			}
-			part := e.arena.get(out.Box)
+			part := e.arena.get(out.Box, out.Elem)
 			part.Fill(float32(ls.accOp.Identity()))
 			parts[t] = part
 			region := cloneBoxInto(w.region, red)

@@ -495,6 +495,12 @@ func (e *Executor) run(rc *runCtx, inputs map[string]*Buffer) (map[string]*Buffe
 				return nil, fmt.Errorf("engine: input %q dim %d is %v, want %v: %w", name, d, buf.Box[d], want[d], ErrShape)
 			}
 		}
+		// Loads specialize on the slot's element type at compile time, so the
+		// buffer handed in must match exactly (float32 unless NarrowTypes
+		// narrowed a uint8 image slot).
+		if wantElem := p.slotElem[p.slots[name]]; buf.Elem != wantElem {
+			return nil, fmt.Errorf("engine: input %q element type %s, want %s: %w", name, buf.Elem, wantElem, ErrShape)
+		}
 		base[p.slots[name]] = buf
 	}
 	if p.Opts.ReuseBuffers && rc.fc == nil {
@@ -506,7 +512,7 @@ func (e *Executor) run(rc *runCtx, inputs map[string]*Buffer) (map[string]*Buffe
 	outputs := make(map[string]*Buffer, len(p.fullStages))
 	for _, name := range p.fullStages {
 		ls := p.stages[name]
-		buf := e.arena.get(ls.dom)
+		buf := e.arena.get(ls.dom, ls.elem)
 		outputs[name] = buf
 		base[ls.slot] = buf
 	}
@@ -533,7 +539,7 @@ func (e *Executor) runPooled(rc *runCtx) (map[string]*Buffer, error) {
 			if live[ls.name] != nil {
 				continue
 			}
-			buf := e.arena.get(ls.dom)
+			buf := e.arena.get(ls.dom, ls.elem)
 			live[ls.name] = buf
 			rc.base[ls.slot] = buf
 			if p.isOutput[ls.name] {

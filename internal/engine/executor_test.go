@@ -146,17 +146,17 @@ func TestExecutorClose(t *testing.T) {
 func TestArenaSizeClasses(t *testing.T) {
 	var a arena
 	box := func(n int64) affine.Box { return affine.Box{{Lo: 0, Hi: n - 1}} }
-	b1 := a.get(box(100))
-	b2 := a.get(box(1000))
+	b1 := a.get(box(100), ElemF32)
+	b2 := a.get(box(1000), ElemF32)
 	a.put(b1)
 	a.put(b2)
 	// A request fitting the small buffer must take it, not the large one.
-	g := a.get(box(90))
+	g := a.get(box(90), ElemF32)
 	if cap(g.Data) != cap(b1.Data) {
 		t.Errorf("expected best-fit reuse of the 100-element buffer, got cap %d", cap(g.Data))
 	}
 	// A request larger than the small one must take the large one.
-	g2 := a.get(box(500))
+	g2 := a.get(box(500), ElemF32)
 	if cap(g2.Data) != cap(b2.Data) {
 		t.Errorf("expected reuse of the 1000-element buffer, got cap %d", cap(g2.Data))
 	}

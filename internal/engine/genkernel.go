@@ -143,6 +143,12 @@ func (p *Program) attachGenKernels() {
 		if ls == nil || ls.isAcc || ls.selfRef || k.Piece < 0 || k.Piece >= len(ls.pieces) {
 			continue
 		}
+		if ls.elem != ElemF32 {
+			// Generated kernels store float32; narrow stages keep their
+			// interpreted tiers (the hash's elem lines make this unreachable
+			// for honestly-emitted packages — defense in depth).
+			continue
+		}
 		if k.Rank != len(ls.dom) || k.Fn == nil {
 			continue
 		}
@@ -154,7 +160,7 @@ func (p *Program) attachGenKernels() {
 		ok := true
 		for j, r := range k.Reads {
 			s, exists := p.slots[r]
-			if !exists {
+			if !exists || p.slotElem[s] != ElemF32 {
 				ok = false
 				break
 			}
@@ -194,14 +200,32 @@ func (p *Program) genLoop(w *worker, piece *loweredPiece, r affine.Box, out *Buf
 // correct for both.
 func (p *Program) ScheduleHash() string {
 	p.hashOnce.Do(func() {
-		p.schedHash = computeScheduleHash(p.Grouping, p.Params, p.Opts.Tiling)
+		p.schedHash = computeScheduleHash(p.Grouping, p.Params, p.Opts.Tiling, p.narrowElems())
 	})
 	return p.schedHash
 }
 
-func computeScheduleHash(gr *schedule.Grouping, params map[string]int64, tiling TilingStrategy) string {
+// narrowElems lists the narrow-typed slots as sorted "name=elem" lines for
+// the schedule hash. All-float32 programs return nil, keeping their hash
+// byte-identical to pre-narrow-types engines (checked-in generated packages
+// stay bound).
+func (p *Program) narrowElems() []string {
+	var lines []string
+	for name, slot := range p.slots {
+		if e := p.slotElem[slot]; e != ElemF32 {
+			lines = append(lines, name+"="+e.String())
+		}
+	}
+	sort.Strings(lines)
+	return lines
+}
+
+func computeScheduleHash(gr *schedule.Grouping, params map[string]int64, tiling TilingStrategy, narrow []string) string {
 	h := sha256.New()
 	fmt.Fprintf(h, "abi=%s\nstore=float32\ntiling=%d\n", genABI, tiling)
+	for _, l := range narrow {
+		fmt.Fprintf(h, "elem %s\n", l)
+	}
 	names := make([]string, 0, len(params))
 	for n := range params {
 		names = append(names, n)
@@ -344,7 +368,7 @@ func (p *Program) GenUnits() []GenUnit {
 	var units []GenUnit
 	for _, name := range p.stageNames {
 		ls := p.stages[name]
-		if ls.isAcc || ls.selfRef {
+		if ls.isAcc || ls.selfRef || ls.elem != ElemF32 {
 			continue
 		}
 		rank := len(ls.dom)
@@ -358,6 +382,16 @@ func (p *Program) GenUnits() []GenUnit {
 			}
 			reads, ok := genAnalyze(piece.src, p.slots, p.Params)
 			if !ok {
+				continue
+			}
+			narrowRead := false
+			for _, r := range reads {
+				if p.slotElem[p.slots[r]] != ElemF32 {
+					narrowRead = true
+					break
+				}
+			}
+			if narrowRead {
 				continue
 			}
 			u := GenUnit{

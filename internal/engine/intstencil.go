@@ -1,0 +1,140 @@
+package engine
+
+import (
+	"repro/internal/affine"
+	"repro/internal/expr"
+)
+
+// intStencilKernel is the narrow-type counterpart of stencilKernel:
+// factor · Σ w_k · target(x+o_k) with integral factor and weights over a
+// narrow-typed producer, accumulated in int64. It only attaches to stages
+// bitwidth inference proved integral within ±2^24, where integer
+// accumulation in any association order equals the expression tree's exact
+// float64 value — so the kernel is bit-identical to the float64 row paths
+// and the integer VM while reading 1- or 2-byte source rows.
+type intStencilKernel struct {
+	slot    int
+	factor  int64
+	weights []int64
+	offsets [][]int64 // per tap, per producer dim
+	rank    int
+}
+
+// matchIntStencil reuses the float stencil matcher and converts the result
+// when the shape has exact integer semantics: integral factor and weights,
+// narrow-typed producer.
+func matchIntStencil(e expr.Expr, ndims int, cp *compiler) *intStencilKernel {
+	k := matchStencil(e, ndims, cp)
+	if k == nil || cp.elemOf(k.slot) == ElemF32 {
+		return nil
+	}
+	if !integralImm(k.factor) {
+		return nil
+	}
+	ik := &intStencilKernel{slot: k.slot, factor: int64(k.factor),
+		offsets: k.offsets, rank: k.rank}
+	for _, w := range k.weights {
+		if !integralImm(w) {
+			return nil
+		}
+		ik.weights = append(ik.weights, int64(w))
+	}
+	return ik
+}
+
+// run evaluates the stencil over region into out, mirroring
+// stencilKernel.run: per-call state lives in the worker's kernel scratch,
+// rows accumulate in int64 and store through the saturating narrow path.
+func (k *intStencilKernel) run(c *Ctx, region affine.Box, out *Buffer) {
+	if region.Empty() {
+		return
+	}
+	src := c.bufs[k.slot]
+	nd := len(region)
+	last := nd - 1
+	c.ks.pt = growI64(c.ks.pt, nd)
+	pt := c.ks.pt
+	for d := range region {
+		pt[d] = region[d].Lo
+	}
+	nTaps := len(k.weights)
+	c.ks.tapOff = growI64(c.ks.tapOff, nTaps)
+	tapOff := c.ks.tapOff
+	for t := 0; t < nTaps; t++ {
+		var o int64
+		for d := 0; d < nd; d++ {
+			o += k.offsets[t][d] * src.Stride[d]
+		}
+		tapOff[t] = o
+	}
+	rowLen := region[last].Size()
+	if cap(c.ks.iacc) < int(rowLen) {
+		c.ks.iacc = make([]int64, rowLen)
+	}
+	acc := c.ks.iacc[:rowLen]
+	for {
+		srcBase := src.Offset(pt)
+		switch src.Elem {
+		case ElemU8:
+			intStenRow(src.U8, srcBase, tapOff, k.weights, acc)
+		case ElemU16:
+			intStenRow(src.U16, srcBase, tapOff, k.weights, acc)
+		case ElemI32:
+			intStenRow(src.I32, srcBase, tapOff, k.weights, acc)
+		default:
+			intStenRow(src.Data, srcBase, tapOff, k.weights, acc)
+		}
+		if k.factor != 1 {
+			for j := range acc {
+				acc[j] *= k.factor
+			}
+		}
+		storeRowI64(out, out.Offset(pt), acc)
+		d := last - 1
+		for ; d >= 0; d-- {
+			pt[d]++
+			if pt[d] <= region[d].Hi {
+				break
+			}
+			pt[d] = region[d].Lo
+		}
+		if d < 0 {
+			return
+		}
+	}
+}
+
+// intStenRow accumulates one row: acc[j] = Σ w_t · src[base+tapOff_t+j].
+// The 3- and 5-tap cases (separable stencils) are unrolled like the float
+// kernel's.
+func intStenRow[T narrowSrc](src []T, base int64, tapOff []int64, w []int64, acc []int64) {
+	switch len(w) {
+	case 3:
+		w0, w1, w2 := w[0], w[1], w[2]
+		r0 := src[base+tapOff[0]:]
+		r1 := src[base+tapOff[1]:]
+		r2 := src[base+tapOff[2]:]
+		for j := range acc {
+			acc[j] = w0*int64(r0[j]) + w1*int64(r1[j]) + w2*int64(r2[j])
+		}
+	case 5:
+		w0, w1, w2, w3, w4 := w[0], w[1], w[2], w[3], w[4]
+		r0 := src[base+tapOff[0]:]
+		r1 := src[base+tapOff[1]:]
+		r2 := src[base+tapOff[2]:]
+		r3 := src[base+tapOff[3]:]
+		r4 := src[base+tapOff[4]:]
+		for j := range acc {
+			acc[j] = w0*int64(r0[j]) + w1*int64(r1[j]) + w2*int64(r2[j]) +
+				w3*int64(r3[j]) + w4*int64(r4[j])
+		}
+	default:
+		for j := range acc {
+			var s int64
+			for t, wt := range w {
+				s += wt * int64(src[base+tapOff[t]+int64(j)])
+			}
+			acc[j] = s
+		}
+	}
+}

@@ -1,0 +1,199 @@
+package engine
+
+// Row-granular widening loads and narrowing stores for narrow-typed
+// buffers. The element-type switch runs once per row; the inner loops are
+// monomorphic over the concrete element type, so the float64 row paths and
+// the integer VM pay one predictable branch per row when a pipeline mixes
+// element types (e.g. a float stage reading a uint8 input image).
+
+import "repro/internal/numeric"
+
+type narrowSrc interface {
+	~uint8 | ~uint16 | ~int32 | ~float32
+}
+
+func widenRowT[T narrowSrc](t []float64, src []T, p, stride int64) {
+	if stride == 1 {
+		s := src[p : p+int64(len(t))]
+		for i := range t {
+			t[i] = float64(s[i])
+		}
+		return
+	}
+	for i := range t {
+		t[i] = float64(src[p])
+		p += stride
+	}
+}
+
+func madRowT[T narrowSrc](t, a []float64, w float64, src []T, p, stride int64) {
+	if stride == 1 {
+		s := src[p : p+int64(len(t))]
+		for i := range t {
+			t[i] = a[i] + w*float64(s[i])
+		}
+		return
+	}
+	for i := range t {
+		t[i] = a[i] + w*float64(src[p])
+		p += stride
+	}
+}
+
+// vmWidenRow reads len(t) elements starting at flat offset p with the given
+// stride, widened to float64.
+func vmWidenRow(t []float64, b *Buffer, p, stride int64) {
+	switch b.Elem {
+	case ElemU8:
+		widenRowT(t, b.U8, p, stride)
+	case ElemU16:
+		widenRowT(t, b.U16, p, stride)
+	case ElemI32:
+		widenRowT(t, b.I32, p, stride)
+	default:
+		widenRowT(t, b.Data, p, stride)
+	}
+}
+
+// vmMadRowNarrow computes t[i] = a[i] + w·src[i] over a narrow source row;
+// safe when t aliases a.
+func vmMadRowNarrow(t, a []float64, w float64, b *Buffer, p, stride int64) {
+	switch b.Elem {
+	case ElemU8:
+		madRowT(t, a, w, b.U8, p, stride)
+	case ElemU16:
+		madRowT(t, a, w, b.U16, p, stride)
+	case ElemI32:
+		madRowT(t, a, w, b.I32, p, stride)
+	default:
+		madRowT(t, a, w, b.Data, p, stride)
+	}
+}
+
+// widenRowI64 reads len(t) elements at flat offset p with the given stride
+// into int64 registers (integer-VM loads; exact for every integer element
+// type, and for float32 sources holding integers within ±2^24 — which is
+// all the integer VM is ever dispatched on).
+func widenRowI64(t []int64, b *Buffer, p, stride int64) {
+	switch b.Elem {
+	case ElemU8:
+		if stride == 1 {
+			s := b.U8[p : p+int64(len(t))]
+			for i := range t {
+				t[i] = int64(s[i])
+			}
+		} else {
+			for i := range t {
+				t[i] = int64(b.U8[p])
+				p += stride
+			}
+		}
+	case ElemU16:
+		if stride == 1 {
+			s := b.U16[p : p+int64(len(t))]
+			for i := range t {
+				t[i] = int64(s[i])
+			}
+		} else {
+			for i := range t {
+				t[i] = int64(b.U16[p])
+				p += stride
+			}
+		}
+	case ElemI32:
+		if stride == 1 {
+			s := b.I32[p : p+int64(len(t))]
+			for i := range t {
+				t[i] = int64(s[i])
+			}
+		} else {
+			for i := range t {
+				t[i] = int64(b.I32[p])
+				p += stride
+			}
+		}
+	default:
+		if stride == 1 {
+			s := b.Data[p : p+int64(len(t))]
+			for i := range t {
+				t[i] = int64(s[i])
+			}
+		} else {
+			for i := range t {
+				t[i] = int64(b.Data[p])
+				p += stride
+			}
+		}
+	}
+}
+
+// loadI64 reads one element at flat offset off as int64.
+func loadI64(b *Buffer, off int64) int64 {
+	switch b.Elem {
+	case ElemU8:
+		return int64(b.U8[off])
+	case ElemU16:
+		return int64(b.U16[off])
+	case ElemI32:
+		return int64(b.I32[off])
+	}
+	return int64(b.Data[off])
+}
+
+// storeRowF64 writes a float64 result row into out at flat offset off,
+// narrowing per the buffer's element type with the tier-shared saturating
+// semantics.
+func storeRowF64(out *Buffer, off int64, vals []float64) {
+	switch out.Elem {
+	case ElemU8:
+		dst := out.U8[off : off+int64(len(vals))]
+		for i, v := range vals {
+			dst[i] = numeric.SatU8(v)
+		}
+	case ElemU16:
+		dst := out.U16[off : off+int64(len(vals))]
+		for i, v := range vals {
+			dst[i] = numeric.SatU16(v)
+		}
+	case ElemI32:
+		dst := out.I32[off : off+int64(len(vals))]
+		for i, v := range vals {
+			dst[i] = numeric.SatI32(v)
+		}
+	default:
+		dst := out.Data[off : off+int64(len(vals))]
+		for i, v := range vals {
+			dst[i] = float32(v)
+		}
+	}
+}
+
+// storeRowI64 writes an integer result row into out at flat offset off.
+// The integer VM only runs on stages whose inferred interval fits the
+// chosen element type, so the clamp below never fires on a sound program —
+// it keeps the saturating semantics anyway (cheap insurance, same contract
+// as StoreF64).
+func storeRowI64(out *Buffer, off int64, vals []int64) {
+	switch out.Elem {
+	case ElemU8:
+		dst := out.U8[off : off+int64(len(vals))]
+		for i, v := range vals {
+			dst[i] = uint8(clamp64(v, 0, 255))
+		}
+	case ElemU16:
+		dst := out.U16[off : off+int64(len(vals))]
+		for i, v := range vals {
+			dst[i] = uint16(clamp64(v, 0, 65535))
+		}
+	case ElemI32:
+		dst := out.I32[off : off+int64(len(vals))]
+		for i, v := range vals {
+			dst[i] = int32(clamp64(v, -1<<31, 1<<31-1))
+		}
+	default:
+		dst := out.Data[off : off+int64(len(vals))]
+		for i, v := range vals {
+			dst[i] = float32(v)
+		}
+	}
+}

@@ -78,7 +78,7 @@ func (e *Executor) runParallelogram(rc *runCtx, ge *groupExec, outputs map[strin
 		if liveOut[ls.name] {
 			full[ls.name] = outputs[ls.name]
 		} else {
-			buf := e.arena.get(ls.dom)
+			buf := e.arena.get(ls.dom, ls.elem)
 			full[ls.name] = buf
 			scratch = append(scratch, buf)
 		}

@@ -55,6 +55,17 @@ type ExecOptions struct {
 	// register-allocated fused programs cut per-row dispatch and memory
 	// traffic (see rowvm.go).
 	NoRowVM bool
+	// NarrowTypes enables bitwidth inference (see narrow.go): stages whose
+	// values are provably integral and bounded within ±2^24 are stored as
+	// uint8/uint16/int32 instead of float32, cutting memory traffic on
+	// integer imaging pipelines, and UChar input images are expected as
+	// uint8 buffers. Inferred stages evaluate on the integer row VM (or the
+	// float64 row paths, which are bit-identical on the provable subset);
+	// the float32 kernels and generated kernels are never used for them, so
+	// results are exactly equal to the default layout's. Off by default:
+	// with the flag clear no inference runs and every buffer keeps the
+	// historical float32 layout.
+	NarrowTypes bool
 	// NoGenKernels disables dispatch to ahead-of-time generated Go kernels
 	// (cmd/polymage-gen): stage pieces run on the row VM / specialized
 	// kernels even when the process links a generated-kernel package whose
@@ -90,6 +101,9 @@ type loweredPiece struct {
 	vm   *rowVM
 	sten *stencilKernel
 	comb *combKernel
+	// isten is the integer stencil kernel: the narrow-type counterpart of
+	// sten, accumulating in int64 over narrow source rows (see intstencil.go).
+	isten *intStencilKernel
 	// gen is the ahead-of-time generated Go kernel bound to this piece
 	// (nil unless a registered kernel package matches the program's
 	// schedule hash); it takes precedence over every interpreted tier.
@@ -107,6 +121,12 @@ type loweredStage struct {
 	dom     affine.Box
 	pieces  []loweredPiece
 	selfRef bool
+	// elem is the stage's inferred storage element type (ElemF32 unless
+	// Options.NarrowTypes narrowed it); intExact marks stages whose every
+	// expression node is provably integral within ±2^24 — eligible for the
+	// integer row VM.
+	elem     Elem
+	intExact bool
 	// prof carries the stage's pprof label set when ExecOptions.Profile is on
 	// (nil otherwise — the disabled path is a nil check).
 	prof *pprof.LabelSet
@@ -151,7 +171,11 @@ type Program struct {
 
 	slots     map[string]int
 	slotCount int
-	stages    map[string]*loweredStage
+	// slotElem is the storage element type per buffer slot (images and
+	// stages). All-ElemF32 unless Opts.NarrowTypes narrowed some slots;
+	// Run validates input buffers against it.
+	slotElem []Elem
+	stages   map[string]*loweredStage
 	groups    []*groupExec
 	// fullSlots lists stages that get full-buffer allocations (all group
 	// live-outs).
@@ -238,7 +262,19 @@ func Compile(gr *schedule.Grouping, params map[string]int64, opts ExecOptions) (
 		p.slots[name] = p.slotCount
 		p.slotCount++
 	}
-	cp := &compiler{slots: p.slots, params: params, debug: opts.Debug}
+	// Bitwidth inference: pick a storage element type per slot. Without
+	// NarrowTypes everything is ElemF32 and lowering below is unchanged.
+	p.slotElem = make([]Elem, p.slotCount)
+	var nw *narrowing
+	if opts.NarrowTypes {
+		nw = inferNarrow(g, params)
+		for name, slot := range p.slots {
+			if sn, ok := nw.stages[name]; ok {
+				p.slotElem[slot] = sn.elem
+			}
+		}
+	}
+	cp := &compiler{slots: p.slots, params: params, debug: opts.Debug, elems: p.slotElem}
 	if opts.Fast {
 		counts := make(map[string]int)
 		for _, name := range g.Order {
@@ -250,7 +286,7 @@ func Compile(gr *schedule.Grouping, params map[string]int64, opts ExecOptions) (
 	lowerDone := p.BindTrace.Start("lower")
 	p.stageNames = append(p.stageNames, g.Order...)
 	for i, name := range g.Order {
-		ls, err := p.lowerStage(g.Stages[name], cp)
+		ls, err := p.lowerStage(g.Stages[name], cp, nw)
 		if err != nil {
 			return nil, err
 		}
@@ -401,7 +437,7 @@ func sortStrings(s []string) {
 	}
 }
 
-func (p *Program) lowerStage(st *pipeline.Stage, cp *compiler) (*loweredStage, error) {
+func (p *Program) lowerStage(st *pipeline.Stage, cp *compiler, nw *narrowing) (*loweredStage, error) {
 	dom, err := st.Decl.Domain().Eval(p.Params)
 	if err != nil {
 		return nil, fmt.Errorf("engine: %s: %v", st.Name, err)
@@ -411,6 +447,11 @@ func (p *Program) lowerStage(st *pipeline.Stage, cp *compiler) (*loweredStage, e
 		slot:    p.slots[st.Name],
 		dom:     dom,
 		selfRef: st.SelfRef,
+	}
+	if nw != nil {
+		sn := nw.stages[st.Name]
+		ls.elem = sn.elem
+		ls.intExact = sn.intExact
 	}
 	if st.IsAccumulator() {
 		acc := st.Decl.(*dsl.Accumulator)
@@ -474,12 +515,23 @@ func (p *Program) lowerStage(st *pipeline.Stage, cp *compiler) (*loweredStage, e
 		if err != nil {
 			return nil, err
 		}
+		// Narrow-involved pieces (the stage stores a narrow type, or any
+		// access reads a narrow slot) stay off the float32 kernels: the
+		// stencil/comb kernels and the f32 VM read float32 backing arrays
+		// directly, and their rounding would break the narrow layout's
+		// exact-equality guarantee. They run on the integer VM when the
+		// stage is provably integral, else on the float64 row paths.
+		narrowed := ls.elem != ElemF32 || cp.readsNarrow(c.E)
 		if p.Opts.Fast && piece.pred == nil {
-			piece.sten = matchStencil(c.E, nd, cp)
-			if piece.sten == nil {
-				piece.comb = matchCombination(c.E, nd, cp)
+			if !narrowed {
+				piece.sten = matchStencil(c.E, nd, cp)
+				if piece.sten == nil {
+					piece.comb = matchCombination(c.E, nd, cp)
+				}
+			} else if ls.intExact {
+				piece.isten = matchIntStencil(c.E, nd, cp)
 			}
-			if piece.sten == nil && piece.comb == nil {
+			if piece.sten == nil && piece.comb == nil && piece.isten == nil {
 				if p.Opts.NoRowVM {
 					piece.row, err = cp.compileRow(c.E)
 				} else {
@@ -488,6 +540,12 @@ func (p *Program) lowerStage(st *pipeline.Stage, cp *compiler) (*loweredStage, e
 				if err != nil {
 					return nil, err
 				}
+			}
+			if piece.vm != nil {
+				if narrowed {
+					piece.vm.f32 = false
+				}
+				piece.vm.intOK = piece.vm.intOK && ls.intExact
 			}
 		}
 		ls.pieces = append(ls.pieces, piece)
@@ -539,7 +597,7 @@ func (p *Program) Stats() obs.ProgramStats {
 	st.Stages = make([]obs.StageModel, 0, len(p.stageNames))
 	for _, name := range p.stageNames {
 		ls := p.stages[name]
-		sm := obs.StageModel{Name: name}
+		sm := obs.StageModel{Name: name, Elem: ls.elem.String(), IntExact: ls.intExact}
 		if ls.isAcc {
 			sm.Scalar++
 		}
@@ -552,6 +610,8 @@ func (p *Program) Stats() obs.ProgramStats {
 				sm.Stencil++
 			case piece.comb != nil:
 				sm.Comb++
+			case piece.isten != nil:
+				sm.IntStencil++
 			case piece.vm != nil:
 				sm.RowVM++
 				vm := piece.vm
@@ -566,6 +626,9 @@ func (p *Program) Stats() obs.ProgramStats {
 				}
 				if vm.f32 {
 					sm.VMF32 = true
+				}
+				if vm.intOK {
+					sm.VMInt = true
 				}
 			case piece.row != nil:
 				sm.ClosureRow++

@@ -566,7 +566,7 @@ func (cp *compiler) compileRowAccess(a expr.Access) (rowFn, error) {
 		}
 		if varDim < 0 {
 			// Row-invariant access: broadcast.
-			v := float64(b.Data[base])
+			v := b.LoadF64(base)
 			for i := range t {
 				t[i] = v
 			}
@@ -578,7 +578,9 @@ func (cp *compiler) compileRowAccess(a expr.Access) (rowFn, error) {
 		switch {
 		case aff.Coeff == 1 && aff.Div == 1:
 			p := base + (c.jLo+offs[varDim]-lo)*stride
-			if stride == 1 {
+			if b.Elem != ElemF32 {
+				vmWidenRow(t, b, p, stride)
+			} else if stride == 1 {
 				src := b.Data[p : p+int64(c.n)]
 				for i := range t {
 					t[i] = float64(src[i])
@@ -592,14 +594,18 @@ func (cp *compiler) compileRowAccess(a expr.Access) (rowFn, error) {
 		case aff.Div == 1:
 			p := base + (aff.Coeff*c.jLo+offs[varDim]-lo)*stride
 			step := aff.Coeff * stride
-			for i := range t {
-				t[i] = float64(b.Data[p])
-				p += step
+			if b.Elem != ElemF32 {
+				vmWidenRow(t, b, p, step)
+			} else {
+				for i := range t {
+					t[i] = float64(b.Data[p])
+					p += step
+				}
 			}
 		default:
 			for i := range t {
 				x := affine.FloorDiv(aff.Coeff*(c.jLo+int64(i))+offs[varDim], aff.Div)
-				t[i] = float64(b.Data[base+(x-lo)*stride])
+				t[i] = b.LoadF64(base + (x-lo)*stride)
 			}
 		}
 		return t

@@ -147,6 +147,12 @@ type rowVM struct {
 	res    uint16 // register holding the finished row
 	fused  int    // superinstructions emitted by the peephole pass
 	f32    bool   // program qualifies for the float32 instruction set
+	// intOK: the program qualifies for the integer instruction set
+	// (rowvmint.go). Set only for stages bitwidth inference proved integral
+	// within ±2^24 (program.go masks the structural check with the
+	// stage-level proof), where int64 and float64 evaluation are
+	// bit-identical after the narrowing store.
+	intOK bool
 }
 
 // vmRegs is the per-worker register file backing rowVM execution; rows are
@@ -156,6 +162,7 @@ type rowVM struct {
 type vmRegs struct {
 	f     [][]float64
 	f32   [][]float32
+	i     [][]int64
 	b     [][]bool
 	gauge *atomic.Int64
 }
@@ -841,6 +848,7 @@ func (vb *vmBuilder) finish(res int) *rowVM {
 	vm := &rowVM{instrs: ins, loads: vb.loads, falls: vb.falls,
 		nRegs: nF, nBool: nB, res: uint16(reg[res]), fused: vb.fused}
 	vm.f32 = vmFloat32OK(vb.vals, res)
+	vm.intOK = vmIntOK(vb.vals)
 	return vm
 }
 
@@ -895,7 +903,9 @@ func (vm *rowVM) eval64(c *RowCtx) []float64 {
 		case rLoadU:
 			t := regs[in.dst][:n]
 			b, p, stride := vm.loads[in.aux].loadRow(c)
-			if stride == 1 {
+			if b.Elem != ElemF32 {
+				vmWidenRow(t, b, p, stride)
+			} else if stride == 1 {
 				src := b.Data[p : p+int64(n)]
 				for i := range t {
 					t[i] = float64(src[i])
@@ -914,9 +924,13 @@ func (vm *rowVM) eval64(c *RowCtx) []float64 {
 			p := base + (aff.Coeff*c.jLo+l.offs[l.varDim]-b.Box[l.varDim].Lo)*stride
 			step := aff.Coeff * stride
 			t := regs[in.dst][:n]
-			for i := range t {
-				t[i] = float64(b.Data[p])
-				p += step
+			if b.Elem != ElemF32 {
+				vmWidenRow(t, b, p, step)
+			} else {
+				for i := range t {
+					t[i] = float64(b.Data[p])
+					p += step
+				}
 			}
 		case rLoadDiv:
 			l := &vm.loads[in.aux]
@@ -926,14 +940,21 @@ func (vm *rowVM) eval64(c *RowCtx) []float64 {
 			lo := b.Box[l.varDim].Lo
 			off := l.offs[l.varDim]
 			t := regs[in.dst][:n]
-			for i := range t {
-				x := affine.FloorDiv(aff.Coeff*(c.jLo+int64(i))+off, aff.Div)
-				t[i] = float64(b.Data[base+(x-lo)*stride])
+			if b.Elem != ElemF32 {
+				for i := range t {
+					x := affine.FloorDiv(aff.Coeff*(c.jLo+int64(i))+off, aff.Div)
+					t[i] = b.LoadF64(base + (x-lo)*stride)
+				}
+			} else {
+				for i := range t {
+					x := affine.FloorDiv(aff.Coeff*(c.jLo+int64(i))+off, aff.Div)
+					t[i] = float64(b.Data[base+(x-lo)*stride])
+				}
 			}
 		case rLoadB:
 			l := &vm.loads[in.aux]
 			b, base := l.rowBase(c)
-			v := float64(b.Data[base])
+			v := b.LoadF64(base)
 			t := regs[in.dst][:n]
 			for i := range t {
 				t[i] = v
@@ -942,7 +963,12 @@ func (vm *rowVM) eval64(c *RowCtx) []float64 {
 			t := regs[in.dst][:n]
 			w := in.imm
 			b, p, stride := vm.loads[in.aux].loadRow(c)
-			if stride == 1 {
+			if b.Elem != ElemF32 {
+				vmWidenRow(t, b, p, stride)
+				for i := range t {
+					t[i] = w * t[i]
+				}
+			} else if stride == 1 {
 				src := b.Data[p : p+int64(n)]
 				for i := range t {
 					t[i] = w * float64(src[i])
@@ -958,7 +984,11 @@ func (vm *rowVM) eval64(c *RowCtx) []float64 {
 			a := regs[in.a][:n]
 			w := in.imm
 			b, p, stride := vm.loads[in.aux].loadRow(c)
-			if stride == 1 {
+			if b.Elem != ElemF32 {
+				// t may alias a (in-place allocation), so accumulate
+				// per element instead of widening into t first.
+				vmMadRowNarrow(t, a, w, b, p, stride)
+			} else if stride == 1 {
 				src := b.Data[p : p+int64(n)]
 				for i := range t {
 					t[i] = a[i] + w*float64(src[i])

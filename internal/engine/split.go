@@ -66,7 +66,7 @@ func (e *Executor) runSplit(rc *runCtx, ge *groupExec, outputs map[string]*Buffe
 		if liveOut[ls.name] {
 			full[ls.name] = outputs[ls.name]
 		} else {
-			buf := e.arena.get(ls.dom)
+			buf := e.arena.get(ls.dom, ls.elem)
 			full[ls.name] = buf
 			scratch = append(scratch, buf)
 		}

@@ -614,7 +614,7 @@ func (e *Executor) runTiledDirty(rc *runCtx, ge *groupExec, outputs map[string]*
 						sc = &Buffer{}
 						w.scratch[ls.name] = sc
 					}
-					sc.Reset(box)
+					sc.ResetElem(box, ls.elem)
 					out = sc
 				}
 				w.ctx.bufs[ls.slot] = out

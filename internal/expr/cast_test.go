@@ -1,0 +1,61 @@
+package expr
+
+import (
+	"math"
+	"testing"
+)
+
+// TestApplyCastSaturates pins the platform-independent cast semantics:
+// NaN → 0, ±Inf and out-of-range values clamp to the target type's bounds,
+// in-range values truncate toward zero. Before the numeric helpers these
+// conversions went through Go's native float→int conversion, whose result
+// is implementation-defined exactly on these inputs — so the reference
+// evaluator, row VM and generated kernels could silently diverge by
+// platform.
+func TestApplyCastSaturates(t *testing.T) {
+	nan := math.NaN()
+	inf := math.Inf(1)
+	cases := []struct {
+		to   Type
+		in   float64
+		want float64
+	}{
+		// NaN → 0 for every integer type.
+		{Int, nan, 0}, {UInt, nan, 0}, {Char, nan, 0}, {UChar, nan, 0}, {Short, nan, 0},
+		// ±Inf clamps.
+		{Int, inf, 2147483647}, {Int, -inf, -2147483648},
+		{UInt, inf, 4294967295}, {UInt, -inf, 0},
+		{Char, inf, 127}, {Char, -inf, -128},
+		{UChar, inf, 255}, {UChar, -inf, 0},
+		{Short, inf, 32767}, {Short, -inf, -32768},
+		// Out-of-range finite values clamp.
+		{Int, 1e18, 2147483647}, {Int, -1e18, -2147483648},
+		{Int, 2147483648, 2147483647}, {Int, -2147483649, -2147483648},
+		{UInt, 1e18, 4294967295}, {UInt, -1, 0},
+		{Char, 300, 127}, {Char, -300, -128},
+		{UChar, 300, 255}, {UChar, -1, 0}, {UChar, 255.9, 255},
+		{Short, 1e6, 32767}, {Short, -1e6, -32768},
+		// In-range values truncate toward zero.
+		{Int, 2.9, 2}, {Int, -2.9, -2},
+		{UChar, 254.9, 254}, {Char, -1.5, -1}, {Short, -7.9, -7},
+		{UInt, 3.7, 3},
+		// Bounds themselves are reachable.
+		{Int, 2147483647, 2147483647}, {Int, -2147483648, -2147483648},
+		{UChar, 255, 255}, {UChar, 0, 0},
+		// Float casts round to float32 and pass NaN/Inf through.
+		{Float, 1.0000000001, float64(float32(1.0000000001))},
+		{Float, inf, inf},
+		// Double is the identity.
+		{Double, -1e300, -1e300},
+	}
+	for _, c := range cases {
+		got := ApplyCast(c.to, c.in)
+		if got != c.want && !(math.IsNaN(got) && math.IsNaN(c.want)) {
+			t.Errorf("ApplyCast(%v, %v) = %v, want %v", c.to, c.in, got, c.want)
+		}
+	}
+	// Float cast of NaN stays NaN.
+	if got := ApplyCast(Float, nan); !math.IsNaN(got) {
+		t.Errorf("ApplyCast(Float, NaN) = %v, want NaN", got)
+	}
+}

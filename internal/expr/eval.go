@@ -3,6 +3,8 @@ package expr
 import (
 	"fmt"
 	"math"
+
+	"repro/internal/numeric"
 )
 
 // Env supplies bindings for evaluating an expression at one point of a
@@ -105,7 +107,12 @@ func evalUn(op UnOp, x float64) float64 {
 	panic("expr: unknown unary op")
 }
 
-// ApplyCast applies the value semantics of a cast to type t.
+// ApplyCast applies the value semantics of a cast to type t. Integer casts
+// saturate (NaN→0, out-of-range clamps to the type's bounds, in-range
+// truncates toward zero) via internal/numeric, so every evaluator tier —
+// this reference evaluator, the engine's closures and row VM, and the
+// generated kernels — agrees bit-for-bit on edge inputs that Go's native
+// conversions leave implementation-defined.
 func ApplyCast(t Type, v float64) float64 {
 	switch t {
 	case Float:
@@ -113,15 +120,15 @@ func ApplyCast(t Type, v float64) float64 {
 	case Double:
 		return v
 	case Int:
-		return float64(int32(v))
+		return float64(numeric.SatI32(v))
 	case UInt:
-		return float64(uint32(int64(v)))
+		return float64(numeric.SatU32(v))
 	case Char:
-		return float64(int8(int64(v)))
+		return float64(numeric.SatI8(v))
 	case UChar:
-		return float64(uint8(int64(v)))
+		return float64(numeric.SatU8(v))
 	case Short:
-		return float64(int16(int64(v)))
+		return float64(numeric.SatI16(v))
 	}
 	return v
 }

@@ -126,8 +126,10 @@ type Select struct {
 	Else Expr
 }
 
-// Cast converts the operand to the given type's value semantics (integer
-// types truncate toward zero, like C).
+// Cast converts the operand to the given type's value semantics. Integer
+// casts saturate: NaN maps to 0, out-of-range values clamp to the type's
+// bounds, and in-range values truncate toward zero (see ApplyCast and
+// internal/numeric for the exact tier-shared rules).
 type Cast struct {
 	To Type
 	X  Expr

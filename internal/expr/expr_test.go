@@ -29,8 +29,8 @@ func TestEvalArithmetic(t *testing.T) {
 	if got := Eval(Unary{Op: Abs, X: C(-2.5)}, env(nil, nil, nil)); got != 2.5 {
 		t.Errorf("abs = %v", got)
 	}
-	if got := Eval(Cast{To: UChar, X: C(300)}, env(nil, nil, nil)); got != 44 {
-		t.Errorf("cast uchar 300 = %v", got)
+	if got := Eval(Cast{To: UChar, X: C(300)}, env(nil, nil, nil)); got != 255 {
+		t.Errorf("cast uchar 300 = %v, want saturated 255", got)
 	}
 }
 

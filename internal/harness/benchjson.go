@@ -94,6 +94,30 @@ type BenchSummary struct {
 	// GenPieces maps app name to the number of pieces that ran on
 	// generated kernels (0 means the schedule hash missed).
 	GenPieces map[string]int `json:"gen_pieces,omitempty"`
+
+	// Narrow summary (files written by BenchNarrowJSON only).
+	//
+	// AppGeomeanNarrowMillis / AppGeomeanWideMillis are the narrow-app
+	// geomeans under the narrow (uint8/uint16 storage, integer tiers) and
+	// float32 layouts of the same pipelines.
+	AppGeomeanNarrowMillis float64 `json:"app_geomean_narrow_ms,omitempty"`
+	AppGeomeanWideMillis   float64 `json:"app_geomean_wide_ms,omitempty"`
+	// NarrowSpeedup is wide/narrow: > 1 means the narrow layout is faster
+	// overall.
+	NarrowSpeedup float64 `json:"narrow_speedup,omitempty"`
+	// NarrowBestSpeedup is the max per-app wide/narrow ratio — the ISSUE
+	// gate demands at least one memory-bound stencil app clear 1.3x.
+	NarrowBestSpeedup float64 `json:"narrow_best_speedup,omitempty"`
+	// NarrowWorstRatio is max over narrow apps of narrow/wide: > 1 means
+	// some narrow app is slower than its float32 layout, by that factor.
+	NarrowWorstRatio float64 `json:"narrow_worst_ratio,omitempty"`
+	// FloatWorstRatio is max over the float Table-2 apps of the wall-clock
+	// ratio with the inference pass on vs off — the pass must be a no-op on
+	// float pipelines, so this hovers at 1 up to timing noise.
+	FloatWorstRatio float64 `json:"float_worst_ratio,omitempty"`
+	// NarrowStages maps narrow app name to the number of stages stored
+	// with a narrow element type (0 means inference failed to narrow).
+	NarrowStages map[string]int `json:"narrow_stages,omitempty"`
 }
 
 // BenchFile is the root JSON document.

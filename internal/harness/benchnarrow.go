@@ -1,0 +1,203 @@
+package harness
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/apps"
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/schedule"
+)
+
+// BenchNarrowJSON measures the narrow-type benchmark (BENCH_narrow.json):
+// every narrow app runs under the narrow layout (NarrowTypes on — uint8/
+// uint16 storage, the integer row VM and integer stencil kernels) and
+// under the float32 layout of the exact same pipeline on value-identical
+// inputs, so the wide/narrow ratio isolates the memory-traffic win at
+// equal output bits. Every float Table-2 app is additionally measured
+// with the inference pass on and off — on a float pipeline the pass must
+// be a runtime no-op, and the float_worst_ratio summary documents that no
+// float app regresses. cmd/polymage-benchdiff -min-narrow-speedup gates
+// the file.
+func BenchNarrowJSON(w io.Writer, cfg Config) error {
+	threads := cfg.Threads
+	if threads == 0 {
+		threads = defaultThreads()
+	}
+	bf := &BenchFile{
+		Schema:    BenchSchema,
+		Timestamp: time.Now().UTC().Format(time.RFC3339),
+		Scale:     cfg.Scale,
+		Runs:      cfg.Runs,
+	}
+	bf.Summary.NarrowStages = make(map[string]int)
+	var narrowMs, wideMs []float64
+	worst, best := 0.0, 0.0
+	for _, app := range apps.AllNarrow() {
+		params := ScaledNarrowParams(app, cfg.Scale)
+		var ms [2]float64
+		for i, narrow := range []bool{true, false} {
+			b, outs := app.Build()
+			inputs, err := app.Inputs(b, params, cfg.Seed)
+			if err != nil {
+				return fmt.Errorf("%s: %w", app.Name, err)
+			}
+			if !narrow {
+				// The float32 layout loads specialize on the element type:
+				// widen the uint8 inputs (exact — every value is an 8-bit
+				// integer).
+				for name, buf := range inputs {
+					if buf.Elem != engine.ElemF32 {
+						inputs[name] = engine.ConvertBuffer(buf, engine.ElemF32)
+					}
+				}
+			}
+			pl, err := core.Compile(b, outs, core.Options{
+				Estimates:     params,
+				Schedule:      schedule.DefaultOptions(),
+				AllowUnproven: true,
+			})
+			if err != nil {
+				return fmt.Errorf("%s: %w", app.Name, err)
+			}
+			prog, err := pl.Bind(params, engine.ExecOptions{
+				Fast: true, Threads: threads, NarrowTypes: narrow, NoGenKernels: true,
+			})
+			if err != nil {
+				return fmt.Errorf("%s: %w", app.Name, err)
+			}
+			if narrow {
+				n := 0
+				for _, sm := range prog.Stats().Stages {
+					if sm.Elem != "float32" {
+						n++
+					}
+				}
+				bf.Summary.NarrowStages[app.Name] = n
+			}
+			ms[i], err = measureBest(prog, inputs, cfg.Runs, 3)
+			prog.Close()
+			if err != nil {
+				return fmt.Errorf("%s: %w", app.Name, err)
+			}
+		}
+		bf.Results = append(bf.Results,
+			BenchResult{Name: app.Name, Kind: "app", Variant: "narrow", Millis: ms[0], Threads: threads},
+			BenchResult{Name: app.Name, Kind: "app", Variant: "wide", Millis: ms[1], Threads: threads})
+		narrowMs = append(narrowMs, ms[0])
+		wideMs = append(wideMs, ms[1])
+		if ms[0] > 0 {
+			if r := ms[1] / ms[0]; r > best {
+				best = r
+			}
+		}
+		if ms[1] > 0 {
+			if r := ms[0] / ms[1]; r > worst {
+				worst = r
+			}
+		}
+	}
+	bf.Summary.AppGeomeanNarrowMillis = geomean(narrowMs)
+	bf.Summary.AppGeomeanWideMillis = geomean(wideMs)
+	if bf.Summary.AppGeomeanNarrowMillis > 0 {
+		bf.Summary.NarrowSpeedup = bf.Summary.AppGeomeanWideMillis / bf.Summary.AppGeomeanNarrowMillis
+	}
+	bf.Summary.NarrowBestSpeedup = best
+	bf.Summary.NarrowWorstRatio = worst
+
+	// Float Table-2 apps: the inference pass on a float pipeline narrows
+	// nothing, so enabling it must not change the wall clock.
+	v, err := baseline.Get("opt+vec")
+	if err != nil {
+		return err
+	}
+	floatWorst := 0.0
+	for _, app := range apps.All() {
+		params := ScaledParams(app, cfg.Scale)
+		var ms [2]float64
+		for i, narrow := range []bool{true, false} {
+			p, err := PrepareEngine(app, v, params, threads, schedule.DefaultOptions(), cfg.Seed,
+				func(o *engine.ExecOptions) { o.NarrowTypes = narrow; o.NoGenKernels = true })
+			if err != nil {
+				return fmt.Errorf("%s: %w", app.Name, err)
+			}
+			ms[i], err = measureBest(p.Prog, p.Inputs, cfg.Runs, 2)
+			p.Close()
+			if err != nil {
+				return fmt.Errorf("%s: %w", app.Name, err)
+			}
+		}
+		bf.Results = append(bf.Results,
+			BenchResult{Name: app.Name, Kind: "app", Variant: "f32-narrowopt", Millis: ms[0], Threads: threads},
+			BenchResult{Name: app.Name, Kind: "app", Variant: "f32", Millis: ms[1], Threads: threads})
+		if ms[1] > 0 {
+			if r := ms[0] / ms[1]; r > floatWorst {
+				floatWorst = r
+			}
+		}
+	}
+	bf.Summary.FloatWorstRatio = floatWorst
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(bf)
+}
+
+// ScaledNarrowParams divides a narrow app's benchmark parameters by the
+// scale, clamping at the test-size parameters (the narrow-app analogue of
+// ScaledParams).
+func ScaledNarrowParams(app *apps.NarrowApp, scale int64) map[string]int64 {
+	if scale <= 1 {
+		return app.BenchParams
+	}
+	out := make(map[string]int64, len(app.BenchParams))
+	for k, v := range app.BenchParams {
+		s := v / scale
+		if min := app.TestParams[k]; s < min {
+			s = min
+		}
+		if s < 1 {
+			s = 1
+		}
+		out[k] = s
+	}
+	return out
+}
+
+// measureBest returns the minimum over batches of the mean wall clock per
+// run in milliseconds (warm-up discarded per batch): single-digit-ms wall
+// clocks wobble with scheduler/GC noise, and the minimum of several batch
+// means is the standard noise-robust statistic for a comparison file.
+func measureBest(prog *engine.Program, inputs map[string]*engine.Buffer, runs, batches int) (float64, error) {
+	if runs < 2 {
+		runs = 2
+	}
+	e := prog.Executor()
+	best := 0.0
+	for batch := 0; batch < batches; batch++ {
+		var total time.Duration
+		counted := 0
+		for i := 0; i < runs; i++ {
+			start := time.Now()
+			out, err := e.Run(inputs)
+			if err != nil {
+				return 0, err
+			}
+			d := time.Since(start)
+			e.Recycle(out)
+			if i == 0 {
+				continue // warm-up
+			}
+			total += d
+			counted++
+		}
+		ms := float64(total.Microseconds()) / float64(counted) / 1000.0
+		if batch == 0 || ms < best {
+			best = ms
+		}
+	}
+	return best, nil
+}

@@ -149,6 +149,49 @@ func TestCSVOutputs(t *testing.T) {
 	}
 }
 
+func TestBenchNarrowJSONSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	var buf bytes.Buffer
+	if err := BenchNarrowJSON(&buf, tinyConfig()); err != nil {
+		t.Fatal(err)
+	}
+	var bf BenchFile
+	if err := json.Unmarshal(buf.Bytes(), &bf); err != nil {
+		t.Fatalf("bad JSON: %v", err)
+	}
+	if bf.Schema != BenchSchema {
+		t.Errorf("schema = %q", bf.Schema)
+	}
+	variants := make(map[string]int)
+	for _, r := range bf.Results {
+		if r.Kind != "app" || r.Millis <= 0 {
+			t.Errorf("result %+v: want kind=app with positive millis", r)
+		}
+		variants[r.Variant]++
+	}
+	for _, v := range []string{"narrow", "wide", "f32-narrowopt", "f32"} {
+		if variants[v] == 0 {
+			t.Errorf("no %q results", v)
+		}
+	}
+	if bf.Summary.NarrowSpeedup <= 0 {
+		t.Errorf("narrow speedup = %v, want > 0", bf.Summary.NarrowSpeedup)
+	}
+	if bf.Summary.FloatWorstRatio <= 0 {
+		t.Errorf("float worst ratio = %v, want > 0", bf.Summary.FloatWorstRatio)
+	}
+	for app, n := range bf.Summary.NarrowStages {
+		if n == 0 {
+			t.Errorf("%s: inference narrowed no stage under the narrow layout", app)
+		}
+	}
+	if len(bf.Summary.NarrowStages) == 0 {
+		t.Error("no narrow_stages recorded")
+	}
+}
+
 func TestBenchStreamJSONSmoke(t *testing.T) {
 	var buf bytes.Buffer
 	if err := BenchStreamJSON(&buf, tinyConfig()); err != nil {

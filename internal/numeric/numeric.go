@@ -1,0 +1,104 @@
+// Package numeric defines the saturating, platform-independent float→int
+// conversion semantics used by every evaluator tier (expr.Eval, the engine
+// closures, the row VM, the specialized kernels and the generated-kernel
+// emitter). Go's native float→int conversion is implementation-defined for
+// NaN and out-of-range values ("the behavior is ... not specified", Go
+// spec), so each tier converting natively could silently disagree. The
+// rules here are the ones common to saturating image arithmetic:
+//
+//	NaN          → 0
+//	v ≥ max(T)   → max(T)
+//	v ≤ min(T)   → min(T) (±Inf saturate like any out-of-range value)
+//	otherwise    → truncate toward zero (the C / Go in-range behavior)
+//
+// The comparisons are written so every in-range value takes the final
+// truncating conversion, which all platforms define identically.
+package numeric
+
+// SatI8 converts v to int8 with saturation.
+func SatI8(v float64) int8 {
+	if v != v {
+		return 0
+	}
+	if v >= 127 {
+		return 127
+	}
+	if v <= -128 {
+		return -128
+	}
+	return int8(v)
+}
+
+// SatU8 converts v to uint8 with saturation.
+func SatU8(v float64) uint8 {
+	if v != v {
+		return 0
+	}
+	if v >= 255 {
+		return 255
+	}
+	if v <= 0 {
+		return 0
+	}
+	return uint8(v)
+}
+
+// SatI16 converts v to int16 with saturation.
+func SatI16(v float64) int16 {
+	if v != v {
+		return 0
+	}
+	if v >= 32767 {
+		return 32767
+	}
+	if v <= -32768 {
+		return -32768
+	}
+	return int16(v)
+}
+
+// SatU16 converts v to uint16 with saturation.
+func SatU16(v float64) uint16 {
+	if v != v {
+		return 0
+	}
+	if v >= 65535 {
+		return 65535
+	}
+	if v <= 0 {
+		return 0
+	}
+	return uint16(v)
+}
+
+// SatI32 converts v to int32 with saturation. The upper comparison uses
+// 2^31, the tightest guard: every v in (2^31-1, 2^31) still truncates to
+// 2^31-1 natively, while any v ≥ 2^31 would overflow the native
+// conversion.
+func SatI32(v float64) int32 {
+	if v != v {
+		return 0
+	}
+	if v >= 2147483648 {
+		return 2147483647
+	}
+	if v <= -2147483648 {
+		return -2147483648
+	}
+	return int32(v)
+}
+
+// SatU32 converts v to uint32 with saturation (upper bound 2^32, exactly
+// representable; 2^32-1 is too, but the symmetric form reads clearer).
+func SatU32(v float64) uint32 {
+	if v != v {
+		return 0
+	}
+	if v >= 4294967295 {
+		return 4294967295
+	}
+	if v <= 0 {
+		return 0
+	}
+	return uint32(v)
+}

@@ -56,10 +56,17 @@ type ProgramStats struct {
 // counters aggregate over the stage's VM pieces.
 type StageModel struct {
 	Name string
+	// Elem is the stage's storage element type ("float32" unless bitwidth
+	// inference narrowed it to "uint8"/"uint16"/"int32"); IntExact reports
+	// that every expression node is provably integral within ±2^24 (the
+	// integer-VM eligibility bound).
+	Elem     string
+	IntExact bool
 	// Evaluator selection, counted per case piece.
 	Gen        int // ahead-of-time generated Go kernel (polymage-gen)
 	Stencil    int // specialized stencil kernel
 	Comb       int // pointwise combination kernel
+	IntStencil int // integer stencil kernel (narrow-type pipelines)
 	RowVM      int // row bytecode VM
 	ClosureRow int // per-node closure row evaluator
 	Scalar     int // per-point scalar loop (predicated pieces, accumulators)
@@ -70,4 +77,5 @@ type StageModel struct {
 	VMRegs      int  // float row-register high-water mark (max over pieces)
 	VMBoolRegs  int  // bool row-register high-water mark
 	VMF32       bool // some piece qualifies for the float32 instruction set
+	VMInt       bool // some piece qualifies for the integer instruction set
 }

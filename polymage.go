@@ -65,8 +65,13 @@ type (
 	Type = expr.Type
 	// AffineExpr is an affine expression over parameters (domain bounds).
 	AffineExpr = affine.Expr
-	// Buffer is an N-dimensional float32 array exchanged with pipelines.
+	// Buffer is an N-dimensional array exchanged with pipelines. Storage
+	// is float32 unless bitwidth inference (ExecOptions.NarrowTypes)
+	// narrowed the pipeline, in which case buffers carry uint8, uint16 or
+	// int32 elements; see Elem and NewBufferElem.
 	Buffer = engine.Buffer
+	// Elem is a buffer element type (ElemF32, ElemU8, ElemU16, ElemI32).
+	Elem = engine.Elem
 	// Box is a concrete N-dimensional index region.
 	Box = affine.Box
 	// Range is a concrete 1-D index interval.
@@ -228,10 +233,30 @@ func Compile(b *Builder, outputs []string, opts Options) (*Pipeline, error) {
 	return core.Compile(b, outputs, opts)
 }
 
-// NewBuffer allocates a buffer covering box. It is the single buffer
-// constructor; for parametric shapes use Image.NewBuffer (one input image)
-// or Pipeline.NewInputs (every input at once).
+// Buffer element types. A pipeline compiled with ExecOptions.NarrowTypes
+// stores uint8/uint16/int32 stages natively and requires input buffers in
+// the image's declared element type (a UChar image takes an ElemU8
+// buffer); everything else uses ElemF32.
+const (
+	ElemF32 = engine.ElemF32
+	ElemU8  = engine.ElemU8
+	ElemU16 = engine.ElemU16
+	ElemI32 = engine.ElemI32
+)
+
+// NewBuffer allocates a float32 buffer covering box. It is the usual
+// buffer constructor; for parametric shapes use Image.NewBuffer (one input
+// image) or Pipeline.NewInputs (every input at once).
 func NewBuffer(box Box) *Buffer { return engine.NewBuffer(box) }
+
+// NewBufferElem allocates a buffer covering box with the given element
+// type (narrow input images for NarrowTypes pipelines).
+func NewBufferElem(box Box, elem Elem) *Buffer { return engine.NewBufferElem(box, elem) }
+
+// ConvertBuffer returns a copy of src with the given element type,
+// converting each element with the saturating-cast semantics of the runtime
+// (float32 widening is exact for 8/16-bit values).
+func ConvertBuffer(src *Buffer, elem Elem) *Buffer { return engine.ConvertBuffer(src, elem) }
 
 // FillPattern writes a deterministic pseudo-random pattern (synthetic
 // input images for tests and benchmarks).
