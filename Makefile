@@ -7,7 +7,7 @@ COVER_FLOOR_SCHEDULE ?= 75.0
 COVER_FLOOR_SERVICE  ?= 80.0
 COVER_FLOOR_DIFFTEST ?= 80.0
 
-.PHONY: all build test vet api race rowvm-race fleet-race stream-race gen gen-race gen-gate narrow-race narrow-gate fuzz cover bench bench-kernels bench-json serve serve-smoke serve-http stats clean
+.PHONY: all build test vet api race rowvm-race fleet-race stream-race gen gen-race gen-gate narrow-race narrow-gate auto-race auto-gate fuzz cover bench bench-kernels bench-json serve serve-smoke serve-http stats clean
 
 all: build test
 
@@ -21,7 +21,7 @@ all: build test
 build:
 	$(GO) build ./...
 
-test: vet gen rowvm-race fleet-race stream-race gen-race narrow-race serve-smoke
+test: vet gen rowvm-race fleet-race stream-race gen-race narrow-race auto-race serve-smoke
 	$(GO) test ./...
 
 # Race-checked run of the row bytecode VM suite (differential vs scalar,
@@ -87,6 +87,21 @@ narrow-race:
 narrow-gate:
 	$(GO) run ./cmd/polymage-bench -narrow-json /tmp/BENCH_narrow_new.json -runs 5
 	$(GO) run ./cmd/polymage-benchdiff -min-narrow-speedup 1.3 BENCH_narrow.json /tmp/BENCH_narrow_new.json
+
+# Race-checked run of the auto-scheduler suite: cost-model term pinning
+# against executor observability counters, beam-search determinism and
+# never-worse-than-greedy, the core inlining axis, and the serving-layer
+# auto path (cache-key distinctness, end-to-end request).
+auto-race:
+	POLYMAGE_FLEET=4 $(GO) test -race -short -run 'TestAuto' ./internal/schedule/ ./internal/core/ ./internal/service/ -count=1
+
+# Re-measure the auto-scheduler benchmark (searched schedules vs the
+# hand-tuned defaults on every Table-2 app) and gate it against the
+# committed BENCH_auto.json: the auto geomean must stay at parity or
+# better (>= 1.0x) and no single app may regress beyond 5%.
+auto-gate:
+	$(GO) run ./cmd/polymage-bench -auto-json /tmp/BENCH_auto_new.json -runs 5
+	$(GO) run ./cmd/polymage-benchdiff -max-auto-regress 0.05 BENCH_auto.json /tmp/BENCH_auto_new.json
 
 # In-process end-to-end gate for the HTTP serving layer: cold/warm/
 # overload/oversized requests plus /healthz, /metrics and the snapshot
@@ -154,6 +169,8 @@ bench-json:
 	@echo "wrote BENCH_gen.json"
 	$(GO) run ./cmd/polymage-bench -narrow-json BENCH_narrow.json -runs 5
 	@echo "wrote BENCH_narrow.json"
+	$(GO) run ./cmd/polymage-bench -auto-json BENCH_auto.json -runs 5
+	@echo "wrote BENCH_auto.json"
 
 serve:
 	$(GO) run ./cmd/polymage-bench -serve harris -requests 100

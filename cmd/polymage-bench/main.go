@@ -46,10 +46,11 @@ func main() {
 	streamJSON := flag.String("stream-json", "", "write the streaming dirty-rectangle benchmark (whole-frame vs ROI partial recompute) to the given file ('-' = stdout)")
 	genJSON := flag.String("gen-json", "", "write the ahead-of-time kernel benchmark (generated kernels vs interpreted tiers, 1 thread) to the given file ('-' = stdout)")
 	narrowJSON := flag.String("narrow-json", "", "write the narrow-type benchmark (uint8/uint16 layout vs float32 on the narrow apps, plus float-app no-op check) to the given file ('-' = stdout)")
+	autoJSON := flag.String("auto-json", "", "write the auto-scheduler benchmark (cost-model searched schedules vs hand-tuned defaults, 1 thread) to the given file ('-' = stdout)")
 	seed := flag.Int64("seed", harness.DefaultSeed, "seed for synthetic benchmark inputs")
 	flag.Parse()
 
-	if *benchJSON != "" || *fleetJSON != "" || *streamJSON != "" || *genJSON != "" || *narrowJSON != "" {
+	if *benchJSON != "" || *fleetJSON != "" || *streamJSON != "" || *genJSON != "" || *narrowJSON != "" || *autoJSON != "" {
 		cfg := harness.Config{Scale: *scale, Runs: *runs, Threads: *threads, Seed: *seed}
 		run := func(path string, f func(io.Writer, harness.Config) error) {
 			out := io.Writer(os.Stdout)
@@ -79,6 +80,9 @@ func main() {
 		}
 		if *narrowJSON != "" {
 			run(*narrowJSON, harness.BenchNarrowJSON)
+		}
+		if *autoJSON != "" {
+			run(*autoJSON, harness.BenchAutoJSON)
 		}
 		return
 	}

@@ -8,6 +8,11 @@
 // geomean slowdown exceeds the given fraction, gating aggregate drift that
 // stays under the per-configuration threshold.
 //
+// With -max-auto-regress (BENCH_auto.json files), the per-row comparison
+// switches from raw wall clocks to each app's within-run auto/hand ratio —
+// the quantity that stays stable across thermal sessions — and the new
+// file's auto_speedup/auto_worst_ratio summary is gated absolutely.
+//
 // Usage:
 //
 //	polymage-benchdiff old.json new.json [-threshold 0.10] [-max-regress 0.05]
@@ -19,6 +24,7 @@ import (
 	"fmt"
 	"math"
 	"os"
+	"sort"
 
 	"repro/internal/harness"
 )
@@ -28,6 +34,7 @@ func main() {
 	maxRegress := flag.Float64("max-regress", -1, "fail when the geomean slowdown over all matched configurations exceeds this fraction (negative = off)")
 	minGenSpeedup := flag.Float64("min-gen-speedup", 0, "fail when the new file's generated-kernel geomean speedup (gen_speedup) is below this factor (0 = off; BENCH_gen.json files only)")
 	minNarrowSpeedup := flag.Float64("min-narrow-speedup", 0, "fail when the new file's best narrow-app speedup (narrow_best_speedup) is below this factor, or a float app regressed under the inference pass beyond -threshold (0 = off; BENCH_narrow.json files only)")
+	maxAutoRegress := flag.Float64("max-auto-regress", -1, "fail when the new file's auto-scheduler geomean (auto_speedup) is below 1.0x of hand-tuned, or any app regressed beyond this fraction (auto_worst_ratio; negative = off; BENCH_auto.json files only)")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: polymage-benchdiff [-threshold 0.10] [-max-regress 0.05] old.json new.json\n")
 		flag.PrintDefaults()
@@ -45,7 +52,16 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	regressions, gm := diff(os.Stdout, oldBF, newBF, *threshold)
+	var regressions int
+	var gm float64
+	if *maxAutoRegress >= 0 && newBF.Summary.AutoSpeedup > 0 {
+		// Auto-gate mode: the files' raw wall clocks come from different
+		// thermal sessions, so the stable cross-file quantity is each
+		// app's within-run auto/hand ratio, not its absolute time.
+		regressions, gm = diffAutoRatios(os.Stdout, oldBF, newBF, *threshold)
+	} else {
+		regressions, gm = diff(os.Stdout, oldBF, newBF, *threshold)
+	}
 	if gm > 0 {
 		fmt.Printf("\ngeomean new/old: %.3f (%+.1f%%)\n", gm, (gm-1)*100)
 	}
@@ -84,6 +100,24 @@ func main() {
 		}
 	} else if *minNarrowSpeedup > 0 {
 		fmt.Printf("FAIL: -min-narrow-speedup set but the new file carries no narrow summary\n")
+		fail = true
+	}
+	if s := newBF.Summary.AutoSpeedup; s > 0 {
+		fmt.Printf("auto-scheduler geomean speedup vs hand-tuned: %.2fx (worst app ratio %.3f)\n",
+			s, newBF.Summary.AutoWorstRatio)
+		if *maxAutoRegress >= 0 {
+			if s < 1.0 {
+				fmt.Printf("FAIL: auto-scheduler geomean %.2fx below hand-tuned parity\n", s)
+				fail = true
+			}
+			if wr := newBF.Summary.AutoWorstRatio; wr > 1+*maxAutoRegress {
+				fmt.Printf("FAIL: an app regressed %.1f%% under the auto-scheduler (beyond %.0f%%)\n",
+					(wr-1)*100, *maxAutoRegress*100)
+				fail = true
+			}
+		}
+	} else if *maxAutoRegress >= 0 {
+		fmt.Printf("FAIL: -max-auto-regress set but the new file carries no auto summary\n")
 		fail = true
 	}
 	if fail {
@@ -144,6 +178,61 @@ func diff(w *os.File, oldBF, newBF *harness.BenchFile, threshold float64) (int, 
 	}
 	if matched == 0 {
 		fmt.Fprintln(w, "warning: no overlapping configurations between the two files")
+		return regressions, 0
+	}
+	return regressions, math.Exp(logSum / float64(matched))
+}
+
+// diffAutoRatios compares two BENCH_auto.json files by each app's
+// auto/hand time ratio — the quantity the interleaved bench measures
+// within one session and the only one stable across sessions (absolute
+// wall clocks drift with machine state). A row regresses when an app's
+// ratio grew by more than the threshold. Returns the regression count and
+// the geomean of new/old ratio quotients.
+func diffAutoRatios(w *os.File, oldBF, newBF *harness.BenchFile, threshold float64) (int, float64) {
+	ratios := func(bf *harness.BenchFile) map[string]float64 {
+		ms := make(map[key]float64, len(bf.Results))
+		for _, r := range bf.Results {
+			ms[key{r.Name, r.Variant}] = r.Millis
+		}
+		out := make(map[string]float64)
+		for k, auto := range ms {
+			if k.variant != "auto" {
+				continue
+			}
+			if hand := ms[key{k.name, "hand"}]; hand > 0 {
+				out[k.name] = auto / hand
+			}
+		}
+		return out
+	}
+	oldR, newR := ratios(oldBF), ratios(newBF)
+	fmt.Fprintf(w, "%-24s %12s %12s %9s\n", "name", "old a/h", "new a/h", "delta")
+	names := make([]string, 0, len(newR))
+	for n := range newR {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	regressions, matched, logSum := 0, 0, 0.0
+	for _, n := range names {
+		nr := newR[n]
+		or, ok := oldR[n]
+		if !ok {
+			fmt.Fprintf(w, "%-24s %12s %12.3f %9s\n", n, "-", nr, "new")
+			continue
+		}
+		matched++
+		delta := (nr - or) / or
+		logSum += math.Log(nr / or)
+		mark := ""
+		if delta > threshold {
+			mark = "  << REGRESSION"
+			regressions++
+		}
+		fmt.Fprintf(w, "%-24s %12.3f %12.3f %+8.1f%%%s\n", n, or, nr, delta*100, mark)
+	}
+	if matched == 0 {
+		fmt.Fprintln(w, "warning: no overlapping apps between the two auto files")
 		return regressions, 0
 	}
 	return regressions, math.Exp(logSum / float64(matched))

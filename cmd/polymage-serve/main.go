@@ -5,7 +5,11 @@
 // Usage:
 //
 //	polymage-serve [-addr :8080] [-inflight N] [-queue N] [-timeout 60s]
-//	               [-programs N] [-threads N] [-no-specs]
+//	               [-programs N] [-threads N] [-auto=false] [-no-specs]
+//
+// The cost-model auto-scheduler is the serving default (-auto); requests
+// with explicit tiles, or with "auto": false in the body, keep the paper's
+// threshold heuristic.
 //
 // Endpoints: POST /run, GET /healthz, GET /metrics[?stream=1s], GET /apps.
 // SIGINT/SIGTERM trigger a graceful shutdown that drains in-flight
@@ -35,6 +39,7 @@ func main() {
 	programs := flag.Int("programs", 0, "compiled-program cache capacity (0 = default 32)")
 	maxBody := flag.Int64("max-body", 0, "max /run body bytes (0 = default 64 MiB)")
 	threads := flag.Int("threads", 0, "default worker threads per program (0 = GOMAXPROCS)")
+	auto := flag.Bool("auto", true, "default to the cost-model auto-scheduler for requests without explicit tiles")
 	noSpecs := flag.Bool("no-specs", false, "reject inline pipeline specs; serve registered apps only")
 	noMetrics := flag.Bool("no-metrics", false, "disable per-program executor metrics")
 	drain := flag.Duration("drain", 30*time.Second, "graceful-shutdown drain budget")
@@ -48,6 +53,7 @@ func main() {
 		MaxPrograms:    *programs,
 		MaxBodyBytes:   *maxBody,
 		Threads:        *threads,
+		AutoSchedule:   *auto,
 		DisableSpecs:   *noSpecs,
 		DisableMetrics: *noMetrics,
 	})

@@ -3,10 +3,20 @@
 // printing the full (1-core, N-core) scatter behind Figure 9, and compares
 // against the OpenTuner-style random-search baseline.
 //
+// -auto validates the analytical cost model behind Options.Auto instead:
+// it measures a grid of schedules, ranks them by the model's predicted
+// cost, and reports whether the predicted best matches the measured best
+// (top-1 hit) plus the Spearman rank correlation, alongside the searched
+// schedule's own measurement. -fit regresses the model coefficients
+// against a fresh sweep (plus any BENCH_*.json history passed as extra
+// arguments) and writes them with -fit-out.
+//
 // Usage:
 //
 //	polymage-tune -app camera [-scale 4] [-scatter] [-full-space]
 //	              [-random-trials 5]
+//	polymage-tune -auto [-app camera] [-scale 4]
+//	polymage-tune -fit [-fit-out AUTOTUNE_weights.json] [BENCH_*.json ...]
 package main
 
 import (
@@ -19,6 +29,7 @@ import (
 	"repro/internal/apps"
 	"repro/internal/autotune"
 	"repro/internal/harness"
+	"repro/internal/schedule"
 )
 
 func main() {
@@ -28,7 +39,16 @@ func main() {
 	scatter := flag.Bool("scatter", false, "print every configuration (Figure 9 data)")
 	fullSpace := flag.Bool("full-space", false, "use the paper's full 147-point space")
 	randomTrials := flag.Int("random-trials", 5, "trials for the OpenTuner-style random search (0 = skip)")
+	autoEval := flag.Bool("auto", false, "validate the auto-scheduler's cost model: predicted vs measured schedule ranking on -app")
+	fit := flag.Bool("fit", false, "fit the cost-model coefficients against a fresh sweep (plus any BENCH_*.json history passed as arguments)")
+	fitOut := flag.String("fit-out", "", "write fitted coefficients (JSON) to this file")
+	runs := flag.Int("runs", 3, "timed runs per measured schedule for -auto / -fit")
 	flag.Parse()
+
+	if *fit {
+		fitMain(*scale, *runs, *fitOut, flag.Args())
+		return
+	}
 
 	app, err := apps.Get(*appName)
 	fatal(err)
@@ -37,6 +57,11 @@ func main() {
 	if th == 0 {
 		th = runtime.GOMAXPROCS(0)
 	}
+	if *autoEval {
+		autoMain(app, params, *runs)
+		return
+	}
+
 	space := autotune.QuickSpace()
 	if *fullSpace {
 		space = autotune.FullSpace()
@@ -61,6 +86,65 @@ func main() {
 		fatal(err)
 		fmt.Printf("random search (%d trials, OpenTuner stand-in): %.2f ms (%.2fx slower)\n",
 			*randomTrials, rnd.Ms, rnd.Ms/best.Ms)
+	}
+}
+
+// autoMain validates the cost model on one app: it measures the sweep
+// grid, ranks it by predicted cost vs measured wall clock, and also times
+// the schedule the beam search actually picks.
+func autoMain(app *apps.App, params map[string]int64, runs int) {
+	fmt.Printf("%s: cost-model ranking at %v, 1 thread\n", app.Title, params)
+	samples, err := autotune.AppSamples(app, params, runs, 42)
+	fatal(err)
+	w := schedule.DefaultCostWeights()
+	v := [5]float64{w.Compute, w.Recompute, w.Traffic, w.Parallel, w.Footprint}
+	fmt.Printf("%-16s %14s %12s\n", "schedule", "predicted", "measured ms")
+	for _, s := range samples {
+		pred := 0.0
+		for i := range v {
+			pred += v[i] * s.Terms[i]
+		}
+		fmt.Printf("%-16s %14.4g %12.2f\n", s.Config, pred, s.Millis)
+	}
+	top1, rho := autotune.RankEval(samples, w)
+	fmt.Printf("top-1 hit: %v, Spearman rho: %.3f\n", top1, rho)
+
+	so := schedule.DefaultOptions()
+	so.Auto = true
+	ms, _, err := autotune.MeasureSchedule(app, params, so, runs, 42)
+	fatal(err)
+	best := samples[0].Millis
+	for _, s := range samples[1:] {
+		if s.Millis < best {
+			best = s.Millis
+		}
+	}
+	fmt.Printf("searched schedule: %.2f ms (grid-measured best %.2f ms, ratio %.3f)\n", ms, best, ms/best)
+}
+
+// fitMain regresses the model coefficients against a fresh sweep plus any
+// BENCH_*.json history files.
+func fitMain(scale int64, runs int, out string, history []string) {
+	fmt.Printf("sweeping %d apps at scale %d for fit samples...\n", len(apps.Names()), scale)
+	samples, err := autotune.SweepSamples(scale, runs, 42)
+	fatal(err)
+	if len(history) > 0 {
+		hs, err := autotune.HistorySamples(history)
+		fatal(err)
+		fmt.Printf("plus %d samples from %d history file(s)\n", len(hs), len(history))
+		samples = append(samples, hs...)
+	}
+	rep, err := autotune.Report(samples)
+	fatal(err)
+	fmt.Printf("fitted over %d samples (R² = %.3f):\n", rep.Samples, rep.R2)
+	fmt.Printf("  compute=%.4g recompute=%.4g traffic=%.4g parallel=%.4g footprint=%.4g\n",
+		rep.Weights.Compute, rep.Weights.Recompute, rep.Weights.Traffic, rep.Weights.Parallel, rep.Weights.Footprint)
+	d := schedule.DefaultCostWeights()
+	fmt.Printf("  (defaults: compute=%g recompute=%g traffic=%g parallel=%g footprint=%g)\n",
+		d.Compute, d.Recompute, d.Traffic, d.Parallel, d.Footprint)
+	if out != "" {
+		fatal(autotune.SaveWeights(out, rep.Weights))
+		fmt.Printf("wrote %s\n", out)
 	}
 }
 

@@ -1,0 +1,84 @@
+package autotune
+
+// Coefficient-fit machinery tests: weight recovery from synthetic samples,
+// the unidentifiable-column fallback, and the rank-evaluation helper used
+// by polymage-tune -auto.
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/schedule"
+)
+
+// TestAutoFitRecovery fits against synthetic samples generated from known
+// weights: the recovered ratios must match, and a term with no variance
+// across the samples must keep its default ratio instead of drifting.
+func TestAutoFitRecovery(t *testing.T) {
+	truth := [5]float64{1, 2, 6, 0, 4}
+	// Terms chosen to vary independently; parallel-idle column is constant
+	// zero (unidentifiable — e.g. a 1-core sweep).
+	var samples []Sample
+	for i := 0; i < 12; i++ {
+		f := float64(i)
+		terms := [5]float64{1e6 + 3e5*f, 1e4 * f * f, 2e5 + 1e5*math.Mod(f*7, 5), 0, 1e4 * math.Mod(f*3, 4)}
+		samples = append(samples, Sample{App: "synthetic", Config: "c", Terms: terms, Millis: dot(truth, terms) * 1e-6})
+	}
+	w, err := FitWeights(samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := [5]float64{w.Compute, w.Recompute, w.Traffic, w.Parallel, w.Footprint}
+	// Normalized to Compute = 1, identifiable ratios must match truth's.
+	for _, j := range []int{0, 1, 2, 4} {
+		want := truth[j] / truth[0]
+		if math.Abs(got[j]-want) > 0.05*want+1e-9 {
+			t.Errorf("weight %d: fitted %g, want %g (fit %+v)", j, got[j], want, w)
+		}
+	}
+	// The zero-variance parallel column keeps the default ratio.
+	if def := schedule.DefaultCostWeights(); got[3] != def.Parallel {
+		t.Errorf("unidentifiable parallel weight %g, want default %g", got[3], def.Parallel)
+	}
+}
+
+// TestAutoFitRejectsTiny pins the sample floor.
+func TestAutoFitRejectsTiny(t *testing.T) {
+	if _, err := FitWeights([]Sample{{Millis: 1}}); err == nil {
+		t.Error("fit of one sample should fail")
+	}
+}
+
+// TestAutoRankEval checks the Spearman helper on hand-built orderings.
+func TestAutoRankEval(t *testing.T) {
+	w := schedule.CostWeights{Compute: 1}
+	agree := []Sample{
+		{Terms: [5]float64{1}, Millis: 10},
+		{Terms: [5]float64{2}, Millis: 20},
+		{Terms: [5]float64{3}, Millis: 30},
+	}
+	top1, rho := RankEval(agree, w)
+	if !top1 || rho != 1 {
+		t.Errorf("perfect agreement: top1=%v rho=%g", top1, rho)
+	}
+	reversed := []Sample{
+		{Terms: [5]float64{1}, Millis: 30},
+		{Terms: [5]float64{2}, Millis: 20},
+		{Terms: [5]float64{3}, Millis: 10},
+	}
+	top1, rho = RankEval(reversed, w)
+	if top1 || rho != -1 {
+		t.Errorf("perfect disagreement: top1=%v rho=%g", top1, rho)
+	}
+}
+
+// TestAutoRanksTies pins tie handling: equal values share the mean rank.
+func TestAutoRanksTies(t *testing.T) {
+	r := ranks([]float64{5, 1, 5, 2})
+	want := []float64{3.5, 1, 3.5, 2}
+	for i := range want {
+		if r[i] != want[i] {
+			t.Fatalf("ranks = %v, want %v", r, want)
+		}
+	}
+}

@@ -1,0 +1,44 @@
+package difftest
+
+// The schedule-auto knob's fuzzer plumbing: the shrinker's replay snippet
+// must preserve the Auto flag (a mismatch found under the searched
+// schedule is only replayable under it), and the default sweep must carry
+// an auto knob at all.
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAutoKnobInDefaultSweep(t *testing.T) {
+	for _, k := range DefaultKnobs() {
+		if k.Auto {
+			return
+		}
+	}
+	t.Fatal("no Auto knob in the default sweep")
+}
+
+func TestAutoKnobLiteral(t *testing.T) {
+	lit := KnobLiteral(Knob{Name: "schedule-auto", Fast: true, Auto: true})
+	if !strings.Contains(lit, "Auto: true") {
+		t.Errorf("KnobLiteral dropped Auto: %s", lit)
+	}
+	if lit := KnobLiteral(Knob{Name: "plain"}); strings.Contains(lit, "Auto") {
+		t.Errorf("non-auto knob literal should not mention Auto: %s", lit)
+	}
+}
+
+// TestAutoKnobDiffs runs one small generated pipeline through the
+// auto-knob differential check directly (reference interpreter vs the
+// searched schedule).
+func TestAutoKnobDiffs(t *testing.T) {
+	sp := Generate(20260807)
+	m, err := Diff(sp, RunOptions{Knobs: []Knob{{Name: "schedule-auto", Fast: true, Threads: 2, Auto: true}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m != nil {
+		t.Fatalf("mismatch under the auto knob: %s", m.Error())
+	}
+}

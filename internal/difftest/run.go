@@ -62,6 +62,11 @@ type Knob struct {
 	// that); on Integer specs it is the narrow side of the exactness
 	// oracle, diffed bit-for-bit against the float64 reference.
 	NarrowTypes bool
+	// Auto compiles with the cost-model auto-scheduler
+	// (schedule.Options.Auto): the beam-searched grouping and tile sizes
+	// are ULP-diffed against the reference — the searched schedule must
+	// change only performance, never values.
+	Auto bool
 	// GenKernels leaves dispatch to ahead-of-time generated Go kernels
 	// enabled (every other knob pins ExecOptions.NoGenKernels so its label
 	// describes what actually ran). The sweep's gen knob compiles with the
@@ -81,6 +86,9 @@ func (k Knob) String() string {
 	if k.NarrowTypes {
 		s += " narrow=true"
 	}
+	if k.Auto {
+		s += " auto=true"
+	}
 	if k.GenKernels {
 		s += " gen=true"
 	}
@@ -91,13 +99,24 @@ func (k Knob) String() string {
 // fuzz extents (tiny MinSize so grouping actually triggers, the high
 // overlap threshold the original fuzzers used).
 func (k Knob) schedOptions() schedule.Options {
-	return schedule.Options{
+	so := schedule.Options{
 		TileSizes:        k.Tiles,
 		MinTileExtent:    4,
 		MinSize:          8,
 		OverlapThreshold: 0.95,
 		DisableFusion:    k.DisableFusion,
+		Auto:             k.Auto,
 	}
+	if k.Auto {
+		// Small tile candidates matched to the fuzzers' tiny extents, and
+		// a tight state budget so the sweep stays fast per seed.
+		so.AutoOpts = &schedule.AutoOptions{
+			TileCandidates: [][]int64{{4, 4}, {8, 8}, {16, 16}, {8, 16}},
+			BeamWidth:      3,
+			MaxStates:      128,
+		}
+	}
+	return so
 }
 
 func (k Knob) inlineOptions() inline.Options {
@@ -141,6 +160,9 @@ func DefaultKnobs() []Knob {
 		{Name: "roi-dirty", Tiles: []int64{8, 8}, Fast: true, Threads: 2, Frames: 3, ROI: true},
 		{Name: "narrow-fast-par", Tiles: []int64{16, 16}, Fast: true, Threads: 4, NarrowTypes: true},
 		GenKnob(),
+		// Appended after GenKnob so existing knob indices (QuickKnobs,
+		// replay snippets) stay stable.
+		{Name: "schedule-auto", Tiles: []int64{16, 16}, Fast: true, Threads: 2, Auto: true},
 	}
 }
 

@@ -592,7 +592,26 @@ func (p *Program) Stats() obs.ProgramStats {
 		if ge.grp.Tiled {
 			gm.PlannedTiles = ge.tp.NumTiles()
 		}
+		if c := ge.grp.Cost; c != nil {
+			gm.Cost = &obs.GroupCostModel{
+				Compute:         c.Compute,
+				Recompute:       c.Recompute,
+				Traffic:         c.Traffic,
+				ParallelIdle:    c.ParallelIdle,
+				FootprintExcess: c.FootprintExcess,
+				ModelTiles:      c.Tiles,
+				Exact:           c.Exact,
+			}
+		}
 		st.Groups = append(st.Groups, gm)
+	}
+	if p.Grouping != nil && p.Grouping.Searched {
+		st.AutoScheduled = true
+		st.ScheduleModelCost = p.Grouping.ModelCost
+		if s := p.Grouping.Search; s != nil {
+			st.SearchStates = s.States
+			st.SearchPruned = s.Pruned
+		}
 	}
 	st.Stages = make([]obs.StageModel, 0, len(p.stageNames))
 	for _, name := range p.stageNames {

@@ -118,6 +118,29 @@ type BenchSummary struct {
 	// NarrowStages maps narrow app name to the number of stages stored
 	// with a narrow element type (0 means inference failed to narrow).
 	NarrowStages map[string]int `json:"narrow_stages,omitempty"`
+
+	// Auto summary (files written by BenchAutoJSON only).
+	//
+	// AppGeomeanAutoMillis / AppGeomeanHandMillis are the Table-2 app
+	// geomeans at 1 thread under the cost-model auto-scheduler ("auto")
+	// and the paper's hand-tuned default schedule ("hand"), both on the
+	// interpreted tiers (generated kernels pinned off so schedule quality
+	// is measured, not kernel-cache coverage).
+	AppGeomeanAutoMillis float64 `json:"app_geomean_auto_ms,omitempty"`
+	AppGeomeanHandMillis float64 `json:"app_geomean_hand_ms,omitempty"`
+	// AutoSpeedup is hand/auto: ≥ 1 means the searched schedules are at
+	// parity or better overall (the ROADMAP win condition).
+	AutoSpeedup float64 `json:"auto_speedup,omitempty"`
+	// AutoWorstRatio is max over apps of auto/hand: > 1 means some app
+	// regressed under the auto-scheduler, by that factor.
+	AutoWorstRatio float64 `json:"auto_worst_ratio,omitempty"`
+	// AutoGroups maps app name to the searched schedule's group count
+	// (a quick structural fingerprint of what the search chose).
+	AutoGroups map[string]int `json:"auto_groups,omitempty"`
+	// AutoIdentical lists apps where the search reproduced the hand
+	// schedule exactly (same groups, tiles and inlining): their auto/hand
+	// ratio is 1 by construction and one measurement serves both rows.
+	AutoIdentical []string `json:"auto_identical,omitempty"`
 }
 
 // BenchFile is the root JSON document.

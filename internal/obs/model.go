@@ -19,6 +19,28 @@ type GroupModel struct {
 	// anchor dimension (Algorithm 1 line 11), evaluated at the compile
 	// estimates.
 	OverlapRatio []float64
+	// Cost is the auto-scheduler's cost-model breakdown for the group
+	// (nil when the program was scheduled by the plain threshold
+	// heuristic). Its point counts are directly comparable to the
+	// executor's measured counters: Recompute vs the group's summed
+	// StageStats.RecomputedPoints, ModelTiles vs GroupStats.Tiles.
+	Cost *GroupCostModel
+}
+
+// GroupCostModel mirrors the schedule package's GroupCost for the
+// observability surface: the auto-scheduler's per-group terms, in domain
+// points, at the compile-time estimates.
+type GroupCostModel struct {
+	Compute         float64
+	Recompute       float64
+	Traffic         float64
+	ParallelIdle    float64
+	FootprintExcess float64
+	// ModelTiles is the tile count the model priced (1 for untiled).
+	ModelTiles int64
+	// Exact reports exact per-tile enumeration (vs interior-tile
+	// extrapolation past the search's tile cap).
+	Exact bool
 }
 
 // MaxOverlap returns the largest per-dimension overlap ratio.
@@ -49,6 +71,14 @@ type ProgramStats struct {
 	// case piece compiled to and, for row-VM pieces, the instruction mix
 	// and register footprint. Filled for Fast-compiled programs.
 	Stages []StageModel
+	// AutoScheduled reports that the grouping came from the cost-model
+	// beam search (schedule.Options.Auto); ScheduleModelCost is the
+	// searched schedule's weighted model cost and SearchStates /
+	// SearchPruned the search-effort counters.
+	AutoScheduled     bool
+	ScheduleModelCost float64
+	SearchStates      int
+	SearchPruned      int
 }
 
 // StageModel describes how one stage's case pieces were lowered: the

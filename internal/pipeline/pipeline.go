@@ -94,7 +94,11 @@ func Build(b *dsl.Builder, liveOuts ...string) (*Graph, error) {
 		}
 		st := &Stage{Name: name, Decl: decl}
 		if fn, isFn := decl.(*dsl.Function); isFn {
-			st.Cases = fn.DefCases()
+			// Copy the case slice: the inliner rewrites graph cases in
+			// place, and the auto-scheduler rebuilds graphs from one
+			// builder to search inlining variants — each graph must own
+			// its cases.
+			st.Cases = append([]dsl.Case(nil), fn.DefCases()...)
 			if len(st.Cases) == 0 {
 				return fmt.Errorf("pipeline: stage %q has no definition", name)
 			}

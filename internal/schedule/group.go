@@ -16,6 +16,12 @@ import (
 // stays below the threshold.
 func BuildGroups(g *pipeline.Graph, est map[string]int64, opts Options) (*Grouping, error) {
 	opts = opts.withDefaults()
+	if opts.Auto && !opts.DisableFusion {
+		// Options.Auto swaps the threshold heuristic for the cost-model
+		// beam search (search.go); DisableFusion keeps the trivial
+		// partition, which the search could only reproduce.
+		return SearchGroups(g, est, opts)
+	}
 	gr := &Grouping{
 		ByName: make(map[string]*Group),
 		Graph:  g,

@@ -45,6 +45,10 @@ type Group struct {
 	// OverlapRatio per anchor dimension: redundant-computation fraction
 	// estimated at the parameter estimates (Algorithm 1 line 11).
 	OverlapRatio []float64
+	// Cost is the auto-scheduler's modeled cost breakdown for this group,
+	// populated when Options.Auto drove the grouping (nil under the plain
+	// Algorithm 1 heuristic).
+	Cost *GroupCost
 }
 
 // Grouping is the result of Algorithm 1: a partition of the pipeline's
@@ -54,6 +58,13 @@ type Grouping struct {
 	ByName map[string]*Group // stage name -> its group
 	Graph  *pipeline.Graph   // underlying pipeline
 	Est    map[string]int64  // parameter estimates used
+
+	// Searched reports that the cost-model beam search (Options.Auto)
+	// produced this grouping; ModelCost is its weighted model cost and
+	// Search the search-effort counters. All zero under Algorithm 1.
+	Searched  bool
+	ModelCost float64
+	Search    *SearchStats
 }
 
 // Options tunes grouping and tiling.
@@ -80,6 +91,16 @@ type Options struct {
 	// "base" variant of Figure 10, which still inlines but does not group,
 	// tile or optimize storage).
 	DisableFusion bool
+	// Auto replaces Algorithm 1's single-threshold greedy merge with the
+	// cost-model beam search (cost.go / search.go): grouping candidates ×
+	// per-group tile sizes are searched under an analytical model of
+	// memory traffic, halo recompute, parallelism and scratch footprint.
+	// OverlapThreshold is ignored when set; the other knobs (MinSize,
+	// MinTileExtent, MaxUnalignedExtent, DisableFusion) still apply.
+	Auto bool
+	// AutoOpts tunes the search (beam width, tile candidates, fitted cost
+	// weights); nil uses DefaultAutoOptions.
+	AutoOpts *AutoOptions
 }
 
 // DefaultOptions mirrors the paper's defaults.

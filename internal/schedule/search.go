@@ -1,0 +1,485 @@
+package schedule
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"runtime"
+	"sort"
+	"strings"
+
+	"repro/internal/pipeline"
+)
+
+// This file is the auto-scheduler's search (Options.Auto): a deterministic
+// beam search over grouping candidates × per-group tile sizes, scored by
+// the analytical model in cost.go, with branch-and-bound pruning on a
+// sound lower bound. It replaces Algorithm 1's single OverlapThreshold
+// cut: instead of merging whenever an interior tile's overlap fraction is
+// below one knob, every candidate merge is priced (memory traffic saved vs
+// halo recompute and footprint added, parallelism lost) and the cheapest
+// partition wins. Inlining decisions ride on top in internal/core, which
+// compares the searched model cost of the inlined and uninlined graphs.
+
+// AutoOptions tunes the cost-model search. The zero value means "use the
+// defaults" field by field.
+type AutoOptions struct {
+	// BeamWidth is the number of partition states kept per search round.
+	BeamWidth int
+	// TileCandidates are the per-group tile-size vectors the search
+	// chooses between (assigned to anchor dimensions like
+	// Options.TileSizes: outermost first, last entry repeating). The
+	// deterministic argmin under the model picks one per merged group.
+	TileCandidates [][]int64
+	// Weights are the model coefficients; nil uses DefaultCostWeights
+	// (the fitted values baked in from benchmark history).
+	Weights *CostWeights
+	// FleetWidth is the worker count the parallelism term assumes;
+	// 0 uses runtime.GOMAXPROCS (the engine fleet's own default).
+	FleetWidth int
+	// ExactTileCap bounds exact per-tile cost enumeration; groups with
+	// more tiles extrapolate from the interior tile (cost.go).
+	ExactTileCap int64
+	// CacheBudgetBytes is the per-tile scratch budget before the
+	// footprint term starts charging (default 1 MiB — a per-core L2).
+	CacheBudgetBytes int64
+	// RowOverheadPoints is the fixed dispatch cost of one row segment,
+	// expressed in point-equivalents and folded into the Compute term.
+	// Calibrated against the measured square-vs-wide tile gap on the
+	// Table-2 stencil apps (~25 points per row).
+	RowOverheadPoints float64
+	// MaxStates caps the number of cost-model evaluations per search; the
+	// search stops expanding (keeping the best partition found) beyond
+	// it. A backstop for adversarial difftest pipelines, far above what
+	// the Table-2 apps need.
+	MaxStates int
+}
+
+// DefaultAutoOptions returns the search defaults.
+func DefaultAutoOptions() AutoOptions {
+	return AutoOptions{
+		BeamWidth: 4,
+		TileCandidates: [][]int64{
+			{32, 256}, {64, 64}, {128, 128}, {32, 32}, {16, 16}, {8, 8},
+		},
+		FleetWidth:        runtime.GOMAXPROCS(0),
+		ExactTileCap:      4096,
+		CacheBudgetBytes:  1 << 20,
+		RowOverheadPoints: 24,
+		MaxStates:         512,
+	}
+}
+
+func (ao AutoOptions) withDefaults() AutoOptions {
+	d := DefaultAutoOptions()
+	if ao.BeamWidth <= 0 {
+		ao.BeamWidth = d.BeamWidth
+	}
+	if len(ao.TileCandidates) == 0 {
+		ao.TileCandidates = d.TileCandidates
+	}
+	if ao.FleetWidth <= 0 {
+		ao.FleetWidth = d.FleetWidth
+	}
+	if ao.ExactTileCap <= 0 {
+		ao.ExactTileCap = d.ExactTileCap
+	}
+	if ao.CacheBudgetBytes <= 0 {
+		ao.CacheBudgetBytes = d.CacheBudgetBytes
+	}
+	if ao.RowOverheadPoints <= 0 {
+		ao.RowOverheadPoints = d.RowOverheadPoints
+	}
+	if ao.MaxStates <= 0 {
+		ao.MaxStates = d.MaxStates
+	}
+	return ao
+}
+
+// weights resolves the model coefficients.
+func (ao AutoOptions) weights() CostWeights {
+	if ao.Weights != nil {
+		return *ao.Weights
+	}
+	return DefaultCostWeights()
+}
+
+// Digest returns a short stable hash of everything that can change the
+// search's outcome — knobs and resolved weights. The service includes it
+// in compiled-program cache keys: the search is deterministic, so equal
+// digests (plus app/params) imply equal schedules.
+func (ao AutoOptions) Digest() string {
+	ao = ao.withDefaults()
+	w := ao.weights()
+	h := sha256.New()
+	fmt.Fprintf(h, "beam=%d;fleet=%d;cap=%d;budget=%d;row=%g;max=%d;",
+		ao.BeamWidth, ao.FleetWidth, ao.ExactTileCap, ao.CacheBudgetBytes, ao.RowOverheadPoints, ao.MaxStates)
+	for _, tc := range ao.TileCandidates {
+		fmt.Fprintf(h, "t=%v;", tc)
+	}
+	fmt.Fprintf(h, "w=%g,%g,%g,%g,%g", w.Compute, w.Recompute, w.Traffic, w.Parallel, w.Footprint)
+	return hex.EncodeToString(h.Sum(nil))[:16]
+}
+
+// SearchStats counts the search's effort.
+type SearchStats struct {
+	// States is the number of cost-model evaluations performed.
+	States int
+	// Expanded is the number of partition states whose merges were tried.
+	Expanded int
+	// Pruned is the number of states cut by the branch-and-bound lower
+	// bound without expansion.
+	Pruned int
+}
+
+// searchState is one partition of the stages into groups. Group objects
+// are immutable during the search and shared between states.
+type searchState struct {
+	groups []*Group
+	byName map[string]*Group
+	total  float64 // weighted model cost under the searcher's weights
+	sig    string  // canonical partition+tiling signature (dedup key)
+}
+
+// lowerBound is a sound optimistic bound on the cost of any state
+// reachable from s by further merges: merging never decreases the
+// compute, recompute or footprint terms, can delete at most each group's
+// ReducibleTraffic from the traffic term, and can at best zero the
+// parallel-idle term. Proof sketch: a merged group still evaluates at
+// least every point each constituent evaluated (halos only grow), still
+// writes every pipeline live-out and still reads every input image.
+func (s *searchState) lowerBound(w CostWeights) float64 {
+	lb := s.total
+	for _, grp := range s.groups {
+		if grp.Cost != nil {
+			lb -= w.Traffic*grp.Cost.ReducibleTraffic + w.Parallel*grp.Cost.ParallelIdle
+		}
+	}
+	return lb
+}
+
+// searcher holds the per-search context.
+type searcher struct {
+	g     *pipeline.Graph
+	est   map[string]int64
+	opts  Options
+	ao    AutoOptions
+	w     CostWeights
+	stats SearchStats
+	// nextID hands out group IDs above every seed ID so IDs stay unique
+	// within any state.
+	nextID int
+}
+
+// SearchGroups is the Options.Auto entry point: it replaces Algorithm 1's
+// greedy threshold merge with the cost-model beam search. The result is a
+// valid Grouping exactly like BuildGroups produces, with Searched,
+// ModelCost, Search and per-group Cost populated.
+func SearchGroups(g *pipeline.Graph, est map[string]int64, opts Options) (*Grouping, error) {
+	opts = opts.withDefaults()
+	var ao AutoOptions
+	if opts.AutoOpts != nil {
+		ao = *opts.AutoOpts
+	}
+	ao = ao.withDefaults()
+	s := &searcher{g: g, est: est, opts: opts, ao: ao, w: ao.weights(), nextID: len(g.Order) + 1}
+
+	seeds, err := s.seedStates()
+	if err != nil {
+		return nil, err
+	}
+	best := seeds[0]
+	for _, st := range seeds {
+		if st.total < best.total {
+			best = st
+		}
+	}
+
+	frontier := truncateFrontier(seeds, ao.BeamWidth)
+	// Each round merges one more pair somewhere; a partition of N stages
+	// supports at most N-1 merges.
+	for round := 0; round < len(g.Order) && len(frontier) > 0; round++ {
+		var next []*searchState
+		for _, st := range frontier {
+			if st.lowerBound(s.w) >= best.total {
+				s.stats.Pruned++
+				continue
+			}
+			if s.stats.States >= ao.MaxStates {
+				break
+			}
+			s.stats.Expanded++
+			exp, err := s.expand(st)
+			if err != nil {
+				return nil, err
+			}
+			next = append(next, exp...)
+		}
+		if len(next) == 0 {
+			break
+		}
+		for _, st := range next {
+			if st.total < best.total {
+				best = st
+			}
+		}
+		frontier = truncateFrontier(next, ao.BeamWidth)
+	}
+
+	gr := &Grouping{
+		Groups:    best.groups,
+		ByName:    make(map[string]*Group, len(g.Order)),
+		Graph:     g,
+		Est:       est,
+		Searched:  true,
+		ModelCost: best.total,
+		Search:    &s.stats,
+	}
+	for _, grp := range gr.Groups {
+		for _, m := range grp.Members {
+			gr.ByName[m] = grp
+		}
+	}
+	if err := orderGroups(gr); err != nil {
+		return nil, err
+	}
+	return gr, nil
+}
+
+// seedStates builds the search's starting partitions: the all-singleton
+// partition, the greedy Algorithm 1 partition (so the searched schedule is
+// never worse than the default in model space), and the greedy partition
+// with every merged group's tiles re-chosen by the model.
+func (s *searcher) seedStates() ([]*searchState, error) {
+	// All singletons.
+	singles := make([]*Group, 0, len(s.g.Order))
+	for i, name := range s.g.Order {
+		grp, err := s.singletonGroup(name, i)
+		if err != nil {
+			return nil, err
+		}
+		singles = append(singles, grp)
+	}
+	seeds := []*searchState{s.newState(singles)}
+
+	// Greedy Algorithm 1 result under the same non-auto options.
+	gopts := s.opts
+	gopts.Auto = false
+	gopts.AutoOpts = nil
+	greedy, err := BuildGroups(s.g, s.est, gopts)
+	if err != nil {
+		// The greedy heuristic can fail on pipelines the search handles
+		// (or vice versa); it is only a seed, not a requirement.
+		return seeds, nil
+	}
+	var asIs, retiled []*Group
+	retileOK := true
+	for _, grp := range greedy.Groups {
+		c, cerr := EvalGroupCost(s.g, grp, s.est, s.ao)
+		if cerr != nil {
+			asIs = nil
+			retileOK = false
+			break
+		}
+		s.stats.States++
+		gc := c
+		grp.Cost = &gc
+		asIs = append(asIs, grp)
+		if len(grp.Members) > 1 {
+			memberSet := make(map[string]bool, len(grp.Members))
+			for _, m := range grp.Members {
+				memberSet[m] = true
+			}
+			rt := s.bestMergedGroup(memberSet, grp.Anchor)
+			if rt == nil {
+				retileOK = false
+				continue
+			}
+			retiled = append(retiled, rt)
+		} else {
+			retiled = append(retiled, grp)
+		}
+	}
+	if asIs != nil {
+		seeds = append(seeds, s.newState(asIs))
+		if retileOK {
+			seeds = append(seeds, s.newState(retiled))
+		}
+	}
+	return dedupStates(seeds), nil
+}
+
+// expand generates every legal single-merge successor of a state: each
+// group with exactly one child group, both sides mergeable, merged with
+// that child under the model's best tile choice.
+func (s *searcher) expand(st *searchState) ([]*searchState, error) {
+	// Deterministic candidate order: groups sorted by anchor.
+	groups := append([]*Group(nil), st.groups...)
+	sort.Slice(groups, func(i, j int) bool { return groups[i].Anchor < groups[j].Anchor })
+	var out []*searchState
+	for _, grp := range groups {
+		if s.stats.States >= s.ao.MaxStates {
+			break
+		}
+		children := childGroups(s.g, st.byName, grp)
+		if len(children) != 1 {
+			continue
+		}
+		child := children[0]
+		if !mergeableGroup(s.g, grp, s.est, s.opts, true) || !mergeableGroup(s.g, child, s.est, s.opts, false) {
+			continue
+		}
+		memberSet := make(map[string]bool, len(grp.Members)+len(child.Members))
+		for _, m := range grp.Members {
+			memberSet[m] = true
+		}
+		for _, m := range child.Members {
+			memberSet[m] = true
+		}
+		merged := s.bestMergedGroup(memberSet, child.Anchor)
+		if merged == nil {
+			continue // no legal aligned+tiled fusion of this pair
+		}
+		ng := make([]*Group, 0, len(st.groups)-1)
+		for _, o := range st.groups {
+			if o.ID != grp.ID && o.ID != child.ID {
+				ng = append(ng, o)
+			}
+		}
+		ng = append(ng, merged)
+		out = append(out, s.newState(ng))
+	}
+	return out, nil
+}
+
+// bestMergedGroup aligns/scales the member set against the anchor and
+// picks the model-cheapest legal tile-size candidate. Returns nil when no
+// legal fused+tiled schedule of the member set exists (alignment failure,
+// unaligned dimension too wide, nothing to tile). Deterministic: strict
+// argmin, earlier candidate wins ties.
+func (s *searcher) bestMergedGroup(memberSet map[string]bool, anchor string) *Group {
+	scales, err := computeScales(s.g, memberSet, anchor)
+	if err != nil {
+		return nil
+	}
+	members := sortedMembers(s.g, memberSet)
+	anchorBox, err := domainAt(s.g.Stages[anchor], s.est)
+	if err != nil {
+		return nil
+	}
+	var best *Group
+	var bestCost float64
+	for _, cand := range s.ao.TileCandidates {
+		if s.stats.States >= s.ao.MaxStates && best != nil {
+			break
+		}
+		topts := s.opts
+		topts.TileSizes = cand
+		ts := effectiveTileSizes(anchorBox, topts)
+		tiled := false
+		for _, t := range ts {
+			if t > 0 {
+				tiled = true
+			}
+		}
+		if !tiled {
+			continue
+		}
+		trial := &Group{ID: s.nextID, Members: members, Anchor: anchor, Scales: scales, Tiled: true, TileSizes: ts}
+		// estimateOverlap doubles as the legality check Algorithm 1 relies
+		// on: it rejects over-wide unaligned dimensions and degenerate
+		// (NaN/Inf) overlaps. Its threshold is not applied here — the
+		// model prices the overlap instead.
+		ratios, rerr := estimateOverlap(s.g, trial, s.est, s.opts)
+		if rerr != nil {
+			continue
+		}
+		trial.OverlapRatio = ratios
+		c, cerr := EvalGroupCost(s.g, trial, s.est, s.ao)
+		if cerr != nil {
+			continue
+		}
+		s.stats.States++
+		trial.Cost = &c
+		if t := s.w.Total(c); best == nil || t < bestCost {
+			best, bestCost = trial, t
+		}
+	}
+	if best != nil {
+		best.ID = s.nextID
+		s.nextID++
+	}
+	return best
+}
+
+// singletonGroup builds the untiled one-stage group finalizeGroups would
+// produce, with its cost evaluated.
+func (s *searcher) singletonGroup(name string, id int) (*Group, error) {
+	st := s.g.Stages[name]
+	ds := make([]DimScale, st.Decl.NumDims())
+	for d := range ds {
+		ds[d] = DimScale{AnchorDim: d, Scale: oneRat()}
+	}
+	grp := &Group{
+		ID:        id,
+		Members:   []string{name},
+		Anchor:    name,
+		Scales:    map[string][]DimScale{name: ds},
+		TileSizes: make([]int64, st.Decl.NumDims()),
+	}
+	c, err := EvalGroupCost(s.g, grp, s.est, s.ao)
+	if err != nil {
+		return nil, fmt.Errorf("schedule: cost of stage %s: %w", name, err)
+	}
+	s.stats.States++
+	grp.Cost = &c
+	return grp, nil
+}
+
+// newState assembles a state from its groups: total cost, name index and
+// canonical signature.
+func (s *searcher) newState(groups []*Group) *searchState {
+	st := &searchState{groups: groups, byName: make(map[string]*Group, len(s.g.Order))}
+	parts := make([]string, 0, len(groups))
+	for _, grp := range groups {
+		for _, m := range grp.Members {
+			st.byName[m] = grp
+		}
+		if grp.Cost != nil {
+			st.total += s.w.Total(*grp.Cost)
+		}
+		parts = append(parts, fmt.Sprintf("%s[%s|%v]", grp.Anchor, strings.Join(grp.Members, ","), grp.TileSizes))
+	}
+	sort.Strings(parts)
+	st.sig = strings.Join(parts, ";")
+	return st
+}
+
+// truncateFrontier dedups by signature, sorts by (cost, signature) and
+// keeps the beam's width.
+func truncateFrontier(states []*searchState, width int) []*searchState {
+	states = dedupStates(states)
+	sort.Slice(states, func(i, j int) bool {
+		if states[i].total != states[j].total {
+			return states[i].total < states[j].total
+		}
+		return states[i].sig < states[j].sig
+	})
+	if len(states) > width {
+		states = states[:width]
+	}
+	return states
+}
+
+func dedupStates(states []*searchState) []*searchState {
+	seen := make(map[string]bool, len(states))
+	out := states[:0]
+	for _, st := range states {
+		if seen[st.sig] {
+			continue
+		}
+		seen[st.sig] = true
+		out = append(out, st)
+	}
+	return out
+}

@@ -10,6 +10,7 @@ import (
 	"repro/internal/difftest"
 	"repro/internal/engine"
 	"repro/internal/obs"
+	"repro/internal/schedule"
 )
 
 // Streaming request validation sentinels: wrapped into the 400 *Error so
@@ -72,7 +73,15 @@ type RunRequest struct {
 	// Fast selects the specialized float32 kernels (default true).
 	Fast *bool `json:"fast,omitempty"`
 	// Tiles overrides the schedule's tile sizes (part of the cache key).
+	// Mutually exclusive with Auto=true: explicit tiles pin a
+	// hand-specified schedule.
 	Tiles []int64 `json:"tiles,omitempty"`
+	// Auto overrides the server's auto-schedule default for this request:
+	// true compiles with the cost-model auto-scheduler
+	// (schedule.Options.Auto), false forces the paper's threshold
+	// heuristic, absent uses Config.AutoSchedule. Part of the cache key —
+	// an auto-scheduled and a hand-scheduled program never collide.
+	Auto *bool `json:"auto,omitempty"`
 	// Output selects the response payload: "checksum" (default), "data" or
 	// "none".
 	Output string `json:"output,omitempty"`
@@ -126,6 +135,9 @@ func (r *RunRequest) validate() *Error {
 			return errf(400, "verify is not supported with frames; the difftest streaming knobs cover frame sequences")
 		}
 	}
+	if r.Auto != nil && *r.Auto && len(r.Tiles) > 0 {
+		return errf(400, "auto and tiles are mutually exclusive: explicit tiles pin a hand-specified schedule")
+	}
 	if r.Frames < 0 || r.Frames > MaxStreamFrames {
 		return errSentinel(400, ErrInvalidFrames, "frames must be between 1 and %d, got %d", MaxStreamFrames, r.Frames)
 	}
@@ -147,7 +159,7 @@ func (r *RunRequest) validate() *Error {
 // the parameter binding and every schedule/execution option that changes
 // the compiled artifact. Requests that differ only in inputs, seed or
 // output mode share a program.
-func (r *RunRequest) cacheKey(eo engine.ExecOptions, tiles []int64) string {
+func (r *RunRequest) cacheKey(eo engine.ExecOptions, tiles []int64, auto bool) string {
 	h := sha256.New()
 	if r.App != "" {
 		fmt.Fprintf(h, "app=%s;", r.App)
@@ -164,6 +176,12 @@ func (r *RunRequest) cacheKey(eo engine.ExecOptions, tiles []int64) string {
 		fmt.Fprintf(h, "%s=%d;", n, r.Params[n])
 	}
 	fmt.Fprintf(h, "threads=%d;fast=%v;metrics=%v;tiles=%v", eo.Threads, eo.Fast, eo.Metrics, tiles)
+	if auto {
+		// The search digest covers every knob and weight that can change
+		// the searched schedule; the search itself is deterministic, so
+		// app + params + digest fully identify the compiled artifact.
+		fmt.Fprintf(h, ";auto=%s", schedule.DefaultAutoOptions().Digest())
+	}
 	return hex.EncodeToString(h.Sum(nil))[:16]
 }
 
@@ -194,6 +212,12 @@ type RunResponse struct {
 	// reference interpreter (Verify requests only).
 	Verified bool                    `json:"verified,omitempty"`
 	Outputs  map[string]OutputResult `json:"outputs,omitempty"`
+	// AutoScheduled reports that the program was compiled by the
+	// cost-model auto-scheduler; ScheduleDigest is a short hash of the
+	// schedule actually chosen (grouping + tile sizes), so clients can
+	// tell two searched schedules apart.
+	AutoScheduled  bool   `json:"auto_scheduled,omitempty"`
+	ScheduleDigest string `json:"schedule_digest,omitempty"`
 }
 
 // FrameResult is one frame of a streaming request (DoStream /

@@ -63,6 +63,12 @@ type Config struct {
 	// requests may override it. Values above GOMAXPROCS are clamped — the
 	// shared fleet never runs more workers than the machine has cores.
 	Threads int
+	// AutoSchedule makes the cost-model auto-scheduler
+	// (schedule.Options.Auto) the default for requests that do not pin a
+	// schedule: requests with explicit Tiles keep the hand-specified
+	// schedule, and a request's Auto field overrides this default either
+	// way. polymage-serve sets it.
+	AutoSchedule bool
 	// DisableSpecs rejects inline-spec requests (403), leaving only the
 	// registered apps callable.
 	DisableSpecs bool
@@ -206,9 +212,10 @@ func (s *Service) Do(ctx context.Context, req *RunRequest) (resp *RunResponse, e
 		// "Threads: 128" on a 8-core box share one compiled program.
 		eo.Threads = max
 	}
-	key := req.cacheKey(eo, req.Tiles)
+	auto := s.autoFor(req)
+	key := req.cacheKey(eo, req.Tiles, auto)
 	e, cached, cerr := s.cache.acquire(ctx, key, func() (compiled, error) {
-		return s.build(req, eo)
+		return s.build(req, eo, auto)
 	})
 	if cerr != nil {
 		return nil, toError(cerr)
@@ -292,6 +299,10 @@ func (s *Service) Do(ctx context.Context, req *RunRequest) (resp *RunResponse, e
 		RunMillis: r.millis,
 		Verified:  req.Verify,
 	}
+	if gr := e.res.prog.Grouping; gr != nil && gr.Searched {
+		resp.AutoScheduled = true
+	}
+	resp.ScheduleDigest = e.res.prog.ScheduleHash()[:16]
 	if !cached {
 		resp.CompileMillis = e.res.compileMillis
 	}
@@ -331,9 +342,23 @@ func (s *Service) admit(ctx context.Context) (func(), *Error) {
 	}
 }
 
+// autoFor resolves a request's effective auto-schedule decision: the
+// request's explicit Auto wins, then the server default; explicit Tiles
+// always pin the hand-specified schedule (validate rejects the
+// contradictory Auto=true + Tiles combination up front).
+func (s *Service) autoFor(req *RunRequest) bool {
+	if len(req.Tiles) > 0 {
+		return false
+	}
+	if req.Auto != nil {
+		return *req.Auto
+	}
+	return s.cfg.AutoSchedule
+}
+
 // build compiles the request's pipeline (app or spec) behind the
 // compile-barrier: any panic becomes a 500-classed error.
-func (s *Service) build(req *RunRequest, eo engine.ExecOptions) (c compiled, err error) {
+func (s *Service) build(req *RunRequest, eo engine.ExecOptions, auto bool) (c compiled, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			s.panics.Add(1)
@@ -344,6 +369,7 @@ func (s *Service) build(req *RunRequest, eo engine.ExecOptions) (c compiled, err
 	if len(req.Tiles) > 0 {
 		so.TileSizes = append([]int64(nil), req.Tiles...)
 	}
+	so.Auto = auto
 	t0 := time.Now()
 	if req.App != "" {
 		app, aerr := apps.Get(req.App)

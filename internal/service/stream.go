@@ -85,9 +85,10 @@ func (s *Service) DoStream(ctx context.Context, req *RunRequest, emit func(*Fram
 	}
 	// Frames and ROI are deliberately absent from the key: a stream runs
 	// the same compiled program single-shot requests share.
-	key := req.cacheKey(eo, req.Tiles)
+	auto := s.autoFor(req)
+	key := req.cacheKey(eo, req.Tiles, auto)
 	e, cached, cerr := s.cache.acquire(ctx, key, func() (compiled, error) {
-		return s.build(req, eo)
+		return s.build(req, eo, auto)
 	})
 	if cerr != nil {
 		return toError(cerr)

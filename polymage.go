@@ -153,6 +153,37 @@ type ScheduleOptions = schedule.Options
 // InlineOptions tunes point-wise inlining.
 type InlineOptions = inline.Options
 
+// AutoScheduleOptions tunes the cost-model auto-scheduler's beam search
+// (ScheduleOptions.Auto / ScheduleOptions.AutoOpts): beam width, tile-size
+// candidates, cache budget and the model coefficients.
+type AutoScheduleOptions = schedule.AutoOptions
+
+// CostWeights are the auto-scheduler's model coefficients — the relative
+// price of compute, halo recompute, memory traffic, idle parallelism and
+// cache-footprint excess. internal/autotune (cmd/polymage-tune -fit) fits
+// them from measured schedule sweeps.
+type CostWeights = schedule.CostWeights
+
+// ScheduleAuto returns ScheduleOptions with the cost-model auto-scheduler
+// enabled: instead of Algorithm 1's single overlap-threshold cut, a
+// deterministic beam search over stage grouping, per-group tile sizes and
+// inlining picks the cheapest schedule under an analytical cost model
+// (memory traffic, redundant halo recompute, parallelism against the
+// worker fleet, cache footprint). Compile with
+//
+//	polymage.Compile(b, outs, polymage.Options{
+//		Estimates: params,
+//		Schedule:  polymage.ScheduleAuto(),
+//	})
+//
+// The search is deterministic for fixed options; Program.Stats reports
+// the chosen schedule's model cost and search effort.
+func ScheduleAuto() ScheduleOptions {
+	so := schedule.DefaultOptions()
+	so.Auto = true
+	return so
+}
+
 // ExecOptions configures execution (threads, fast kernels).
 type ExecOptions = engine.ExecOptions
 
